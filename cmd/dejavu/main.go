@@ -1,0 +1,285 @@
+// Command dejavu runs, records, and replays programs on the DejaVu-Go VM.
+//
+//	dejavu run [flags] <prog>          execute (no recording)
+//	dejavu record [flags] <prog>       execute and write a trace
+//	dejavu replay [flags] <prog>       re-execute a recorded trace
+//	dejavu asm <in.dvs> <out.dva>      assemble to a binary image
+//	dejavu disasm <in.dva>             print assembler text
+//	dejavu workloads                   list built-in benchmark programs
+//	dejavu info <prog>                 show program structure
+//
+// <prog> is a .dvs assembly file, a .dva image, or workload:<name>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/cli"
+	"dejavu/internal/core"
+	"dejavu/internal/tools"
+	"dejavu/internal/trace"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:], core.ModeOff)
+	case "record":
+		err = cmdRun(os.Args[2:], core.ModeRecord)
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "asm":
+		err = cmdAsm(os.Args[2:])
+	case "disasm":
+		err = cmdDisasm(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "traceinfo":
+		err = cmdTraceInfo(os.Args[2:])
+	case "workloads":
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dejavu:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dejavu <run|record|replay|asm|disasm|verify|traceinfo|workloads|info> [flags] args...
+run "dejavu <cmd> -h" for command flags`)
+}
+
+func cmdRun(args []string, mode core.Mode) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	seed := fs.Int64("seed", -1, "seeded preemption (-1 = real host timer)")
+	realtime := fs.Bool("realtime", false, "use the real wall clock")
+	heapKB := fs.Int("heap", 1024, "initial semispace KiB")
+	traceOut := fs.String("o", "trace.dvt", "trace output file (record mode)")
+	stats := fs.Bool("stats", false, "print execution statistics")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need exactly one program argument")
+	}
+	prog, err := cli.LoadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	eng, stop, err := cli.BuildEngine(prog, cli.EngineFlags{Mode: mode, Seed: *seed, Realtime: *realtime})
+	if err != nil {
+		return err
+	}
+	defer stop()
+	m, err := vm.New(prog, vm.Config{Engine: eng, Stdout: os.Stdout, HeapBytes: *heapKB * 1024})
+	if err != nil {
+		return err
+	}
+	runErr := m.Run()
+	if mode == core.ModeRecord {
+		traceBytes := eng.End()
+		if err := os.WriteFile(*traceOut, traceBytes, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d bytes -> %s\n", len(traceBytes), *traceOut)
+	}
+	if *stats {
+		printStats(m, eng)
+	}
+	return runErr
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	traceIn := fs.String("t", "trace.dvt", "trace input file")
+	heapKB := fs.Int("heap", 1024, "initial semispace KiB")
+	stats := fs.Bool("stats", false, "print execution statistics")
+	race := fs.Bool("race", false, "run the lockset race detector over the replay")
+	profile := fs.Bool("profile", false, "print a replay profile (hot methods, threads, opcodes)")
+	contention := fs.Bool("contention", false, "print monitor acquisition counts")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need exactly one program argument")
+	}
+	prog, err := cli.LoadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	traceBytes, err := os.ReadFile(*traceIn)
+	if err != nil {
+		return err
+	}
+	eng, stop, err := cli.BuildEngine(prog, cli.EngineFlags{Mode: core.ModeReplay, TraceIn: traceBytes})
+	if err != nil {
+		return err
+	}
+	defer stop()
+	cfg := vm.Config{Engine: eng, Stdout: os.Stdout, HeapBytes: *heapKB * 1024}
+	var rd *tools.RaceDetector
+	var prof *tools.Profiler
+	var cont *tools.Contention
+	if *race {
+		rd = tools.NewRaceDetector()
+		cfg.MemHook = rd
+	}
+	if *profile {
+		prof = tools.NewProfiler(prog)
+		cfg.Observer = prof
+	}
+	if *contention {
+		cont = tools.NewContention()
+	}
+	if rd != nil || cont != nil {
+		multi := &tools.Multi{}
+		if rd != nil {
+			multi.Sync = append(multi.Sync, rd)
+		}
+		if cont != nil {
+			multi.Sync = append(multi.Sync, cont)
+		}
+		cfg.SyncHook = multi
+	}
+	m, err := vm.New(prog, cfg)
+	if err != nil {
+		return err
+	}
+	runErr := m.Run()
+	if *stats {
+		printStats(m, eng)
+	}
+	if rd != nil {
+		fmt.Fprint(os.Stderr, rd.Report())
+	}
+	if prof != nil {
+		fmt.Fprint(os.Stderr, prof.Report(10))
+	}
+	if cont != nil {
+		fmt.Fprint(os.Stderr, cont.Report(5))
+	}
+	return runErr
+}
+
+func printStats(m *vm.VM, eng *core.Engine) {
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "events=%d yieldpoints=%d preemptive-switches=%d clockreads=%d natives=%d\n",
+		m.Events(), st.YieldPoints, st.Switches, st.ClockReads, st.NativeCalls)
+	fmt.Fprintf(os.Stderr, "heap: used=%dB collections=%d grows=%d allocs=%d\n",
+		m.Heap().Used(), m.Heap().Collections, m.Heap().Grows, m.Heap().AllocCount)
+}
+
+func cmdAsm(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: dejavu asm <in.dvs> <out.dva>")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	prog, err := bytecode.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(args[1], bytecode.EncodeImage(prog), 0o644)
+}
+
+func cmdDisasm(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: dejavu disasm <prog>")
+	}
+	prog, err := cli.LoadProgram(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(bytecode.Disassemble(prog))
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: dejavu verify <prog>")
+	}
+	prog, err := cli.LoadProgram(args[0])
+	if err != nil {
+		return err
+	}
+	facts, err := vm.VerifyProgram(prog)
+	if err != nil {
+		return err
+	}
+	for i, m := range prog.Methods {
+		ret := "void"
+		if facts[i].ReturnsValue {
+			ret = "value"
+		}
+		fmt.Printf("%-30s maxstack=%-3d returns %s\n", m.FullName(), facts[i].MaxStack, ret)
+	}
+	fmt.Println("verification passed")
+	return nil
+}
+
+func cmdTraceInfo(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: dejavu traceinfo <trace.dvt>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	s, err := trace.Summarize(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace    %s (%d bytes)\n", args[0], s.Stats.TotalBytes)
+	fmt.Printf("program  %x\n", s.ProgHash)
+	kinds := []trace.Kind{trace.EvSwitch, trace.EvClock, trace.EvNative, trace.EvInput, trace.EvCallback}
+	names := []string{"preemptive switches", "clock reads", "native results", "input reads", "callbacks"}
+	for i, k := range kinds {
+		fmt.Printf("%-20s %6d events %8d bytes\n", names[i], s.Stats.Events[k], s.Stats.BytesByKind[k])
+	}
+	if n := s.Stats.Events[trace.EvSwitch]; n > 0 {
+		fmt.Printf("yield points between preemptions: min=%d avg=%.1f max=%d\n",
+			s.SwitchNYP.Min, float64(s.SwitchNYP.Sum)/float64(n), s.SwitchNYP.Max)
+	}
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: dejavu info <prog>")
+	}
+	prog, err := cli.LoadProgram(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program %s\n", prog.Name)
+	fmt.Printf("hash    %x\n", vm.ProgramHash(prog))
+	fmt.Printf("entry   %s\n", prog.EntryMethod().FullName())
+	instr := 0
+	for _, c := range prog.Classes {
+		fmt.Printf("class %s: %d fields, %d statics, %d methods\n",
+			c.Name, len(c.Fields), len(c.Statics), len(c.Methods))
+		for _, m := range c.Methods {
+			fmt.Printf("  %s args=%d locals=%d code=%d\n", m.Name, m.NArgs, m.NLocals, len(m.Code))
+			instr += len(m.Code)
+		}
+	}
+	fmt.Printf("total: %d classes, %d methods, %d instructions\n",
+		len(prog.Classes), len(prog.Methods), instr)
+	return nil
+}

@@ -1,0 +1,873 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"dejavu/internal/baselines"
+	"dejavu/internal/bytecode"
+	"dejavu/internal/core"
+	"dejavu/internal/debugger"
+	"dejavu/internal/heap"
+	"dejavu/internal/ptrace"
+	"dejavu/internal/remoteref"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/tools"
+	"dejavu/internal/trace"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+// benchWorkloads are the programs used by the quantitative experiments.
+var benchWorkloads = map[string]func() *bytecode.Program{
+	"bank":         func() *bytecode.Program { return workloads.Bank(4, 8, 2000) },
+	"prodcons":     func() *bytecode.Program { return workloads.ProdCons(2, 2, 4, 1500) },
+	"philosophers": func() *bytecode.Program { return workloads.Philosophers(5, 200) },
+	"server":       func() *bytecode.Program { return workloads.Server(3, 300) },
+	"sieve":        func() *bytecode.Program { return workloads.Sieve(20000) },
+}
+
+// --- E1 ---
+
+func runE1(r *report) error {
+	rows := [][]string{}
+	distinct := map[string]bool{}
+	for seed := int64(1); seed <= 8; seed++ {
+		o := replaycheck.Options{Seed: seed, PreemptMin: 2, PreemptMax: 10}
+		rec, _, err := replaycheck.CheckReplay(workloads.Fig1AB(), o)
+		if err != nil {
+			return err
+		}
+		out := strings1(rec.Output)
+		distinct[out] = true
+		rows = append(rows, []string{fmt.Sprintf("%d", seed), out, "identical"})
+	}
+	r.table([]string{"timer seed", "printed x,y", "replay"}, rows)
+	r.note("distinct outcomes across seeds: %d (schedule-dependent, each replayed exactly)", len(distinct))
+	if len(distinct) < 2 {
+		return fmt.Errorf("expected schedule dependence")
+	}
+	return nil
+}
+
+func strings1(b []byte) string {
+	s := string(b)
+	return stringsReplace(s)
+}
+
+func stringsReplace(s string) string {
+	out := ""
+	for _, c := range s {
+		if c == '\n' {
+			out += ","
+		} else {
+			out += string(c)
+		}
+	}
+	if len(out) > 0 && out[len(out)-1] == ',' {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// --- E2 ---
+
+func runE2(r *report) error {
+	rows := [][]string{}
+	distinct := map[string]bool{}
+	for base := int64(0); base < 8; base++ {
+		o := replaycheck.Options{Seed: 5, TimeBase: 1000 + base, TimeStep: 3}
+		rec, _, err := replaycheck.CheckReplay(workloads.Fig1CD(), o)
+		if err != nil {
+			return err
+		}
+		out := strings1(rec.Output)
+		distinct[out] = true
+		branch := "wait taken (C)"
+		if (1000+base)%2 != 0 {
+			branch = "wait skipped (D)"
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d", 1000+base), branch, out, "identical"})
+	}
+	r.table([]string{"clock base", "Date() branch", "printed y", "replay"}, rows)
+	r.note("distinct outcomes: %d — the wall-clock read steers wait/notify, and replay reproduces both paths", len(distinct))
+	if len(distinct) < 2 {
+		return fmt.Errorf("expected clock dependence")
+	}
+	return nil
+}
+
+// --- E3 ---
+
+func runE3(r *report) error {
+	rows := [][]string{}
+	for _, name := range sortedKeys(benchWorkloads) {
+		if name == "sieve" {
+			continue // single-threaded; covered by E4
+		}
+		o := replaycheck.Options{Seed: 13}
+		rec, rep, err := replaycheck.CheckReplay(benchWorkloads[name](), o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		recYields := uint64(0)
+		for _, t := range rec.VM.Scheduler().Threads() {
+			recYields += t.YieldCount
+		}
+		repYields := uint64(0)
+		for _, t := range rep.VM.Scheduler().Threads() {
+			repYields += t.YieldCount
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", recYields),
+			fmt.Sprintf("%d", repYields),
+			fmt.Sprintf("%d", rec.EngStats.InstrYields),
+			fmt.Sprintf("%d", rep.EngStats.InstrYields),
+			okStr(recYields == repYields),
+		})
+	}
+	r.table([]string{"workload", "rec logical clock", "rep logical clock", "rec instr yields", "rep instr yields", "clocks equal"}, rows)
+	r.note("instrumentation yield counts differ by mode (record/replay do different work) yet logical clocks")
+	r.note("agree exactly — the liveclock guard excludes instrumentation from the clock (Fig. 2, §2.4).")
+	return nil
+}
+
+func okStr(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}
+
+// --- E4 ---
+
+func runE4(r *report) error {
+	rows := [][]string{}
+	for _, name := range sortedKeys(benchWorkloads) {
+		prog := benchWorkloads[name]
+		o := replaycheck.Options{Seed: 21, HeapBytes: 1 << 22}
+
+		// Off baseline: identical schedule (same seeded preemption), no
+		// recording — what "instrumentation turned off" means here.
+		offStart := time.Now()
+		offRes, err := replaycheck.RunOff(prog(), o)
+		if err != nil || offRes.RunErr != nil {
+			return fmt.Errorf("%s off: %v %v", name, err, offRes.RunErr)
+		}
+		offDur := time.Since(offStart)
+
+		recStart := time.Now()
+		rec, err := replaycheck.Record(prog(), o)
+		if err != nil || rec.RunErr != nil {
+			return fmt.Errorf("%s record: %v %v", name, err, rec.RunErr)
+		}
+		recDur := time.Since(recStart)
+
+		repStart := time.Now()
+		rep, err := replaycheck.Replay(prog(), rec.Trace, o)
+		if err != nil || rep.RunErr != nil {
+			return fmt.Errorf("%s replay: %v %v", name, err, rep.RunErr)
+		}
+		repDur := time.Since(repStart)
+
+		// Per-event rates; schedules are identical across the three runs
+		// (same seed), so event counts match and rates are comparable.
+		offRate := float64(offRes.Events) / offDur.Seconds()
+		recRate := float64(rec.Events) / recDur.Seconds()
+		repRate := float64(rep.Events) / repDur.Seconds()
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", rec.Events),
+			fmt.Sprintf("%.1f", recRate/1e6),
+			fmt.Sprintf("%.1f", repRate/1e6),
+			fmt.Sprintf("%.1f", offRate/1e6),
+			fmt.Sprintf("%.2fx", offRate/recRate),
+			fmt.Sprintf("%.2fx", offRate/repRate),
+		})
+	}
+	r.table([]string{"workload", "events", "record Mev/s", "replay Mev/s", "off Mev/s", "record overhead", "replay overhead"}, rows)
+	r.note("overhead = off-mode rate / mode rate, at identical schedules (same preemption seed);")
+	r.note("DejaVu's record cost is a counter bump and occasional varint per yield point.")
+	return nil
+}
+
+// --- E5 ---
+
+func runE5(r *report) error {
+	rows := [][]string{}
+	for _, name := range sortedKeys(benchWorkloads) {
+		prog := benchWorkloads[name]
+		o := replaycheck.Options{Seed: 21, HeapBytes: 1 << 23}
+		rl := &baselines.ReadLogger{}
+		crew := baselines.NewCREWLogger()
+		sl := &baselines.SwitchLogger{}
+
+		o.TweakVM = func(c *vm.Config) {
+			c.MemHook = rl
+			c.Observer = &fanout{list: []vm.Observer{c.Observer, sl}}
+		}
+		rec, err := replaycheck.Record(prog(), o)
+		if err != nil || rec.RunErr != nil {
+			return fmt.Errorf("%s: %v %v", name, err, rec.RunErr)
+		}
+		// Second run for CREW so its map sees the same access stream.
+		o2 := replaycheck.Options{Seed: 21, HeapBytes: 1 << 23}
+		o2.TweakVM = func(c *vm.Config) { c.MemHook = crew }
+		if _, err := replaycheck.Record(prog(), o2); err != nil {
+			return fmt.Errorf("%s crew: %w", name, err)
+		}
+
+		per := func(n int) string {
+			return fmt.Sprintf("%d (%.2f)", n, float64(n)*1e3/float64(rec.Events))
+		}
+		tstats, _ := rec.VM.Engine().TraceStats()
+		switchBytes := tstats.BytesByKind[trace.EvSwitch]
+		clockBytes := tstats.BytesByKind[trace.EvClock]
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", rec.Events),
+			per(len(rec.Trace)),
+			fmt.Sprintf("%d/%d", switchBytes, clockBytes),
+			per(sl.TraceBytes()),
+			per(crew.TraceBytes()),
+			per(rl.TraceBytes()),
+		})
+	}
+	r.table([]string{"workload", "events", "DejaVu bytes (/kev)", "sw/clock bytes", "switch-log+ids (/kev)", "InstantReplay CREW (/kev)", "Recap read-log (/kev)"}, rows)
+	r.note("bytes (bytes per 1000 events). DejaVu logs only preemptive switches as yield-point deltas")
+	r.note("(sw bytes); clock-heavy workloads like server add clock events, which every scheme must log")
+	r.note("(paper footnote 7). R&C log every dispatch with thread ids; Instant Replay logs per CREW")
+	r.note("operation; Recap logs every read value.")
+	return nil
+}
+
+type fanout struct{ list []vm.Observer }
+
+func (f *fanout) OnStep(tid, mid, pc int, op bytecode.Opcode) {
+	for _, o := range f.list {
+		if o != nil {
+			o.OnStep(tid, mid, pc, op)
+		}
+	}
+}
+func (f *fanout) OnOutput(b []byte) {
+	for _, o := range f.list {
+		if o != nil {
+			o.OnOutput(b)
+		}
+	}
+}
+func (f *fanout) OnSwitch(to int) {
+	for _, o := range f.list {
+		if o != nil {
+			o.OnSwitch(to)
+		}
+	}
+}
+
+// --- E6 ---
+
+func runE6(r *report) error {
+	// An assembled program carries real line-number tables (the assembler
+	// records source lines), so getLineNumberAt returns meaningful values.
+	prog := bytecode.MustAssemble(fig3Src)
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 5000; i++ {
+		done, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+	}
+	eventsBefore := m.Events()
+	counter := &ptrace.Counting{Inner: ptrace.Local{H: m.Heap()}}
+	w := remoteref.NewLocalWorld(m)
+	w.Mem = counter
+
+	rows := [][]string{}
+	for _, target := range []string{"Main.helper", "Main.main"} {
+		rm, err := w.FindMethod(target)
+		if err != nil {
+			return err
+		}
+		for _, off := range []int{0, 2, 4} {
+			before := counter.Peeks
+			line, err := rm.LineNumberAt(off)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, []string{target, fmt.Sprintf("%d", off), fmt.Sprintf("%d", line),
+				fmt.Sprintf("%d", counter.Peeks-before)})
+		}
+	}
+	r.table([]string{"method", "offset", "line", "peeks"}, rows)
+	r.note("application VM events executed during all queries: %d (perturbation-free)", m.Events()-eventsBefore)
+	if m.Events() != eventsBefore {
+		return fmt.Errorf("reflection perturbed the VM")
+	}
+	return nil
+}
+
+// --- E7 ---
+
+func runE7(r *report) error {
+	prog := workloads.Bank(3, 4, 400)
+	rec, err := replaycheck.Record(prog, replaycheck.Options{Seed: 7})
+	if err != nil || rec.RunErr != nil {
+		return fmt.Errorf("record: %v %v", err, rec.RunErr)
+	}
+	bare, err := replaycheck.Replay(prog, rec.Trace, replaycheck.Options{})
+	if err != nil || bare.RunErr != nil {
+		return fmt.Errorf("bare: %v %v", err, bare.RunErr)
+	}
+	bareHeap, bareUsed := replaycheck.HeapDigest(bare.VM)
+
+	ecfg := core.DefaultConfig(core.ModeReplay)
+	ecfg.ProgHash = vm.ProgramHash(prog)
+	ecfg.TraceIn = rec.Trace
+	eng, _ := core.NewEngine(ecfg)
+	m, err := vm.New(prog, vm.Config{Engine: eng})
+	if err != nil {
+		return err
+	}
+	d := debugger.New(m)
+	d.CheckpointEvery = 5000
+	if _, err := d.BreakAt("Main.teller", 0); err != nil {
+		return err
+	}
+	stops := 0
+	queries := 0
+	for {
+		reason, err := d.Continue()
+		if err != nil {
+			return err
+		}
+		d.StackTrace(0)
+		d.ThreadList()
+		d.PrintStatic("Main.done")
+		queries += 3
+		stops++
+		if reason == debugger.StopHalted {
+			break
+		}
+	}
+	dbgHeap, dbgUsed := replaycheck.HeapDigest(m)
+	rows := [][]string{
+		{"bare replay", fmt.Sprintf("%d", bare.Events), fmt.Sprintf("%x", bareHeap), fmt.Sprintf("%d", bareUsed)},
+		{"debugged replay", fmt.Sprintf("%d", m.Events()), fmt.Sprintf("%x", dbgHeap), fmt.Sprintf("%d", dbgUsed)},
+	}
+	r.table([]string{"run", "events", "final heap digest", "heap bytes"}, rows)
+	r.note("debugger stops: %d, reflective queries: %d; outputs equal: %v; heap images equal: %v",
+		stops, queries, string(m.Output()) == string(bare.Output), dbgHeap == bareHeap && dbgUsed == bareUsed)
+	if dbgHeap != bareHeap || m.Events() != bare.Events {
+		return fmt.Errorf("debugging perturbed the replay")
+	}
+	return nil
+}
+
+// --- E8 ---
+
+func runE8(r *report) error {
+	rows := [][]string{}
+	total, passed := 0, 0
+	for _, name := range workloads.Names() {
+		pass := 0
+		const seeds = 5
+		for seed := int64(1); seed <= seeds; seed++ {
+			o := replaycheck.Options{Seed: seed, HostRand: seed}
+			if name == "sumlines" {
+				o.Input = "5\n15\n22\n\n"
+			}
+			if _, _, err := replaycheck.CheckReplay(workloads.Registry[name](), o); err == nil {
+				pass++
+			}
+		}
+		total += seeds
+		passed += pass
+		rows = append(rows, []string{name, fmt.Sprintf("%d/%d", pass, seeds)})
+	}
+	// Random programs too.
+	randPass := 0
+	const randN = 10
+	for seed := int64(100); seed < 100+randN; seed++ {
+		if _, _, err := replaycheck.CheckReplay(workloads.RandomProgram(seed), replaycheck.Options{Seed: seed}); err == nil {
+			randPass++
+		}
+	}
+	total += randN
+	passed += randPass
+	rows = append(rows, []string{"random programs", fmt.Sprintf("%d/%d", randPass, randN)})
+	r.table([]string{"workload", "replays identical"}, rows)
+	r.note("accuracy: %d/%d recorded executions replayed to identical digests, outputs, heaps, and logical clocks", passed, total)
+	if passed != total {
+		return fmt.Errorf("replay accuracy %d/%d", passed, total)
+	}
+	return nil
+}
+
+// --- E9 ---
+
+func runE9(r *report) error {
+	prog := func() *bytecode.Program { return workloads.Hashy(6, 12) }
+	base := func() replaycheck.Options {
+		o := replaycheck.Options{Seed: 3, PreemptMin: 2, PreemptMax: 10}
+		o.TweakVM = func(c *vm.Config) { c.StackSlots = 48 }
+		return o
+	}
+	type abl struct {
+		name  string
+		tweak func(*core.Config)
+	}
+	cases := []abl{
+		{"control (all symmetry on)", nil},
+		{"liveclock guard off", func(c *core.Config) { c.LiveClockGuard = false }},
+		{"symmetric allocation off", func(c *core.Config) { c.SymmetricAlloc = false }},
+		{"eager stack growth off", func(c *core.Config) { c.EagerStackGrow = false }},
+	}
+	rows := [][]string{}
+	for _, c := range cases {
+		diverged := "identical"
+		detail := ""
+		anyDiverged := false
+		for seed := int64(1); seed <= 8; seed++ {
+			o := base()
+			o.Seed = seed
+			o.TweakEngine = c.tweak
+			_, _, err := replaycheck.CheckReplay(prog(), o)
+			if err != nil {
+				anyDiverged = true
+				detail = strings.ReplaceAll(err.Error(), "\n", " ")
+				if len(detail) > 70 {
+					detail = detail[:70] + "..."
+				}
+				break
+			}
+		}
+		if anyDiverged {
+			diverged = "DIVERGED"
+		}
+		rows = append(rows, []string{c.name, diverged, detail})
+		if c.tweak == nil && anyDiverged {
+			return fmt.Errorf("control diverged: %s", detail)
+		}
+		if c.tweak != nil && !anyDiverged {
+			return fmt.Errorf("ablation %q failed to diverge", c.name)
+		}
+	}
+	r.table([]string{"configuration", "replay outcome", "first failure"}, rows)
+	r.note("each symmetry mechanism of §2.4 is load-bearing: disabling any one breaks replay on the")
+	r.note("hashy workload (address-based identity hashes make instrumentation allocation program-visible).")
+	return nil
+}
+
+// --- E10 ---
+
+func runE10(r *report) error {
+	prog := workloads.Bank(3, 6, 1500)
+	rec, err := replaycheck.Record(prog, replaycheck.Options{Seed: 5})
+	if err != nil || rec.RunErr != nil {
+		return fmt.Errorf("record: %v %v", err, rec.RunErr)
+	}
+	rows := [][]string{}
+	for _, every := range []uint64{2000, 10000, 50000} {
+		ecfg := core.DefaultConfig(core.ModeReplay)
+		ecfg.ProgHash = vm.ProgramHash(prog)
+		ecfg.TraceIn = rec.Trace
+		eng, _ := core.NewEngine(ecfg)
+		m, err := vm.New(prog, vm.Config{Engine: eng})
+		if err != nil {
+			return err
+		}
+		ck := &baselines.Checkpointer{Every: every}
+		snapTime := time.Duration(0)
+		for {
+			s := time.Now()
+			if err := ck.Maybe(m); err != nil {
+				return err
+			}
+			snapTime += time.Since(s)
+			done, err := m.Step()
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+		}
+		end := m.Events()
+		// Travel to the middle and back near the end.
+		t0 := time.Now()
+		resteps1, err := ck.TravelTo(m, end/2)
+		if err != nil {
+			return err
+		}
+		resteps2, err := ck.TravelTo(m, end-1000)
+		if err != nil {
+			return err
+		}
+		travelDur := time.Since(t0)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", every),
+			fmt.Sprintf("%d", ck.Count()),
+			fmt.Sprintf("%.1f", float64(ck.TotalBytes)/1e6),
+			fmt.Sprintf("%s", snapTime.Round(time.Microsecond)),
+			fmt.Sprintf("%d", resteps1+resteps2),
+			fmt.Sprintf("%s", travelDur.Round(time.Microsecond)),
+		})
+	}
+	r.table([]string{"interval (events)", "checkpoints", "total MB", "snapshot time", "re-steps (2 travels)", "travel time"}, rows)
+	r.note("smaller intervals buy faster reverse execution with more snapshot space — the Igor trade-off,")
+	r.note("made exact here by deterministic replay (re-execution from a checkpoint cannot diverge).")
+	return nil
+}
+
+// --- E11 ---
+
+func runE11(r *report) error {
+	m, err := vm.New(workloads.Bank(3, 4, 300), vm.Config{})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 20000; i++ {
+		if done, err := m.Step(); done || err != nil {
+			break
+		}
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	go ptrace.Serve(l, m.Heap(), m)
+	client, err := ptrace.Dial(l.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	const peeks = 20000
+	buf := make([]byte, 8)
+	bench := func(mem ptrace.Mem) time.Duration {
+		start := time.Now()
+		for i := 0; i < peeks; i++ {
+			mem.Peek(8, buf)
+		}
+		return time.Since(start)
+	}
+	localDur := bench(ptrace.Local{H: m.Heap()})
+	tcpDur := bench(client)
+
+	// A full reflective stack walk through each channel.
+	walk := func(mem ptrace.Mem) (time.Duration, int) {
+		w := remoteref.NewLocalWorld(m)
+		counter := &ptrace.Counting{Inner: mem}
+		w.Mem = counter
+		start := time.Now()
+		ths, _ := w.Threads()
+		for _, t := range ths {
+			t.Stack()
+		}
+		return time.Since(start), int(counter.Peeks)
+	}
+	lw, lp := walk(ptrace.Local{H: m.Heap()})
+	tw, tp := walk(client)
+	rows := [][]string{
+		{"single peek", fmt.Sprintf("%d ns", localDur.Nanoseconds()/peeks), fmt.Sprintf("%d ns", tcpDur.Nanoseconds()/peeks)},
+		{"all-thread stack walk", fmt.Sprintf("%s (%d peeks)", lw.Round(time.Microsecond), lp), fmt.Sprintf("%s (%d peeks)", tw.Round(time.Microsecond), tp)},
+	}
+	r.table([]string{"operation", "in-process", "TCP (loopback)"}, rows)
+	r.note("out-of-process reflection pays one round trip per peek; the paper's GUI protocol batches text,")
+	r.note("and both channels leave the application VM untouched.")
+	return nil
+}
+
+// --- E12 ---
+
+func runE12(r *report) error {
+	// Allocation-heavy run with a small heap: many collections during
+	// record; replay must reproduce every address. Hashy also prints
+	// address-derived hashes, so any address drift is program-visible.
+	prog := workloads.Hashy(60, 25)
+	o := replaycheck.Options{Seed: 4, HeapBytes: 24 * 1024, PreemptMin: 2, PreemptMax: 12}
+	rec, rep, err := replaycheck.CheckReplay(prog, o)
+	if err != nil {
+		return err
+	}
+	recHeap, recUsed := replaycheck.HeapDigest(rec.VM)
+	repHeap, repUsed := replaycheck.HeapDigest(rep.VM)
+	rows := [][]string{
+		{"record", fmt.Sprintf("%d", rec.VM.Heap().Collections), fmt.Sprintf("%d", rec.VM.Heap().Grows),
+			fmt.Sprintf("%d", recUsed), fmt.Sprintf("%x", recHeap)},
+		{"replay", fmt.Sprintf("%d", rep.VM.Heap().Collections), fmt.Sprintf("%d", rep.VM.Heap().Grows),
+			fmt.Sprintf("%d", repUsed), fmt.Sprintf("%x", repHeap)},
+	}
+	r.table([]string{"run", "collections", "grows", "live bytes", "final heap digest"}, rows)
+	if rec.VM.Heap().Collections == 0 {
+		return fmt.Errorf("no collections happened; shrink the heap")
+	}
+	if recHeap != repHeap {
+		return fmt.Errorf("heap images diverged under GC")
+	}
+	r.note("copying collections moved every object %d times during record, and replay reproduced the", rec.VM.Heap().Collections)
+	r.note("exact same collections and addresses — GC is a deterministic function of the allocation sequence.")
+	return nil
+}
+
+// fig3Src is the Fig. 3 demonstration program: the assembler records each
+// instruction's source line, materialized by the class loader as an int
+// array in the VM heap, which LineNumberAt reads remotely.
+const fig3Src = `
+program fig3
+class Main {
+  method helper 1 1 {
+    load 0
+    iconst 2
+    mul
+    iconst 1
+    add
+    retv
+  }
+  method main 0 2 {
+    iconst 0
+    store 0
+  loop:
+    load 0
+    iconst 50
+    cmpge
+    jnz out
+    load 0
+    call Main.helper
+    store 1
+    load 0
+    iconst 1
+    add
+    store 0
+    jmp loop
+  out:
+    load 1
+    print
+    halt
+  }
+}
+entry Main.main
+`
+
+// --- E13 ---
+
+// runE13 exercises the §3.4 bytecode extension quantitatively: the same
+// bytecode debugger runs on a tool VM against a remote application, once
+// in-process and once over TCP, and the application executes nothing.
+func runE13(r *report) error {
+	app := bytecode.MustAssemble(e13Src)
+	tool := bytecode.MustAssemble(e13Src)
+	tm, _ := tool.MethodByName("Main.tool")
+	tool.Entry = tm.ID
+
+	appVM, err := vm.New(app, vm.Config{})
+	if err != nil {
+		return err
+	}
+	if err := appVM.Run(); err != nil {
+		return err
+	}
+	appEvents := appVM.Events()
+
+	type row struct {
+		channel string
+		events  uint64
+		dur     time.Duration
+		out     string
+	}
+	var rows []row
+
+	// In-process peeks.
+	local, err := vm.New(tool, vm.Config{})
+	if err != nil {
+		return err
+	}
+	if err := local.AttachLocalPeer(appVM); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := local.Run(); err != nil {
+		return err
+	}
+	rows = append(rows, row{"in-process", local.Events(), time.Since(start), string(local.Output())})
+
+	// TCP peeks.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	go ptrace.Serve(l, appVM.Heap(), appVM)
+	client, err := ptrace.Dial(l.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	remote, err := vm.New(tool, vm.Config{})
+	if err != nil {
+		return err
+	}
+	if err := remote.EnableRemoteReflection(client,
+		func() (heap.Addr, heap.Addr, error) { return client.Roots() },
+		vm.LayoutHash(app)); err != nil {
+		return err
+	}
+	start = time.Now()
+	if err := remote.Run(); err != nil {
+		return err
+	}
+	rows = append(rows, row{"TCP (loopback)", remote.Events(), time.Since(start), string(remote.Output())})
+
+	table := [][]string{}
+	for _, rw := range rows {
+		table = append(table, []string{rw.channel, fmt.Sprintf("%d", rw.events), rw.dur.Round(time.Microsecond).String()})
+	}
+	r.table([]string{"peek channel", "tool VM events", "tool run time"}, table)
+	if rows[0].out != rows[1].out {
+		return fmt.Errorf("tool outputs differ between channels")
+	}
+	if appVM.Events() != appEvents {
+		return fmt.Errorf("application VM executed during inspection")
+	}
+	r.note("the debugger is bytecode on a tool VM; getf/aload/callv/prints were satisfied by remote")
+	r.note("peeks, the outputs match across channels, and the application VM executed 0 events.")
+	return nil
+}
+
+const e13Src = `
+program shared13
+class Node {
+  field v
+  field next ref
+  method value 1 1 {
+    load 0
+    getf 0
+    retv
+  }
+}
+class Main {
+  static head ref
+  method main 0 2 {
+    iconst 40
+    store 0
+    null
+    store 1
+  b:
+    load 0
+    jz d
+    new Node
+    dup
+    load 0
+    putf 0
+    dup
+    load 1
+    putf 1
+    store 1
+    load 0
+    iconst 1
+    sub
+    store 0
+    jmp b
+  d:
+    load 1
+    puts Main.head
+    halt
+  }
+  method tool 0 2 {
+    native "remotedict" 0
+    iconst 1
+    aload
+    getf 2
+    getf 0
+    store 0
+  w:
+    load 0
+    native "isremote" 1
+    jz o
+    load 0
+    callv "value" 1
+    gets Main.head
+    pop
+    store 1
+    load 0
+    getf 1
+    store 0
+    jmp w
+  o:
+    load 1
+    print
+    halt
+  }
+}
+entry Main.main
+`
+
+// --- E14 ---
+
+// runE14 demonstrates the paper's closing claim — DejaVu as a platform
+// for a family of replay-based tools: a lockset race detector and a
+// profiler run over deterministic replays, so their findings reproduce
+// exactly across analyses of one recorded execution.
+func runE14(r *report) error {
+	rows := [][]string{}
+	for _, tc := range []struct {
+		name string
+		prog *bytecode.Program
+	}{
+		{"fig1ab (racy)", workloads.Fig1AB()},
+		{"bank (locked)", workloads.Bank(4, 8, 500)},
+		{"prodcons (wait/notify)", workloads.ProdCons(2, 2, 4, 200)},
+	} {
+		o := replaycheck.Options{Seed: 4, PreemptMin: 2, PreemptMax: 10, HeapBytes: 1 << 22}
+		rec, err := replaycheck.Record(tc.prog, o)
+		if err != nil || rec.RunErr != nil {
+			return fmt.Errorf("%s: %v %v", tc.name, err, rec.RunErr)
+		}
+		analyze := func() (*tools.RaceDetector, *tools.Profiler) {
+			rd := tools.NewRaceDetector()
+			prof := tools.NewProfiler(tc.prog)
+			o2 := replaycheck.Options{HeapBytes: 1 << 22}
+			o2.TweakVM = func(c *vm.Config) {
+				c.MemHook = rd
+				c.SyncHook = rd
+				c.Observer = prof
+			}
+			rep, err := replaycheck.Replay(tc.prog, rec.Trace, o2)
+			if err != nil || rep.RunErr != nil {
+				panic(fmt.Sprintf("%s: %v %v", tc.name, err, rep.RunErr))
+			}
+			return rd, prof
+		}
+		rd1, prof := analyze()
+		rd2, _ := analyze()
+		det := "identical"
+		if len(rd1.Races()) != len(rd2.Races()) {
+			det = "NONDETERMINISTIC"
+		}
+		rows = append(rows, []string{
+			tc.name,
+			fmt.Sprintf("%d", rd1.Accesses),
+			fmt.Sprintf("%d", len(rd1.Races())),
+			det,
+			fmt.Sprintf("%d", prof.Total),
+		})
+		if det != "identical" {
+			return fmt.Errorf("%s: race findings differ between analyses of one trace", tc.name)
+		}
+	}
+	r.table([]string{"workload", "accesses checked", "races found", "re-analysis", "profiled events"}, rows)
+	r.note("the racy Fig. 1 program is flagged, the disciplined workloads are clean, and two analyses")
+	r.note("of the same trace agree exactly — heavy dynamic analysis made repeatable by replay.")
+	return nil
+}

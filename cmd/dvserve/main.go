@@ -1,0 +1,92 @@
+// Command dvserve replays a recorded execution under debugger control and
+// serves two TCP endpoints, reproducing the paper's multi-process
+// architecture (§3, §4):
+//
+//   - a debug endpoint (dbgproto) that front ends like dvdbg connect to
+//   - a peek endpoint (ptrace) that serves raw memory reads for
+//     out-of-process remote reflection
+//
+// usage: dvserve -t trace.dvt -listen :4455 -peek :4456 <prog>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"dejavu/internal/cli"
+	"dejavu/internal/core"
+	"dejavu/internal/dbgproto"
+	"dejavu/internal/debugger"
+	"dejavu/internal/ptrace"
+	"dejavu/internal/vm"
+)
+
+func main() {
+	traceIn := flag.String("t", "trace.dvt", "trace input file")
+	listen := flag.String("listen", "127.0.0.1:4455", "debug protocol address")
+	peek := flag.String("peek", "127.0.0.1:4456", "ptrace peek address (empty to disable)")
+	checkpoint := flag.Uint64("checkpoint", 10000, "instructions per time-travel checkpoint (0 disables)")
+	restore := flag.String("restore", "", "resume from a checkpoint file (written by the debugger's save command)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dvserve [flags] <prog>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *traceIn, *listen, *peek, *checkpoint, *restore); err != nil {
+		fmt.Fprintln(os.Stderr, "dvserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(progArg, traceIn, listen, peek string, checkpoint uint64, restore string) error {
+	prog, err := cli.LoadProgram(progArg)
+	if err != nil {
+		return err
+	}
+	traceBytes, err := os.ReadFile(traceIn)
+	if err != nil {
+		return err
+	}
+	eng, _, err := cli.BuildEngine(prog, cli.EngineFlags{Mode: core.ModeReplay, TraceIn: traceBytes})
+	if err != nil {
+		return err
+	}
+	m, err := vm.New(prog, vm.Config{Engine: eng, Stdout: os.Stdout})
+	if err != nil {
+		return err
+	}
+	if restore != "" {
+		blob, err := os.ReadFile(restore)
+		if err != nil {
+			return err
+		}
+		if err := m.RestoreBytes(blob); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "resumed from %s at event %d\n", restore, m.Events())
+	}
+	d := debugger.New(m)
+	d.CheckpointEvery = checkpoint
+
+	if peek != "" {
+		pl, err := net.Listen("tcp", peek)
+		if err != nil {
+			return err
+		}
+		defer pl.Close()
+		go ptrace.Serve(pl, m.Heap(), m)
+		fmt.Fprintf(os.Stderr, "peek endpoint on %s\n", pl.Addr())
+	}
+
+	dl, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer dl.Close()
+	fmt.Fprintf(os.Stderr, "debug endpoint on %s — connect with: dvdbg -connect %s\n", dl.Addr(), dl.Addr())
+	srv := &dbgproto.Server{D: d}
+	srv.Serve(dl)
+	return nil
+}

@@ -1,0 +1,123 @@
+package dejavu
+
+import (
+	"strings"
+	"testing"
+
+	"dejavu/internal/bytecode"
+)
+
+const quickSrc = `
+program quick
+class Main {
+  static total
+  method worker 1 2 {
+    iconst 0
+    store 1
+  loop:
+    load 1
+    iconst 100
+    cmpge
+    jnz out
+    gets Main.total
+    load 0
+    add
+    puts Main.total
+    load 1
+    iconst 1
+    add
+    store 1
+    jmp loop
+  out:
+    ret
+  }
+  method main 0 0 {
+    iconst 1
+    spawn Main.worker
+    pop
+    iconst 2
+    spawn Main.worker
+    pop
+    ret
+  }
+}
+entry Main.main
+`
+
+func TestPublicRecordReplay(t *testing.T) {
+	prog := MustAssemble(quickSrc)
+	rec, rep, err := CheckReplay(prog, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Events != rep.Events || rec.Events == 0 {
+		t.Fatalf("events: %d vs %d", rec.Events, rep.Events)
+	}
+}
+
+func TestPublicImageRoundTrip(t *testing.T) {
+	prog := MustAssemble(quickSrc)
+	img := EncodeImage(prog)
+	q, err := DecodeImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ProgramHash(prog) != ProgramHash(q) {
+		t.Fatal("image round-trip changed program hash")
+	}
+	if !strings.Contains(Disassemble(q), "method worker") {
+		t.Fatal("disassembly lost method")
+	}
+}
+
+func TestPublicDebugger(t *testing.T) {
+	prog := MustAssemble(quickSrc)
+	rec, err := Record(prog, Options{Seed: 7})
+	if err != nil || rec.RunErr != nil {
+		t.Fatalf("%v %v", err, rec.RunErr)
+	}
+	m, err := NewReplayVM(prog, rec.Trace, VMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDebugger(m)
+	if _, err := d.BreakAt("Main.worker", 0); err != nil {
+		t.Fatal(err)
+	}
+	reason, err := d.Continue()
+	if err != nil || reason.String() != "breakpoint" {
+		t.Fatalf("%v %v", reason, err)
+	}
+	if st, err := d.StackTrace(1); err != nil || !strings.Contains(st, "Main.worker") {
+		t.Fatalf("stack %q err %v", st, err)
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) < 8 {
+		t.Fatalf("only %d workloads", len(names))
+	}
+	p, ok := Workload("bank")
+	if !ok || p == nil {
+		t.Fatal("bank workload missing")
+	}
+	if _, ok := Workload("nonexistent"); ok {
+		t.Fatal("phantom workload")
+	}
+}
+
+func TestPublicBuilder(t *testing.T) {
+	b := NewBuilder("tiny")
+	// Exercises the re-exported builder path end to end.
+	mb := b.Class("Main").Method("main", 0, 0)
+	mb.Const(123).Emit(bytecode.Pop).Emit(bytecode.Halt)
+	b.Entry(mb)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatalf("builder: %v", err)
+	}
+	if _, err := Record(p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Debugsession drives a full replay-debugging session programmatically:
+// record a buggy racy execution, replay it under the debugger, stop at
+// breakpoints, inspect state via remote reflection, and time-travel
+// backwards — all without perturbing the replay (the final state matches a
+// bare replay byte for byte).
+//
+//	go run ./examples/debugsession
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"dejavu"
+	"dejavu/internal/debugger"
+	"dejavu/internal/replaycheck"
+)
+
+func main() {
+	prog, _ := dejavu.Workload("bank")
+
+	// 1. A tester hits the elusive failure once and records it.
+	rec, err := dejavu.Record(prog, dejavu.Options{Seed: 17})
+	if err != nil || rec.RunErr != nil {
+		log.Fatalf("record: %v %v", err, rec.RunErr)
+	}
+	fmt.Printf("recorded: %d events, %d byte trace, output %q\n\n",
+		rec.Events, len(rec.Trace), strings.TrimSpace(string(rec.Output)))
+
+	// 2. A developer replays the exact execution under the debugger.
+	m, err := dejavu.NewReplayVM(prog, rec.Trace, dejavu.VMConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := dejavu.NewDebugger(m)
+	d.CheckpointEvery = 5_000
+
+	if _, err := d.BreakAt("Main.teller", 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("breakpoint at Main.teller entry; continuing...")
+	for i := 0; ; i++ {
+		reason, err := d.Continue()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if reason == debugger.StopHalted {
+			break
+		}
+		fmt.Printf("\n--- stop %d (%v) ---\n", i+1, reason)
+		fmt.Print(d.Status())
+		if st, err := d.StackTrace(i + 1); err == nil {
+			fmt.Printf("stack of teller thread %d:\n%s", i+1, st)
+		}
+		if tl, err := d.ThreadList(); err == nil {
+			fmt.Print(tl)
+		}
+		if ps, err := d.PrintStatic("Main.done"); err == nil {
+			fmt.Println(ps)
+		}
+	}
+
+	// 3. Time travel: rewind to the middle of the run and inspect again.
+	mid := m.Events() / 2
+	fmt.Printf("\ntime-traveling back to event %d...\n", mid)
+	if err := d.TravelTo(mid); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(d.Status())
+	if ps, err := d.PrintStatic("Main.done"); err == nil {
+		fmt.Println("mid-run state:", ps)
+	}
+
+	// 4. Run to the end again; the journey changed nothing.
+	for {
+		done, err := m.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	bare, err := replaycheck.Replay(prog, rec.Trace, replaycheck.Options{})
+	if err != nil || bare.RunErr != nil {
+		log.Fatalf("bare replay: %v %v", err, bare.RunErr)
+	}
+	fmt.Printf("\nfinal output identical to bare replay: %v\n", bytes.Equal(m.Output(), bare.Output))
+	h1, _ := replaycheck.HeapDigest(m)
+	h2, _ := replaycheck.HeapDigest(bare.VM)
+	fmt.Printf("final heap digest identical to bare replay: %v\n", h1 == h2)
+	fmt.Println("\nbreakpoints, inspection, and time travel left the replay unperturbed.")
+}

@@ -1,0 +1,121 @@
+// Quickstart: write a small multithreaded program, record one execution,
+// and replay it deterministically.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dejavu"
+)
+
+// Two workers race on an unsynchronized counter while a third updates it
+// under a monitor: the final value depends on where the preemption timer
+// strikes — exactly the kind of bug replay exists for.
+const src = `
+program quickstart
+class Main {
+  static counter
+  static done
+  static lockobj ref
+
+  method pause 0 1 {       # a method call is a yield point (prologue)
+    ret
+  }
+
+  method racer 1 3 {
+    iconst 0
+    store 1
+  loop:
+    load 1
+    iconst 500
+    cmpge
+    jnz out
+    gets Main.counter        # unsynchronized read...
+    store 2
+    call Main.pause          # ...a yield point opens the race window...
+    load 2
+    iconst 1
+    add
+    puts Main.counter        # ...lost-update write-back
+    load 1
+    iconst 1
+    add
+    store 1
+    jmp loop
+  out:
+    gets Main.lockobj
+    monenter
+    gets Main.done
+    iconst 1
+    add
+    puts Main.done
+    gets Main.lockobj
+    notifyall
+    gets Main.lockobj
+    monexit
+    ret
+  }
+
+  method main 0 0 {
+    new Main
+    puts Main.lockobj
+    iconst 1
+    spawn Main.racer
+    pop
+    iconst 2
+    spawn Main.racer
+    pop
+    gets Main.lockobj
+    monenter
+  wait:
+    gets Main.done
+    iconst 2
+    cmpge
+    jnz go
+    gets Main.lockobj
+    wait
+    jmp wait
+  go:
+    gets Main.lockobj
+    monexit
+    gets Main.counter
+    print
+    halt
+  }
+}
+entry Main.main
+`
+
+func main() {
+	prog := dejavu.MustAssemble(src)
+
+	// Record three executions under different timer seeds: the lost-update
+	// race makes the printed counter vary with the schedule.
+	for seed := int64(1); seed <= 3; seed++ {
+		rec, err := dejavu.Record(prog, dejavu.Options{Seed: seed, PreemptMin: 2, PreemptMax: 9})
+		if err != nil || rec.RunErr != nil {
+			log.Fatalf("record: %v %v", err, rec.RunErr)
+		}
+		rep, err := dejavu.Replay(prog, rec.Trace, dejavu.Options{})
+		if err != nil || rep.RunErr != nil {
+			log.Fatalf("replay: %v %v", err, rep.RunErr)
+		}
+		same := string(rec.Output) == string(rep.Output) && rec.Digest.Sum() == rep.Digest.Sum()
+		fmt.Printf("seed %d: recorded counter=%s trace=%dB events=%d — replay identical: %v\n",
+			seed, trim(rec.Output), len(rec.Trace), rec.Events, same)
+	}
+	fmt.Println()
+	fmt.Println("The counter differs across seeds (a real data race), yet every execution")
+	fmt.Println("replays exactly from a trace of a few hundred bytes.")
+}
+
+func trim(b []byte) string {
+	s := string(b)
+	if len(s) > 0 && s[len(s)-1] == '\n' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,200 @@
+// Remotereflect demonstrates the paper's §3 mechanism end to end, in the
+// true out-of-process configuration: an application VM pauses
+// mid-execution; a tool inspects its classes, line tables (Fig. 3), thread
+// states, and stacks purely through TCP memory peeks; and the application
+// VM executes zero instructions throughout.
+//
+//	go run ./examples/remotereflect
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"dejavu"
+	"dejavu/internal/core"
+	"dejavu/internal/heap"
+	"dejavu/internal/ptrace"
+	"dejavu/internal/remoteref"
+	"dejavu/internal/threads"
+	"dejavu/internal/vm"
+)
+
+// An assembled bank-like program: the assembler records source lines, so
+// the Fig. 3 line-number query returns real values.
+const bankSrc = `
+program minibank
+class Main {
+  static accounts ref
+  static lockobj ref
+  static done
+
+  method teller 1 3 {
+    iconst 0
+    store 1
+  loop:
+    load 1
+    iconst 500
+    cmpge
+    jnz out
+    gets Main.lockobj
+    monenter
+    gets Main.accounts
+    load 0
+    gets Main.accounts
+    load 0
+    aload
+    iconst 1
+    add
+    astore
+    gets Main.lockobj
+    monexit
+    load 1
+    iconst 1
+    add
+    store 1
+    jmp loop
+  out:
+    gets Main.done
+    iconst 1
+    add
+    puts Main.done
+    ret
+  }
+
+  method main 0 1 {
+    new Main
+    puts Main.lockobj
+    iconst 8
+    newarr int
+    puts Main.accounts
+    iconst 0
+    spawn Main.teller
+    pop
+    iconst 1
+    spawn Main.teller
+    pop
+  wait:
+    gets Main.done
+    iconst 2
+    cmpge
+    jz wait
+    halt
+  }
+}
+entry Main.main
+`
+
+func main() {
+	prog := dejavu.MustAssemble(bankSrc)
+	// An off-mode engine with a seeded timer: normal execution, no
+	// recording — we only want a live VM to inspect.
+	ecfg := core.DefaultConfig(core.ModeOff)
+	ecfg.Preempt = core.NewSeededPreemptor(1, 3, 20)
+	eng, err := core.NewEngine(ecfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{Engine: eng})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Run the bank mid-way and stop — as if at a breakpoint.
+	for i := 0; i < 12_000; i++ {
+		done, err := m.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	eventsBefore := m.Events()
+
+	// The "operating system" side: a peek server over the VM's memory.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	go ptrace.Serve(l, m.Heap(), m)
+
+	// The tool process side: same program image ("the tool JVM loads the
+	// same classes"), raw memory peeks, remote objects for everything.
+	client, err := ptrace.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	tc, tm, tt := m.MirrorTypeIDs()
+	w := remoteref.NewRemoteWorld(m.Program(), client, m.NumUserClasses(), tc, tm, tt)
+	counter := &ptrace.Counting{Inner: w.Mem}
+	w.Mem = counter
+
+	fmt.Printf("application VM paused after %d events; inspecting over %s\n\n", eventsBefore, l.Addr())
+
+	// Figure 3: Debugger.lineNumberOf via the remote method table.
+	rm, err := w.FindMethod("Main.teller")
+	if err != nil {
+		log.Fatal(err)
+	}
+	line, err := rm.LineNumberAt(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 3 query: lineNumberOf(Main.teller, offset 3) = %d\n", line)
+
+	// Class browser.
+	classes, err := w.Classes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nremote class dictionary:")
+	for _, c := range classes {
+		name, _ := c.Name()
+		methods, _ := c.Methods()
+		fmt.Printf("  class %-8s %d methods\n", name, len(methods))
+	}
+
+	// Statics: the account array, summed remotely.
+	v, _, err := w.StaticValue("Main", "accounts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	arr, err := w.Object(addr(v))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := int64(0)
+	for i := 0; i < arr.Len; i++ {
+		x, _ := arr.Int(i)
+		sum += x
+	}
+	fmt.Printf("\nremote read of Main.accounts: %d accounts, %d transfers completed so far\n", arr.Len, sum)
+
+	// Thread viewer + stack walk.
+	ths, err := w.Threads()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthreads (read from VM_Thread mirrors):")
+	for _, rt := range ths {
+		id, _ := rt.ID()
+		st, _ := rt.State()
+		y, _ := rt.Yields()
+		frames, _ := rt.Stack()
+		top := "-"
+		if len(frames) > 0 {
+			top = fmt.Sprintf("%s pc=%d", m.Program().Methods[frames[0].MethodID].FullName(), frames[0].PC)
+		}
+		fmt.Printf("  thread %d: %-13v yields=%-6d top frame: %s (%d frames)\n",
+			id, threads.State(st), y, top, len(frames))
+	}
+
+	fmt.Printf("\ntotal TCP peeks: %d (%d bytes)\n", counter.Peeks, counter.Bytes)
+	fmt.Printf("application VM events executed during inspection: %d — perturbation-free\n",
+		m.Events()-eventsBefore)
+}
+
+func addr(v uint64) heap.Addr { return heap.Addr(v) }

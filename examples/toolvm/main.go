@@ -1,0 +1,144 @@
+// Toolvm demonstrates the paper's §3.4 bytecode extension: the debugger
+// itself is a program in the VM's own bytecode, executing on a *tool VM*
+// whose reference bytecodes have been extended to operate on remote
+// objects. The same getf/aload/arrlen/callv/prints that work on local
+// objects transparently peek the application VM's address space when the
+// receiver is a remote stub — so one reflection method serves both
+// spaces, which is the paper's transparency property.
+//
+//	go run ./examples/toolvm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/vm"
+)
+
+// One shared image, two roles: Main.main is the application (builds a
+// tree of tasks); Main.tool is the debugger, entered only by the tool VM.
+const sharedSrc = `
+program taskboard
+class Task {
+  field id
+  field prio
+  field next ref
+  method score 1 1 {         # reflection-style method, runs on either space
+    load 0
+    getf 0
+    load 0
+    getf 1
+    mul
+    retv
+  }
+}
+class Main {
+  static tasks ref
+  static banner ref
+
+  method main 0 2 {          # application role
+    sconst "taskboard v1"
+    puts Main.banner
+    iconst 6
+    store 0
+    null
+    store 1
+  build:
+    load 0
+    jz done
+    new Task
+    dup
+    load 0
+    putf 0                   # id
+    dup
+    load 0
+    iconst 3
+    mul
+    iconst 7
+    mod
+    iconst 1
+    add
+    putf 1                   # prio
+    dup
+    load 1
+    putf 2                   # next
+    store 1
+    load 0
+    iconst 1
+    sub
+    store 0
+    jmp build
+  done:
+    load 1
+    puts Main.tasks
+    halt
+  }
+
+  method tool 0 2 {          # debugger role, written in bytecode
+    sconst "== remote taskboard inspector =="
+    prints
+    native "remotedict" 0
+    iconst 1
+    aload                    # remote VM_Class for Main
+    getf 2                   # remote statics
+    dup
+    getf 1                   # remote banner string
+    prints                   # prints REMOTE bytes transparently
+    getf 0                   # remote task list head
+    store 0
+  walk:
+    load 0
+    native "isremote" 1
+    jz out
+    load 0
+    getf 0
+    print                    # remote task id
+    load 0
+    callv "score" 1          # virtual call on the REMOTE object
+    print
+    load 0
+    getf 2
+    store 0
+    jmp walk
+  out:
+    sconst "== done, application untouched =="
+    prints
+    halt
+  }
+}
+entry Main.main
+`
+
+func main() {
+	app := bytecode.MustAssemble(sharedSrc)
+	tool := bytecode.MustAssemble(sharedSrc)
+	tm, _ := tool.MethodByName("Main.tool")
+	tool.Entry = tm.ID
+
+	appVM, err := vm.New(app, vm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := appVM.Run(); err != nil {
+		log.Fatal(err)
+	}
+	appEvents := appVM.Events()
+
+	toolVM, err := vm.New(tool, vm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := toolVM.AttachLocalPeer(appVM); err != nil {
+		log.Fatal(err)
+	}
+	if err := toolVM.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(string(toolVM.Output()))
+	fmt.Printf("\napplication VM events during inspection: %d (it executed nothing)\n",
+		appVM.Events()-appEvents)
+	fmt.Println("the debugger above is bytecode running on a tool VM whose reference")
+	fmt.Println("bytecodes were extended to operate on remote objects (§3.4).")
+}

@@ -1,0 +1,3 @@
+module dejavu
+
+go 1.22

@@ -1,0 +1,292 @@
+// Package baselines implements the replay schemes the paper compares
+// against (§5), instrumented over the same VM so trace sizes and overheads
+// are directly comparable with DejaVu's:
+//
+//   - ReadLogger / ReadVerifier — Recap and PPD log the value of *every*
+//     read of shared memory. Correct but enormous traces.
+//   - CREWLogger — Instant Replay logs per-object version numbers under a
+//     Concurrent-Read-Exclusive-Write discipline: one entry per access,
+//     smaller than value logging but still per-access.
+//   - SwitchLogger / SwitchVerifier — Russinovich & Cogswell capture every
+//     thread switch (their replay does not reproduce the thread package,
+//     so even deterministic switches must be logged, with thread
+//     identities, and replay must maintain a record→replay thread map).
+//   - Checkpointer — Igor-style periodic checkpoints enabling reverse
+//     execution by restore-and-re-execute.
+//
+// DejaVu's contrast: it logs only *preemptive* switches as bare yield
+// counts (no thread ids, no per-access entries), because replaying the
+// thread package regenerates everything else.
+package baselines
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/heap"
+	"dejavu/internal/vm"
+)
+
+func putUv(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+// --- Recap / PPD: read-value logging ---
+
+// ReadLogger records the value of every heap read (vm.MemHook).
+type ReadLogger struct {
+	buf    bytes.Buffer
+	Reads  uint64
+	Writes uint64
+}
+
+// OnHeapAccess implements vm.MemHook.
+func (l *ReadLogger) OnHeapAccess(threadID int, obj heap.Addr, slot int, isWrite bool, val uint64) {
+	if isWrite {
+		l.Writes++
+		return
+	}
+	l.Reads++
+	putUv(&l.buf, val)
+}
+
+// TraceBytes returns the log size.
+func (l *ReadLogger) TraceBytes() int { return l.buf.Len() }
+
+// Trace returns the encoded log.
+func (l *ReadLogger) Trace() []byte { return l.buf.Bytes() }
+
+// ReadVerifier replays a read log: each read must produce the recorded
+// value, which is how Recap-style replay substitutes reads. A mismatch is
+// recorded as a divergence.
+type ReadVerifier struct {
+	data []byte
+	pos  int
+	Err  error
+}
+
+// NewReadVerifier wraps a recorded read log.
+func NewReadVerifier(trace []byte) *ReadVerifier { return &ReadVerifier{data: trace} }
+
+// OnHeapAccess implements vm.MemHook.
+func (v *ReadVerifier) OnHeapAccess(threadID int, obj heap.Addr, slot int, isWrite bool, val uint64) {
+	if isWrite || v.Err != nil {
+		return
+	}
+	want, n := binary.Uvarint(v.data[v.pos:])
+	if n <= 0 {
+		v.Err = fmt.Errorf("baselines: read log exhausted")
+		return
+	}
+	v.pos += n
+	if want != val {
+		v.Err = fmt.Errorf("baselines: read divergence: logged %d, executed %d", want, val)
+	}
+}
+
+// --- Instant Replay: CREW version logging ---
+
+type crewState struct {
+	version    uint64
+	lastThread int
+}
+
+// CREWLogger logs Instant Replay's protocol at the granularity it assumes:
+// one entry per coarse-grained CREW *operation*, not per memory access. An
+// operation is modeled as a maximal run of accesses to one object by one
+// thread (what a correctly locked critical section produces); the run's
+// first access logs the object version the thread observed, and any write
+// in the run advances the version. This is exactly why Instant Replay's
+// traces beat value logging — and why it fails when accesses don't follow
+// the CREW discipline (unsynchronized interleaved access produces a new
+// operation per access).
+//
+// Objects are keyed by address; measurement runs use ample heap so the
+// copying collector does not recycle addresses mid-run (documented
+// approximation — Instant Replay identifies its CREW objects directly).
+type CREWLogger struct {
+	buf        bytes.Buffer
+	objects    map[heap.Addr]*crewState
+	Accesses   uint64
+	Operations uint64
+}
+
+// NewCREWLogger creates an empty logger.
+func NewCREWLogger() *CREWLogger {
+	return &CREWLogger{objects: map[heap.Addr]*crewState{}}
+}
+
+// OnHeapAccess implements vm.MemHook.
+func (l *CREWLogger) OnHeapAccess(threadID int, obj heap.Addr, slot int, isWrite bool, val uint64) {
+	l.Accesses++
+	st, ok := l.objects[obj]
+	if !ok {
+		st = &crewState{lastThread: -1}
+		l.objects[obj] = st
+	}
+	if st.lastThread != threadID {
+		// New CREW operation: log the version this thread observed.
+		l.Operations++
+		putUv(&l.buf, st.version)
+		st.lastThread = threadID
+	}
+	if isWrite {
+		st.version++
+	}
+}
+
+// TraceBytes returns the log size.
+func (l *CREWLogger) TraceBytes() int { return l.buf.Len() }
+
+// --- Russinovich & Cogswell: log every thread switch with identities ---
+
+// SwitchLogger is a vm.Observer that records every dispatch: the event
+// delta since the previous one plus the incoming thread's identity.
+type SwitchLogger struct {
+	buf       bytes.Buffer
+	events    uint64
+	lastEvent uint64
+	Switches  uint64
+}
+
+// OnStep implements vm.Observer.
+func (l *SwitchLogger) OnStep(threadID, methodID, pc int, op bytecode.Opcode) { l.events++ }
+
+// OnOutput implements vm.Observer.
+func (l *SwitchLogger) OnOutput(b []byte) {}
+
+// OnSwitch implements vm.Observer.
+func (l *SwitchLogger) OnSwitch(to int) {
+	l.Switches++
+	putUv(&l.buf, l.events-l.lastEvent)
+	putUv(&l.buf, uint64(to))
+	l.lastEvent = l.events
+}
+
+// TraceBytes returns the log size.
+func (l *SwitchLogger) TraceBytes() int { return l.buf.Len() }
+
+// Trace returns the encoded log.
+func (l *SwitchLogger) Trace() []byte { return l.buf.Bytes() }
+
+// SwitchVerifier replays a switch log the Russinovich–Cogswell way: at
+// every dispatch it consumes an entry, checks the event delta, and updates
+// the record→replay thread map — the bookkeeping the paper notes DejaVu
+// avoids by replaying the thread package itself.
+type SwitchVerifier struct {
+	data      []byte
+	pos       int
+	events    uint64
+	lastEvent uint64
+	threadMap map[int]int // recorded thread id -> replay thread id
+	MapOps    uint64
+	Err       error
+}
+
+// NewSwitchVerifier wraps a recorded switch log.
+func NewSwitchVerifier(trace []byte) *SwitchVerifier {
+	return &SwitchVerifier{data: trace, threadMap: map[int]int{}}
+}
+
+// OnStep implements vm.Observer.
+func (v *SwitchVerifier) OnStep(threadID, methodID, pc int, op bytecode.Opcode) { v.events++ }
+
+// OnOutput implements vm.Observer.
+func (v *SwitchVerifier) OnOutput(b []byte) {}
+
+// OnSwitch implements vm.Observer.
+func (v *SwitchVerifier) OnSwitch(to int) {
+	if v.Err != nil {
+		return
+	}
+	delta, n := binary.Uvarint(v.data[v.pos:])
+	if n <= 0 {
+		v.Err = fmt.Errorf("baselines: switch log exhausted")
+		return
+	}
+	v.pos += n
+	recTID, n2 := binary.Uvarint(v.data[v.pos:])
+	if n2 <= 0 {
+		v.Err = fmt.Errorf("baselines: switch log truncated")
+		return
+	}
+	v.pos += n2
+	if v.events-v.lastEvent != delta {
+		v.Err = fmt.Errorf("baselines: switch at event %d, log says delta %d (have %d)",
+			v.events, delta, v.events-v.lastEvent)
+		return
+	}
+	v.lastEvent = v.events
+	// Maintain the thread identity map (the per-switch cost DejaVu skips).
+	v.MapOps++
+	if mapped, ok := v.threadMap[int(recTID)]; ok {
+		if mapped != to {
+			v.Err = fmt.Errorf("baselines: thread map mismatch: recorded %d mapped to %d, saw %d",
+				recTID, mapped, to)
+		}
+	} else {
+		v.threadMap[int(recTID)] = to
+	}
+}
+
+// --- Igor: checkpoint and re-execute ---
+
+// Checkpointer takes periodic VM snapshots and travels by restore plus
+// re-execution.
+type Checkpointer struct {
+	Every      uint64
+	snaps      []*vm.Snapshot
+	TotalBytes int
+}
+
+// Maybe snapshots m if it is due.
+func (c *Checkpointer) Maybe(m *vm.VM) error {
+	if c.Every == 0 {
+		return nil
+	}
+	if len(c.snaps) > 0 && m.Events() < c.snaps[len(c.snaps)-1].Events()+c.Every {
+		return nil
+	}
+	s, err := m.Snapshot()
+	if err != nil {
+		return err
+	}
+	c.snaps = append(c.snaps, s)
+	c.TotalBytes += s.SnapshotBytes()
+	return nil
+}
+
+// Count returns how many checkpoints exist.
+func (c *Checkpointer) Count() int { return len(c.snaps) }
+
+// TravelTo restores the nearest checkpoint at or before event and
+// re-executes to it, returning how many instructions were re-executed.
+func (c *Checkpointer) TravelTo(m *vm.VM, event uint64) (resteps uint64, err error) {
+	var best *vm.Snapshot
+	for _, s := range c.snaps {
+		if s.Events() <= event && (best == nil || s.Events() > best.Events()) {
+			best = s
+		}
+	}
+	if best == nil {
+		return 0, fmt.Errorf("baselines: no checkpoint at or before event %d", event)
+	}
+	if err := m.Restore(best); err != nil {
+		return 0, err
+	}
+	for m.Events() < event {
+		done, err := m.Step()
+		if err != nil {
+			return resteps, err
+		}
+		resteps++
+		if done {
+			break
+		}
+	}
+	return resteps, nil
+}

@@ -1,0 +1,404 @@
+package bytecode
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembler text into a Program. The grammar matches what
+// Disassemble emits:
+//
+//	program <name>
+//	class <Name> {
+//	  field <name> [ref]
+//	  static <name> [ref]
+//	  method <name> <nargs> <nlocals> {
+//	    [<label>:]
+//	    <mnemonic> [operands...]
+//	  }
+//	}
+//	entry <Class.method>
+//
+// '#' starts a comment; braces are decorative; several statements may
+// share a line. Instructions record their source line, so assembled
+// programs carry line-number tables for the debugger.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{b: NewBuilder("")}
+	if err := a.run(src); err != nil {
+		return nil, err
+	}
+	return a.b.Program()
+}
+
+// MustAssemble panics on assembly errors; for fixed test inputs.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	b     *Builder
+	cb    *ClassBuilder
+	mb    *MethodBuilder
+	entry string
+}
+
+func (a *assembler) run(src string) error {
+	// First pass: collect class and method declarations so calls can be
+	// resolved forward.
+	if err := a.forEachStatement(src, a.declStatement); err != nil {
+		return err
+	}
+	a.cb, a.mb = nil, nil
+	if err := a.forEachStatement(src, a.statement); err != nil {
+		return err
+	}
+	if a.entry == "" {
+		return fmt.Errorf("asm: no entry directive")
+	}
+	for _, mb := range a.b.mbs {
+		if mb.m.FullName() == a.entry {
+			a.b.Entry(mb)
+			return nil
+		}
+	}
+	return fmt.Errorf("asm: entry method %q not found", a.entry)
+}
+
+func (a *assembler) forEachStatement(src string, handle func(toks []string, line int) (int, error)) error {
+	for i, raw := range strings.Split(src, "\n") {
+		toks, err := tokenize(stripComment(raw))
+		if err != nil {
+			return fmt.Errorf("asm line %d: %w", i+1, err)
+		}
+		for len(toks) > 0 {
+			n, err := handle(toks, i+1)
+			if err != nil {
+				return fmt.Errorf("asm line %d: %w", i+1, err)
+			}
+			if n <= 0 {
+				return fmt.Errorf("asm line %d: internal error: no progress on %q", i+1, toks[0])
+			}
+			toks = toks[n:]
+		}
+	}
+	return nil
+}
+
+// consumed computes how many tokens the statement starting at toks[0]
+// takes; shared by both passes.
+func (a *assembler) consumed(toks []string) (int, error) {
+	switch toks[0] {
+	case "program", "class", "entry":
+		if len(toks) < 2 {
+			return 0, fmt.Errorf("%s needs a name", toks[0])
+		}
+		return 2, nil
+	case "field", "static":
+		if len(toks) < 2 {
+			return 0, fmt.Errorf("%s needs a name", toks[0])
+		}
+		if len(toks) > 2 && toks[2] == "ref" {
+			return 3, nil
+		}
+		return 2, nil
+	case "method":
+		if len(toks) < 4 {
+			return 0, fmt.Errorf("method needs name, nargs, nlocals")
+		}
+		return 4, nil
+	case "}":
+		return 1, nil
+	}
+	if strings.HasSuffix(toks[0], ":") {
+		return 1, nil
+	}
+	op, ok := OpcodeByName(toks[0])
+	if !ok {
+		return 0, fmt.Errorf("unknown mnemonic %q", toks[0])
+	}
+	need := operandCount(op)
+	if len(toks) < 1+need {
+		return 0, fmt.Errorf("%s takes %d operand(s), got %d", op, need, len(toks)-1)
+	}
+	return 1 + need, nil
+}
+
+// operandCount is the number of assembler operand tokens for op.
+func operandCount(op Opcode) int {
+	// Call/Spawn take just the target (arg count derived); GetS/PutS take
+	// Class.static as a single token.
+	if op == Call || op == Spawn || op == GetS || op == PutS {
+		return 1
+	}
+	n := 0
+	ka, kb := op.Operands()
+	if ka != OpNone {
+		n++
+	}
+	if kb != OpNone && kb != OpStatic {
+		n++
+	}
+	return n
+}
+
+// declStatement pre-declares classes, fields, and methods so that forward
+// references in call/spawn/new/gets resolve on the main pass.
+func (a *assembler) declStatement(toks []string, line int) (int, error) {
+	n, err := a.consumed(toks)
+	if err != nil {
+		return 0, err
+	}
+	switch toks[0] {
+	case "class":
+		a.cb = a.b.Class(toks[1])
+	case "field", "static":
+		if a.cb == nil {
+			return 0, fmt.Errorf("%s outside class", toks[0])
+		}
+		isRef := n == 3
+		if toks[0] == "field" {
+			a.cb.Field(toks[1], isRef)
+		} else {
+			a.cb.Static(toks[1], isRef)
+		}
+	case "method":
+		if a.cb == nil {
+			return 0, fmt.Errorf("method outside class")
+		}
+		nargs, err1 := strconv.Atoi(toks[2])
+		nlocals, err2 := strconv.Atoi(toks[3])
+		if err1 != nil || err2 != nil {
+			return 0, fmt.Errorf("bad method arg/local counts")
+		}
+		a.cb.Method(toks[1], nargs, nlocals)
+	}
+	return n, nil
+}
+
+// statement is the main-pass handler: emits code into the pre-declared
+// methods.
+func (a *assembler) statement(toks []string, line int) (int, error) {
+	n, err := a.consumed(toks)
+	if err != nil {
+		return 0, err
+	}
+	switch toks[0] {
+	case "program":
+		a.b.p.Name = toks[1]
+		return n, nil
+	case "class":
+		a.cb = a.b.Class(toks[1])
+		return n, nil
+	case "field", "static":
+		return n, nil // handled by declStatement
+	case "method":
+		a.mb = a.findMethod(a.cb.c.Name + "." + toks[1])
+		if a.mb == nil {
+			return 0, fmt.Errorf("method %s.%s not pre-declared", a.cb.c.Name, toks[1])
+		}
+		return n, nil
+	case "}":
+		if a.mb != nil {
+			a.mb = nil
+		} else {
+			a.cb = nil
+		}
+		return n, nil
+	case "entry":
+		a.entry = toks[1]
+		return n, nil
+	}
+	if strings.HasSuffix(toks[0], ":") {
+		if a.mb == nil {
+			return 0, fmt.Errorf("label outside method")
+		}
+		a.mb.Label(strings.TrimSuffix(toks[0], ":"))
+		return n, nil
+	}
+	if a.mb == nil {
+		return 0, fmt.Errorf("instruction %q outside method", toks[0])
+	}
+	op, _ := OpcodeByName(toks[0])
+	a.mb.Line(line)
+	if err := a.emit(op, toks[1:n]); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (a *assembler) findMethod(full string) *MethodBuilder {
+	for _, mb := range a.b.mbs {
+		if mb.m.FullName() == full {
+			return mb
+		}
+	}
+	return nil
+}
+
+func (a *assembler) emit(op Opcode, args []string) error {
+	switch op {
+	case Call, Spawn:
+		mb := a.findMethod(args[0])
+		if mb == nil {
+			return fmt.Errorf("unknown method %q", args[0])
+		}
+		a.mb.Emit(op, int32(mb.m.ID), int32(mb.m.NArgs))
+		return nil
+	case GetS, PutS:
+		cname, fname, ok := strings.Cut(args[0], ".")
+		if !ok {
+			return fmt.Errorf("%s needs Class.static", op)
+		}
+		c := a.findClass(cname)
+		if c == nil {
+			return fmt.Errorf("unknown class %q", cname)
+		}
+		slot, oks := c.StaticSlot(fname)
+		if !oks {
+			return fmt.Errorf("unknown static %q", args[0])
+		}
+		a.mb.Emit(op, int32(c.ID), int32(slot))
+		return nil
+	}
+	var operands []int32
+	emitA := func(k OperandKind, tok string) error {
+		switch k {
+		case OpInt, OpField:
+			v, err := strconv.ParseInt(tok, 0, 32)
+			if err != nil {
+				return fmt.Errorf("bad integer %q", tok)
+			}
+			operands = append(operands, int32(v))
+		case OpIntPool:
+			v, err := strconv.ParseInt(tok, 0, 64)
+			if err != nil {
+				return fmt.Errorf("bad 64-bit integer %q", tok)
+			}
+			operands = append(operands, int32(a.b.p.IntIndex(v)))
+		case OpStrPool:
+			s, err := strconv.Unquote(tok)
+			if err != nil {
+				// Allow bare identifiers for native/callv names.
+				if strings.ContainsAny(tok, " \t\"") {
+					return fmt.Errorf("bad string %q", tok)
+				}
+				s = tok
+			}
+			operands = append(operands, int32(a.b.p.StringIndex(s)))
+		case OpTarget:
+			// Defer through Branch fixups.
+			a.mb.Branch(op, tok)
+			return errEmitted
+		case OpClass:
+			c := a.findClass(tok)
+			if c == nil {
+				return fmt.Errorf("unknown class %q", tok)
+			}
+			operands = append(operands, int32(c.ID))
+		case OpKind:
+			switch tok {
+			case "int":
+				operands = append(operands, KindInt64)
+			case "ref":
+				operands = append(operands, KindRef)
+			case "byte":
+				operands = append(operands, KindByte)
+			default:
+				return fmt.Errorf("bad array kind %q", tok)
+			}
+		}
+		return nil
+	}
+	idx := 0
+	ka, kb := op.Operands()
+	if ka != OpNone {
+		if err := emitA(ka, args[idx]); err != nil {
+			if err == errEmitted {
+				return nil
+			}
+			return err
+		}
+		idx++
+	}
+	if kb != OpNone && kb != OpStatic {
+		if err := emitA(kb, args[idx]); err != nil {
+			return err
+		}
+	}
+	a.mb.Emit(op, operands...)
+	return nil
+}
+
+func (a *assembler) findClass(name string) *Class {
+	for _, c := range a.b.p.Classes {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+var errEmitted = fmt.Errorf("emitted")
+
+func stripComment(line string) string {
+	// Respect '#' inside quoted strings.
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if i == 0 || line[i-1] != '\\' {
+				inQuote = !inQuote
+			}
+		case '#':
+			if !inQuote {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// tokenize splits on whitespace but keeps quoted strings as single tokens.
+func tokenize(line string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated string")
+			}
+			toks = append(toks, line[i:j+1])
+			i = j + 1
+		case c == '{':
+			i++ // opening braces are decorative
+		default:
+			j := i
+			for j < len(line) && !strings.ContainsRune(" \t\r{", rune(line[j])) {
+				j++
+			}
+			toks = append(toks, line[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}

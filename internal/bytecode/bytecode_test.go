@@ -1,0 +1,352 @@
+package bytecode
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleProgram(t testing.TB) *Program {
+	b := NewBuilder("sample")
+	main := b.Class("Main")
+	main.Static("total", false)
+	main.Static("head", true)
+	point := b.Class("Point")
+	point.Field("x", false)
+	point.Field("y", false)
+	point.Field("next", true)
+
+	sum := point.Method("sum", 1, 2)
+	sum.Emit(Load, 0).GetField(point, "x").
+		Emit(Load, 0).GetField(point, "y").
+		Emit(Add).Emit(RetV)
+
+	m := main.Method("main", 0, 3)
+	m.Emit(New, int32(point.ID())).Emit(Store, 0)
+	m.Emit(Load, 0).Const(3).PutField(point, "x")
+	m.Emit(Load, 0).Const(4).PutField(point, "y")
+	m.Const(0).Emit(Store, 1)
+	m.Label("loop")
+	m.Emit(Load, 1).Const(10).Emit(CmpGe).Branch(Jnz, "done")
+	m.Emit(Load, 1).Const(1).Emit(Add).Emit(Store, 1)
+	m.Branch(Jmp, "loop")
+	m.Label("done")
+	m.Emit(Load, 0).CallM(sum).Emit(Print)
+	m.Str("bye").Emit(PrintS)
+	m.Const(1).Emit(Assert)
+	m.Emit(Halt)
+	b.Entry(m)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatalf("build sample: %v", err)
+	}
+	return p
+}
+
+func TestBuilderValidates(t *testing.T) {
+	p := sampleProgram(t)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if p.EntryMethod().FullName() != "Main.main" {
+		t.Fatalf("entry = %s", p.EntryMethod().FullName())
+	}
+}
+
+func TestBuilderRejectsBadLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	m := b.Class("C").Method("m", 0, 0)
+	m.Branch(Jmp, "nowhere").Emit(Ret)
+	b.Entry(m)
+	if _, err := b.Program(); err == nil {
+		t.Fatal("expected undefined-label error")
+	}
+}
+
+func TestBuilderRejectsArgMismatch(t *testing.T) {
+	b := NewBuilder("bad")
+	c := b.Class("C")
+	callee := c.Method("f", 2, 2)
+	callee.Emit(Ret)
+	m := c.Method("m", 0, 0)
+	m.Emit(Call, int32(callee.ID()), 1).Emit(Ret) // wrong arg count
+	b.Entry(m)
+	if _, err := b.Program(); err == nil {
+		t.Fatal("expected arg count mismatch error")
+	}
+}
+
+func TestValidateRejectsBadJump(t *testing.T) {
+	p := sampleProgram(t)
+	p.Methods[0].Code[0] = Instr{Op: Jmp, A: 9999}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected jump range error")
+	}
+}
+
+func TestValidateRejectsBadLocal(t *testing.T) {
+	p := sampleProgram(t)
+	p.Methods[0].Code[0] = Instr{Op: Load, A: 99}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected local range error")
+	}
+}
+
+func TestOpcodeNamesRoundTrip(t *testing.T) {
+	for op := Opcode(0); op < Opcode(NumOpcodes()); op++ {
+		got, ok := OpcodeByName(op.String())
+		if !ok || got != op {
+			t.Errorf("opcode %d name %q does not round-trip", op, op.String())
+		}
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	p := sampleProgram(t)
+	img := EncodeImage(p)
+	q, err := DecodeImage(img)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	assertProgramsEqual(t, p, q, true)
+}
+
+func TestImageRejectsCorruption(t *testing.T) {
+	img := EncodeImage(sampleProgram(t))
+	if _, err := DecodeImage(img[:len(img)/2]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	if _, err := DecodeImage([]byte("XXXX")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	// Flipping any single byte must never panic (may or may not error).
+	for i := 4; i < len(img); i++ {
+		mut := append([]byte(nil), img...)
+		mut[i] ^= 0x5a
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decode panicked with byte %d flipped: %v", i, r)
+				}
+			}()
+			_, _ = DecodeImage(mut)
+		}()
+	}
+}
+
+func TestDisasmAsmRoundTrip(t *testing.T) {
+	p := sampleProgram(t)
+	text := Disassemble(p)
+	q, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("assemble disassembly: %v\n%s", err, text)
+	}
+	assertProgramsEqual(t, p, q, false)
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no entry", "program p\nclass C {\n method m 0 0 {\n ret\n }\n}\n"},
+		{"bad mnemonic", "program p\nclass C {\n method m 0 0 {\n frobnicate\n }\n}\nentry C.m\n"},
+		{"bad label", "program p\nclass C {\n method m 0 0 {\n jmp nowhere\n ret\n }\n}\nentry C.m\n"},
+		{"unknown entry", "program p\nclass C {\n method m 0 0 {\n ret\n }\n}\nentry C.x\n"},
+		{"unterminated string", "program p\nclass C {\n method m 0 0 {\n sconst \"oops\n ret\n }\n}\nentry C.m\n"},
+		{"unknown static", "program p\nclass C {\n method m 0 0 {\n gets C.nope\n ret\n }\n}\nentry C.m\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Assemble(tc.src); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	src := `
+program demo  # trailing comment
+class Main {
+  static n            # a counter
+  method main 0 1 {
+    iconst 42         # push "41 + 1"
+    sconst "has # inside"
+    prints
+    print
+    halt
+  }
+}
+entry Main.main
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if len(p.Methods[0].Code) != 5 {
+		t.Fatalf("got %d instructions, want 5", len(p.Methods[0].Code))
+	}
+	if p.Strings[p.Methods[0].Code[1].A] != "has # inside" {
+		t.Fatalf("quoted # mishandled: %q", p.Strings[p.Methods[0].Code[1].A])
+	}
+}
+
+func TestAssemblerRecordsLines(t *testing.T) {
+	src := "program p\nclass C {\n method m 0 0 {\n  nop\n  nop\n  halt\n }\n}\nentry C.m\n"
+	p := MustAssemble(src)
+	m := p.Methods[0]
+	if len(m.Lines) != 3 || m.Lines[0] != 4 || m.Lines[2] != 6 {
+		t.Fatalf("line table = %v", m.Lines)
+	}
+}
+
+// assertProgramsEqual compares structure; withLines also compares tables.
+func assertProgramsEqual(t *testing.T, p, q *Program, withLines bool) {
+	t.Helper()
+	if p.Name != q.Name || p.EntryMethod().FullName() != q.EntryMethod().FullName() {
+		t.Fatalf("header mismatch: %s/%s vs %s/%s", p.Name, p.EntryMethod().FullName(), q.Name, q.EntryMethod().FullName())
+	}
+	if len(p.Classes) != len(q.Classes) || len(p.Methods) != len(q.Methods) {
+		t.Fatalf("size mismatch")
+	}
+	for i := range p.Classes {
+		pc, qc := p.Classes[i], q.Classes[i]
+		if pc.Name != qc.Name || !reflect.DeepEqual(pc.Fields, qc.Fields) || !reflect.DeepEqual(pc.Statics, qc.Statics) {
+			t.Fatalf("class %d mismatch", i)
+		}
+	}
+	// Method IDs may be renumbered by reassembly; match by qualified name.
+	for _, pm := range p.Methods {
+		qm, ok := q.MethodByName(pm.FullName())
+		if !ok {
+			t.Fatalf("method %s missing after round-trip", pm.FullName())
+		}
+		if pm.NArgs != qm.NArgs || pm.NLocals != qm.NLocals {
+			t.Fatalf("method %s header mismatch", pm.FullName())
+		}
+		if len(pm.Code) != len(qm.Code) {
+			t.Fatalf("method %s code length %d vs %d", pm.FullName(), len(pm.Code), len(qm.Code))
+		}
+		for pc := range pm.Code {
+			a, b := pm.Code[pc], qm.Code[pc]
+			if a.Op != b.Op {
+				t.Fatalf("%s pc %d: op %s vs %s", pm.FullName(), pc, a.Op, b.Op)
+			}
+			// Pool indices may be renumbered by reassembly; compare resolved values.
+			if !operandEqual(p, q, a, b) {
+				t.Fatalf("%s pc %d: operand mismatch %v vs %v", pm.FullName(), pc, a, b)
+			}
+		}
+		if withLines && !reflect.DeepEqual(pm.Lines, qm.Lines) {
+			t.Fatalf("method %s line tables differ", pm.FullName())
+		}
+	}
+}
+
+func operandEqual(p, q *Program, a, b Instr) bool {
+	ka, _ := a.Op.Operands()
+	switch ka {
+	case OpIntPool:
+		return p.Ints[a.A] == q.Ints[b.A]
+	case OpStrPool:
+		return p.Strings[a.A] == q.Strings[b.A]
+	case OpMethod:
+		return p.Methods[a.A].FullName() == q.Methods[b.A].FullName()
+	default:
+		return a.A == b.A && a.B == b.B
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	if got := (Instr{Op: IConst, A: 7}).String(); got != "iconst 7" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Instr{Op: GetS, A: 1, B: 2}).String(); got != "gets 1 2" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Instr{Op: Halt}).String(); got != "halt" {
+		t.Errorf("got %q", got)
+	}
+}
+
+// Property: pool interning is stable — repeated IntIndex/StringIndex calls
+// return the same index, and the pool never contains duplicates.
+func TestPoolInterningProperty(t *testing.T) {
+	f := func(vals []int64, strs []string) bool {
+		p := &Program{}
+		for _, v := range vals {
+			i1 := p.IntIndex(v)
+			i2 := p.IntIndex(v)
+			if i1 != i2 || p.Ints[i1] != v {
+				return false
+			}
+		}
+		for _, s := range strs {
+			i1 := p.StringIndex(s)
+			i2 := p.StringIndex(s)
+			if i1 != i2 || p.Strings[i1] != s {
+				return false
+			}
+		}
+		seen := map[int64]bool{}
+		for _, v := range p.Ints {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassembleMentionsAllMethods(t *testing.T) {
+	p := sampleProgram(t)
+	text := Disassemble(p)
+	for _, m := range p.Methods {
+		if !strings.Contains(text, "method "+m.Name) {
+			t.Errorf("disassembly missing method %s", m.Name)
+		}
+	}
+}
+
+// TestAssembleGarbageNeverPanics mutates valid source randomly; Assemble
+// must return errors, never panic.
+func TestAssembleGarbageNeverPanics(t *testing.T) {
+	base := Disassemble(sampleProgram(t))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		mut := []byte(base)
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			switch rng.Intn(3) {
+			case 0: // flip a byte
+				mut[rng.Intn(len(mut))] = byte(rng.Intn(128))
+			case 1: // delete a span
+				s := rng.Intn(len(mut))
+				e := s + rng.Intn(20)
+				if e > len(mut) {
+					e = len(mut)
+				}
+				mut = append(mut[:s], mut[e:]...)
+				if len(mut) == 0 {
+					mut = []byte("x")
+				}
+			case 2: // duplicate a span
+				s := rng.Intn(len(mut))
+				e := s + rng.Intn(20)
+				if e > len(mut) {
+					e = len(mut)
+				}
+				mut = append(mut[:e:e], append(append([]byte{}, mut[s:e]...), mut[e:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Assemble panicked on mutation %d: %v\n%s", i, r, mut)
+				}
+			}()
+			_, _ = Assemble(string(mut))
+		}()
+	}
+}

@@ -1,0 +1,112 @@
+package bytecode
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Disassemble renders p as assembler text that Assemble accepts
+// (round-trips structurally; source line tables are regenerated from the
+// emitted text by the assembler).
+func Disassemble(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	for _, c := range p.Classes {
+		fmt.Fprintf(&sb, "\nclass %s {\n", c.Name)
+		for _, f := range c.Fields {
+			sb.WriteString("  field " + f.Name + refSuffix(f.IsRef) + "\n")
+		}
+		for _, f := range c.Statics {
+			sb.WriteString("  static " + f.Name + refSuffix(f.IsRef) + "\n")
+		}
+		for _, m := range c.Methods {
+			disasmMethod(&sb, p, m)
+		}
+		sb.WriteString("}\n")
+	}
+	fmt.Fprintf(&sb, "\nentry %s\n", p.EntryMethod().FullName())
+	return sb.String()
+}
+
+func refSuffix(isRef bool) string {
+	if isRef {
+		return " ref"
+	}
+	return ""
+}
+
+func disasmMethod(sb *strings.Builder, p *Program, m *Method) {
+	fmt.Fprintf(sb, "  method %s %d %d {\n", m.Name, m.NArgs, m.NLocals)
+	// Collect branch targets needing labels.
+	targets := map[int]string{}
+	for _, in := range m.Code {
+		if ka, _ := in.Op.Operands(); ka == OpTarget {
+			targets[int(in.A)] = ""
+		}
+	}
+	ordered := make([]int, 0, len(targets))
+	for pc := range targets {
+		ordered = append(ordered, pc)
+	}
+	sort.Ints(ordered)
+	for _, pc := range ordered {
+		targets[pc] = "L" + strconv.Itoa(pc)
+	}
+	for pc, in := range m.Code {
+		if lbl, ok := targets[pc]; ok {
+			fmt.Fprintf(sb, "  %s:\n", lbl)
+		}
+		sb.WriteString("    ")
+		sb.WriteString(disasmInstr(p, in, targets))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  }\n")
+}
+
+func disasmInstr(p *Program, in Instr, targets map[int]string) string {
+	ka, kb := in.Op.Operands()
+	parts := []string{in.Op.String()}
+	appendOperand := func(k OperandKind, v int32) {
+		switch k {
+		case OpNone:
+		case OpInt:
+			parts = append(parts, strconv.Itoa(int(v)))
+		case OpIntPool:
+			parts = append(parts, strconv.FormatInt(p.Ints[v], 10))
+		case OpStrPool:
+			parts = append(parts, strconv.Quote(p.Strings[v]))
+		case OpTarget:
+			parts = append(parts, targets[int(v)])
+		case OpMethod:
+			parts = append(parts, p.Methods[v].FullName())
+		case OpClass:
+			parts = append(parts, p.Classes[v].Name)
+		case OpField:
+			parts = append(parts, strconv.Itoa(int(v)))
+		case OpStatic:
+			// Printed as Class.staticName, consuming both operands; handled below.
+		case OpKind:
+			switch v {
+			case KindInt64:
+				parts = append(parts, "int")
+			case KindRef:
+				parts = append(parts, "ref")
+			case KindByte:
+				parts = append(parts, "byte")
+			}
+		}
+	}
+	if in.Op == GetS || in.Op == PutS {
+		c := p.Classes[in.A]
+		return in.Op.String() + " " + c.Name + "." + c.Statics[in.B].Name
+	}
+	if in.Op == Call || in.Op == Spawn {
+		// B (arg count) is derivable from the target; omit it.
+		return in.Op.String() + " " + p.Methods[in.A].FullName()
+	}
+	appendOperand(ka, in.A)
+	appendOperand(kb, in.B)
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,233 @@
+package bytecode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary program image format ("class file" analog). Layout, all varints
+// except the magic:
+//
+//	magic "DVA1"
+//	name, ints, strings pools
+//	classes: name, fields, statics, method count
+//	methods (global order): class ID, name, nargs, nlocals, code, lines
+//	entry method ID
+
+const imageMagic = "DVA1"
+
+// EncodeImage serializes p.
+func EncodeImage(p *Program) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(imageMagic)
+	w := &imageWriter{w: &buf}
+	w.str(p.Name)
+	w.uv(uint64(len(p.Ints)))
+	for _, v := range p.Ints {
+		w.sv(v)
+	}
+	w.uv(uint64(len(p.Strings)))
+	for _, s := range p.Strings {
+		w.str(s)
+	}
+	w.uv(uint64(len(p.Classes)))
+	for _, c := range p.Classes {
+		w.str(c.Name)
+		w.fields(c.Fields)
+		w.fields(c.Statics)
+		w.uv(uint64(len(c.Methods)))
+	}
+	w.uv(uint64(len(p.Methods)))
+	for _, m := range p.Methods {
+		w.uv(uint64(m.Class.ID))
+		w.str(m.Name)
+		w.uv(uint64(m.NArgs))
+		w.uv(uint64(m.NLocals))
+		w.uv(uint64(len(m.Code)))
+		for _, in := range m.Code {
+			w.uv(uint64(in.Op))
+			w.sv(int64(in.A))
+			w.sv(int64(in.B))
+		}
+		w.uv(uint64(len(m.Lines)))
+		for _, ln := range m.Lines {
+			w.sv(int64(ln))
+		}
+	}
+	w.uv(uint64(p.Entry))
+	return buf.Bytes()
+}
+
+// DecodeImage parses an image produced by EncodeImage and validates it.
+func DecodeImage(data []byte) (*Program, error) {
+	if len(data) < 4 || string(data[:4]) != imageMagic {
+		return nil, fmt.Errorf("bytecode: bad image magic")
+	}
+	r := &imageReader{buf: data[4:]}
+	p := &Program{}
+	p.Name = r.str()
+	p.Ints = make([]int64, r.count())
+	for i := range p.Ints {
+		p.Ints[i] = r.sv()
+	}
+	p.Strings = make([]string, r.count())
+	for i := range p.Strings {
+		p.Strings[i] = r.str()
+	}
+	nClasses := r.count()
+	methodCounts := make([]int, nClasses)
+	p.Classes = make([]*Class, nClasses)
+	for i := 0; i < nClasses; i++ {
+		c := &Class{ID: i}
+		c.Name = r.str()
+		c.Fields = r.fields()
+		c.Statics = r.fields()
+		methodCounts[i] = int(r.uv())
+		p.Classes[i] = c
+	}
+	nMethods := r.count()
+	p.Methods = make([]*Method, nMethods)
+	for i := 0; i < nMethods; i++ {
+		m := &Method{ID: i}
+		cid := int(r.uv())
+		if r.err == nil && (cid < 0 || cid >= nClasses) {
+			return nil, fmt.Errorf("bytecode: method %d has bad class %d", i, cid)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		m.Class = p.Classes[cid]
+		m.Class.Methods = append(m.Class.Methods, m)
+		m.Name = r.str()
+		m.NArgs = int(r.uv())
+		m.NLocals = int(r.uv())
+		m.Code = make([]Instr, r.count())
+		for j := range m.Code {
+			m.Code[j] = Instr{Op: Opcode(r.uv()), A: int32(r.sv()), B: int32(r.sv())}
+		}
+		if n := r.count(); n > 0 {
+			m.Lines = make([]int32, n)
+			for j := range m.Lines {
+				m.Lines[j] = int32(r.sv())
+			}
+		}
+		p.Methods[i] = m
+	}
+	p.Entry = int(r.uv())
+	if r.err != nil {
+		return nil, r.err
+	}
+	for i, c := range p.Classes {
+		if len(c.Methods) != methodCounts[i] {
+			return nil, fmt.Errorf("bytecode: class %s method count mismatch", c.Name)
+		}
+	}
+	p.link()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+type imageWriter struct{ w *bytes.Buffer }
+
+func (w *imageWriter) uv(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	w.w.Write(tmp[:n])
+}
+
+func (w *imageWriter) sv(v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	w.w.Write(tmp[:n])
+}
+
+func (w *imageWriter) str(s string) {
+	w.uv(uint64(len(s)))
+	w.w.WriteString(s)
+}
+
+func (w *imageWriter) fields(fs []Field) {
+	w.uv(uint64(len(fs)))
+	for _, f := range fs {
+		w.str(f.Name)
+		if f.IsRef {
+			w.uv(1)
+		} else {
+			w.uv(0)
+		}
+	}
+}
+
+type imageReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *imageReader) uv() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *imageReader) sv() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *imageReader) str() string {
+	n := int(r.uv())
+	if r.err != nil {
+		return ""
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.err = io.ErrUnexpectedEOF
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+// count reads a collection length and bounds it by the remaining input so
+// corrupted images cannot force absurd allocations.
+func (r *imageReader) count() int {
+	n := r.uv()
+	if r.err == nil && n > uint64(len(r.buf)-r.pos) {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	return int(n)
+}
+
+func (r *imageReader) fields() []Field {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	fs := make([]Field, n)
+	for i := range fs {
+		fs[i].Name = r.str()
+		fs[i].IsRef = r.uv() == 1
+	}
+	return fs
+}

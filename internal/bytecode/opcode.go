@@ -1,0 +1,259 @@
+// Package bytecode defines the instruction set, program model, assembler,
+// disassembler, and binary image format for the DejaVu-Go virtual machine.
+//
+// The VM is a stack machine in the spirit of the JVM that Jalapeño
+// implements: classes with instance and static fields, methods with local
+// slots and an operand stack, typed arrays, monitors on every object, and
+// first-class threads. An "event" in the sense of the paper is the
+// execution of one instruction.
+package bytecode
+
+import "fmt"
+
+// Opcode identifies a VM instruction.
+type Opcode uint8
+
+// The instruction set. Operand meanings are given per opcode; A and B are
+// the two int32 operands of Instr.
+const (
+	Nop Opcode = iota
+
+	// Constants and stack manipulation.
+	IConst // push sign-extended A
+	LConst // push Ints[A] (64-bit constant pool)
+	SConst // push interned string object for Strings[A]
+	Null   // push the null reference
+	Pop    // discard top
+	Dup    // duplicate top
+	Swap   // swap top two
+
+	// Locals.
+	Load  // push locals[A]
+	Store // locals[A] = pop
+
+	// Arithmetic and logic (binary ops pop b, a and push a OP b).
+	Add
+	Sub
+	Mul
+	Div // traps on divide by zero
+	Mod
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Neg // unary
+	Not // unary bitwise complement
+
+	// Comparisons push 1 or 0.
+	CmpEq
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+
+	// Control flow. A is the absolute target pc. A backward jump
+	// (target <= current pc) is a loop backedge and therefore a yield
+	// point, as in Jalapeño.
+	Jmp
+	Jz  // pop; jump if zero
+	Jnz // pop; jump if nonzero
+	Ret // return void
+	RetV
+
+	// Calls. Method entry is a yield point (method prologue).
+	Call  // A = method ID, B = arg slot count
+	CallV // A = Strings index of method name, B = arg count incl. receiver
+	// Native calls into the host ("JNI"). A = Strings index of native
+	// name, B = arg count. Non-deterministic natives are captured and
+	// replayed by the DejaVu engine.
+	Native
+
+	// Objects and arrays.
+	New    // A = class ID; push ref
+	GetF   // A = field slot; pop obj, push value
+	PutF   // A = field slot; pop value, obj
+	GetS   // A = class ID, B = static slot; push value
+	PutS   // A = class ID, B = static slot; pop value
+	NewArr // A = elem kind (0 int64, 1 ref, 2 byte); pop length, push ref
+	ALoad  // pop index, array; push element
+	AStore // pop value, index, array
+	ArrLen // pop array; push length
+	InstOf // A = class ID; pop ref, push 1/0
+
+	// Synchronization. All pop the monitor object (and for TimedWait the
+	// timeout first). Unsuccessful MonEnter and Wait block the thread:
+	// these thread switches are deterministic and never logged.
+	MonEnter
+	MonExit
+	Wait
+	TimedWait // pop millis, obj
+	Notify
+	NotifyAll
+
+	// Threads.
+	Spawn     // A = method ID, B = arg count; pop args, push thread id
+	ThreadID  // push current thread id
+	YieldOp   // voluntary yield (deterministic switch)
+	Sleep     // pop millis; timed event per §2.2
+	Interrupt // pop thread id; wake it with interrupted status
+
+	// Output and checks. Output is buffered deterministically.
+	Print  // pop int64, print decimal + '\n'
+	PrintS // pop string ref, print + '\n'
+	Assert // pop cond; trap if zero
+
+	Halt // stop the whole VM
+
+	numOpcodes
+)
+
+// OperandKind describes how an instruction operand should be resolved and
+// printed by the assembler and disassembler.
+type OperandKind uint8
+
+const (
+	OpNone    OperandKind = iota
+	OpInt                 // plain integer
+	OpIntPool             // index into Ints
+	OpStrPool             // index into Strings
+	OpTarget              // jump target pc (label in assembly)
+	OpMethod              // method ID (Class.name in assembly)
+	OpClass               // class ID (class name in assembly)
+	OpField               // instance field slot (Class.field in assembly)
+	OpStatic              // B operand: static slot of class in A
+	OpKind                // array element kind
+)
+
+type opInfo struct {
+	name string
+	a, b OperandKind
+}
+
+var opTable = [numOpcodes]opInfo{
+	Nop:       {"nop", OpNone, OpNone},
+	IConst:    {"iconst", OpInt, OpNone},
+	LConst:    {"lconst", OpIntPool, OpNone},
+	SConst:    {"sconst", OpStrPool, OpNone},
+	Null:      {"null", OpNone, OpNone},
+	Pop:       {"pop", OpNone, OpNone},
+	Dup:       {"dup", OpNone, OpNone},
+	Swap:      {"swap", OpNone, OpNone},
+	Load:      {"load", OpInt, OpNone},
+	Store:     {"store", OpInt, OpNone},
+	Add:       {"add", OpNone, OpNone},
+	Sub:       {"sub", OpNone, OpNone},
+	Mul:       {"mul", OpNone, OpNone},
+	Div:       {"div", OpNone, OpNone},
+	Mod:       {"mod", OpNone, OpNone},
+	And:       {"and", OpNone, OpNone},
+	Or:        {"or", OpNone, OpNone},
+	Xor:       {"xor", OpNone, OpNone},
+	Shl:       {"shl", OpNone, OpNone},
+	Shr:       {"shr", OpNone, OpNone},
+	Neg:       {"neg", OpNone, OpNone},
+	Not:       {"not", OpNone, OpNone},
+	CmpEq:     {"cmpeq", OpNone, OpNone},
+	CmpNe:     {"cmpne", OpNone, OpNone},
+	CmpLt:     {"cmplt", OpNone, OpNone},
+	CmpLe:     {"cmple", OpNone, OpNone},
+	CmpGt:     {"cmpgt", OpNone, OpNone},
+	CmpGe:     {"cmpge", OpNone, OpNone},
+	Jmp:       {"jmp", OpTarget, OpNone},
+	Jz:        {"jz", OpTarget, OpNone},
+	Jnz:       {"jnz", OpTarget, OpNone},
+	Ret:       {"ret", OpNone, OpNone},
+	RetV:      {"retv", OpNone, OpNone},
+	Call:      {"call", OpMethod, OpInt},
+	CallV:     {"callv", OpStrPool, OpInt},
+	Native:    {"native", OpStrPool, OpInt},
+	New:       {"new", OpClass, OpNone},
+	GetF:      {"getf", OpField, OpNone},
+	PutF:      {"putf", OpField, OpNone},
+	GetS:      {"gets", OpClass, OpStatic},
+	PutS:      {"puts", OpClass, OpStatic},
+	NewArr:    {"newarr", OpKind, OpNone},
+	ALoad:     {"aload", OpNone, OpNone},
+	AStore:    {"astore", OpNone, OpNone},
+	ArrLen:    {"arrlen", OpNone, OpNone},
+	InstOf:    {"instof", OpClass, OpNone},
+	MonEnter:  {"monenter", OpNone, OpNone},
+	MonExit:   {"monexit", OpNone, OpNone},
+	Wait:      {"wait", OpNone, OpNone},
+	TimedWait: {"timedwait", OpNone, OpNone},
+	Notify:    {"notify", OpNone, OpNone},
+	NotifyAll: {"notifyall", OpNone, OpNone},
+	Spawn:     {"spawn", OpMethod, OpInt},
+	ThreadID:  {"threadid", OpNone, OpNone},
+	YieldOp:   {"yield", OpNone, OpNone},
+	Sleep:     {"sleep", OpNone, OpNone},
+	Interrupt: {"interrupt", OpNone, OpNone},
+	Print:     {"print", OpNone, OpNone},
+	PrintS:    {"prints", OpNone, OpNone},
+	Assert:    {"assert", OpNone, OpNone},
+	Halt:      {"halt", OpNone, OpNone},
+}
+
+// NumOpcodes reports the number of defined opcodes.
+func NumOpcodes() int { return int(numOpcodes) }
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < numOpcodes && opTable[op].name != "" }
+
+// String returns the assembler mnemonic for op.
+func (op Opcode) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Operands returns the operand kinds for op.
+func (op Opcode) Operands() (a, b OperandKind) {
+	if !op.Valid() {
+		return OpNone, OpNone
+	}
+	return opTable[op].a, opTable[op].b
+}
+
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, numOpcodes)
+	for op, info := range opTable {
+		if info.name != "" {
+			m[info.name] = Opcode(op)
+		}
+	}
+	return m
+}()
+
+// OpcodeByName resolves an assembler mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+// Array element kinds for NewArr.
+const (
+	KindInt64 = 0
+	KindRef   = 1
+	KindByte  = 2
+)
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op   Opcode
+	A, B int32
+}
+
+func (in Instr) String() string {
+	ka, kb := in.Op.Operands()
+	switch {
+	case ka == OpNone:
+		return in.Op.String()
+	case kb == OpNone:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	default:
+		return fmt.Sprintf("%s %d %d", in.Op, in.A, in.B)
+	}
+}

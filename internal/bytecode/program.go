@@ -1,0 +1,233 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Field describes one instance or static field of a class. IsRef marks
+// reference-typed slots; this is the class's garbage-collection reference
+// map, used by the type-accurate collector exactly as Jalapeño's reference
+// maps identify live references.
+type Field struct {
+	Name  string
+	IsRef bool
+}
+
+// Method is one method body. Arguments occupy locals[0..NArgs); NLocals is
+// the total local slot count. Lines, when present, gives a source line per
+// instruction (the "line number table" of the paper's Fig. 3, materialized
+// into VM heap memory by the class loader so remote reflection can read it).
+type Method struct {
+	ID      int
+	Class   *Class
+	Name    string
+	NArgs   int
+	NLocals int
+	Code    []Instr
+	Lines   []int32
+}
+
+// FullName returns Class.Name qualified name, e.g. "Main.run".
+func (m *Method) FullName() string {
+	if m.Class == nil {
+		return m.Name
+	}
+	return m.Class.Name + "." + m.Name
+}
+
+// Class groups fields and methods. ID is its index in Program.Classes.
+type Class struct {
+	ID      int
+	Name    string
+	Fields  []Field // instance fields, slot order
+	Statics []Field // static fields, slot order
+	Methods []*Method
+
+	byName map[string]*Method
+}
+
+// Method looks up a method of this class by name.
+func (c *Class) Method(name string) (*Method, bool) {
+	m, ok := c.byName[name]
+	return m, ok
+}
+
+// FieldSlot resolves an instance field name to its slot.
+func (c *Class) FieldSlot(name string) (int, bool) {
+	for i, f := range c.Fields {
+		if f.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// StaticSlot resolves a static field name to its slot.
+func (c *Class) StaticSlot(name string) (int, bool) {
+	for i, f := range c.Statics {
+		if f.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Program is a complete loadable program image: the unit the VM executes.
+type Program struct {
+	Name    string
+	Classes []*Class
+	Methods []*Method // global method table indexed by Method.ID
+	Ints    []int64   // 64-bit constant pool
+	Strings []string  // string constant pool (also method/native names)
+	Entry   int       // method ID where the main thread starts
+
+	classByName map[string]*Class
+}
+
+// link (re)builds lookup tables. Must be called after manual construction
+// or decoding.
+func (p *Program) link() {
+	p.classByName = make(map[string]*Class, len(p.Classes))
+	for _, c := range p.Classes {
+		p.classByName[c.Name] = c
+		c.byName = make(map[string]*Method, len(c.Methods))
+		for _, m := range c.Methods {
+			c.byName[m.Name] = m
+		}
+	}
+}
+
+// Class looks up a class by name.
+func (p *Program) Class(name string) (*Class, bool) {
+	c, ok := p.classByName[name]
+	return c, ok
+}
+
+// MethodByName resolves "Class.method".
+func (p *Program) MethodByName(full string) (*Method, bool) {
+	for _, m := range p.Methods {
+		if m.FullName() == full {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// EntryMethod returns the program entry point.
+func (p *Program) EntryMethod() *Method { return p.Methods[p.Entry] }
+
+// StringIndex returns the pool index of s, adding it if absent.
+func (p *Program) StringIndex(s string) int {
+	for i, v := range p.Strings {
+		if v == s {
+			return i
+		}
+	}
+	p.Strings = append(p.Strings, s)
+	return len(p.Strings) - 1
+}
+
+// IntIndex returns the pool index of v, adding it if absent.
+func (p *Program) IntIndex(v int64) int {
+	for i, x := range p.Ints {
+		if x == v {
+			return i
+		}
+	}
+	p.Ints = append(p.Ints, v)
+	return len(p.Ints) - 1
+}
+
+// Validate checks structural well-formedness: operand ranges, jump targets,
+// method/class/field references, and entry point. It does not perform full
+// stack-shape verification (see Verify).
+func (p *Program) Validate() error {
+	if len(p.Methods) == 0 {
+		return errors.New("bytecode: program has no methods")
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Methods) {
+		return fmt.Errorf("bytecode: entry method %d out of range", p.Entry)
+	}
+	for id, m := range p.Methods {
+		if m.ID != id {
+			return fmt.Errorf("bytecode: method %q has ID %d at index %d", m.FullName(), m.ID, id)
+		}
+		if err := p.validateMethod(m); err != nil {
+			return err
+		}
+	}
+	for id, c := range p.Classes {
+		if c.ID != id {
+			return fmt.Errorf("bytecode: class %q has ID %d at index %d", c.Name, c.ID, id)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateMethod(m *Method) error {
+	bad := func(pc int, format string, args ...any) error {
+		return fmt.Errorf("bytecode: %s pc=%d: %s", m.FullName(), pc, fmt.Sprintf(format, args...))
+	}
+	if m.NArgs < 0 || m.NLocals < m.NArgs {
+		return fmt.Errorf("bytecode: %s: bad arg/local counts %d/%d", m.FullName(), m.NArgs, m.NLocals)
+	}
+	if len(m.Code) == 0 {
+		return fmt.Errorf("bytecode: %s: empty body", m.FullName())
+	}
+	if len(m.Lines) != 0 && len(m.Lines) != len(m.Code) {
+		return fmt.Errorf("bytecode: %s: line table length %d != code length %d", m.FullName(), len(m.Lines), len(m.Code))
+	}
+	for pc, in := range m.Code {
+		if !in.Op.Valid() {
+			return bad(pc, "invalid opcode %d", in.Op)
+		}
+		ka, _ := in.Op.Operands()
+		switch ka {
+		case OpTarget:
+			if in.A < 0 || int(in.A) >= len(m.Code) {
+				return bad(pc, "jump target %d out of range", in.A)
+			}
+		case OpIntPool:
+			if in.A < 0 || int(in.A) >= len(p.Ints) {
+				return bad(pc, "int pool index %d out of range", in.A)
+			}
+		case OpStrPool:
+			if in.A < 0 || int(in.A) >= len(p.Strings) {
+				return bad(pc, "string pool index %d out of range", in.A)
+			}
+		case OpMethod:
+			if in.A < 0 || int(in.A) >= len(p.Methods) {
+				return bad(pc, "method ID %d out of range", in.A)
+			}
+			if in.Op == Call || in.Op == Spawn {
+				if int(in.B) != p.Methods[in.A].NArgs {
+					return bad(pc, "call passes %d args, %s takes %d", in.B, p.Methods[in.A].FullName(), p.Methods[in.A].NArgs)
+				}
+			}
+		case OpClass:
+			if in.A < 0 || int(in.A) >= len(p.Classes) {
+				return bad(pc, "class ID %d out of range", in.A)
+			}
+			if in.Op == GetS || in.Op == PutS {
+				c := p.Classes[in.A]
+				if in.B < 0 || int(in.B) >= len(c.Statics) {
+					return bad(pc, "static slot %d out of range for %s", in.B, c.Name)
+				}
+			}
+		case OpField:
+			if in.A < 0 {
+				return bad(pc, "negative field slot %d", in.A)
+			}
+		case OpKind:
+			if in.A != KindInt64 && in.A != KindRef && in.A != KindByte {
+				return bad(pc, "bad array kind %d", in.A)
+			}
+		case OpInt:
+			if (in.Op == Load || in.Op == Store) && (in.A < 0 || int(in.A) >= m.NLocals) {
+				return bad(pc, "local slot %d out of range (%d locals)", in.A, m.NLocals)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+// testSig mirrors the VM's native registry for verifier tests (the real
+// one lives in internal/vm, which this package cannot import).
+func testSig(name string) (int, int, bool) {
+	switch name {
+	case "clock", "readline", "gc":
+		return 0, 1, true
+	case "strlen", "parseint", "idhash":
+		return 1, 1, true
+	case "pollevents":
+		return 2, 1, true
+	}
+	return 0, 0, false
+}
+
+func verifySrc(t *testing.T, src string) ([]MethodFacts, error) {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return Verify(p, VerifyConfig{Natives: testSig})
+}
+
+func TestVerifyAcceptsWellFormed(t *testing.T) {
+	facts, err := verifySrc(t, `
+program ok
+class Node {
+  field v
+  field next ref
+  method value 1 1 {
+    load 0
+    getf 0
+    retv
+  }
+}
+class Main {
+  static head ref
+  method main 0 2 {
+    new Node
+    store 0
+    load 0
+    iconst 5
+    putf 0
+    load 0
+    puts Main.head
+    iconst 0
+    store 1
+  loop:
+    load 1
+    iconst 10
+    cmpge
+    jnz out
+    load 0
+    callv "value" 1
+    print
+    load 1
+    iconst 1
+    add
+    store 1
+    jmp loop
+  out:
+    halt
+  }
+}
+entry Main.main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 2 {
+		t.Fatalf("facts for %d methods", len(facts))
+	}
+	for _, f := range facts {
+		if f.MaxStack == 0 {
+			t.Fatal("max stack not computed")
+		}
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"underflow", `
+program p
+class Main {
+  method main 0 0 {
+    add
+    halt
+  }
+}
+entry Main.main`, "underflow"},
+		{"arith on ref", `
+program p
+class Main {
+  method main 0 0 {
+    null
+    iconst 1
+    add
+    halt
+  }
+}
+entry Main.main`, "expected primitive"},
+		{"getf on prim", `
+program p
+class Main {
+  field x
+  method main 0 0 {
+    iconst 7
+    getf 0
+    halt
+  }
+}
+entry Main.main`, "expected reference"},
+		{"join depth mismatch", `
+program p
+class Main {
+  method main 0 1 {
+    load 0
+    jz b
+    iconst 1
+  b:
+    halt
+  }
+}
+entry Main.main`, "inconsistent stack depth"},
+		{"join kind conflict", `
+program p
+class Main {
+  method main 0 1 {
+    load 0
+    jz b
+    iconst 1
+    jmp c
+  b:
+    null
+  c:
+    print
+    halt
+  }
+}
+entry Main.main`, "kind conflict"},
+		{"mixed returns", `
+program p
+class Main {
+  method f 1 1 {
+    load 0
+    jz a
+    iconst 1
+    retv
+  a:
+    ret
+  }
+  method main 0 0 {
+    iconst 1
+    call Main.f
+    print
+    halt
+  }
+}
+entry Main.main`, "mixes ret and retv"},
+		{"static kind", `
+program p
+class Main {
+  static h ref
+  method main 0 0 {
+    iconst 1
+    puts Main.h
+    halt
+  }
+}
+entry Main.main`, "expected reference"},
+		{"unknown native", `
+program p
+class Main {
+  method main 0 0 {
+    native "fly" 0
+    pop
+    halt
+  }
+}
+entry Main.main`, "unknown native"},
+		{"native arity", `
+program p
+class Main {
+  method main 0 0 {
+    native "clock" 1
+    pop
+    halt
+  }
+}
+entry Main.main`, "operands"},
+		{"ref prim compare", `
+program p
+class Main {
+  method main 0 0 {
+    null
+    iconst 0
+    cmpeq
+    print
+    halt
+  }
+}
+entry Main.main`, "comparing reference with primitive"},
+	}
+	for _, tc := range cases {
+		_, err := verifySrc(t, tc.src)
+		if err == nil {
+			t.Errorf("%s: verification unexpectedly passed", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestVerifyCallvConsensus(t *testing.T) {
+	// Two classes implement "f" with different return shapes: virtual
+	// calls to it are unverifiable.
+	_, err := verifySrc(t, `
+program p
+class A {
+  method f 1 1 {
+    iconst 1
+    retv
+  }
+}
+class B {
+  method f 1 1 {
+    ret
+  }
+}
+class Main {
+  method main 0 1 {
+    new A
+    store 0
+    load 0
+    callv "f" 1
+    print
+    halt
+  }
+}
+entry Main.main
+`)
+	if err == nil || !strings.Contains(err.Error(), "disagree") {
+		t.Fatalf("expected consensus error, got %v", err)
+	}
+}
+
+func TestVerifyMaxStack(t *testing.T) {
+	facts, err := verifySrc(t, `
+program p
+class Main {
+  method main 0 0 {
+    iconst 1
+    iconst 2
+    iconst 3
+    iconst 4
+    add
+    add
+    add
+    print
+    halt
+  }
+}
+entry Main.main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if facts[0].MaxStack != 4 {
+		t.Fatalf("max stack = %d, want 4", facts[0].MaxStack)
+	}
+}
+
+func TestVerifyLoopConverges(t *testing.T) {
+	// A loop whose local flips kinds across iterations must still
+	// converge (local widened to unknown), and stay verifiable as long as
+	// uses agree.
+	facts, err := verifySrc(t, `
+program p
+class Main {
+  method main 0 2 {
+    iconst 10
+    store 0
+  loop:
+    load 0
+    jz out
+    null
+    store 1          # local 1 holds a ref this iteration
+    iconst 0
+    store 1          # and a prim here
+    load 0
+    iconst 1
+    sub
+    store 0
+    jmp loop
+  out:
+    halt
+  }
+}
+entry Main.main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = facts
+}
+
+func TestVerifyRetvValueKind(t *testing.T) {
+	// A method may return a ref; callers get Unknown and may use it as a
+	// reference.
+	_, err := verifySrc(t, `
+program p
+class Box {
+  field v
+}
+class Main {
+  method make 0 1 {
+    new Box
+    retv
+  }
+  method main 0 1 {
+    call Main.make
+    store 0
+    load 0
+    getf 0
+    print
+    halt
+  }
+}
+entry Main.main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

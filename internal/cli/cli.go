@@ -1,0 +1,89 @@
+// Package cli holds helpers shared by the command-line tools: program
+// loading from files or the workload registry, and engine construction
+// from flags.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/core"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+// LoadProgram resolves a program argument:
+//
+//	workload:<name>  — a built-in benchmark program
+//	*.dvs            — assembler source
+//	*.dva            — binary image
+func LoadProgram(arg string) (*bytecode.Program, error) {
+	if name, ok := strings.CutPrefix(arg, "workload:"); ok {
+		f, ok := workloads.Registry[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (have: %s)", name, strings.Join(workloads.Names(), ", "))
+		}
+		return f(), nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case strings.HasSuffix(arg, ".dvs"):
+		return bytecode.Assemble(string(data))
+	case strings.HasSuffix(arg, ".dva"):
+		return bytecode.DecodeImage(data)
+	default:
+		// Try image first (magic check is cheap), then assembly.
+		if p, err := bytecode.DecodeImage(data); err == nil {
+			return p, nil
+		}
+		return bytecode.Assemble(string(data))
+	}
+}
+
+// EngineFlags describes how a tool wants its engine built.
+type EngineFlags struct {
+	Mode     core.Mode
+	Seed     int64 // seeded preemption; <0 selects the real host timer
+	Interval time.Duration
+	TraceIn  []byte
+	Realtime bool // real wall clock instead of deterministic fake time
+}
+
+// BuildEngine constructs an engine (and a stopper for any host timer).
+func BuildEngine(prog *bytecode.Program, f EngineFlags) (*core.Engine, func(), error) {
+	cfg := core.DefaultConfig(f.Mode)
+	cfg.ProgHash = vm.ProgramHash(prog)
+	cfg.TraceIn = f.TraceIn
+	stop := func() {}
+	if f.Realtime {
+		cfg.Time = core.RealTime{}
+	} else {
+		cfg.Time = &core.FakeTime{Base: 1_000_000, Step: 3}
+	}
+	if f.Mode != core.ModeReplay {
+		if f.Seed >= 0 {
+			cfg.Preempt = core.NewSeededPreemptor(f.Seed, 5, 60)
+		} else {
+			interval := f.Interval
+			if interval == 0 {
+				interval = 2 * time.Millisecond
+			}
+			ht := core.StartHostTimer(interval)
+			cfg.Preempt = ht
+			stop = ht.Stop
+		}
+	}
+	cfg.Input = os.Stdin
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		stop()
+		return nil, nil, err
+	}
+	return eng, stop, nil
+}

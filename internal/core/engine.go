@@ -1,0 +1,557 @@
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+
+	"dejavu/internal/threads"
+	"dejavu/internal/trace"
+)
+
+// Stats counts the engine's interactions for the evaluation harness.
+type Stats struct {
+	Switches    uint64
+	YieldPoints uint64
+	InstrYields uint64 // yield points executed by instrumentation (clock paused)
+	ClockReads  uint64
+	NativeCalls uint64
+	InputReads  uint64
+	Callbacks   uint64
+	WarmupBytes uint64 // bytes written+read by the §2.4 I/O warm-up
+}
+
+// Engine is the DejaVu record/replay engine. One engine instance serves
+// one VM execution.
+type Engine struct {
+	cfg  Config
+	mode Mode
+	host Host
+
+	w     *trace.Writer
+	r     *trace.Reader
+	input *bufio.Reader
+
+	// Fig. 2 state.
+	liveClock  bool
+	nyp        uint64 // record: yields since last switch; replay: countdown
+	hasPending bool   // replay: a recorded switch remains
+	switchBit  bool   // threadswitchbit
+
+	inInstr bool // guard against recursive instrumentation simulation
+
+	err   error // sticky divergence/IO error
+	stats Stats
+}
+
+// ErrNotReplaying is returned by replay-only queries in other modes.
+var ErrNotReplaying = errors.New("core: engine is not in replay mode")
+
+// NewEngine builds an engine from cfg.
+func NewEngine(cfg Config) (*Engine, error) {
+	e := &Engine{cfg: cfg, mode: cfg.Mode, liveClock: true}
+	if cfg.Time == nil {
+		cfg.Time = RealTime{}
+		e.cfg.Time = cfg.Time
+	}
+	switch cfg.Mode {
+	case ModeOff:
+	case ModeRecord:
+		if cfg.Preempt == nil {
+			return nil, errors.New("core: record mode requires a Preemptor")
+		}
+		e.w = trace.NewWriter(cfg.ProgHash)
+	case ModeReplay:
+		r, err := trace.NewReader(cfg.TraceIn, cfg.ProgHash)
+		if err != nil {
+			return nil, err
+		}
+		e.r = r
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
+	}
+	if cfg.Input != nil {
+		e.input = bufio.NewReader(cfg.Input)
+	}
+	return e, nil
+}
+
+// Mode returns the engine mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Err returns the sticky replay error, if any.
+func (e *Engine) Err() error { return e.err }
+
+// Stats returns interaction counts.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// TraceStats returns the record-mode trace statistics.
+func (e *Engine) TraceStats() (trace.Stats, bool) {
+	if e.w == nil {
+		return trace.Stats{}, false
+	}
+	return e.w.Stats(), true
+}
+
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Begin performs DejaVu initialization with symmetric side effects (§2.4):
+// the capture buffer is allocated in the VM heap in both modes (or, under
+// the SymmetricAlloc ablation, only when recording — the bug the paper's
+// design avoids), and replay prefetches its first switch count.
+func (e *Engine) Begin(host Host) error {
+	e.host = host
+	if e.mode != ModeOff && host != nil {
+		if e.cfg.SymmetricAlloc || e.mode == ModeRecord {
+			if err := host.AllocCaptureBuffer(e.cfg.CaptureBufBytes); err != nil {
+				return err
+			}
+		}
+	}
+	if e.mode != ModeOff && e.cfg.WarmupIO {
+		if err := e.warmupIO(); err != nil {
+			return err
+		}
+	}
+	if e.mode == ModeReplay {
+		e.loadNextSwitch()
+	}
+	return nil
+}
+
+// warmupIO writes a temporary file and immediately reads it back — the
+// paper's trick for forcing both the output path (used by record) and the
+// input path (used by replay) through identical initialization in both
+// modes (§2.4).
+func (e *Engine) warmupIO() error {
+	f, err := os.CreateTemp("", "dejavu-warmup-*")
+	if err != nil {
+		return fmt.Errorf("core: I/O warm-up: %w", err)
+	}
+	name := f.Name()
+	defer os.Remove(name)
+	payload := []byte("dejavu symmetric I/O warm-up")
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return fmt.Errorf("core: I/O warm-up write: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	back, err := os.ReadFile(name)
+	if err != nil {
+		return fmt.Errorf("core: I/O warm-up read: %w", err)
+	}
+	if string(back) != string(payload) {
+		return fmt.Errorf("core: I/O warm-up round-trip mismatch")
+	}
+	e.stats.WarmupBytes = uint64(len(payload) + len(back))
+	return nil
+}
+
+// End finalizes record mode and returns the trace bytes.
+func (e *Engine) End() []byte {
+	if e.mode != ModeRecord {
+		return nil
+	}
+	e.w.End()
+	return e.w.Bytes()
+}
+
+func (e *Engine) loadNextSwitch() {
+	nyp, ok := e.r.NextSwitch()
+	e.nyp = nyp
+	e.hasPending = ok
+}
+
+// AtYieldPoint is the Fig. 2 instrumentation, executed at every yield
+// point (method prologues and loop backedges). It returns true when the
+// caller must perform a thread switch at this yield point.
+func (e *Engine) AtYieldPoint(t *threads.Thread) bool {
+	if e.err != nil {
+		return false
+	}
+	switch e.mode {
+	case ModeOff:
+		e.stats.YieldPoints++
+		t.YieldCount++
+		return e.cfg.Preempt != nil && e.cfg.Preempt.Pending()
+
+	case ModeRecord:
+		if e.liveClock {
+			e.liveClock = false // pause the clock
+			e.stats.YieldPoints++
+			e.nyp++
+			t.NYP++
+			t.YieldCount++
+			if e.cfg.Preempt.Pending() { // preemptiveHardwareBit
+				e.runInstrumentation(t, e.cfg.InstrYieldsRecord)
+				e.w.Switch(e.nyp) // recordThreadSwitch(nyp)
+				e.stats.Switches++
+				e.nyp = 0
+				t.NYP = 0
+				e.symmetricSwitchEffects()
+				e.switchBit = true
+			}
+			e.liveClock = true // resume the clock
+		} else {
+			e.instrumentationYield(t)
+		}
+
+	case ModeReplay:
+		if e.liveClock {
+			e.liveClock = false
+			e.stats.YieldPoints++
+			t.YieldCount++
+			if e.hasPending {
+				if e.nyp > 0 {
+					e.nyp--
+				}
+				if e.nyp == 0 { // the recorded program switched here
+					e.runInstrumentation(t, e.cfg.InstrYieldsReplay)
+					e.loadNextSwitch() // nyp = replayThreadSwitch()
+					e.stats.Switches++
+					e.symmetricSwitchEffects()
+					e.switchBit = true
+				}
+			}
+			e.liveClock = true
+		} else {
+			e.instrumentationYield(t)
+		}
+	}
+	if e.switchBit {
+		e.switchBit = false
+		return true // performThreadSwitch()
+	}
+	return false
+}
+
+// runInstrumentation simulates the instrumentation's own execution passing
+// through k yield points while the logical clock is paused. Record and
+// replay instrumentation perform different work (k differs by mode), which
+// is harmless exactly because of the liveclock guard.
+func (e *Engine) runInstrumentation(t *threads.Thread, k int) {
+	if e.inInstr {
+		return
+	}
+	e.inInstr = true
+	for i := 0; i < k; i++ {
+		e.AtYieldPoint(t)
+	}
+	e.inInstr = false
+}
+
+// instrumentationYield handles a yield point reached with the clock
+// paused. With the guard enabled it is excluded from the logical clock;
+// the ablation counts it, breaking record/replay symmetry.
+func (e *Engine) instrumentationYield(t *threads.Thread) {
+	e.stats.InstrYields++
+	if e.cfg.LiveClockGuard {
+		return
+	}
+	// Ablation: instrumentation yields leak into the logical clock.
+	switch e.mode {
+	case ModeRecord:
+		e.nyp++
+		t.NYP++
+		t.YieldCount++
+	case ModeReplay:
+		t.YieldCount++
+		if e.hasPending && e.nyp > 0 {
+			e.nyp--
+		}
+	}
+}
+
+// symmetricSwitchEffects performs the engine's per-switch side effects on
+// the VM. With EagerStackGrow both modes grow the activation stack at one
+// heuristic threshold; the ablation uses the modes' true (differing)
+// frame needs, desynchronizing stack growth between record and replay.
+func (e *Engine) symmetricSwitchEffects() {
+	if e.host == nil {
+		return
+	}
+	slots := 16
+	if !e.cfg.EagerStackGrow {
+		if e.mode == ModeRecord {
+			slots = 6
+		} else {
+			slots = 24
+		}
+	}
+	if err := e.host.EnsureStackHeadroom(slots); err != nil {
+		e.fail(err)
+	}
+}
+
+// ClockRead performs one wall-clock read (§2.1, §2.2): recorded during
+// record, regenerated during replay, so every timer expiry and Date()
+// branch reproduces.
+func (e *Engine) ClockRead() int64 {
+	e.stats.ClockReads++
+	switch e.mode {
+	case ModeRecord:
+		v := e.cfg.Time.NowMillis()
+		e.w.Clock(v)
+		return v
+	case ModeReplay:
+		v, err := e.r.Clock()
+		if err != nil {
+			e.fail(err)
+			return 0
+		}
+		return v
+	default:
+		return e.cfg.Time.NowMillis()
+	}
+}
+
+// NativeCall brackets a non-deterministic native call (§2.5): run executes
+// the real native and is only invoked in off/record modes; replay returns
+// the recorded results without running it.
+func (e *Engine) NativeCall(id int, run func() []int64) []int64 {
+	e.stats.NativeCalls++
+	switch e.mode {
+	case ModeRecord:
+		vals := run()
+		e.w.Native(id, vals)
+		return vals
+	case ModeReplay:
+		vals, err := e.r.Native(id)
+		if err != nil {
+			e.fail(err)
+			return nil
+		}
+		return vals
+	default:
+		return run()
+	}
+}
+
+// NativeWithCallbacks brackets a native that makes callbacks into the VM.
+// run receives an emit function it must call for every callback; apply
+// executes one callback in the VM. During replay the native is not run:
+// recorded callbacks are re-applied at the same execution point, then the
+// recorded results are returned (§2.5).
+func (e *Engine) NativeWithCallbacks(
+	id int,
+	run func(emit func(cb int, params []int64)) []int64,
+	apply func(cb int, params []int64),
+) []int64 {
+	e.stats.NativeCalls++
+	switch e.mode {
+	case ModeRecord:
+		vals := run(func(cb int, params []int64) {
+			e.stats.Callbacks++
+			e.w.Callback(cb, params)
+			apply(cb, params)
+		})
+		e.w.Native(id, vals)
+		return vals
+	case ModeReplay:
+		for {
+			k, err := e.r.Peek()
+			if err != nil {
+				e.fail(err)
+				return nil
+			}
+			if k != trace.EvCallback {
+				break
+			}
+			cb, params, err := e.r.Callback()
+			if err != nil {
+				e.fail(err)
+				return nil
+			}
+			e.stats.Callbacks++
+			apply(cb, params)
+		}
+		vals, err := e.r.Native(id)
+		if err != nil {
+			e.fail(err)
+			return nil
+		}
+		return vals
+	default:
+		return run(func(cb int, params []int64) {
+			e.stats.Callbacks++
+			apply(cb, params)
+		})
+	}
+}
+
+// ReadLine reads one environment input line (without the newline),
+// recording or replaying it.
+func (e *Engine) ReadLine() []byte {
+	e.stats.InputReads++
+	readReal := func() []byte {
+		if e.input == nil {
+			return nil
+		}
+		line, err := e.input.ReadBytes('\n')
+		if len(line) > 0 && line[len(line)-1] == '\n' {
+			line = line[:len(line)-1]
+		}
+		if err != nil && len(line) == 0 {
+			return nil
+		}
+		return line
+	}
+	switch e.mode {
+	case ModeRecord:
+		b := readReal()
+		e.w.Input(b)
+		return b
+	case ModeReplay:
+		b, err := e.r.Input()
+		if err != nil {
+			e.fail(err)
+			return nil
+		}
+		return b
+	default:
+		return readReal()
+	}
+}
+
+// PendingSwitch exposes the replay countdown for the debugger's status
+// display.
+func (e *Engine) PendingSwitch() (nyp uint64, pending bool, err error) {
+	if e.mode != ModeReplay {
+		return 0, false, ErrNotReplaying
+	}
+	return e.nyp, e.hasPending, nil
+}
+
+// EngineSnapshot captures the engine's replay-mode state so a checkpointed
+// VM can resume consuming the trace from the same point (Igor-style
+// checkpointing and debugger time travel).
+type EngineSnapshot struct {
+	readerPos  trace.ReaderPos
+	nyp        uint64
+	hasPending bool
+	switchBit  bool
+	liveClock  bool
+	stats      Stats
+}
+
+// Snapshot captures replay position and countdown state. Only meaningful
+// in replay mode (record-mode traces are append-only and cannot rewind).
+func (e *Engine) Snapshot() (*EngineSnapshot, error) {
+	if e.mode != ModeReplay {
+		return nil, ErrNotReplaying
+	}
+	return &EngineSnapshot{
+		readerPos:  e.r.Pos(),
+		nyp:        e.nyp,
+		hasPending: e.hasPending,
+		switchBit:  e.switchBit,
+		liveClock:  e.liveClock,
+		stats:      e.stats,
+	}, nil
+}
+
+// Restore rewinds the engine to a snapshot.
+func (e *Engine) Restore(s *EngineSnapshot) error {
+	if e.mode != ModeReplay {
+		return ErrNotReplaying
+	}
+	e.r.Seek(s.readerPos)
+	e.nyp = s.nyp
+	e.hasPending = s.hasPending
+	e.switchBit = s.switchBit
+	e.liveClock = s.liveClock
+	e.stats = s.stats
+	e.err = nil
+	return nil
+}
+
+// EncodeTo serializes the engine snapshot for checkpoint files.
+func (s *EngineSnapshot) EncodeTo(buf *[]byte) {
+	uv := func(v uint64) {
+		for v >= 0x80 {
+			*buf = append(*buf, byte(v)|0x80)
+			v >>= 7
+		}
+		*buf = append(*buf, byte(v))
+	}
+	b := func(v bool) {
+		if v {
+			*buf = append(*buf, 1)
+		} else {
+			*buf = append(*buf, 0)
+		}
+	}
+	uv(uint64(s.readerPos.SwPos))
+	uv(uint64(s.readerPos.Pos))
+	uv(uint64(s.readerPos.Index))
+	uv(s.nyp)
+	b(s.hasPending)
+	b(s.switchBit)
+	b(s.liveClock)
+	uv(s.stats.Switches)
+	uv(s.stats.YieldPoints)
+	uv(s.stats.InstrYields)
+	uv(s.stats.ClockReads)
+	uv(s.stats.NativeCalls)
+	uv(s.stats.InputReads)
+	uv(s.stats.Callbacks)
+}
+
+// DecodeEngineSnapshot parses a snapshot encoded by EncodeTo, returning
+// the unread remainder.
+func DecodeEngineSnapshot(data []byte) (*EngineSnapshot, []byte, error) {
+	var fail error
+	uv := func() uint64 {
+		if fail != nil {
+			return 0
+		}
+		var v uint64
+		var shift uint
+		for i := 0; i < len(data); i++ {
+			c := data[i]
+			if c < 0x80 {
+				data = data[i+1:]
+				return v | uint64(c)<<shift
+			}
+			v |= uint64(c&0x7f) << shift
+			shift += 7
+		}
+		fail = errors.New("core: truncated engine snapshot")
+		return 0
+	}
+	b := func() bool {
+		if fail != nil || len(data) == 0 {
+			fail = errors.New("core: truncated engine snapshot")
+			return false
+		}
+		v := data[0]
+		data = data[1:]
+		return v == 1
+	}
+	s := &EngineSnapshot{}
+	s.readerPos.SwPos = int(uv())
+	s.readerPos.Pos = int(uv())
+	s.readerPos.Index = int(uv())
+	s.nyp = uv()
+	s.hasPending = b()
+	s.switchBit = b()
+	s.liveClock = b()
+	s.stats.Switches = uv()
+	s.stats.YieldPoints = uv()
+	s.stats.InstrYields = uv()
+	s.stats.ClockReads = uv()
+	s.stats.NativeCalls = uv()
+	s.stats.InputReads = uv()
+	s.stats.Callbacks = uv()
+	if fail != nil {
+		return nil, nil, fail
+	}
+	return s, data, nil
+}

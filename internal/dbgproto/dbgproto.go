@@ -1,0 +1,280 @@
+// Package dbgproto is the wire protocol between the debugger core (the
+// tool process) and its front end, mirroring the paper's §4 architecture:
+// the GUI runs in a third process and talks to the debugger over TCP,
+// exchanging small packets of text rather than images.
+//
+// Requests are single lines. Responses are a status line ("OK" or
+// "ERR <message>"), any number of body lines, and a terminating "." line.
+package dbgproto
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dejavu/internal/debugger"
+)
+
+// Server exposes one Debugger over a listener. Commands execute serially.
+type Server struct {
+	D  *debugger.Debugger
+	mu sync.Mutex
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" {
+			fmt.Fprintf(w, "OK\nbye\n.\n")
+			w.Flush()
+			return
+		}
+		body, err := s.execute(line)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %s\n.\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		} else {
+			fmt.Fprintf(w, "OK\n")
+			if body != "" {
+				w.WriteString(strings.TrimRight(body, "\n"))
+				w.WriteString("\n")
+			}
+			fmt.Fprintf(w, ".\n")
+		}
+		w.Flush()
+	}
+}
+
+// execute runs one command against the debugger.
+func (s *Server) execute(line string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fields := strings.Fields(line)
+	d := s.D
+	switch fields[0] {
+	case "break":
+		if len(fields) != 3 {
+			return "", fmt.Errorf("usage: break <Class.method> <pc>")
+		}
+		pc, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return "", err
+		}
+		n, err := d.BreakAt(fields[1], pc)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("breakpoint #%d set", n), nil
+	case "breakline":
+		if len(fields) != 3 {
+			return "", fmt.Errorf("usage: breakline <Class.method> <line>")
+		}
+		ln, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return "", err
+		}
+		n, err := d.BreakAtLine(fields[1], ln)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("breakpoint #%d set", n), nil
+	case "clear":
+		if len(fields) != 2 {
+			return "", fmt.Errorf("usage: clear <n>")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return "", err
+		}
+		if !d.ClearBreakpoint(n) {
+			return "", fmt.Errorf("no breakpoint #%d", n)
+		}
+		return "cleared", nil
+	case "breakpoints":
+		return strings.Join(d.Breakpoints(), "\n"), nil
+	case "continue":
+		reason, err := d.Continue()
+		if err != nil {
+			return "", err
+		}
+		return "stopped: " + reason.String() + "\n" + d.Status(), nil
+	case "step":
+		n := 1
+		if len(fields) > 1 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return "", err
+			}
+			n = v
+		}
+		reason, err := d.StepInstr(n)
+		if err != nil {
+			return "", err
+		}
+		return "stopped: " + reason.String() + "\n" + d.Status(), nil
+	case "status":
+		return d.Status(), nil
+	case "stack":
+		tid := 0
+		if len(fields) > 1 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return "", err
+			}
+			tid = v
+		}
+		return d.StackTrace(tid)
+	case "threads":
+		return d.ThreadList()
+	case "print":
+		if len(fields) != 2 {
+			return "", fmt.Errorf("usage: print <Class.static>")
+		}
+		return d.PrintStatic(fields[1])
+	case "set":
+		if len(fields) != 3 {
+			return "", fmt.Errorf("usage: set <Class.static> <value>")
+		}
+		v, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return "", err
+		}
+		if err := d.SetStatic(fields[1], v); err != nil {
+			return "", err
+		}
+		return "modified — replay accuracy is no longer guaranteed (§3.2)", nil
+	case "disasm":
+		return d.Disassembly()
+	case "travel":
+		if len(fields) != 2 {
+			return "", fmt.Errorf("usage: travel <event>")
+		}
+		ev, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return "", err
+		}
+		if err := d.TravelTo(ev); err != nil {
+			return "", err
+		}
+		return d.Status(), nil
+	case "save":
+		if len(fields) != 2 {
+			return "", fmt.Errorf("usage: save <file>")
+		}
+		snap, err := d.VM.Snapshot()
+		if err != nil {
+			return "", err
+		}
+		blob := snap.Encode(d.VM.Hash())
+		if err := os.WriteFile(fields[1], blob, 0o644); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("checkpoint at event %d -> %s (%d bytes); resume with dvserve -restore",
+			d.VM.Events(), fields[1], len(blob)), nil
+	case "heap":
+		return d.HeapSummary()
+	case "inspect":
+		if len(fields) != 2 {
+			return "", fmt.Errorf("usage: inspect <addr>")
+		}
+		a, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return "", err
+		}
+		return d.InspectObject(a)
+	case "output":
+		return string(d.VM.Output()), nil
+	case "help":
+		return helpText, nil
+	default:
+		return "", fmt.Errorf("unknown command %q (try help)", fields[0])
+	}
+}
+
+const helpText = `commands:
+  break <Class.method> <pc>     set breakpoint at bytecode offset
+  breakline <Class.method> <n>  set breakpoint at source line
+  clear <n>                     remove breakpoint #n
+  breakpoints                   list breakpoints
+  continue                      run to next breakpoint or end
+  step [n]                      execute n instructions (default 1)
+  status                        show stop location and replay countdown
+  stack [tid]                   stack trace via remote reflection
+  threads                       thread viewer
+  print <Class.static>          read a static via remote reflection
+  set <Class.static> <value>    modify a static (taints the session, §3.2)
+  disasm                        disassemble current method
+  travel <event>                time-travel to an event count
+  save <file>                   write a checkpoint file (resume via dvserve -restore)
+  heap                          per-type heap statistics
+  inspect <addr>                show an object's fields via remote reflection
+  output                        program output so far
+  quit                          disconnect`
+
+// Client is a front-end connection.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	mu   sync.Mutex
+}
+
+// Dial connects to a debug server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close disconnects.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Send issues one command and returns the response body.
+func (c *Client) Send(cmd string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "%s\n", cmd); err != nil {
+		return "", err
+	}
+	status, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	status = strings.TrimRight(status, "\n")
+	var body strings.Builder
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		if strings.TrimRight(line, "\n") == "." {
+			break
+		}
+		body.WriteString(line)
+	}
+	if strings.HasPrefix(status, "ERR ") {
+		return "", fmt.Errorf("%s", strings.TrimPrefix(status, "ERR "))
+	}
+	return body.String(), nil
+}

@@ -1,0 +1,164 @@
+package dbgproto
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"dejavu/internal/core"
+	"dejavu/internal/debugger"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+func startServer(t *testing.T) (*Client, *debugger.Debugger) {
+	t.Helper()
+	prog := workloads.Bank(2, 4, 100)
+	rec, err := replaycheck.Record(prog, replaycheck.Options{Seed: 3})
+	if err != nil || rec.RunErr != nil {
+		t.Fatalf("record: %v %v", err, rec.RunErr)
+	}
+	ecfg := core.DefaultConfig(core.ModeReplay)
+	ecfg.ProgHash = vm.ProgramHash(prog)
+	ecfg.TraceIn = rec.Trace
+	eng, _ := core.NewEngine(ecfg)
+	m, err := vm.New(prog, vm.Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := debugger.New(m)
+	srv := &Server{D: d}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go srv.Serve(l)
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, d
+}
+
+func TestSessionEndToEnd(t *testing.T) {
+	c, _ := startServer(t)
+
+	body, err := c.Send("break Main.teller 0")
+	if err != nil || !strings.Contains(body, "breakpoint #1 set") {
+		t.Fatalf("break: %q %v", body, err)
+	}
+	body, err = c.Send("continue")
+	if err != nil || !strings.Contains(body, "stopped: breakpoint") {
+		t.Fatalf("continue: %q %v", body, err)
+	}
+	body, err = c.Send("stack 1")
+	if err != nil || !strings.Contains(body, "Main.teller") {
+		t.Fatalf("stack: %q %v", body, err)
+	}
+	body, err = c.Send("threads")
+	if err != nil || !strings.Contains(body, "thread 0") {
+		t.Fatalf("threads: %q %v", body, err)
+	}
+	body, err = c.Send("print Main.done")
+	if err != nil || !strings.Contains(body, "Main.done = ") {
+		t.Fatalf("print: %q %v", body, err)
+	}
+	body, err = c.Send("step 50")
+	if err != nil || !strings.Contains(body, "stopped:") {
+		t.Fatalf("step: %q %v", body, err)
+	}
+	body, err = c.Send("disasm")
+	if err != nil || !strings.Contains(body, "=>") {
+		t.Fatalf("disasm: %q %v", body, err)
+	}
+	if _, err := c.Send("breakpoints"); err != nil {
+		t.Fatal(err)
+	}
+	body, err = c.Send("clear 1")
+	if err != nil || !strings.Contains(body, "cleared") {
+		t.Fatalf("clear: %q %v", body, err)
+	}
+	body, err = c.Send("continue")
+	if err != nil || !strings.Contains(body, "stopped: halted") {
+		t.Fatalf("final continue: %q %v", body, err)
+	}
+	body, err = c.Send("output")
+	if err != nil || !strings.Contains(body, "400") { // 4 accounts × 100
+		t.Fatalf("output: %q %v", body, err)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	c, _ := startServer(t)
+	cases := []string{
+		"frobnicate",
+		"break Main.nosuch 0",
+		"break Main.main",
+		"clear 99",
+		"print NotAClass.x",
+		"travel notanumber",
+		"step abc",
+	}
+	for _, cmd := range cases {
+		if _, err := c.Send(cmd); err == nil {
+			t.Errorf("command %q should fail", cmd)
+		}
+	}
+	// The connection survives errors.
+	if _, err := c.Send("status"); err != nil {
+		t.Fatalf("connection broken after errors: %v", err)
+	}
+	if body, err := c.Send("help"); err != nil || !strings.Contains(body, "commands:") {
+		t.Fatalf("help: %v", err)
+	}
+}
+
+func TestTravelOverProtocol(t *testing.T) {
+	c, d := startServer(t)
+	d.CheckpointEvery = 1000
+	if _, err := c.Send("step 8000"); err != nil {
+		t.Fatal(err)
+	}
+	body, err := c.Send("travel 3000")
+	if err != nil || !strings.Contains(body, "events=3000") {
+		t.Fatalf("travel: %q %v", body, err)
+	}
+}
+
+func TestQuit(t *testing.T) {
+	c, _ := startServer(t)
+	body, err := c.Send("quit")
+	if err != nil || !strings.Contains(body, "bye") {
+		t.Fatalf("quit: %q %v", body, err)
+	}
+}
+
+func TestHeapAndInspectCommands(t *testing.T) {
+	c, d := startServer(t)
+	d.StepInstr(15_000)
+	body, err := c.Send("heap")
+	if err != nil || !strings.Contains(body, "objects") || !strings.Contains(body, "[int64]") {
+		t.Fatalf("heap: %q %v", body, err)
+	}
+	// Find a program object to inspect: Main.lockobj.
+	ps, err := c.Send("print Main.lockobj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ps looks like "Main.lockobj = ref @1234"
+	i := strings.LastIndex(ps, "@")
+	if i < 0 {
+		t.Fatalf("no address in %q", ps)
+	}
+	addr := strings.TrimSpace(ps[i+1:])
+	body, err = c.Send("inspect " + addr)
+	if err != nil || !strings.Contains(body, "Main @") {
+		t.Fatalf("inspect: %q %v", body, err)
+	}
+	if _, err := c.Send("inspect 99999999"); err == nil {
+		t.Fatal("expected inspect error for bad address")
+	}
+}

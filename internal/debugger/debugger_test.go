@@ -1,0 +1,287 @@
+package debugger
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dejavu/internal/core"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+// replayVM records the bank workload and returns a fresh replaying VM.
+func replayVM(t *testing.T) (*vm.VM, *replaycheck.Result) {
+	t.Helper()
+	prog := workloads.Bank(3, 4, 150)
+	rec, err := replaycheck.Record(prog, replaycheck.Options{Seed: 7})
+	if err != nil || rec.RunErr != nil {
+		t.Fatalf("record: %v %v", err, rec.RunErr)
+	}
+	ecfg := core.DefaultConfig(core.ModeReplay)
+	ecfg.ProgHash = vm.ProgramHash(prog)
+	ecfg.TraceIn = rec.Trace
+	eng, err := core.NewEngine(ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, rec
+}
+
+func TestBreakpointsAndContinue(t *testing.T) {
+	m, _ := replayVM(t)
+	d := New(m)
+	if _, err := d.BreakAt("Main.teller", 0); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for {
+		reason, err := d.Continue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reason == StopHalted {
+			break
+		}
+		if reason != StopBreakpoint {
+			t.Fatalf("unexpected stop: %v", reason)
+		}
+		hits++
+		if hits > 10 {
+			break
+		}
+	}
+	if hits != 3 { // one prologue entry per teller thread
+		t.Fatalf("breakpoint hit %d times, want 3", hits)
+	}
+}
+
+func TestBreakpointByLineAndClear(t *testing.T) {
+	m, _ := replayVM(t)
+	d := New(m)
+	if _, err := d.BreakAt("Main.nosuch", 0); err == nil {
+		t.Fatal("expected no-such-method error")
+	}
+	if _, err := d.BreakAt("Main.main", 99999); err == nil {
+		t.Fatal("expected pc range error")
+	}
+	// The builder records line 0 for built programs; line-based breaks are
+	// exercised with an assembled program.
+	n, err := d.BreakAt("Main.main", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Breakpoints(); len(got) != 1 || !strings.Contains(got[0], "Main.main") {
+		t.Fatalf("breakpoints: %v", got)
+	}
+	if !d.ClearBreakpoint(n) || d.ClearBreakpoint(n) {
+		t.Fatal("clear semantics wrong")
+	}
+}
+
+func TestStepAndStatus(t *testing.T) {
+	m, _ := replayVM(t)
+	d := New(m)
+	if reason, err := d.StepInstr(100); err != nil || reason != StopStep {
+		t.Fatalf("step: %v %v", reason, err)
+	}
+	if m.Events() != 100 {
+		t.Fatalf("events = %d", m.Events())
+	}
+	st := d.Status()
+	if !strings.Contains(st, "events=100") || !strings.Contains(st, "replay: next preemptive switch") {
+		t.Fatalf("status = %q", st)
+	}
+	dis, err := d.Disassembly()
+	if err != nil || !strings.Contains(dis, "=>") {
+		t.Fatalf("disassembly: %v\n%s", err, dis)
+	}
+}
+
+func TestInspectionViews(t *testing.T) {
+	m, _ := replayVM(t)
+	d := New(m)
+	d.StepInstr(20_000)
+	stack, err := d.StackTrace(0)
+	if err != nil || !strings.Contains(stack, "Main.") {
+		t.Fatalf("stack: %v\n%s", err, stack)
+	}
+	tl, err := d.ThreadList()
+	if err != nil || !strings.Contains(tl, "thread 0") {
+		t.Fatalf("threads: %v\n%s", err, tl)
+	}
+	ps, err := d.PrintStatic("Main.done")
+	if err != nil || !strings.Contains(ps, "Main.done = ") {
+		t.Fatalf("print: %v %q", err, ps)
+	}
+	if _, err := d.PrintStatic("Nope.x"); err == nil {
+		t.Fatal("expected error for unknown class")
+	}
+	if _, err := d.PrintStatic("garbage"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+// TestPerturbationFreeDebugging is E7: a replay driven by the debugger —
+// breakpoints, stepping, heavy reflective inspection, checkpoints — ends
+// with exactly the same output and heap image as a bare replay.
+func TestPerturbationFreeDebugging(t *testing.T) {
+	prog := workloads.Bank(3, 4, 150)
+	rec, err := replaycheck.Record(prog, replaycheck.Options{Seed: 7})
+	if err != nil || rec.RunErr != nil {
+		t.Fatalf("record: %v %v", err, rec.RunErr)
+	}
+	// Bare replay.
+	bare, err := replaycheck.Replay(prog, rec.Trace, replaycheck.Options{})
+	if err != nil || bare.RunErr != nil {
+		t.Fatalf("bare replay: %v %v", err, bare.RunErr)
+	}
+	bareHeap, bareUsed := replaycheck.HeapDigest(bare.VM)
+
+	// Debugged replay.
+	ecfg := core.DefaultConfig(core.ModeReplay)
+	ecfg.ProgHash = vm.ProgramHash(prog)
+	ecfg.TraceIn = rec.Trace
+	eng, _ := core.NewEngine(ecfg)
+	m, err := vm.New(prog, vm.Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(m)
+	d.CheckpointEvery = 5000
+	if _, err := d.BreakAt("Main.teller", 0); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		reason, err := d.Continue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Inspect aggressively at every stop.
+		d.StackTrace(0)
+		d.ThreadList()
+		d.PrintStatic("Main.done")
+		d.Status()
+		if reason == StopHalted {
+			break
+		}
+	}
+	if !bytes.Equal(m.Output(), bare.Output) {
+		t.Fatalf("debugged replay output differs:\n%q\n%q", m.Output(), bare.Output)
+	}
+	dbgHeap, dbgUsed := replaycheck.HeapDigest(m)
+	if dbgHeap != bareHeap || dbgUsed != bareUsed {
+		t.Fatal("debugged replay heap image differs from bare replay")
+	}
+	if m.Events() != bare.Events {
+		t.Fatalf("event counts differ: %d vs %d", m.Events(), bare.Events)
+	}
+}
+
+// TestTimeTravel rewinds execution via checkpoint + re-replay and verifies
+// the re-executed run converges to the same final state.
+func TestTimeTravel(t *testing.T) {
+	m, rec := replayVM(t)
+	d := New(m)
+	d.CheckpointEvery = 2000
+	if reason, err := d.StepInstr(30_000); err != nil || reason == StopError {
+		t.Fatalf("advance: %v %v", reason, err)
+	}
+	eventsAt := m.Events()
+	outAt := append([]byte(nil), m.Output()...)
+
+	// Travel back to event 10_000 and inspect.
+	if err := d.TravelTo(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Events() != 10_000 {
+		t.Fatalf("traveled to %d", m.Events())
+	}
+	if _, err := d.StackTrace(0); err != nil {
+		t.Fatal(err)
+	}
+	// Travel forward to where we were: output must match byte for byte.
+	if err := d.TravelTo(eventsAt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Output(), outAt) {
+		t.Fatalf("travel diverged:\n%q\n%q", m.Output(), outAt)
+	}
+	// Run to completion: final output equals the recorded run's.
+	for {
+		done, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if !bytes.Equal(m.Output(), rec.Output) {
+		t.Fatalf("final output after travel differs:\n%q\n%q", m.Output(), rec.Output)
+	}
+}
+
+// TestTravelBeforeFirstCheckpoint reports a helpful error.
+func TestTravelBeforeFirstCheckpoint(t *testing.T) {
+	m, _ := replayVM(t)
+	d := New(m)
+	d.CheckpointEvery = 0 // disabled
+	d.StepInstr(5000)
+	if err := d.TravelTo(100); err == nil {
+		t.Fatal("expected no-checkpoint error")
+	}
+}
+
+func TestStopReasonString(t *testing.T) {
+	if StopBreakpoint.String() != "breakpoint" || StopHalted.String() != "halted" ||
+		StopStep.String() != "step" || StopError.String() != "error" {
+		t.Fatal("stop reason names")
+	}
+}
+
+// TestSetStaticTaintsSession (§3.2 footnote): the user may alter state,
+// which visibly affects the program, but the accuracy guarantee is gone
+// and the debugger says so.
+func TestSetStaticTaintsSession(t *testing.T) {
+	m, _ := replayVM(t)
+	d := New(m)
+	d.CheckpointEvery = 1000
+	d.StepInstr(5000)
+	if d.Tainted() {
+		t.Fatal("fresh session tainted")
+	}
+	if err := d.SetStatic("Main.done", 99); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Tainted() {
+		t.Fatal("taint not recorded")
+	}
+	if !strings.Contains(d.Status(), "WARNING") {
+		t.Fatal("status does not warn about the modification")
+	}
+	ps, err := d.PrintStatic("Main.done")
+	if err != nil || !strings.Contains(ps, "= 99") {
+		t.Fatalf("modified static not visible: %q %v", ps, err)
+	}
+	// Reference statics are refused; unknown names error.
+	if err := d.SetStatic("Main.lockobj", 1); err == nil {
+		t.Fatal("reference static overwrite should be refused")
+	}
+	if err := d.SetStatic("Main.nope", 1); err == nil {
+		t.Fatal("unknown static should error")
+	}
+	if err := d.SetStatic("garbage", 1); err == nil {
+		t.Fatal("unqualified name should error")
+	}
+	// With done forced to 99 the joinBarrier exits early: the replay
+	// CONTINUES but diverges from the recorded run — exactly the paper's
+	// "no guarantee" caveat. Either a divergence error or an altered
+	// execution is acceptable; it must not reproduce silently.
+	_, _ = d.Continue()
+}

@@ -1,0 +1,215 @@
+// Package ptrace provides read-only access to a (possibly remote) VM's
+// heap memory — the stand-in for the Unix ptrace facility the paper's
+// remote reflection builds on (§3.2).
+//
+// The essential property is preserved: the application VM executes no code
+// to answer a peek. The in-process implementation reads the heap bytes
+// directly; the TCP implementation has a tiny server goroutine copy bytes
+// out, which stands in for the operating system servicing ptrace — the
+// interpreted program itself never runs.
+package ptrace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dejavu/internal/heap"
+)
+
+// Mem is the remote-memory interface: fill buf from addr.
+type Mem interface {
+	Peek(addr heap.Addr, buf []byte) error
+}
+
+// Local peeks an in-process heap directly.
+type Local struct {
+	H *heap.Heap
+}
+
+// Peek implements Mem.
+func (l Local) Peek(addr heap.Addr, buf []byte) error {
+	return l.H.ReadBytes(addr, buf)
+}
+
+// Counting wraps a Mem and counts operations and bytes, for the remote
+// reflection latency experiments.
+type Counting struct {
+	Inner Mem
+	Peeks uint64
+	Bytes uint64
+}
+
+// Peek implements Mem.
+func (c *Counting) Peek(addr heap.Addr, buf []byte) error {
+	c.Peeks++
+	c.Bytes += uint64(len(buf))
+	return c.Inner.Peek(addr, buf)
+}
+
+// RootSource publishes the current addresses of the mapped roots (the
+// VM_Dictionary and the thread registry). It is the analog of the paper's
+// boot-image record: the fixed place a tool learns where reflection
+// starts. Reading it executes no interpreted code.
+type RootSource interface {
+	Roots() (dict, threads heap.Addr)
+}
+
+// Wire protocol: request = 'P' | addr u32 | len u32 (peek), or
+// 'R' | 8 zero bytes (roots). Response = status byte (0 ok, 1 error) |
+// payload (requested bytes or two u32 roots on ok; u32-length + message on
+// error).
+
+// Serve answers peek and root requests on l until the listener closes.
+// Each connection is served sequentially on its own goroutine.
+func Serve(l net.Listener, h *heap.Heap, roots RootSource) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go serveConn(conn, h, roots)
+	}
+}
+
+func serveConn(conn net.Conn, h *heap.Heap, roots RootSource) {
+	defer conn.Close()
+	var hdr [9]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		switch hdr[0] {
+		case 'P':
+		case 'R':
+			var resp [9]byte
+			if roots == nil {
+				if !writeErr(conn, "no root source") {
+					return
+				}
+				continue
+			}
+			d, t := roots.Roots()
+			binary.LittleEndian.PutUint32(resp[1:5], uint32(d))
+			binary.LittleEndian.PutUint32(resp[5:9], uint32(t))
+			if _, err := conn.Write(resp[:]); err != nil {
+				return
+			}
+			continue
+		default:
+			return
+		}
+		addr := heap.Addr(binary.LittleEndian.Uint32(hdr[1:5]))
+		n := binary.LittleEndian.Uint32(hdr[5:9])
+		if n > 1<<20 {
+			writeErr(conn, "peek too large")
+			return
+		}
+		buf := make([]byte, n)
+		if err := h.ReadBytes(addr, buf); err != nil {
+			if !writeErr(conn, err.Error()) {
+				return
+			}
+			continue
+		}
+		if _, err := conn.Write([]byte{0}); err != nil {
+			return
+		}
+		if _, err := conn.Write(buf); err != nil {
+			return
+		}
+	}
+}
+
+func writeErr(conn net.Conn, msg string) bool {
+	var lenBuf [5]byte
+	lenBuf[0] = 1
+	binary.LittleEndian.PutUint32(lenBuf[1:], uint32(len(msg)))
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		return false
+	}
+	_, err := conn.Write([]byte(msg))
+	return err == nil
+}
+
+// Client is a Mem over TCP.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a peek server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Peek implements Mem.
+func (c *Client) Peek(addr heap.Addr, buf []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [9]byte
+	hdr[0] = 'P'
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(addr))
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(buf)))
+	if _, err := c.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(c.conn, status[:]); err != nil {
+		return err
+	}
+	if status[0] == 0 {
+		_, err := io.ReadFull(c.conn, buf)
+		return err
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.conn, lenBuf[:]); err != nil {
+		return err
+	}
+	msg := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+	if _, err := io.ReadFull(c.conn, msg); err != nil {
+		return err
+	}
+	return fmt.Errorf("ptrace: remote peek failed: %s", msg)
+}
+
+// Roots fetches the remote VM's current mapped-root addresses.
+func (c *Client) Roots() (dict, threads heap.Addr, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [9]byte
+	hdr[0] = 'R'
+	if _, err := c.conn.Write(hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	var resp [1]byte
+	if _, err := io.ReadFull(c.conn, resp[:]); err != nil {
+		return 0, 0, err
+	}
+	if resp[0] != 0 {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(c.conn, lenBuf[:]); err != nil {
+			return 0, 0, err
+		}
+		msg := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+		if _, err := io.ReadFull(c.conn, msg); err != nil {
+			return 0, 0, err
+		}
+		return 0, 0, fmt.Errorf("ptrace: roots failed: %s", msg)
+	}
+	var body [8]byte
+	if _, err := io.ReadFull(c.conn, body[:]); err != nil {
+		return 0, 0, err
+	}
+	return heap.Addr(binary.LittleEndian.Uint32(body[0:4])),
+		heap.Addr(binary.LittleEndian.Uint32(body[4:8])), nil
+}

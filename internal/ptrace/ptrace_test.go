@@ -1,0 +1,157 @@
+package ptrace
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"dejavu/internal/heap"
+)
+
+func testHeap(t *testing.T) *heap.Heap {
+	t.Helper()
+	tt := &heap.TypeTable{}
+	tt.AddType("T", []bool{false})
+	h := heap.New(tt, 8192)
+	a, err := h.AllocObject(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.StoreWord(a, 0, 0xdeadbeefcafe)
+	return h
+}
+
+type fixedRoots struct{ d, t heap.Addr }
+
+func (f fixedRoots) Roots() (heap.Addr, heap.Addr) { return f.d, f.t }
+
+func startServer(t *testing.T, h *heap.Heap, roots RootSource) *Client {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go Serve(l, h, roots)
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestLocalPeek(t *testing.T) {
+	h := testHeap(t)
+	buf := make([]byte, 8)
+	if err := (Local{H: h}).Peek(8, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Local{H: h}).Peek(heap.Addr(h.MemSize()), buf); err == nil {
+		t.Fatal("expected bounds error")
+	}
+}
+
+func TestTCPPeekMatchesLocal(t *testing.T) {
+	h := testHeap(t)
+	c := startServer(t, h, fixedRoots{d: 8, t: 16})
+	local := make([]byte, 64)
+	remote := make([]byte, 64)
+	if err := (Local{H: h}).Peek(8, local); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Peek(8, remote); err != nil {
+		t.Fatal(err)
+	}
+	if string(local) != string(remote) {
+		t.Fatal("TCP peek returned different bytes than local")
+	}
+}
+
+func TestTCPRoots(t *testing.T) {
+	h := testHeap(t)
+	c := startServer(t, h, fixedRoots{d: 1234, t: 5678})
+	d, th, err := c.Roots()
+	if err != nil || d != 1234 || th != 5678 {
+		t.Fatalf("roots: %d %d %v", d, th, err)
+	}
+}
+
+func TestTCPRootsWithoutSource(t *testing.T) {
+	h := testHeap(t)
+	c := startServer(t, h, nil)
+	if _, _, err := c.Roots(); err == nil {
+		t.Fatal("expected no-root-source error")
+	}
+	// Connection remains usable.
+	buf := make([]byte, 8)
+	if err := c.Peek(8, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPErrorRecovery(t *testing.T) {
+	h := testHeap(t)
+	c := startServer(t, h, nil)
+	buf := make([]byte, 8)
+	if err := c.Peek(1<<30, buf); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+	if err := c.Peek(8, buf); err != nil {
+		t.Fatalf("connection broken after error: %v", err)
+	}
+}
+
+func TestTCPOversizePeekRejected(t *testing.T) {
+	h := testHeap(t)
+	c := startServer(t, h, nil)
+	big := make([]byte, 2<<20)
+	if err := c.Peek(8, big); err == nil {
+		t.Fatal("expected oversize rejection")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	h := testHeap(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, h, fixedRoots{d: 1, t: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(l.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			buf := make([]byte, 8)
+			for j := 0; j < 100; j++ {
+				if err := c.Peek(8, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCountingWrapper(t *testing.T) {
+	h := testHeap(t)
+	c := &Counting{Inner: Local{H: h}}
+	buf := make([]byte, 16)
+	for i := 0; i < 5; i++ {
+		if err := c.Peek(8, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Peeks != 5 || c.Bytes != 80 {
+		t.Fatalf("counts: %d peeks %d bytes", c.Peeks, c.Bytes)
+	}
+}

@@ -1,0 +1,362 @@
+package remoteref
+
+import (
+	"net"
+	"testing"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/heap"
+	"dejavu/internal/ptrace"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+// pausedVM runs the bank workload for a while and stops mid-execution.
+func pausedVM(t *testing.T, steps int) *vm.VM {
+	t.Helper()
+	m, err := vm.New(workloads.Bank(3, 4, 200), vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		done, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	return m
+}
+
+func TestClassesAndMethodsVisible(t *testing.T) {
+	m := pausedVM(t, 2000)
+	w := NewLocalWorld(m)
+	classes, err := w.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != len(m.Program().Classes) {
+		t.Fatalf("remote sees %d classes, program has %d", len(classes), len(m.Program().Classes))
+	}
+	for i, c := range classes {
+		name, err := c.Name()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != m.Program().Classes[i].Name {
+			t.Fatalf("class %d name %q != %q", i, name, m.Program().Classes[i].Name)
+		}
+		methods, err := c.Methods()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(methods) != len(m.Program().Classes[i].Methods) {
+			t.Fatalf("class %s method count mismatch", name)
+		}
+	}
+}
+
+// TestFig3LineNumberQuery reproduces the paper's Figure 3 flow: get the
+// method table via the mapped method, pick a method, and invoke
+// getLineNumberAt, which reads the line table from the remote heap.
+func TestFig3LineNumberQuery(t *testing.T) {
+	src := `
+program fig3
+class Main {
+  method helper 1 1 {
+    load 0
+    iconst 2
+    mul
+    retv
+  }
+  method main 0 0 {
+    iconst 21
+    call Main.helper
+    print
+    halt
+  }
+}
+entry Main.main
+`
+	prog := bytecode.MustAssemble(src)
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewLocalWorld(m)
+	rm, err := w.FindMethod("Main.helper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The assembler recorded source lines: helper's first instruction is
+	// "load 0" on line 5 of the source above.
+	line, err := rm.LineNumberAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := prog.MethodByName("Main.helper")
+	if line != int(want.Lines[0]) || line == 0 {
+		t.Fatalf("LineNumberAt(0) = %d, want %d", line, want.Lines[0])
+	}
+	// Out-of-range offsets return 0, as in the paper's code.
+	if ln, _ := rm.LineNumberAt(9999); ln != 0 {
+		t.Fatalf("out of range line = %d", ln)
+	}
+}
+
+func TestStaticsReadable(t *testing.T) {
+	m := pausedVM(t, 30_000)
+	w := NewLocalWorld(m)
+	v, isRef, err := w.StaticValue("Main", "accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isRef || v == 0 {
+		t.Fatalf("accounts static = %d (ref=%v)", v, isRef)
+	}
+	// The accounts array is remote too: sum it and check conservation.
+	arr, err := w.Object(heapAddr(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := int64(0)
+	for i := 0; i < arr.Len; i++ {
+		x, err := arr.Int(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += x
+	}
+	if sum != 400 { // 4 accounts × 100, conserved at any stopping point
+		t.Fatalf("remote account sum = %d", sum)
+	}
+}
+
+func TestThreadsAndStackWalk(t *testing.T) {
+	m := pausedVM(t, 20_000)
+	w := NewLocalWorld(m)
+	ths, err := w.Threads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ths) != len(m.Scheduler().Threads()) {
+		t.Fatalf("remote sees %d threads, VM has %d", len(ths), len(m.Scheduler().Threads()))
+	}
+	walked := 0
+	for _, rt := range ths {
+		id, err := rt.ID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames, err := rt.Stack()
+		if err != nil {
+			t.Fatalf("thread %d stack: %v", id, err)
+		}
+		local, _ := m.Scheduler().Thread(id)
+		if local.FP >= 0 {
+			if len(frames) == 0 {
+				t.Fatalf("thread %d: no frames but FP=%d", id, local.FP)
+			}
+			// Top frame method must match the VM's view.
+			mid := int(m.Heap().LoadWord(local.StackSeg, local.FP+vm.FrameMethod))
+			if frames[0].MethodID != mid {
+				t.Fatalf("thread %d top frame method %d != %d", id, frames[0].MethodID, mid)
+			}
+			walked++
+		}
+	}
+	if walked == 0 {
+		t.Fatal("no live stacks walked")
+	}
+}
+
+// TestPerturbationFree is the heart of §3: a storm of reflective queries
+// leaves the application VM untouched — no events executed, no heap
+// mutation, and the subsequent execution identical.
+func TestPerturbationFree(t *testing.T) {
+	m := pausedVM(t, 10_000)
+	eventsBefore := m.Events()
+	digestBefore, usedBefore := replaycheck.HeapDigest(m)
+
+	w := NewLocalWorld(m)
+	for i := 0; i < 50; i++ {
+		if _, err := w.Classes(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Threads(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := w.StaticValue("Main", "done"); err != nil {
+			t.Fatal(err)
+		}
+		ths, _ := w.Threads()
+		for _, rt := range ths {
+			rt.Stack()
+		}
+	}
+
+	if m.Events() != eventsBefore {
+		t.Fatalf("reflection executed %d VM events", m.Events()-eventsBefore)
+	}
+	digestAfter, usedAfter := replaycheck.HeapDigest(m)
+	if digestBefore != digestAfter || usedBefore != usedAfter {
+		t.Fatal("reflection perturbed the application heap")
+	}
+}
+
+// TestRemoteReflectionOverTCP runs the same queries through the ptrace TCP
+// server — the true out-of-process configuration.
+func TestRemoteReflectionOverTCP(t *testing.T) {
+	m := pausedVM(t, 20_000)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go ptrace.Serve(l, m.Heap(), m)
+
+	client, err := ptrace.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	tc, tm, tt := m.MirrorTypeIDs()
+	w := NewRemoteWorld(m.Program(), client, m.NumUserClasses(), tc, tm, tt)
+	classes, err := w.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != len(m.Program().Classes) {
+		t.Fatal("TCP world sees wrong class count")
+	}
+	name, err := classes[0].Name()
+	if err != nil || name != m.Program().Classes[0].Name {
+		t.Fatalf("TCP class name %q, %v", name, err)
+	}
+	ths, err := w.Threads()
+	if err != nil || len(ths) == 0 {
+		t.Fatalf("TCP threads: %v", err)
+	}
+	if _, err := ths[0].Stack(); err != nil {
+		t.Fatal(err)
+	}
+	// Bad peeks are reported, not fatal to the connection.
+	var buf [8]byte
+	if err := client.Peek(1<<31, buf[:]); err == nil {
+		t.Fatal("expected remote peek error")
+	}
+	if err := client.Peek(8, buf[:]); err != nil {
+		t.Fatalf("peek after error failed: %v", err)
+	}
+}
+
+func TestInspectObject(t *testing.T) {
+	src := `
+program insp
+class Point {
+  field x
+  field y
+}
+class Main {
+  static p ref
+  method main 0 1 {
+    new Point
+    store 0
+    load 0
+    iconst 11
+    putf 0
+    load 0
+    iconst 22
+    putf 1
+    load 0
+    puts Main.p
+    halt
+  }
+}
+entry Main.main
+`
+	m, err := vm.New(bytecode.MustAssemble(src), vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w := NewLocalWorld(m)
+	pv, _, err := w.StaticValue("Main", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields, err := w.InspectObject(heapAddr(pv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fields["x"] != 11 || fields["y"] != 22 {
+		t.Fatalf("fields = %v", fields)
+	}
+}
+
+func TestCountingMem(t *testing.T) {
+	m := pausedVM(t, 5000)
+	w := NewLocalWorld(m)
+	counter := &ptrace.Counting{Inner: w.Mem}
+	w.Mem = counter
+	if _, err := w.Classes(); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Peeks == 0 || counter.Bytes == 0 {
+		t.Fatal("counting wrapper saw no traffic")
+	}
+}
+
+func heapAddr(v uint64) heap.Addr { return heap.Addr(v) }
+
+// TestReflectionSurvivesGC: the mapped roots are re-read per query, so a
+// collection in the application VM between queries does not break the
+// tool's view.
+func TestReflectionSurvivesGC(t *testing.T) {
+	m := pausedVM(t, 15_000)
+	w := NewLocalWorld(m)
+	before, err := w.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proxies are only valid while the VM is stopped at one point; read
+	// everything now, then collect, then re-derive fresh proxies.
+	var names []string
+	for _, c := range before {
+		n, err := c.Name()
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, n)
+	}
+	m.GC() // every address moves
+	after, err := w.Classes()
+	if err != nil {
+		t.Fatalf("reflection broke after GC: %v", err)
+	}
+	if len(names) != len(after) {
+		t.Fatal("class count changed across GC")
+	}
+	for i := range after {
+		n2, err := after[i].Name()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if names[i] != n2 {
+			t.Fatalf("class %d renamed across GC: %q vs %q", i, names[i], n2)
+		}
+	}
+	ths, err := w.Threads()
+	if err != nil || len(ths) == 0 {
+		t.Fatalf("threads after GC: %v", err)
+	}
+	if _, err := ths[0].Stack(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package threads
+
+import "dejavu/internal/heap"
+
+// Monitor is the lock plus wait set attached to a heap object on first
+// synchronization. Queues are strict FIFOs so every scheduling decision is
+// deterministic.
+type Monitor struct {
+	Owner     int // thread ID, or -1 when free
+	Recursion int
+	EntryQ    []int // threads blocked in monitorenter
+	WaitQ     []int // threads in wait or timed wait
+}
+
+func newMonitor() *Monitor { return &Monitor{Owner: -1} }
+
+// idle reports whether the monitor carries no state and may be discarded.
+func (m *Monitor) idle() bool {
+	return m.Owner == -1 && len(m.EntryQ) == 0 && len(m.WaitQ) == 0
+}
+
+// monitorFor returns the monitor for obj, creating it if needed.
+func (s *Scheduler) monitorFor(obj heap.Addr) *Monitor {
+	if m, ok := s.monitors[obj]; ok {
+		return m
+	}
+	m := newMonitor()
+	s.monitors[obj] = m
+	s.monOrder = append(s.monOrder, obj)
+	return m
+}
+
+// dropIfIdle removes the bookkeeping for an idle monitor to keep the
+// monitor table bounded. The removal condition is deterministic.
+func (s *Scheduler) dropIfIdle(obj heap.Addr) {
+	m, ok := s.monitors[obj]
+	if !ok || !m.idle() {
+		return
+	}
+	delete(s.monitors, obj)
+	for i, a := range s.monOrder {
+		if a == obj {
+			s.monOrder = append(s.monOrder[:i], s.monOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// MonitorState returns a copy of the monitor for obj (for the debugger's
+// thread viewer), or nil if none exists.
+func (s *Scheduler) MonitorState(obj heap.Addr) *Monitor {
+	m, ok := s.monitors[obj]
+	if !ok {
+		return nil
+	}
+	cp := *m
+	cp.EntryQ = append([]int(nil), m.EntryQ...)
+	cp.WaitQ = append([]int(nil), m.WaitQ...)
+	return &cp
+}
+
+// NumMonitors reports how many objects currently carry monitor state.
+func (s *Scheduler) NumMonitors() int { return len(s.monitors) }

@@ -1,0 +1,341 @@
+// Package tools holds replay-based development tools built on the DejaVu
+// platform — the "family of replay-based development tools for
+// understanding and performance tuning, as well as for debugging" the
+// paper's introduction motivates. Each tool attaches to a replaying (or
+// recording) VM through the observer hooks and is therefore itself
+// deterministic: run it twice on the same trace and it reports the same
+// findings, which is what makes heavyweight dynamic analysis practical —
+// record cheaply once, analyze expensively offline, as often as needed.
+package tools
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/heap"
+)
+
+// --- Race detection (Eraser-style lockset) ---
+
+// locState is the per-location state machine that suppresses initialization
+// false positives: a location is benign while only its creating thread
+// touches it; once shared, its candidate lockset must stay non-empty.
+type locState uint8
+
+const (
+	virgin locState = iota
+	exclusive
+	shared
+	sharedModified
+)
+
+type locKey struct {
+	obj  heap.Addr
+	slot int
+}
+
+type locInfo struct {
+	state      locState
+	firstTID   int
+	lockset    map[heap.Addr]bool // nil until shared
+	reported   bool
+	lastAccess string
+}
+
+// Race is one reported data race candidate.
+type Race struct {
+	Obj     heap.Addr
+	Slot    int
+	Threads []int
+	Detail  string
+}
+
+// RaceDetector implements vm.MemHook and vm.SyncHook: an Eraser-style
+// lockset discipline checker. Because it runs over a deterministic replay,
+// a reported race is reproducible — re-run the trace and the same access
+// pair violates the discipline again.
+//
+// Caveat shared with Eraser: addresses identify objects, so measurement
+// runs should use a heap large enough that the copying collector does not
+// run (the detector also resets on collection via ResetOnGC if wired).
+type RaceDetector struct {
+	held  map[int]map[heap.Addr]int // thread -> monitor -> recursion
+	locs  map[locKey]*locInfo
+	races []Race
+
+	Accesses uint64
+}
+
+// NewRaceDetector creates an empty detector.
+func NewRaceDetector() *RaceDetector {
+	return &RaceDetector{
+		held: map[int]map[heap.Addr]int{},
+		locs: map[locKey]*locInfo{},
+	}
+}
+
+// OnMonitor implements vm.SyncHook.
+func (r *RaceDetector) OnMonitor(threadID int, obj heap.Addr, acquired bool) {
+	hs, ok := r.held[threadID]
+	if !ok {
+		hs = map[heap.Addr]int{}
+		r.held[threadID] = hs
+	}
+	if acquired {
+		hs[obj]++
+	} else if hs[obj] > 0 {
+		hs[obj]--
+		if hs[obj] == 0 {
+			delete(hs, obj)
+		}
+	}
+}
+
+// OnHeapAccess implements vm.MemHook.
+func (r *RaceDetector) OnHeapAccess(threadID int, obj heap.Addr, slot int, isWrite bool, val uint64) {
+	r.Accesses++
+	k := locKey{obj: obj, slot: slot}
+	li, ok := r.locs[k]
+	if !ok {
+		li = &locInfo{state: virgin}
+		r.locs[k] = li
+	}
+	switch li.state {
+	case virgin:
+		li.state = exclusive
+		li.firstTID = threadID
+	case exclusive:
+		if threadID == li.firstTID {
+			break
+		}
+		// Second thread: location becomes shared; initialize the candidate
+		// lockset from this thread's currently held monitors.
+		li.lockset = copyLocks(r.held[threadID])
+		if isWrite {
+			li.state = sharedModified
+		} else {
+			li.state = shared
+		}
+		r.check(k, li, threadID, isWrite)
+	case shared, sharedModified:
+		intersect(li.lockset, r.held[threadID])
+		if isWrite {
+			li.state = sharedModified
+		}
+		r.check(k, li, threadID, isWrite)
+	}
+	if isWrite {
+		li.lastAccess = fmt.Sprintf("write by thread %d", threadID)
+	} else {
+		li.lastAccess = fmt.Sprintf("read by thread %d", threadID)
+	}
+}
+
+func (r *RaceDetector) check(k locKey, li *locInfo, tid int, isWrite bool) {
+	// Races require a write to the shared location and an empty candidate
+	// lockset (no common lock protects it).
+	if li.reported || li.state != sharedModified || len(li.lockset) != 0 {
+		return
+	}
+	li.reported = true
+	r.races = append(r.races, Race{
+		Obj:     k.obj,
+		Slot:    k.slot,
+		Threads: []int{li.firstTID, tid},
+		Detail:  fmt.Sprintf("no common lock; previous: %s", li.lastAccess),
+	})
+}
+
+func copyLocks(hs map[heap.Addr]int) map[heap.Addr]bool {
+	out := map[heap.Addr]bool{}
+	for a := range hs {
+		out[a] = true
+	}
+	return out
+}
+
+func intersect(set map[heap.Addr]bool, hs map[heap.Addr]int) {
+	for a := range set {
+		if hs == nil || hs[a] == 0 {
+			delete(set, a)
+		}
+	}
+}
+
+// Races returns the reported candidates.
+func (r *RaceDetector) Races() []Race { return r.races }
+
+// Report renders the findings.
+func (r *RaceDetector) Report() string {
+	if len(r.races) == 0 {
+		return fmt.Sprintf("race detector: no lockset violations in %d heap accesses\n", r.Accesses)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "race detector: %d candidate race(s) in %d heap accesses\n", len(r.races), r.Accesses)
+	for i, rc := range r.races {
+		fmt.Fprintf(&sb, "  #%d object @%d slot %d, threads %v: %s\n", i+1, rc.Obj, rc.Slot, rc.Threads, rc.Detail)
+	}
+	return sb.String()
+}
+
+// --- Replay profiler ---
+
+// Profiler implements vm.Observer: per-method instruction counts, per-
+// thread activity, and dispatch statistics gathered during (deterministic)
+// replay — the performance-understanding tool of the paper's intro,
+// measured without perturbing the original run.
+type Profiler struct {
+	Prog *bytecode.Program
+
+	methodEvents map[int]uint64
+	threadEvents map[int]uint64
+	opEvents     map[bytecode.Opcode]uint64
+	Dispatches   uint64
+	Total        uint64
+	OutputBytes  int
+}
+
+// NewProfiler creates a profiler for prog.
+func NewProfiler(prog *bytecode.Program) *Profiler {
+	return &Profiler{
+		Prog:         prog,
+		methodEvents: map[int]uint64{},
+		threadEvents: map[int]uint64{},
+		opEvents:     map[bytecode.Opcode]uint64{},
+	}
+}
+
+// OnStep implements vm.Observer.
+func (p *Profiler) OnStep(threadID, methodID, pc int, op bytecode.Opcode) {
+	p.Total++
+	p.methodEvents[methodID]++
+	p.threadEvents[threadID]++
+	p.opEvents[op]++
+}
+
+// OnOutput implements vm.Observer.
+func (p *Profiler) OnOutput(b []byte) { p.OutputBytes += len(b) }
+
+// OnSwitch implements vm.Observer.
+func (p *Profiler) OnSwitch(to int) { p.Dispatches++ }
+
+// MethodEvents returns the instruction count attributed to a method.
+func (p *Profiler) MethodEvents(full string) uint64 {
+	m, ok := p.Prog.MethodByName(full)
+	if !ok {
+		return 0
+	}
+	return p.methodEvents[m.ID]
+}
+
+// Report renders a sorted profile.
+func (p *Profiler) Report(topN int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "profile: %d events, %d dispatches, %d output bytes\n", p.Total, p.Dispatches, p.OutputBytes)
+	type row struct {
+		name  string
+		count uint64
+	}
+	var methods []row
+	for id, n := range p.methodEvents {
+		methods = append(methods, row{p.Prog.Methods[id].FullName(), n})
+	}
+	sort.Slice(methods, func(i, j int) bool { return methods[i].count > methods[j].count })
+	if topN > 0 && len(methods) > topN {
+		methods = methods[:topN]
+	}
+	sb.WriteString("hot methods:\n")
+	for _, r := range methods {
+		fmt.Fprintf(&sb, "  %-30s %10d (%.1f%%)\n", r.name, r.count, 100*float64(r.count)/float64(p.Total))
+	}
+	var threads []row
+	for id, n := range p.threadEvents {
+		threads = append(threads, row{fmt.Sprintf("thread %d", id), n})
+	}
+	sort.Slice(threads, func(i, j int) bool { return threads[i].name < threads[j].name })
+	sb.WriteString("thread activity:\n")
+	for _, r := range threads {
+		fmt.Fprintf(&sb, "  %-10s %10d events\n", r.name, r.count)
+	}
+	var ops []row
+	for op, n := range p.opEvents {
+		ops = append(ops, row{op.String(), n})
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].count > ops[j].count })
+	if len(ops) > 8 {
+		ops = ops[:8]
+	}
+	sb.WriteString("hot opcodes:\n")
+	for _, r := range ops {
+		fmt.Fprintf(&sb, "  %-10s %10d\n", r.name, r.count)
+	}
+	return sb.String()
+}
+
+// --- Monitor contention analyzer ---
+
+// Contention implements vm.SyncHook, counting acquisitions per monitor
+// object — which critical sections are hottest.
+type Contention struct {
+	Acquisitions map[heap.Addr]uint64
+}
+
+// NewContention creates an empty analyzer.
+func NewContention() *Contention {
+	return &Contention{Acquisitions: map[heap.Addr]uint64{}}
+}
+
+// OnMonitor implements vm.SyncHook.
+func (c *Contention) OnMonitor(threadID int, obj heap.Addr, acquired bool) {
+	if acquired {
+		c.Acquisitions[obj]++
+	}
+}
+
+// Report renders the top monitors.
+func (c *Contention) Report(topN int) string {
+	type row struct {
+		obj heap.Addr
+		n   uint64
+	}
+	var rows []row
+	for a, n := range c.Acquisitions {
+		rows = append(rows, row{a, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "monitor acquisitions (%d monitors):\n", len(c.Acquisitions))
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  object @%-8d %10d\n", r.obj, r.n)
+	}
+	return sb.String()
+}
+
+// Multi fans hooks out so several tools can watch one replay.
+type Multi struct {
+	Mem []interface {
+		OnHeapAccess(threadID int, obj heap.Addr, slot int, isWrite bool, val uint64)
+	}
+	Sync []interface {
+		OnMonitor(threadID int, obj heap.Addr, acquired bool)
+	}
+}
+
+// OnHeapAccess implements vm.MemHook.
+func (m *Multi) OnHeapAccess(threadID int, obj heap.Addr, slot int, isWrite bool, val uint64) {
+	for _, h := range m.Mem {
+		h.OnHeapAccess(threadID, obj, slot, isWrite, val)
+	}
+}
+
+// OnMonitor implements vm.SyncHook.
+func (m *Multi) OnMonitor(threadID int, obj heap.Addr, acquired bool) {
+	for _, h := range m.Sync {
+		h.OnMonitor(threadID, obj, acquired)
+	}
+}

@@ -1,0 +1,459 @@
+// Package trace implements DejaVu's recorded event streams.
+//
+// A trace holds two independent streams, matching the paper's observation
+// (footnote 7) that "logging data for non-reproducible events ... need be
+// done independently of thread switch information in all replay schemes":
+//
+//   - the switch stream: one varint per preemptive thread switch, holding
+//     nyp, the count of yield points executed since the previous switch
+//     (Fig. 2). Replay prefetches the next value to count down against.
+//   - the data stream: tagged events holding the results of
+//     non-deterministic operations (clock reads, native results, input,
+//     callback parameters), consumed strictly in execution order.
+//
+// An out-of-order data read means the replayed execution has diverged from
+// the recorded one — broken symmetry — and is reported as a
+// DivergenceError.
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Kind tags one data-stream event.
+type Kind uint8
+
+const (
+	// EvSwitch is reported in Stats for the switch stream; it never
+	// appears as a data-stream tag.
+	EvSwitch Kind = iota + 1
+	// EvClock records one wall-clock read.
+	EvClock
+	// EvNative records the results of one non-deterministic native call.
+	EvNative
+	// EvInput records bytes read from the environment.
+	EvInput
+	// EvCallback records the parameters of one native-to-VM callback.
+	EvCallback
+	// EvEnd terminates the data stream.
+	EvEnd
+)
+
+var kindNames = [...]string{"<0>", "switch", "clock", "native", "input", "callback", "end"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+const magic = "DVT2"
+
+// Stats summarizes a trace for the evaluation harness.
+type Stats struct {
+	Events      map[Kind]int
+	BytesByKind map[Kind]int
+	TotalBytes  int
+}
+
+// Writer builds a trace. DejaVu pre-allocates the writer during
+// initialization in both modes (symmetric allocation, §2.4).
+type Writer struct {
+	progHash uint64
+	sw       bytes.Buffer // switch stream: raw varints
+	data     bytes.Buffer // data stream: tagged events
+	stats    Stats
+}
+
+// NewWriter starts a trace for a program identified by progHash.
+func NewWriter(progHash uint64) *Writer {
+	return &Writer{
+		progHash: progHash,
+		stats:    Stats{Events: map[Kind]int{}, BytesByKind: map[Kind]int{}},
+	}
+}
+
+func (w *Writer) event(k Kind, body func()) {
+	start := w.data.Len()
+	w.data.WriteByte(byte(k))
+	if body != nil {
+		body()
+	}
+	w.stats.Events[k]++
+	w.stats.BytesByKind[k] += w.data.Len() - start
+}
+
+func uvTo(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func svTo(buf *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+// Switch logs a preemptive thread switch after nyp yield points.
+func (w *Writer) Switch(nyp uint64) {
+	start := w.sw.Len()
+	uvTo(&w.sw, nyp)
+	w.stats.Events[EvSwitch]++
+	w.stats.BytesByKind[EvSwitch] += w.sw.Len() - start
+}
+
+// Clock logs one wall-clock value.
+func (w *Writer) Clock(v int64) { w.event(EvClock, func() { svTo(&w.data, v) }) }
+
+// Native logs the result words of non-deterministic native call id.
+func (w *Writer) Native(id int, vals []int64) {
+	w.event(EvNative, func() {
+		uvTo(&w.data, uint64(id))
+		uvTo(&w.data, uint64(len(vals)))
+		for _, v := range vals {
+			svTo(&w.data, v)
+		}
+	})
+}
+
+// Input logs environment bytes (console reads etc.).
+func (w *Writer) Input(b []byte) {
+	w.event(EvInput, func() {
+		uvTo(&w.data, uint64(len(b)))
+		w.data.Write(b)
+	})
+}
+
+// Callback logs one native-to-VM callback: which callback and its params.
+func (w *Writer) Callback(cb int, params []int64) {
+	w.event(EvCallback, func() {
+		uvTo(&w.data, uint64(cb))
+		uvTo(&w.data, uint64(len(params)))
+		for _, v := range params {
+			svTo(&w.data, v)
+		}
+	})
+}
+
+// End finalizes the data stream.
+func (w *Writer) End() { w.event(EvEnd, nil) }
+
+// Bytes returns the encoded trace container:
+// magic, progHash, len(switch stream), switch stream, data stream.
+func (w *Writer) Bytes() []byte {
+	var out bytes.Buffer
+	out.WriteString(magic)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], w.progHash)
+	out.Write(tmp[:])
+	uvTo(&out, uint64(w.sw.Len()))
+	out.Write(w.sw.Bytes())
+	out.Write(w.data.Bytes())
+	return out.Bytes()
+}
+
+// Stats returns event counts and sizes.
+func (w *Writer) Stats() Stats {
+	w.stats.TotalBytes = len(magic) + 8 + uvLen(uint64(w.sw.Len())) + w.sw.Len() + w.data.Len()
+	return w.stats
+}
+
+func uvLen(v uint64) int {
+	var tmp [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(tmp[:], v)
+}
+
+// DivergenceError reports that replay consumed the data stream out of step
+// with the recorded execution — the tell-tale sign of broken symmetry
+// (§2.4 of the paper).
+type DivergenceError struct {
+	Index    int  // data event ordinal
+	Expected Kind // what replay asked for
+	Found    Kind // what the trace holds
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("trace: replay divergence at event %d: execution requested %v but trace holds %v",
+		e.Index, e.Expected, e.Found)
+}
+
+// Reader consumes a trace: the switch stream via NextSwitch, the data
+// stream in strict order via the typed methods.
+type Reader struct {
+	sw    []byte
+	swPos int
+	data  []byte
+	pos   int
+	index int
+}
+
+// NewReader validates the container against progHash.
+func NewReader(raw []byte, progHash uint64) (*Reader, error) {
+	if len(raw) < len(magic)+8 || string(raw[:4]) != magic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	h := binary.LittleEndian.Uint64(raw[4:12])
+	if h != progHash {
+		return nil, fmt.Errorf("trace: program hash mismatch: trace %x, program %x", h, progHash)
+	}
+	rest := raw[12:]
+	swLen, n := binary.Uvarint(rest)
+	if n <= 0 || swLen > uint64(len(rest)-n) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	rest = rest[n:]
+	return &Reader{sw: rest[:swLen], data: rest[swLen:]}, nil
+}
+
+// NextSwitch returns the next recorded nyp value, or ok=false when the
+// recorded execution performed no further preemptive switches.
+func (r *Reader) NextSwitch() (nyp uint64, ok bool) {
+	if r.swPos >= len(r.sw) {
+		return 0, false
+	}
+	v, n := binary.Uvarint(r.sw[r.swPos:])
+	if n <= 0 {
+		return 0, false
+	}
+	r.swPos += n
+	return v, true
+}
+
+// Peek returns the kind of the next data event without consuming it.
+func (r *Reader) Peek() (Kind, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return Kind(r.data[r.pos]), nil
+}
+
+func (r *Reader) expect(k Kind) error {
+	found, err := r.Peek()
+	if err != nil {
+		return err
+	}
+	if found != k {
+		return &DivergenceError{Index: r.index, Expected: k, Found: found}
+	}
+	r.pos++
+	r.index++
+	return nil
+}
+
+func (r *Reader) uv() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *Reader) sv() (int64, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	r.pos += n
+	return v, nil
+}
+
+// Clock consumes a clock event.
+func (r *Reader) Clock() (int64, error) {
+	if err := r.expect(EvClock); err != nil {
+		return 0, err
+	}
+	return r.sv()
+}
+
+// Native consumes a native-result event, verifying the native id matches.
+func (r *Reader) Native(id int) ([]int64, error) {
+	if err := r.expect(EvNative); err != nil {
+		return nil, err
+	}
+	gotID, err := r.uv()
+	if err != nil {
+		return nil, err
+	}
+	if int(gotID) != id {
+		return nil, fmt.Errorf("trace: replay divergence at event %d: native %d recorded, %d replayed", r.index-1, gotID, id)
+	}
+	n, err := r.uv()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	vals := make([]int64, n)
+	for i := range vals {
+		if vals[i], err = r.sv(); err != nil {
+			return nil, err
+		}
+	}
+	return vals, nil
+}
+
+// Input consumes an input event.
+func (r *Reader) Input() ([]byte, error) {
+	if err := r.expect(EvInput); err != nil {
+		return nil, err
+	}
+	n, err := r.uv()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := make([]byte, n)
+	copy(b, r.data[r.pos:])
+	r.pos += int(n)
+	return b, nil
+}
+
+// Callback consumes a callback event.
+func (r *Reader) Callback() (cb int, params []int64, err error) {
+	if err := r.expect(EvCallback); err != nil {
+		return 0, nil, err
+	}
+	id, err := r.uv()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := r.uv()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	params = make([]int64, n)
+	for i := range params {
+		if params[i], err = r.sv(); err != nil {
+			return 0, nil, err
+		}
+	}
+	return int(id), params, nil
+}
+
+// AtEnd reports whether the next data event is EvEnd.
+func (r *Reader) AtEnd() bool {
+	k, err := r.Peek()
+	return err == nil && k == EvEnd
+}
+
+// EventIndex returns how many data events have been consumed.
+func (r *Reader) EventIndex() int { return r.index }
+
+// SwitchesRemaining reports whether unconsumed switch entries remain.
+func (r *Reader) SwitchesRemaining() bool { return r.swPos < len(r.sw) }
+
+// ReaderPos is a resumable position in both streams, for checkpointing.
+type ReaderPos struct {
+	SwPos, Pos, Index int
+}
+
+// Pos captures the reader position.
+func (r *Reader) Pos() ReaderPos { return ReaderPos{SwPos: r.swPos, Pos: r.pos, Index: r.index} }
+
+// Seek rewinds (or forwards) the reader to a previously captured position.
+func (r *Reader) Seek(p ReaderPos) {
+	r.swPos, r.pos, r.index = p.SwPos, p.Pos, p.Index
+}
+
+// Summary describes a trace container without replaying it.
+type Summary struct {
+	ProgHash  uint64
+	Stats     Stats
+	SwitchNYP struct{ Min, Max, Sum uint64 } // nyp distribution
+}
+
+// Summarize walks both streams of an encoded trace and reports event
+// counts, byte breakdowns, and the preemption-interval distribution. The
+// program hash is not checked (pass what NewReader would).
+func Summarize(raw []byte) (*Summary, error) {
+	if len(raw) < len(magic)+8 || string(raw[:4]) != magic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	s := &Summary{ProgHash: binary.LittleEndian.Uint64(raw[4:12])}
+	s.Stats = Stats{Events: map[Kind]int{}, BytesByKind: map[Kind]int{}, TotalBytes: len(raw)}
+	r := &Reader{}
+	rest := raw[12:]
+	swLen, n := binary.Uvarint(rest)
+	if n <= 0 || swLen > uint64(len(rest)-n) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	r.sw = rest[n : n+int(swLen)]
+	r.data = rest[n+int(swLen):]
+	s.SwitchNYP.Min = ^uint64(0)
+	for {
+		start := r.swPos
+		nyp, ok := r.NextSwitch()
+		if !ok {
+			break
+		}
+		s.Stats.Events[EvSwitch]++
+		s.Stats.BytesByKind[EvSwitch] += r.swPos - start
+		if nyp < s.SwitchNYP.Min {
+			s.SwitchNYP.Min = nyp
+		}
+		if nyp > s.SwitchNYP.Max {
+			s.SwitchNYP.Max = nyp
+		}
+		s.SwitchNYP.Sum += nyp
+	}
+	if s.Stats.Events[EvSwitch] == 0 {
+		s.SwitchNYP.Min = 0
+	}
+	for {
+		k, err := r.Peek()
+		if err != nil {
+			return nil, fmt.Errorf("trace: data stream truncated: %w", err)
+		}
+		start := r.pos
+		switch k {
+		case EvClock:
+			if _, err := r.Clock(); err != nil {
+				return nil, err
+			}
+		case EvNative:
+			if err := r.expect(EvNative); err != nil {
+				return nil, err
+			}
+			if _, err := r.uv(); err != nil {
+				return nil, err
+			}
+			cnt, err := r.uv()
+			if err != nil {
+				return nil, err
+			}
+			for i := uint64(0); i < cnt; i++ {
+				if _, err := r.sv(); err != nil {
+					return nil, err
+				}
+			}
+		case EvInput:
+			if _, err := r.Input(); err != nil {
+				return nil, err
+			}
+		case EvCallback:
+			if _, _, err := r.Callback(); err != nil {
+				return nil, err
+			}
+		case EvEnd:
+			s.Stats.Events[EvEnd]++
+			s.Stats.BytesByKind[EvEnd]++
+			return s, nil
+		default:
+			return nil, fmt.Errorf("trace: unknown event kind %d", k)
+		}
+		s.Stats.Events[k]++
+		s.Stats.BytesByKind[k] += r.pos - start
+	}
+}

@@ -1,0 +1,345 @@
+package trace
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(0xabcd)
+	w.Switch(17)
+	w.Clock(123456789)
+	w.Native(3, []int64{-1, 42})
+	w.Input([]byte("hello"))
+	w.Callback(2, []int64{7})
+	w.Switch(0)
+	w.End()
+
+	r, err := NewReader(w.Bytes(), 0xabcd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Switch stream is independent of the data stream.
+	if nyp, ok := r.NextSwitch(); !ok || nyp != 17 {
+		t.Fatalf("switch: %d, %v", nyp, ok)
+	}
+	if v, err := r.Clock(); err != nil || v != 123456789 {
+		t.Fatalf("clock: %d, %v", v, err)
+	}
+	vals, err := r.Native(3)
+	if err != nil || !reflect.DeepEqual(vals, []int64{-1, 42}) {
+		t.Fatalf("native: %v, %v", vals, err)
+	}
+	b, err := r.Input()
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("input: %q, %v", b, err)
+	}
+	cb, params, err := r.Callback()
+	if err != nil || cb != 2 || !reflect.DeepEqual(params, []int64{7}) {
+		t.Fatalf("callback: %d %v %v", cb, params, err)
+	}
+	if nyp, ok := r.NextSwitch(); !ok || nyp != 0 {
+		t.Fatalf("switch2: %d, %v", nyp, ok)
+	}
+	if _, ok := r.NextSwitch(); ok {
+		t.Fatal("switch stream should be exhausted")
+	}
+	if r.SwitchesRemaining() {
+		t.Fatal("SwitchesRemaining should be false")
+	}
+	if !r.AtEnd() {
+		t.Fatal("not at end")
+	}
+}
+
+func TestSwitchPrefetchBeforeData(t *testing.T) {
+	// Replay reads the first switch count before consuming any data event;
+	// the two streams must not interfere.
+	w := NewWriter(1)
+	w.Clock(10)
+	w.Switch(5)
+	w.Clock(20)
+	w.End()
+	r, _ := NewReader(w.Bytes(), 1)
+	if nyp, ok := r.NextSwitch(); !ok || nyp != 5 {
+		t.Fatalf("prefetch switch: %d %v", nyp, ok)
+	}
+	if v, _ := r.Clock(); v != 10 {
+		t.Fatal("data stream disturbed by switch prefetch")
+	}
+	if v, _ := r.Clock(); v != 20 {
+		t.Fatal("second clock wrong")
+	}
+}
+
+func TestDivergenceDetection(t *testing.T) {
+	w := NewWriter(1)
+	w.Clock(5)
+	w.End()
+	r, _ := NewReader(w.Bytes(), 1)
+	_, err := r.Input()
+	var div *DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("expected DivergenceError, got %v", err)
+	}
+	if div.Expected != EvInput || div.Found != EvClock {
+		t.Fatalf("divergence fields: %+v", div)
+	}
+	if div.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestNativeIDMismatch(t *testing.T) {
+	w := NewWriter(1)
+	w.Native(4, nil)
+	r, _ := NewReader(w.Bytes(), 1)
+	if _, err := r.Native(5); err == nil {
+		t.Fatal("expected native id mismatch error")
+	}
+}
+
+func TestProgramHashMismatch(t *testing.T) {
+	w := NewWriter(1)
+	w.End()
+	if _, err := NewReader(w.Bytes(), 2); err == nil {
+		t.Fatal("expected hash mismatch")
+	}
+	if _, err := NewReader([]byte("bogus"), 1); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestTruncationErrors(t *testing.T) {
+	w := NewWriter(1)
+	w.Input(make([]byte, 100))
+	data := w.Bytes()
+	r, err := NewReader(data[:len(data)-50], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Input(); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	w := NewWriter(1)
+	for i := 0; i < 10; i++ {
+		w.Switch(uint64(i))
+	}
+	w.Clock(1)
+	w.End()
+	st := w.Stats()
+	if st.Events[EvSwitch] != 10 || st.Events[EvClock] != 1 || st.Events[EvEnd] != 1 {
+		t.Fatalf("stats: %+v", st.Events)
+	}
+	if st.TotalBytes != len(w.Bytes()) {
+		t.Fatalf("total bytes %d != container %d", st.TotalBytes, len(w.Bytes()))
+	}
+	if st.BytesByKind[EvSwitch] != 10 {
+		t.Fatalf("switch bytes = %d; small nyp values should take 1 byte each", st.BytesByKind[EvSwitch])
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if EvSwitch.String() != "switch" || EvEnd.String() != "end" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+// Property: a random event sequence round-trips exactly, with the switch
+// stream and data stream each preserving their own order.
+func TestRoundTripProperty(t *testing.T) {
+	type ev struct {
+		kind  Kind
+		u     uint64
+		s     int64
+		id    int
+		vals  []int64
+		bytes []byte
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		var evs []ev
+		var switches []uint64
+		w := NewWriter(uint64(seed))
+		for i := 0; i < n; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				u := rng.Uint64() >> uint(rng.Intn(64))
+				switches = append(switches, u)
+				w.Switch(u)
+			case 1:
+				e := ev{kind: EvClock, s: rng.Int63() - rng.Int63()}
+				evs = append(evs, e)
+				w.Clock(e.s)
+			case 2:
+				vals := make([]int64, rng.Intn(4))
+				for j := range vals {
+					vals[j] = rng.Int63() - rng.Int63()
+				}
+				e := ev{kind: EvNative, id: rng.Intn(100), vals: vals}
+				evs = append(evs, e)
+				w.Native(e.id, vals)
+			case 3:
+				b := make([]byte, rng.Intn(64))
+				rng.Read(b)
+				e := ev{kind: EvInput, bytes: b}
+				evs = append(evs, e)
+				w.Input(b)
+			case 4:
+				vals := make([]int64, rng.Intn(4))
+				for j := range vals {
+					vals[j] = rng.Int63()
+				}
+				e := ev{kind: EvCallback, id: rng.Intn(10), vals: vals}
+				evs = append(evs, e)
+				w.Callback(e.id, vals)
+			}
+		}
+		w.End()
+		r, err := NewReader(w.Bytes(), uint64(seed))
+		if err != nil {
+			return false
+		}
+		for _, u := range switches {
+			got, ok := r.NextSwitch()
+			if !ok || got != u {
+				return false
+			}
+		}
+		if _, ok := r.NextSwitch(); ok {
+			return false
+		}
+		for _, e := range evs {
+			switch e.kind {
+			case EvClock:
+				s, err := r.Clock()
+				if err != nil || s != e.s {
+					return false
+				}
+			case EvNative:
+				vals, err := r.Native(e.id)
+				if err != nil || !reflect.DeepEqual(vals, e.vals) && !(len(vals) == 0 && len(e.vals) == 0) {
+					return false
+				}
+			case EvInput:
+				b, err := r.Input()
+				if err != nil || string(b) != string(e.bytes) {
+					return false
+				}
+			case EvCallback:
+				id, vals, err := r.Callback()
+				if err != nil || id != e.id {
+					return false
+				}
+				if !reflect.DeepEqual(vals, e.vals) && !(len(vals) == 0 && len(e.vals) == 0) {
+					return false
+				}
+			}
+		}
+		return r.AtEnd()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteSwitch(b *testing.B) {
+	w := NewWriter(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Switch(uint64(i & 1023))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	w := NewWriter(0x99)
+	w.Switch(10)
+	w.Switch(20)
+	w.Clock(123)
+	w.Native(2, []int64{7, 8})
+	w.Input([]byte("in"))
+	w.Callback(1, []int64{5})
+	w.End()
+	s, err := Summarize(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ProgHash != 0x99 {
+		t.Fatalf("hash %x", s.ProgHash)
+	}
+	if s.Stats.Events[EvSwitch] != 2 || s.Stats.Events[EvClock] != 1 ||
+		s.Stats.Events[EvNative] != 1 || s.Stats.Events[EvInput] != 1 ||
+		s.Stats.Events[EvCallback] != 1 || s.Stats.Events[EvEnd] != 1 {
+		t.Fatalf("events: %+v", s.Stats.Events)
+	}
+	if s.SwitchNYP.Min != 10 || s.SwitchNYP.Max != 20 || s.SwitchNYP.Sum != 30 {
+		t.Fatalf("nyp stats: %+v", s.SwitchNYP)
+	}
+	if s.Stats.TotalBytes != len(w.Bytes()) {
+		t.Fatal("total bytes")
+	}
+	// Truncated container errors cleanly.
+	if _, err := Summarize(w.Bytes()[:len(w.Bytes())-3]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	if _, err := Summarize([]byte("nope")); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestSummarizeEmptyTrace(t *testing.T) {
+	w := NewWriter(1)
+	w.End()
+	s, err := Summarize(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SwitchNYP.Min != 0 || s.Stats.Events[EvSwitch] != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+// TestReaderGarbageNeverPanics: arbitrary byte mutations of a valid trace
+// must never panic any reader operation.
+func TestReaderGarbageNeverPanics(t *testing.T) {
+	w := NewWriter(5)
+	w.Switch(9)
+	w.Clock(100)
+	w.Native(1, []int64{3})
+	w.Input([]byte("abc"))
+	w.Callback(2, []int64{4, 5})
+	w.End()
+	base := w.Bytes()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		mut := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("reader panicked on mutation %d: %v", i, r)
+				}
+			}()
+			r, err := NewReader(mut, 5)
+			if err != nil {
+				return
+			}
+			r.NextSwitch()
+			r.Clock()
+			r.Native(1)
+			r.Input()
+			r.Callback()
+			r.AtEnd()
+			Summarize(mut)
+		}()
+	}
+}

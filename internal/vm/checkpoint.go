@@ -1,0 +1,190 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dejavu/internal/core"
+	"dejavu/internal/heap"
+	"dejavu/internal/threads"
+)
+
+// Checkpoint files: a Snapshot serialized to bytes, so a replay session
+// can resume in a *fresh process* — build the same replaying VM (same
+// program image, same trace) and RestoreBytes the checkpoint. Combined
+// with deterministic replay this gives durable, shareable time-travel
+// points: a colleague can open your recorded failure at event N without
+// re-executing the prefix.
+
+const checkpointMagic = "DVCK"
+
+// Encode serializes the snapshot. The header binds it to a program image
+// hash; RestoreBytes refuses checkpoints from other programs.
+func (s *Snapshot) Encode(progHash uint64) []byte {
+	buf := make([]byte, 0, len(s.heap.Mem)+4096)
+	buf = append(buf, checkpointMagic...)
+	var h8 [8]byte
+	binary.LittleEndian.PutUint64(h8[:], progHash)
+	buf = append(buf, h8[:]...)
+
+	uv := func(v uint64) {
+		for v >= 0x80 {
+			buf = append(buf, byte(v)|0x80)
+			v >>= 7
+		}
+		buf = append(buf, byte(v))
+	}
+	bl := func(v bool) {
+		if v {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	addrs := func(as []heap.Addr) {
+		uv(uint64(len(as)))
+		for _, a := range as {
+			uv(uint64(a))
+		}
+	}
+
+	s.heap.EncodeTo(&buf)
+	s.sched.EncodeTo(&buf)
+
+	uv(s.events)
+	bl(s.halted)
+	bl(s.deferred)
+	uv(uint64(len(s.out)))
+	buf = append(buf, s.out...)
+	addrs(s.interned)
+	addrs(s.staticsObj)
+	addrs(s.classMir)
+	addrs(s.methodMir)
+	uv(uint64(s.dict))
+	uv(uint64(s.threadsArr))
+	uv(uint64(s.captureBuf))
+
+	if s.engine != nil {
+		bl(true)
+		s.engine.EncodeTo(&buf)
+	} else {
+		bl(false)
+	}
+	return buf
+}
+
+// RestoreBytes decodes a checkpoint produced by Encode against this VM's
+// program and reinstates it. The VM must have been constructed the same
+// way as the one that took the checkpoint (same program image; for replay
+// checkpoints, an engine over the same trace).
+func (vm *VM) RestoreBytes(data []byte) error {
+	if len(data) < len(checkpointMagic)+8 || string(data[:4]) != checkpointMagic {
+		return fmt.Errorf("vm: bad checkpoint magic")
+	}
+	h := binary.LittleEndian.Uint64(data[4:12])
+	if h != vm.progHash {
+		return fmt.Errorf("vm: checkpoint is for program %x, this VM runs %x", h, vm.progHash)
+	}
+	data = data[12:]
+
+	var fail error
+	uv := func() uint64 {
+		if fail != nil {
+			return 0
+		}
+		var v uint64
+		var shift uint
+		for i := 0; i < len(data); i++ {
+			c := data[i]
+			if c < 0x80 {
+				data = data[i+1:]
+				return v | uint64(c)<<shift
+			}
+			v |= uint64(c&0x7f) << shift
+			shift += 7
+		}
+		fail = fmt.Errorf("vm: truncated checkpoint")
+		return 0
+	}
+	bl := func() bool {
+		if fail != nil || len(data) == 0 {
+			fail = fmt.Errorf("vm: truncated checkpoint")
+			return false
+		}
+		v := data[0]
+		data = data[1:]
+		return v == 1
+	}
+	addrs := func() []heap.Addr {
+		n := uv()
+		if fail == nil && n > uint64(len(data))+1 {
+			fail = fmt.Errorf("vm: checkpoint address list corrupt")
+			return nil
+		}
+		out := make([]heap.Addr, 0, n)
+		for i := uint64(0); i < n && fail == nil; i++ {
+			out = append(out, heap.Addr(uv()))
+		}
+		return out
+	}
+
+	s := &Snapshot{}
+	var err error
+	if s.heap, data, err = heap.DecodeSnapshot(data); err != nil {
+		return err
+	}
+	if s.sched, data, err = threads.DecodeSnapshot(data); err != nil {
+		return err
+	}
+	s.events = uv()
+	s.halted = bl()
+	s.deferred = bl()
+	n := uv()
+	if fail == nil && n > uint64(len(data)) {
+		return fmt.Errorf("vm: checkpoint output corrupt")
+	}
+	if fail == nil {
+		s.out = append([]byte(nil), data[:n]...)
+		data = data[n:]
+	}
+	s.interned = addrs()
+	s.staticsObj = addrs()
+	s.classMir = addrs()
+	s.methodMir = addrs()
+	s.dict = heap.Addr(uv())
+	s.threadsArr = heap.Addr(uv())
+	s.captureBuf = heap.Addr(uv())
+	hasEngine := bl()
+	if fail != nil {
+		return fail
+	}
+	if hasEngine {
+		es, _, err := core.DecodeEngineSnapshot(data)
+		if err != nil {
+			return err
+		}
+		s.engine = es
+		if vm.eng.Mode() != core.ModeReplay {
+			return fmt.Errorf("vm: checkpoint carries replay state but this VM is in %v mode", vm.eng.Mode())
+		}
+	}
+	// Structural sanity: the snapshot must describe this program.
+	if len(s.staticsObj) != vm.numClasses || len(s.methodMir) != len(vm.prog.Methods) {
+		return fmt.Errorf("vm: checkpoint shape mismatch (classes %d/%d, methods %d/%d)",
+			len(s.staticsObj), vm.numClasses, len(s.methodMir), len(vm.prog.Methods))
+	}
+	if len(s.interned) < len(vm.interned) {
+		// The fresh VM interned only the program constants; a checkpoint
+		// can carry more (runtime-interned), never fewer.
+		return fmt.Errorf("vm: checkpoint interned-string table too small")
+	}
+	// Rebuild the intern bookkeeping for strings the checkpointed run
+	// interned beyond the static pool: their text is unknown, but their
+	// heap storage is in the image. Since intern only grows via program
+	// constants and those are pre-interned identically, sizes normally
+	// match; reject exotic mismatches instead of guessing.
+	if len(s.interned) != len(vm.interned) {
+		return fmt.Errorf("vm: checkpoint interned-string table mismatch (%d vs %d)", len(s.interned), len(vm.interned))
+	}
+	return vm.Restore(s)
+}

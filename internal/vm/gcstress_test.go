@@ -1,0 +1,74 @@
+package vm
+
+import (
+	"testing"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/heap"
+)
+
+// garbageChurn builds a program that allocates 500 throwaway arrays in a
+// loop, forcing many collections under a small heap.
+func garbageChurn() *bytecode.Program {
+	b := bytecode.NewBuilder("churn")
+	main := b.Class("Main")
+	mb := main.Method("main", 0, 2)
+	mb.Const(0).Emit(bytecode.Store, 1)
+	mb.Label("loop")
+	mb.Emit(bytecode.Load, 1).Const(500).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "out")
+	mb.Const(30).Emit(bytecode.NewArr, bytecode.KindInt64).Emit(bytecode.Pop)
+	mb.Emit(bytecode.Load, 1).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 1)
+	mb.Branch(bytecode.Jmp, "loop")
+	mb.Label("out")
+	mb.Emit(bytecode.Halt)
+	b.Entry(mb)
+	return b.MustProgram()
+}
+
+// Regression test: stack segments are presented to the collector exactly
+// once (as StackRoots); double-visiting them used to corrupt the to-space.
+func TestGCStressUnderTinyHeap(t *testing.T) {
+	m, err := New(garbageChurn(), Config{HeapBytes: 16 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m.Heap().Collections == 0 {
+		t.Fatal("expected collections under a 16K semispace")
+	}
+}
+
+// TestGCRootConsistency validates, before every instruction, that every
+// root and every tagged stack slot points at a live heap entity.
+func TestGCRootConsistency(t *testing.T) {
+	m, err := New(garbageChurn(), Config{HeapBytes: 16 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		m.visitRoots(func(slot *heap.Addr) {
+			if *slot != 0 && !m.h.Valid(*slot) {
+				t.Fatalf("step %d: invalid root %d", i, *slot)
+			}
+		})
+		for _, th := range m.sched.Threads() {
+			for s := 0; s < th.SP; s++ {
+				if th.Tags[s] {
+					v := heap.Addr(m.h.LoadWord(th.StackSeg, s))
+					if v != 0 && !m.h.Valid(v) {
+						t.Fatalf("step %d: thread %d slot %d holds invalid ref %d", i, th.ID, s, v)
+					}
+				}
+			}
+		}
+		done, err := m.Step()
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if done {
+			break
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dejavu/internal/bytecode"
+)
+
+// runMain assembles src, runs it, and returns the output.
+func runMain(t *testing.T, src string) (string, error) {
+	t.Helper()
+	p, err := bytecode.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m, err := New(p, Config{MaxEvents: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run()
+	return string(m.Output()), err
+}
+
+func TestStackManipulationOps(t *testing.T) {
+	out, err := runMain(t, `
+program p
+class Main {
+  method main 0 0 {
+    iconst 1
+    iconst 2
+    swap
+    print      # 1
+    print      # 2
+    iconst 7
+    dup
+    add
+    print      # 14
+    iconst 5
+    not
+    print      # -6
+    iconst 1
+    iconst 4
+    shl
+    print      # 16
+    iconst -16
+    iconst 2
+    shr
+    print      # -4
+    halt
+  }
+}
+entry Main.main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "1\n2\n14\n-6\n16\n-4\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestInstOfAndNullChecks(t *testing.T) {
+	out, err := runMain(t, `
+program p
+class A { field x }
+class B { field y }
+class Main {
+  method main 0 1 {
+    new A
+    store 0
+    load 0
+    instof A
+    print      # 1
+    load 0
+    instof B
+    print      # 0
+    null
+    instof A
+    print      # 0
+    iconst 3
+    newarr int
+    instof A
+    print      # 0 (arrays are not class instances)
+    halt
+  }
+}
+entry Main.main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "1\n0\n0\n0\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestThreadIDAndYield(t *testing.T) {
+	out, err := runMain(t, `
+program p
+class Main {
+  method w 0 1 {
+    threadid
+    print
+    ret
+  }
+  method main 0 0 {
+    threadid
+    print       # 0
+    spawn Main.w
+    pop
+    yield       # voluntary, deterministic switch lets the child run
+    halt
+  }
+}
+entry Main.main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "0\n1\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestInterruptWakesSleeper(t *testing.T) {
+	out, err := runMain(t, `
+program p
+class Main {
+  method sleeper 0 1 {
+    iconst 1000000
+    sleep
+    native "interrupted" 0
+    print        # 1: woken by interrupt, not timer
+    ret
+  }
+  method main 0 1 {
+    spawn Main.sleeper
+    store 0
+    yield        # let the sleeper park itself
+    load 0
+    interrupt
+    ret
+  }
+}
+entry Main.main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1\n") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestTimedWaitTimesOut(t *testing.T) {
+	// Nobody notifies; the timed wait must expire via clock reads.
+	out, err := runMain(t, `
+program p
+class Main {
+  method main 0 1 {
+    new Main
+    store 0
+    load 0
+    monenter
+    iconst 30
+    load 0
+    swap
+    timedwait
+    load 0
+    monexit
+    sconst "woke"
+    prints
+    halt
+  }
+}
+entry Main.main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "woke\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestCallVErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"null receiver", `
+program p
+class Main {
+  method f 1 1 { ret }
+  method main 0 0 {
+    null
+    callv "f" 1
+    halt
+  }
+}
+entry Main.main`, "null or primitive receiver"},
+		{"missing method", `
+program p
+class A { field x }
+class Main {
+  method main 0 1 {
+    new A
+    callv "nosuch" 1
+    halt
+  }
+}
+entry Main.main`, "no method"},
+		{"arity mismatch", `
+program p
+class A {
+  field x
+  method f 2 2 { ret }
+}
+class Main {
+  method main 0 1 {
+    new A
+    callv "f" 1
+    halt
+  }
+}
+entry Main.main`, "expected"},
+	}
+	for _, tc := range cases {
+		_, err := runMain(t, tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMonitorMisuseTraps(t *testing.T) {
+	_, err := runMain(t, `
+program p
+class Main {
+  method main 0 1 {
+    new Main
+    store 0
+    load 0
+    monexit
+    halt
+  }
+}
+entry Main.main
+`)
+	if err == nil || !strings.Contains(err.Error(), "does not own") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = runMain(t, `
+program p
+class Main {
+  method main 0 1 {
+    new Main
+    notify
+    halt
+  }
+}
+entry Main.main
+`)
+	if err == nil || !strings.Contains(err.Error(), "does not own") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestArithmeticAgainstGo is the interpreter-semantics property test:
+// random expression trees are compiled to bytecode and evaluated both by
+// the VM and by direct Go arithmetic; results must agree (Go and the VM
+// share two's-complement int64 semantics).
+func TestArithmeticAgainstGo(t *testing.T) {
+	type node struct {
+		op    bytecode.Opcode
+		val   int64 // leaf
+		l, r  *node
+		unary bool
+	}
+	var gen func(rng *rand.Rand, depth int) *node
+	gen = func(rng *rand.Rand, depth int) *node {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return &node{val: rng.Int63n(1<<20) - 1<<19}
+		}
+		ops := []bytecode.Opcode{
+			bytecode.Add, bytecode.Sub, bytecode.Mul, bytecode.Div, bytecode.Mod,
+			bytecode.And, bytecode.Or, bytecode.Xor, bytecode.Shl, bytecode.Shr,
+			bytecode.Neg, bytecode.Not,
+		}
+		op := ops[rng.Intn(len(ops))]
+		n := &node{op: op, l: gen(rng, depth-1)}
+		if op == bytecode.Neg || op == bytecode.Not {
+			n.unary = true
+		} else {
+			n.r = gen(rng, depth-1)
+		}
+		return n
+	}
+	var eval func(n *node) (int64, bool)
+	eval = func(n *node) (int64, bool) {
+		if n.op == 0 {
+			return n.val, true
+		}
+		a, ok := eval(n.l)
+		if !ok {
+			return 0, false
+		}
+		if n.unary {
+			if n.op == bytecode.Neg {
+				return -a, true
+			}
+			return ^a, true
+		}
+		b, ok := eval(n.r)
+		if !ok {
+			return 0, false
+		}
+		switch n.op {
+		case bytecode.Add:
+			return a + b, true
+		case bytecode.Sub:
+			return a - b, true
+		case bytecode.Mul:
+			return a * b, true
+		case bytecode.Div:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case bytecode.Mod:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case bytecode.And:
+			return a & b, true
+		case bytecode.Or:
+			return a | b, true
+		case bytecode.Xor:
+			return a ^ b, true
+		case bytecode.Shl:
+			return a << uint(b&63), true
+		case bytecode.Shr:
+			return a >> uint(b&63), true
+		}
+		return 0, false
+	}
+	var emit func(mb *bytecode.MethodBuilder, n *node)
+	emit = func(mb *bytecode.MethodBuilder, n *node) {
+		if n.op == 0 {
+			mb.Const(n.val)
+			return
+		}
+		emit(mb, n.l)
+		if !n.unary {
+			emit(mb, n.r)
+		}
+		mb.Emit(n.op)
+	}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := gen(rng, 5)
+		want, ok := eval(tree)
+		if !ok {
+			return true // division by zero: covered by trap tests
+		}
+		b := bytecode.NewBuilder("expr")
+		mb := b.Class("Main").Method("main", 0, 0)
+		emit(mb, tree)
+		mb.Emit(bytecode.Print).Emit(bytecode.Halt)
+		b.Entry(mb)
+		prog, err := b.Program()
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		m, err := New(prog, Config{})
+		if err != nil {
+			t.Logf("seed %d: new: %v", seed, err)
+			return false
+		}
+		if err := m.Run(); err != nil {
+			t.Logf("seed %d: run: %v", seed, err)
+			return false
+		}
+		got := strings.TrimSpace(string(m.Output()))
+		return got == fmt.Sprintf("%d", want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

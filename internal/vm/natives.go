@@ -1,0 +1,301 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/heap"
+	"dejavu/internal/threads"
+)
+
+// The native interface ("JNI", §2.5). Natives are either deterministic —
+// pure functions of replayed VM state, executed identically in both modes
+// and never logged (like Jalapeño's address-based identity hash) — or
+// non-deterministic, in which case the DejaVu engine records their results
+// (and any callback parameters) and regenerates them during replay without
+// running the native at all.
+
+// nativeNames lists every native, sorted, so each gets a stable trace ID
+// (its rank) shared by record and replay.
+var nativeNames = []string{
+	"clock",         // () -> millis       non-det: wall clock (the paper's Date())
+	"gc",            // () -> 0            det: force a collection
+	"heapused",      // () -> bytes        det under symmetric execution
+	"idhash",        // (ref) -> addr      det: address-based identity hash
+	"interrupted",   // () -> 0/1          det: reads+clears the replayed flag
+	"isremote",      // (ref) -> 0/1       det: is the reference a remote stub
+	"nanotime",      // () -> nanos        non-det
+	"parseint",      // (str) -> value     det
+	"pollevents",    // (handler,max)->n   non-det with callbacks
+	"random",        // () -> value        non-det: host entropy
+	"randrange",     // (n) -> [0,n)       non-det
+	"readline",      // () -> str          non-det: environment input
+	"remotedict",    // () -> stub         mapped method: remote VM_Dictionary (§3.1)
+	"remotethreads", // () -> stub       mapped method: remote thread registry
+	"strlen",        // (str) -> length    det
+}
+
+// nativeID returns the stable trace identifier for a native name.
+func nativeID(name string) int {
+	i := sort.SearchStrings(nativeNames, name)
+	if i < len(nativeNames) && nativeNames[i] == name {
+		return i
+	}
+	return -1
+}
+
+// doNative dispatches a Native instruction.
+func (vm *VM) doNative(t *threads.Thread, name string, nargs int) (control, int, error) {
+	id := nativeID(name)
+	if id < 0 {
+		return 0, 0, fmt.Errorf("unknown native %q", name)
+	}
+	switch name {
+	case "clock":
+		// Wall-clock reads use the dedicated clock channel shared with the
+		// scheduler's timer machinery.
+		return ctrlNext, 0, vm.push(t, uint64(vm.eng.ClockRead()), false)
+
+	case "nanotime":
+		vals := vm.eng.NativeCall(id, func() []int64 {
+			return []int64{time.Now().UnixNano()}
+		})
+		return vm.pushNativeResult(t, vals)
+
+	case "random":
+		vals := vm.eng.NativeCall(id, func() []int64 {
+			return []int64{vm.rngHost.Int63()}
+		})
+		return vm.pushNativeResult(t, vals)
+
+	case "randrange":
+		n, err := vm.popPrim(t)
+		if err != nil {
+			return 0, 0, err
+		}
+		if n <= 0 {
+			return 0, 0, fmt.Errorf("randrange bound %d must be positive", n)
+		}
+		vals := vm.eng.NativeCall(id, func() []int64 {
+			return []int64{vm.rngHost.Int63n(n)}
+		})
+		return vm.pushNativeResult(t, vals)
+
+	case "readline":
+		// The recorded artifact is the byte payload; the array holding it
+		// is allocated identically in both modes.
+		b := vm.eng.ReadLine()
+		a, err := vm.allocArray(heap.KindByteArr, len(b))
+		if err != nil {
+			return 0, 0, err
+		}
+		copy(vm.h.Bytes(a), b)
+		return ctrlNext, 0, vm.push(t, uint64(a), true)
+
+	case "idhash":
+		// Deterministic precisely because DejaVu keeps allocation (and
+		// hence every address) identical across record and replay — the
+		// property the symmetric-allocation ablation breaks.
+		a, err := vm.popRef(t)
+		if err != nil {
+			return 0, 0, err
+		}
+		return ctrlNext, 0, vm.push(t, uint64(a), false)
+
+	case "gc":
+		vm.GC()
+		return ctrlNext, 0, vm.push(t, 0, false)
+
+	case "heapused":
+		return ctrlNext, 0, vm.push(t, uint64(vm.h.Used()), false)
+
+	case "interrupted":
+		v := boolWord(t.Interrupted)
+		t.Interrupted = false
+		return ctrlNext, 0, vm.push(t, v, false)
+
+	case "strlen":
+		a, err := vm.popObj(t)
+		if err != nil {
+			return 0, 0, err
+		}
+		if vm.isStub(a) {
+			b, err := vm.remoteBytes(a)
+			if err != nil {
+				return 0, 0, err
+			}
+			return ctrlNext, 0, vm.push(t, uint64(len(b)), false)
+		}
+		if vm.h.KindOf(a) != heap.KindByteArr {
+			return 0, 0, fmt.Errorf("strlen on non-string")
+		}
+		return ctrlNext, 0, vm.push(t, uint64(vm.h.Len(a)), false)
+
+	case "parseint":
+		a, err := vm.popObj(t)
+		if err != nil {
+			return 0, 0, err
+		}
+		var text string
+		if vm.isStub(a) {
+			b, err := vm.remoteBytes(a)
+			if err != nil {
+				return 0, 0, err
+			}
+			text = string(b)
+		} else {
+			if vm.h.KindOf(a) != heap.KindByteArr {
+				return 0, 0, fmt.Errorf("parseint on non-string")
+			}
+			text = string(vm.h.Bytes(a))
+		}
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("parseint: %v", err)
+		}
+		return ctrlNext, 0, vm.push(t, uint64(v), false)
+
+	case "pollevents":
+		return vm.nativePollEvents(t, id)
+
+	// Remote reflection mapped methods and helpers (§3.1, §3.4). These
+	// run only in tool VMs; they read the remote space and are
+	// deterministic with respect to it.
+	case "remotedict":
+		return vm.nativeRemoteDict(t)
+	case "remotethreads":
+		return vm.nativeRemoteThreads(t)
+	case "isremote":
+		return vm.nativeIsRemote(t)
+	}
+	return 0, 0, fmt.Errorf("native %q not dispatched", name)
+}
+
+func (vm *VM) pushNativeResult(t *threads.Thread, vals []int64) (control, int, error) {
+	if err := vm.eng.Err(); err != nil {
+		return 0, 0, err
+	}
+	if len(vals) != 1 {
+		return 0, 0, fmt.Errorf("native returned %d results, expected 1", len(vals))
+	}
+	return ctrlNext, 0, vm.push(t, uint64(vals[0]), false)
+}
+
+// nativePollEvents demonstrates JNI callbacks: it polls a (simulated)
+// external event source and invokes the handler method once per event with
+// (index, payload). Event count and payloads are host entropy — captured
+// during record; during replay the callbacks are regenerated from the
+// trace at the same execution point and the source is never consulted.
+//
+// Stack: [handlerName(ref), max(prim)] -> eventCount(prim).
+func (vm *VM) nativePollEvents(t *threads.Thread, id int) (control, int, error) {
+	maxEv, err := vm.popPrim(t)
+	if err != nil {
+		return 0, 0, err
+	}
+	nameRef, err := vm.popObj(t)
+	if err != nil {
+		return 0, 0, err
+	}
+	if vm.h.KindOf(nameRef) != heap.KindByteArr {
+		return 0, 0, fmt.Errorf("pollevents handler name must be a string")
+	}
+	handlerName := string(vm.h.Bytes(nameRef))
+	handler, ok := vm.prog.MethodByName(handlerName)
+	if !ok {
+		return 0, 0, fmt.Errorf("pollevents: no method %q", handlerName)
+	}
+	if handler.NArgs != 2 {
+		return 0, 0, fmt.Errorf("pollevents handler %q must take 2 args", handlerName)
+	}
+	if maxEv < 0 {
+		maxEv = 0
+	}
+
+	var cbErr error
+	apply := func(cb int, params []int64) {
+		if cbErr != nil {
+			return
+		}
+		if cb != handler.ID {
+			cbErr = fmt.Errorf("pollevents: callback method %d recorded, handler is %d", cb, handler.ID)
+			return
+		}
+		cbErr = vm.callNested(t, handler, params)
+	}
+	vals := vm.eng.NativeWithCallbacks(id, func(emit func(int, []int64)) []int64 {
+		n := int64(0)
+		if maxEv > 0 {
+			n = vm.rngHost.Int63n(maxEv + 1)
+		}
+		for i := int64(0); i < n; i++ {
+			emit(handler.ID, []int64{i, vm.rngHost.Int63n(1000)})
+		}
+		return []int64{n}
+	}, apply)
+	if cbErr != nil {
+		return 0, 0, cbErr
+	}
+	return vm.pushNativeResult(t, vals)
+}
+
+// callNested runs a method to completion on the current thread, re-entering
+// the interpreter. Used for native-to-VM callbacks; blocking operations are
+// rejected inside it, and preemption is deferred to the outer loop, like a
+// pending thread-switch bit held across a native frame. The handler must
+// return void (Ret).
+func (vm *VM) callNested(t *threads.Thread, m *bytecode.Method, params []int64) error {
+	baseFP := t.FP
+	baseSP := t.SP
+	for _, p := range params {
+		if err := vm.push(t, uint64(p), false); err != nil {
+			return err
+		}
+	}
+	if err := vm.pushFrame(t, m, t.SP-len(params)); err != nil {
+		return err
+	}
+	vm.nestedDepth++
+	defer func() { vm.nestedDepth-- }()
+	vm.yieldHere(t) // method prologue (switches deferred while nested)
+	for t.FP != baseFP {
+		if vm.cfg.MaxEvents > 0 && vm.events >= vm.cfg.MaxEvents {
+			return ErrEventBudget
+		}
+		if err := vm.execOne(t); err != nil {
+			return err
+		}
+		if err := vm.eng.Err(); err != nil {
+			return err
+		}
+	}
+	if t.SP != baseSP {
+		return fmt.Errorf("callback %s left %d values on the stack", m.FullName(), t.SP-baseSP)
+	}
+	return nil
+}
+
+// NativeSignature reports a registered native's operand and result counts,
+// for the bytecode verifier.
+func NativeSignature(name string) (pops, pushes int, ok bool) {
+	switch name {
+	case "clock", "nanotime", "random", "readline", "gc", "heapused",
+		"interrupted", "remotedict", "remotethreads":
+		return 0, 1, true
+	case "randrange", "idhash", "strlen", "parseint", "isremote":
+		return 1, 1, true
+	case "pollevents":
+		return 2, 1, true
+	}
+	return 0, 0, false
+}
+
+// VerifyProgram statically verifies prog against this VM's native
+// registry, returning the per-method facts (max operand depth, return
+// shape).
+func VerifyProgram(prog *bytecode.Program) ([]bytecode.MethodFacts, error) {
+	return bytecode.Verify(prog, bytecode.VerifyConfig{Natives: NativeSignature})
+}

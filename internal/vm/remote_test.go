@@ -1,0 +1,352 @@
+package vm
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/heap"
+	"dejavu/internal/ptrace"
+)
+
+// sharedSrc is one program image serving both roles (§3.4): the
+// application entry (Main.main) builds a linked list and records it in a
+// static; the tool entry (Main.tool) is a debugger written in bytecode
+// that inspects the *remote* application through the extended reference
+// bytecodes — the same getf/aload/callv/prints work transparently on
+// remote stubs.
+const sharedSrc = `
+program shared
+class Node {
+  field val
+  field next ref
+  method value 1 1 {         # a reflection-style accessor (Fig. 3 pattern)
+    load 0
+    getf 0
+    retv
+  }
+  method doubled 1 1 {
+    load 0
+    callv "value" 1
+    iconst 2
+    mul
+    retv
+  }
+}
+class Main {
+  static head ref
+  static label ref
+  static sum
+
+  method main 0 2 {          # application role
+    sconst "remote hello"
+    puts Main.label
+    iconst 5
+    store 0
+    null
+    store 1
+  build:
+    load 0
+    jz done
+    new Node
+    dup
+    load 0
+    putf 0                   # node.val = i
+    dup
+    load 1
+    putf 1                   # node.next = prev
+    store 1
+    load 0
+    iconst 1
+    sub
+    store 0
+    jmp build
+  done:
+    load 1
+    puts Main.head
+    halt
+  }
+
+  method tool 0 3 {          # tool role: runs against the REMOTE space
+    native "remotedict" 0
+    store 0                  # remote VM_Class array (mapped method)
+    load 0
+    native "isremote" 1
+    assert                   # the dictionary is a remote object
+    load 0
+    arrlen
+    print                    # number of remote classes: 2
+
+    # Walk the remote linked list: Main.head lives in the remote statics.
+    # VM_Class mirror slot 2 is the statics object; Main is class 1.
+    load 0
+    iconst 1
+    aload                    # remote VM_Class for Main
+    getf 2                   # remote Main$Statics
+    getf 0                   # remote Main.head (ref -> stub)
+    store 1
+  walk:
+    load 1
+    native "isremote" 1
+    jz endwalk               # null next ends the walk
+    load 1
+    callv "doubled" 1        # virtual call ON A REMOTE OBJECT (Fig. 3)
+    gets Main.sum
+    add
+    puts Main.sum
+    load 1
+    getf 1                   # node.next: derived remote object
+    store 1
+    jmp walk
+  endwalk:
+    gets Main.sum
+    print                    # 2*(1+2+3+4+5) = 30
+
+    # Remote strings print transparently.
+    load 0
+    iconst 1
+    aload
+    getf 2
+    getf 1                   # remote Main.label
+    prints
+    load 0
+    iconst 1
+    aload
+    getf 2
+    getf 1
+    native "strlen" 1
+    print                    # 12
+    halt
+  }
+}
+entry Main.main
+`
+
+// buildRoles returns the application program and a tool program with the
+// same layout but entering Main.tool.
+func buildRoles(t *testing.T) (app, tool *bytecode.Program) {
+	t.Helper()
+	app = bytecode.MustAssemble(sharedSrc)
+	tool = bytecode.MustAssemble(sharedSrc)
+	m, ok := tool.MethodByName("Main.tool")
+	if !ok {
+		t.Fatal("no tool method")
+	}
+	tool.Entry = m.ID
+	if LayoutHash(app) != LayoutHash(tool) {
+		t.Fatal("roles disagree on layout")
+	}
+	return app, tool
+}
+
+func runApp(t *testing.T, app *bytecode.Program) *VM {
+	t.Helper()
+	appVM, err := New(app, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := appVM.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return appVM
+}
+
+// TestToolVMBytecodeExtension is the §3.4 demonstration: a debugger
+// written in the VM's own bytecode runs on a tool VM and inspects the
+// application VM through transparently extended reference bytecodes.
+func TestToolVMBytecodeExtension(t *testing.T) {
+	app, tool := buildRoles(t)
+	appVM := runApp(t, app)
+
+	toolVM, err := New(tool, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := toolVM.AttachLocalPeer(appVM); err != nil {
+		t.Fatal(err)
+	}
+	appEvents := appVM.Events()
+	appDigestBefore := heapFingerprint(appVM)
+
+	if err := toolVM.Run(); err != nil {
+		t.Fatalf("tool run: %v", err)
+	}
+	got := string(toolVM.Output())
+	want := "2\n30\nremote hello\n12\n"
+	if got != want {
+		t.Fatalf("tool output = %q, want %q", got, want)
+	}
+	// The application VM executed nothing and its heap is untouched.
+	if appVM.Events() != appEvents {
+		t.Fatal("application VM executed events during tool run")
+	}
+	if heapFingerprint(appVM) != appDigestBefore {
+		t.Fatal("application heap perturbed by tool VM")
+	}
+}
+
+// heapFingerprint hashes the used heap region.
+func heapFingerprint(m *VM) uint64 {
+	h := m.Heap()
+	buf := make([]byte, h.Used())
+	h.ReadBytes(h.ActiveBase(), buf)
+	sum := uint64(14695981039346656037)
+	for _, b := range buf {
+		sum ^= uint64(b)
+		sum *= 1099511628211
+	}
+	return sum
+}
+
+// TestToolVMOverTCP runs the same tool program against a remote VM
+// reached through the ptrace TCP channel — the full two-process §3.4
+// configuration.
+func TestToolVMOverTCP(t *testing.T) {
+	app, tool := buildRoles(t)
+	appVM := runApp(t, app)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go ptrace.Serve(l, appVM.Heap(), appVM)
+	client, err := ptrace.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	toolVM, err := New(tool, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = toolVM.EnableRemoteReflection(client,
+		func() (heap.Addr, heap.Addr, error) { return client.Roots() },
+		LayoutHash(app))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := toolVM.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(toolVM.Output()); got != "2\n30\nremote hello\n12\n" {
+		t.Fatalf("tool output over TCP = %q", got)
+	}
+}
+
+// TestRemoteObjectsAreReadOnly: mutating bytecodes trap on stubs.
+func TestRemoteObjectsAreReadOnly(t *testing.T) {
+	app, _ := buildRoles(t)
+	appVM := runApp(t, app)
+
+	cases := []struct{ name, body string }{
+		{"putf", `
+    native "remotedict" 0
+    iconst 0
+    aload
+    iconst 9
+    putf 2
+    halt`},
+		{"astore", `
+    native "remotedict" 0
+    iconst 0
+    iconst 9
+    astore
+    halt`},
+		{"monenter", `
+    native "remotedict" 0
+    monenter
+    halt`},
+	}
+	for _, tc := range cases {
+		src := "program p\nclass Main {\n method main 0 1 {" + tc.body + "\n }\n}\nentry Main.main\n"
+		prog := bytecode.MustAssemble(src)
+		toolVM, err := New(prog, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bypass the layout check: this probe program differs by design.
+		toolVM.remote = &remoteWorld{
+			mem: ptrace.Local{H: appVM.Heap()},
+			roots: func() (heap.Addr, heap.Addr, error) {
+				d, th := appVM.Roots()
+				return d, th, nil
+			},
+		}
+		err = toolVM.Run()
+		if err == nil || !strings.Contains(err.Error(), "remote") {
+			t.Errorf("%s: expected remote-readonly trap, got %v", tc.name, err)
+		}
+	}
+}
+
+// TestLayoutHashGuards: attaching mismatched layouts is refused.
+func TestLayoutHashGuards(t *testing.T) {
+	app, _ := buildRoles(t)
+	appVM := runApp(t, app)
+	other := bytecode.MustAssemble(`
+program other
+class X { field a
+  method main 0 0 {
+    halt
+  }
+}
+entry X.main
+`)
+	otherVM, err := New(other, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := otherVM.AttachLocalPeer(appVM); err == nil {
+		t.Fatal("expected layout mismatch error")
+	}
+	// Entry differences alone do not change the layout hash.
+	if LayoutHash(app) != LayoutHash(appVM.Program()) {
+		t.Fatal("layout hash unstable")
+	}
+}
+
+// TestRemoteNativesRequireWorld: the mapped methods trap without a remote
+// attachment.
+func TestRemoteNativesRequireWorld(t *testing.T) {
+	prog := bytecode.MustAssemble(`
+program p
+class Main {
+  method main 0 0 {
+    native "remotedict" 0
+    pop
+    halt
+  }
+}
+entry Main.main
+`)
+	m, err := New(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err == nil || !strings.Contains(err.Error(), "no remote world") {
+		t.Fatalf("expected no-remote-world trap, got %v", err)
+	}
+}
+
+// TestStubsSurviveToolGC: stubs are ordinary local objects; a collection
+// in the tool VM must not disturb their remote addresses.
+func TestStubsSurviveToolGC(t *testing.T) {
+	app, tool := buildRoles(t)
+	appVM := runApp(t, app)
+	toolVM, err := New(tool, Config{HeapBytes: 8 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := toolVM.AttachLocalPeer(appVM); err != nil {
+		t.Fatal(err)
+	}
+	if err := toolVM.Run(); err != nil {
+		t.Fatalf("tool run under tiny heap: %v", err)
+	}
+	if got := string(toolVM.Output()); got != "2\n30\nremote hello\n12\n" {
+		t.Fatalf("output = %q", got)
+	}
+}

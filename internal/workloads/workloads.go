@@ -1,0 +1,796 @@
+// Package workloads provides the multithreaded benchmark programs used
+// throughout the evaluation: the paper's Figure 1 examples, server-style
+// applications exercising every source of non-determinism DejaVu handles
+// (preemption, monitor contention, wait/notify, timed events, wall-clock
+// reads, native calls, input, callbacks), and compute baselines.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dejavu/internal/bytecode"
+)
+
+// Registry maps workload names to constructors with default parameters.
+var Registry = map[string]func() *bytecode.Program{
+	"fig1ab":       func() *bytecode.Program { return Fig1AB() },
+	"fig1cd":       func() *bytecode.Program { return Fig1CD() },
+	"bank":         func() *bytecode.Program { return Bank(4, 8, 500) },
+	"prodcons":     func() *bytecode.Program { return ProdCons(2, 2, 4, 200) },
+	"philosophers": func() *bytecode.Program { return Philosophers(5, 30) },
+	"server":       func() *bytecode.Program { return Server(3, 60) },
+	"sieve":        func() *bytecode.Program { return Sieve(2000) },
+	"sleepy":       func() *bytecode.Program { return Sleepy(4) },
+	"sumlines":     func() *bytecode.Program { return SumLines() },
+	"events":       func() *bytecode.Program { return Events(20) },
+}
+
+// Names returns registry keys in sorted order.
+func Names() []string {
+	var out []string
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// busy emits a loop of n iterations — n yield points (loop backedges), so
+// preemption has room to strike.
+func busy(mb *bytecode.MethodBuilder, scratch int, n int) {
+	label := fmt.Sprintf("busy%d", mb.PC())
+	mb.Const(int64(n)).Emit(bytecode.Store, int32(scratch))
+	mb.Label(label)
+	mb.Emit(bytecode.Load, int32(scratch)).Const(1).Emit(bytecode.Sub).Emit(bytecode.Store, int32(scratch))
+	mb.Emit(bytecode.Load, int32(scratch)).Branch(bytecode.Jnz, label)
+}
+
+// joinBarrier emits, into main, a monitor-based join: wait on lock until
+// static `doneField` of class mc reaches want. Locals: scratch.
+func joinBarrier(mb *bytecode.MethodBuilder, mc *bytecode.ClassBuilder, lockLocal int, doneField string, want int) {
+	mb.Emit(bytecode.Load, int32(lockLocal)).Emit(bytecode.MonEnter)
+	top := fmt.Sprintf("join%d", mb.PC())
+	out := fmt.Sprintf("joined%d", mb.PC())
+	mb.Label(top)
+	mb.GetStatic(mc, doneField).Const(int64(want)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, out)
+	mb.Emit(bytecode.Load, int32(lockLocal)).Emit(bytecode.Wait)
+	mb.Branch(bytecode.Jmp, top)
+	mb.Label(out)
+	mb.Emit(bytecode.Load, int32(lockLocal)).Emit(bytecode.MonExit)
+}
+
+// signalDone emits: lock; done++; notifyall; unlock. The lock object is in
+// the worker's local lockLocal.
+func signalDone(mb *bytecode.MethodBuilder, mc *bytecode.ClassBuilder, lockLocal int, doneField string) {
+	mb.Emit(bytecode.Load, int32(lockLocal)).Emit(bytecode.MonEnter)
+	mb.GetStatic(mc, doneField).Const(1).Emit(bytecode.Add).PutStatic(mc, doneField)
+	mb.Emit(bytecode.Load, int32(lockLocal)).Emit(bytecode.NotifyAll)
+	mb.Emit(bytecode.Load, int32(lockLocal)).Emit(bytecode.MonExit)
+}
+
+// Fig1AB reproduces Figure 1 (A)/(B): two threads racing on unsynchronized
+// statics x and y. The printed values depend entirely on where preemptive
+// switches land; replay must reproduce them exactly.
+//
+//	T1: y = 1; x = y * 2        T2: y = x * 2
+func Fig1AB() *bytecode.Program {
+	b := bytecode.NewBuilder("fig1ab")
+	main := b.Class("Main")
+	main.Static("x", false)
+	main.Static("y", false)
+	main.Static("done", false)
+
+	t1 := main.Method("t1", 1, 2)
+	busy(t1, 1, 8)
+	t1.Const(1).PutStatic(main, "y")
+	busy(t1, 1, 8)
+	t1.GetStatic(main, "y").Const(2).Emit(bytecode.Mul).PutStatic(main, "x")
+	signalDone(t1, main, 0, "done")
+	t1.Emit(bytecode.Ret)
+
+	t2 := main.Method("t2", 1, 2)
+	busy(t2, 1, 8)
+	t2.GetStatic(main, "x").Const(2).Emit(bytecode.Mul).PutStatic(main, "y")
+	signalDone(t2, main, 0, "done")
+	t2.Emit(bytecode.Ret)
+
+	mb := main.Method("main", 0, 2)
+	mb.Emit(bytecode.New, int32(main.ID())).Emit(bytecode.Store, 0) // lock
+	mb.Emit(bytecode.Load, 0).SpawnM(t1).Emit(bytecode.Pop)
+	mb.Emit(bytecode.Load, 0).SpawnM(t2).Emit(bytecode.Pop)
+	joinBarrier(mb, main, 0, "done", 2)
+	mb.GetStatic(main, "x").Emit(bytecode.Print)
+	mb.GetStatic(main, "y").Emit(bytecode.Print)
+	mb.Emit(bytecode.Halt)
+	b.Entry(mb)
+	return b.MustProgram()
+}
+
+// Fig1CD reproduces Figure 1 (C)/(D): the wall clock decides a branch; the
+// true branch waits on a monitor (a deterministic switch), the false
+// branch runs on. T2 eventually stores x+100 and notifies.
+//
+//	T1: y = Date(); if (y < 15) o1.wait(); y = y * 2; print y
+//	T2: y = x + 100; o1.notify()
+func Fig1CD() *bytecode.Program {
+	b := bytecode.NewBuilder("fig1cd")
+	main := b.Class("Main")
+	main.Static("x", false)
+	main.Static("y", false)
+	main.Static("done", false)
+
+	// T1: local0 = o1 (lock)
+	t1 := main.Method("t1", 1, 2)
+	t1.NativeCall("clock", 0).PutStatic(main, "y")
+	t1.Emit(bytecode.Load, 0).Emit(bytecode.MonEnter)
+	t1.GetStatic(main, "y").Const(2).Emit(bytecode.Mod).Branch(bytecode.Jnz, "skipwait")
+	t1.Emit(bytecode.Load, 0).Emit(bytecode.Wait) // "if (y < 15) o1.wait()"
+	t1.Label("skipwait")
+	t1.Emit(bytecode.Load, 0).Emit(bytecode.MonExit)
+	t1.GetStatic(main, "y").Const(2).Emit(bytecode.Mul).PutStatic(main, "y")
+	t1.GetStatic(main, "y").Emit(bytecode.Print)
+	signalDone(t1, main, 0, "done")
+	t1.Emit(bytecode.Ret)
+
+	t2 := main.Method("t2", 1, 2)
+	busy(t2, 1, 25)
+	t2.GetStatic(main, "x").Const(100).Emit(bytecode.Add).PutStatic(main, "y")
+	t2.Emit(bytecode.Load, 0).Emit(bytecode.MonEnter)
+	t2.Emit(bytecode.Load, 0).Emit(bytecode.Notify)
+	t2.Emit(bytecode.Load, 0).Emit(bytecode.MonExit)
+	signalDone(t2, main, 0, "done")
+	t2.Emit(bytecode.Ret)
+
+	mb := main.Method("main", 0, 1)
+	mb.Const(7).PutStatic(main, "x")
+	mb.Emit(bytecode.New, int32(main.ID())).Emit(bytecode.Store, 0)
+	mb.Emit(bytecode.Load, 0).SpawnM(t1).Emit(bytecode.Pop)
+	mb.Emit(bytecode.Load, 0).SpawnM(t2).Emit(bytecode.Pop)
+	joinBarrier(mb, main, 0, "done", 2)
+	mb.GetStatic(main, "y").Emit(bytecode.Print)
+	mb.Emit(bytecode.Halt)
+	b.Entry(mb)
+	return b.MustProgram()
+}
+
+// Bank runs tellers transferring between accounts under one global lock —
+// the classic server workload with heavy monitor contention. The total is
+// asserted conserved and printed.
+func Bank(tellers, accounts, txPerTeller int) *bytecode.Program {
+	b := bytecode.NewBuilder("bank")
+	main := b.Class("Main")
+	main.Static("accounts", true)
+	main.Static("lockobj", true)
+	main.Static("done", false)
+
+	// teller(id): LCG-driven transfers. locals: 0=id 1=i 2=rng 3=from 4=to 5=amt 6=scratch
+	teller := main.Method("teller", 1, 7)
+	teller.Emit(bytecode.Load, 0).Const(12345).Emit(bytecode.Add).Emit(bytecode.Store, 2)
+	teller.Const(0).Emit(bytecode.Store, 1)
+	teller.Label("loop")
+	teller.Emit(bytecode.Load, 1).Const(int64(txPerTeller)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "out")
+	// rng = (rng*1103515245 + 12345) & 0x7fffffff
+	teller.Emit(bytecode.Load, 2).Const(1103515245).Emit(bytecode.Mul).Const(12345).
+		Emit(bytecode.Add).Const(0x7fffffff).Emit(bytecode.And).Emit(bytecode.Store, 2)
+	teller.Emit(bytecode.Load, 2).Const(int64(accounts)).Emit(bytecode.Mod).Emit(bytecode.Store, 3)
+	teller.Emit(bytecode.Load, 2).Const(17).Emit(bytecode.Div).Const(int64(accounts)).Emit(bytecode.Mod).Emit(bytecode.Store, 4)
+	teller.Emit(bytecode.Load, 2).Const(7).Emit(bytecode.Mod).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 5)
+	// lock; accounts[from] -= amt; accounts[to] += amt; unlock
+	teller.GetStatic(main, "lockobj").Emit(bytecode.MonEnter)
+	teller.GetStatic(main, "accounts").Emit(bytecode.Load, 3).
+		GetStatic(main, "accounts").Emit(bytecode.Load, 3).Emit(bytecode.ALoad).
+		Emit(bytecode.Load, 5).Emit(bytecode.Sub).Emit(bytecode.AStore)
+	teller.GetStatic(main, "accounts").Emit(bytecode.Load, 4).
+		GetStatic(main, "accounts").Emit(bytecode.Load, 4).Emit(bytecode.ALoad).
+		Emit(bytecode.Load, 5).Emit(bytecode.Add).Emit(bytecode.AStore)
+	teller.GetStatic(main, "lockobj").Emit(bytecode.MonExit)
+	teller.Emit(bytecode.Load, 1).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 1)
+	teller.Branch(bytecode.Jmp, "loop")
+	teller.Label("out")
+	// done++ under the same lock, notify main
+	teller.GetStatic(main, "lockobj").Emit(bytecode.MonEnter)
+	teller.GetStatic(main, "done").Const(1).Emit(bytecode.Add).PutStatic(main, "done")
+	teller.GetStatic(main, "lockobj").Emit(bytecode.NotifyAll)
+	teller.GetStatic(main, "lockobj").Emit(bytecode.MonExit)
+	teller.Emit(bytecode.Ret)
+
+	// main: locals 0=i 1=sum
+	mb := main.Method("main", 0, 2)
+	mb.Emit(bytecode.New, int32(main.ID())).PutStatic(main, "lockobj")
+	mb.Const(int64(accounts)).Emit(bytecode.NewArr, bytecode.KindInt64).PutStatic(main, "accounts")
+	mb.Const(0).Emit(bytecode.Store, 0)
+	mb.Label("init")
+	mb.Emit(bytecode.Load, 0).Const(int64(accounts)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "spawned")
+	mb.GetStatic(main, "accounts").Emit(bytecode.Load, 0).Const(100).Emit(bytecode.AStore)
+	mb.Emit(bytecode.Load, 0).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 0)
+	mb.Branch(bytecode.Jmp, "init")
+	mb.Label("spawned")
+	mb.Const(0).Emit(bytecode.Store, 0)
+	mb.Label("spawn")
+	mb.Emit(bytecode.Load, 0).Const(int64(tellers)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "join")
+	mb.Emit(bytecode.Load, 0).SpawnM(teller).Emit(bytecode.Pop)
+	mb.Emit(bytecode.Load, 0).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 0)
+	mb.Branch(bytecode.Jmp, "spawn")
+	mb.Label("join")
+	// wait on lockobj until done == tellers
+	mb.GetStatic(main, "lockobj").Emit(bytecode.Store, 0)
+	joinBarrier(mb, main, 0, "done", tellers)
+	// sum accounts under the lock (keeps the access discipline clean for
+	// lockset-based tools); assert conservation
+	mb.GetStatic(main, "lockobj").Emit(bytecode.MonEnter)
+	mb.Const(0).Emit(bytecode.Store, 1)
+	mb.Const(0).Emit(bytecode.Store, 0)
+	mb.Label("sum")
+	mb.Emit(bytecode.Load, 0).Const(int64(accounts)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "check")
+	mb.Emit(bytecode.Load, 1).GetStatic(main, "accounts").Emit(bytecode.Load, 0).Emit(bytecode.ALoad).
+		Emit(bytecode.Add).Emit(bytecode.Store, 1)
+	mb.Emit(bytecode.Load, 0).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 0)
+	mb.Branch(bytecode.Jmp, "sum")
+	mb.Label("check")
+	mb.GetStatic(main, "lockobj").Emit(bytecode.MonExit)
+	mb.Emit(bytecode.Load, 1).Const(int64(100 * accounts)).Emit(bytecode.CmpEq).Emit(bytecode.Assert)
+	mb.Emit(bytecode.Load, 1).Emit(bytecode.Print)
+	mb.Emit(bytecode.Halt)
+	b.Entry(mb)
+	return b.MustProgram()
+}
+
+// ProdCons is a bounded-buffer producer/consumer system built on
+// wait/notify — the workload dominated by deterministic thread switches.
+func ProdCons(producers, consumers, capacity, itemsPerProducer int) *bytecode.Program {
+	b := bytecode.NewBuilder("prodcons")
+	buf := b.Class("Buffer")
+	buf.Field("items", true) // int array
+	buf.Field("count", false)
+	buf.Field("head", false)
+	buf.Field("tail", false)
+	main := b.Class("Main")
+	main.Static("buf", true)
+	main.Static("consumed", false)
+	main.Static("sum", false)
+	main.Static("done", false)
+
+	total := producers * itemsPerProducer
+
+	// put(buf, v): locals 0=buf 1=v
+	put := buf.Method("put", 2, 2)
+	put.Emit(bytecode.Load, 0).Emit(bytecode.MonEnter)
+	put.Label("full")
+	put.Emit(bytecode.Load, 0).GetField(buf, "count").Const(int64(capacity)).Emit(bytecode.CmpLt).Branch(bytecode.Jnz, "store")
+	put.Emit(bytecode.Load, 0).Emit(bytecode.Wait)
+	put.Branch(bytecode.Jmp, "full")
+	put.Label("store")
+	// items[tail] = v; tail = (tail+1)%cap; count++
+	put.Emit(bytecode.Load, 0).GetField(buf, "items").
+		Emit(bytecode.Load, 0).GetField(buf, "tail").
+		Emit(bytecode.Load, 1).Emit(bytecode.AStore)
+	put.Emit(bytecode.Load, 0).
+		Emit(bytecode.Load, 0).GetField(buf, "tail").Const(1).Emit(bytecode.Add).
+		Const(int64(capacity)).Emit(bytecode.Mod).PutField(buf, "tail")
+	put.Emit(bytecode.Load, 0).
+		Emit(bytecode.Load, 0).GetField(buf, "count").Const(1).Emit(bytecode.Add).PutField(buf, "count")
+	put.Emit(bytecode.Load, 0).Emit(bytecode.NotifyAll)
+	put.Emit(bytecode.Load, 0).Emit(bytecode.MonExit)
+	put.Emit(bytecode.Ret)
+
+	// take(buf) -> v: locals 0=buf 1=v
+	take := buf.Method("take", 1, 2)
+	take.Emit(bytecode.Load, 0).Emit(bytecode.MonEnter)
+	take.Label("empty")
+	take.Emit(bytecode.Load, 0).GetField(buf, "count").Const(0).Emit(bytecode.CmpGt).Branch(bytecode.Jnz, "fetch")
+	take.Emit(bytecode.Load, 0).Emit(bytecode.Wait)
+	take.Branch(bytecode.Jmp, "empty")
+	take.Label("fetch")
+	take.Emit(bytecode.Load, 0).GetField(buf, "items").
+		Emit(bytecode.Load, 0).GetField(buf, "head").Emit(bytecode.ALoad).Emit(bytecode.Store, 1)
+	take.Emit(bytecode.Load, 0).
+		Emit(bytecode.Load, 0).GetField(buf, "head").Const(1).Emit(bytecode.Add).
+		Const(int64(capacity)).Emit(bytecode.Mod).PutField(buf, "head")
+	take.Emit(bytecode.Load, 0).
+		Emit(bytecode.Load, 0).GetField(buf, "count").Const(1).Emit(bytecode.Sub).PutField(buf, "count")
+	take.Emit(bytecode.Load, 0).Emit(bytecode.NotifyAll)
+	take.Emit(bytecode.Load, 0).Emit(bytecode.MonExit)
+	take.Emit(bytecode.Load, 1).Emit(bytecode.RetV)
+
+	// producer(id): produces id*1000+i
+	producer := main.Method("producer", 1, 3)
+	producer.Const(0).Emit(bytecode.Store, 1)
+	producer.Label("loop")
+	producer.Emit(bytecode.Load, 1).Const(int64(itemsPerProducer)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "out")
+	producer.GetStatic(main, "buf").
+		Emit(bytecode.Load, 0).Const(1000).Emit(bytecode.Mul).Emit(bytecode.Load, 1).Emit(bytecode.Add).
+		CallM(put)
+	producer.Emit(bytecode.Load, 1).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 1)
+	producer.Branch(bytecode.Jmp, "loop")
+	producer.Label("out")
+	producer.Emit(bytecode.Ret)
+
+	// consumer(): consumes until `consumed` reaches total; locals 1=v
+	consumer := main.Method("consumer", 1, 3)
+	consumer.Label("loop")
+	// Check quota under the buffer's monitor to decide whether to exit.
+	consumer.GetStatic(main, "buf").Emit(bytecode.MonEnter)
+	consumer.GetStatic(main, "consumed").Const(int64(total)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "finish")
+	consumer.GetStatic(main, "consumed").Const(1).Emit(bytecode.Add).PutStatic(main, "consumed")
+	consumer.GetStatic(main, "buf").Emit(bytecode.MonExit)
+	consumer.GetStatic(main, "buf").CallM(take).Emit(bytecode.Store, 1)
+	// Accumulate under the buffer's monitor: two consumers race on the
+	// shared sum otherwise (a lost-update bug our own lockset detector
+	// found during E14).
+	consumer.GetStatic(main, "buf").Emit(bytecode.MonEnter)
+	consumer.GetStatic(main, "sum").Emit(bytecode.Load, 1).Emit(bytecode.Add).PutStatic(main, "sum")
+	consumer.GetStatic(main, "buf").Emit(bytecode.MonExit)
+	consumer.Branch(bytecode.Jmp, "loop")
+	consumer.Label("finish")
+	consumer.GetStatic(main, "buf").Emit(bytecode.MonExit)
+	consumer.GetStatic(main, "buf").Emit(bytecode.Store, 2)
+	signalDone(consumer, main, 2, "done")
+	consumer.Emit(bytecode.Ret)
+
+	// main
+	mb := main.Method("main", 0, 2)
+	mb.Emit(bytecode.New, int32(buf.ID())).PutStatic(main, "buf")
+	mb.GetStatic(main, "buf").Const(int64(capacity)).Emit(bytecode.NewArr, bytecode.KindInt64).PutField(buf, "items")
+	for i := 0; i < producers; i++ {
+		mb.Const(int64(i)).SpawnM(producer).Emit(bytecode.Pop)
+	}
+	for i := 0; i < consumers; i++ {
+		mb.Const(int64(i)).SpawnM(consumer).Emit(bytecode.Pop)
+	}
+	mb.GetStatic(main, "buf").Emit(bytecode.Store, 0)
+	joinBarrier(mb, main, 0, "done", consumers)
+	// Read the result under the same monitor the consumers used: the
+	// lockset discipline has no notion of join ordering, so an unlocked
+	// final read would be (correctly) flagged by the race detector.
+	mb.Emit(bytecode.Load, 0).Emit(bytecode.MonEnter)
+	mb.GetStatic(main, "sum").Emit(bytecode.Store, 1)
+	mb.Emit(bytecode.Load, 0).Emit(bytecode.MonExit)
+	mb.Emit(bytecode.Load, 1).Emit(bytecode.Print)
+	expected := 0
+	for p := 0; p < producers; p++ {
+		for i := 0; i < itemsPerProducer; i++ {
+			expected += p*1000 + i
+		}
+	}
+	mb.Emit(bytecode.Load, 1).Const(int64(expected)).Emit(bytecode.CmpEq).Emit(bytecode.Assert)
+	mb.Emit(bytecode.Halt)
+	b.Entry(mb)
+	return b.MustProgram()
+}
+
+// Philosophers runs the dining philosophers with ordered fork acquisition
+// (no deadlock); meals are counted and printed.
+func Philosophers(n, rounds int) *bytecode.Program {
+	b := bytecode.NewBuilder("philosophers")
+	main := b.Class("Main")
+	main.Static("forks", true)
+	main.Static("meals", false)
+	main.Static("lockobj", true)
+	main.Static("done", false)
+
+	// phil(id): locals 0=id 1=i 2=first 3=second 4=scratch
+	phil := main.Method("phil", 1, 5)
+	phil.Const(0).Emit(bytecode.Store, 1)
+	phil.Label("loop")
+	phil.Emit(bytecode.Load, 1).Const(int64(rounds)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "out")
+	// first = min(id, (id+1)%n), second = max(...)  (ordered locking)
+	phil.Emit(bytecode.Load, 0).Emit(bytecode.Store, 2)
+	phil.Emit(bytecode.Load, 0).Const(1).Emit(bytecode.Add).Const(int64(n)).Emit(bytecode.Mod).Emit(bytecode.Store, 3)
+	phil.Emit(bytecode.Load, 2).Emit(bytecode.Load, 3).Emit(bytecode.CmpLt).Branch(bytecode.Jnz, "ordered")
+	phil.Emit(bytecode.Load, 2).Emit(bytecode.Load, 3).Emit(bytecode.Store, 2).Emit(bytecode.Store, 3)
+	phil.Label("ordered")
+	phil.GetStatic(main, "forks").Emit(bytecode.Load, 2).Emit(bytecode.ALoad).Emit(bytecode.MonEnter)
+	phil.GetStatic(main, "forks").Emit(bytecode.Load, 3).Emit(bytecode.ALoad).Emit(bytecode.MonEnter)
+	busy(phil, 4, 5) // eat
+	phil.GetStatic(main, "lockobj").Emit(bytecode.MonEnter)
+	phil.GetStatic(main, "meals").Const(1).Emit(bytecode.Add).PutStatic(main, "meals")
+	phil.GetStatic(main, "lockobj").Emit(bytecode.MonExit)
+	phil.GetStatic(main, "forks").Emit(bytecode.Load, 3).Emit(bytecode.ALoad).Emit(bytecode.MonExit)
+	phil.GetStatic(main, "forks").Emit(bytecode.Load, 2).Emit(bytecode.ALoad).Emit(bytecode.MonExit)
+	phil.Emit(bytecode.Load, 1).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 1)
+	phil.Branch(bytecode.Jmp, "loop")
+	phil.Label("out")
+	phil.GetStatic(main, "lockobj").Emit(bytecode.Store, 2)
+	signalDone(phil, main, 2, "done")
+	phil.Emit(bytecode.Ret)
+
+	mb := main.Method("main", 0, 1)
+	mb.Emit(bytecode.New, int32(main.ID())).PutStatic(main, "lockobj")
+	mb.Const(int64(n)).Emit(bytecode.NewArr, bytecode.KindRef).PutStatic(main, "forks")
+	mb.Const(0).Emit(bytecode.Store, 0)
+	mb.Label("mkforks")
+	mb.Emit(bytecode.Load, 0).Const(int64(n)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "spawn")
+	mb.GetStatic(main, "forks").Emit(bytecode.Load, 0).Emit(bytecode.New, int32(main.ID())).Emit(bytecode.AStore)
+	mb.Emit(bytecode.Load, 0).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 0)
+	mb.Branch(bytecode.Jmp, "mkforks")
+	mb.Label("spawn")
+	for i := 0; i < n; i++ {
+		mb.Const(int64(i)).SpawnM(phil).Emit(bytecode.Pop)
+	}
+	mb.GetStatic(main, "lockobj").Emit(bytecode.Store, 0)
+	joinBarrier(mb, main, 0, "done", n)
+	mb.GetStatic(main, "meals").Emit(bytecode.Print)
+	mb.GetStatic(main, "meals").Const(int64(n * rounds)).Emit(bytecode.CmpEq).Emit(bytecode.Assert)
+	mb.Emit(bytecode.Halt)
+	b.Entry(mb)
+	return b.MustProgram()
+}
+
+// Server models the paper's motivating server application: a dispatcher
+// enqueues timestamped requests; workers take them with timed waits, read
+// the wall clock, occasionally sleep, and accumulate latency statistics.
+// It exercises every non-deterministic event class at once.
+func Server(workers, requests int) *bytecode.Program {
+	b := bytecode.NewBuilder("server")
+	main := b.Class("Main")
+	main.Static("queue", true) // int array ring
+	main.Static("qcount", false)
+	main.Static("qhead", false)
+	main.Static("qtail", false)
+	main.Static("qlock", true)
+	main.Static("served", false)
+	main.Static("latency", false)
+	main.Static("done", false)
+	const qcap = 8
+
+	// worker(): locals 0=req 1=now 2=scratch
+	worker := main.Method("worker", 1, 3)
+	worker.Label("loop")
+	worker.GetStatic(main, "qlock").Emit(bytecode.MonEnter)
+	worker.Label("empty")
+	// exit when all served
+	worker.GetStatic(main, "served").Const(int64(requests)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "finish")
+	worker.GetStatic(main, "qcount").Const(0).Emit(bytecode.CmpGt).Branch(bytecode.Jnz, "takereq")
+	// timed wait so a worker wakes even without a notify
+	worker.Const(20).GetStatic(main, "qlock").Emit(bytecode.Swap).Emit(bytecode.TimedWait)
+	worker.Branch(bytecode.Jmp, "empty")
+	worker.Label("takereq")
+	worker.GetStatic(main, "queue").GetStatic(main, "qhead").Emit(bytecode.ALoad).Emit(bytecode.Store, 0)
+	worker.GetStatic(main, "qhead").Const(1).Emit(bytecode.Add).Const(qcap).Emit(bytecode.Mod).PutStatic(main, "qhead")
+	worker.GetStatic(main, "qcount").Const(1).Emit(bytecode.Sub).PutStatic(main, "qcount")
+	worker.GetStatic(main, "served").Const(1).Emit(bytecode.Add).PutStatic(main, "served")
+	worker.GetStatic(main, "qlock").Emit(bytecode.NotifyAll)
+	worker.GetStatic(main, "qlock").Emit(bytecode.MonExit)
+	// process: latency += now - enqueue time; busy work; sometimes sleep
+	worker.NativeCall("clock", 0).Emit(bytecode.Store, 1)
+	worker.GetStatic(main, "qlock").Emit(bytecode.MonEnter)
+	worker.GetStatic(main, "latency").Emit(bytecode.Load, 1).Emit(bytecode.Load, 0).Emit(bytecode.Sub).
+		Emit(bytecode.Add).PutStatic(main, "latency")
+	worker.GetStatic(main, "qlock").Emit(bytecode.MonExit)
+	busy(worker, 2, 10)
+	worker.Emit(bytecode.Load, 0).Const(5).Emit(bytecode.Mod).Branch(bytecode.Jnz, "loop")
+	worker.Const(3).Emit(bytecode.Sleep)
+	worker.Branch(bytecode.Jmp, "loop")
+	worker.Label("finish")
+	worker.GetStatic(main, "qlock").Emit(bytecode.NotifyAll)
+	worker.GetStatic(main, "qlock").Emit(bytecode.MonExit)
+	worker.GetStatic(main, "qlock").Emit(bytecode.Store, 2)
+	signalDone(worker, main, 2, "done")
+	worker.Emit(bytecode.Ret)
+
+	// main: dispatcher. locals 0=i 1=scratch
+	mb := main.Method("main", 0, 2)
+	mb.Emit(bytecode.New, int32(main.ID())).PutStatic(main, "qlock")
+	mb.Const(qcap).Emit(bytecode.NewArr, bytecode.KindInt64).PutStatic(main, "queue")
+	for i := 0; i < workers; i++ {
+		mb.Const(int64(i)).SpawnM(worker).Emit(bytecode.Pop)
+	}
+	mb.Const(0).Emit(bytecode.Store, 0)
+	mb.Label("dispatch")
+	mb.Emit(bytecode.Load, 0).Const(int64(requests)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "join")
+	mb.GetStatic(main, "qlock").Emit(bytecode.MonEnter)
+	mb.Label("qfull")
+	mb.GetStatic(main, "qcount").Const(qcap).Emit(bytecode.CmpLt).Branch(bytecode.Jnz, "enq")
+	mb.Const(20).GetStatic(main, "qlock").Emit(bytecode.Swap).Emit(bytecode.TimedWait)
+	mb.Branch(bytecode.Jmp, "qfull")
+	mb.Label("enq")
+	mb.GetStatic(main, "queue").GetStatic(main, "qtail").NativeCall("clock", 0).Emit(bytecode.AStore)
+	mb.GetStatic(main, "qtail").Const(1).Emit(bytecode.Add).Const(qcap).Emit(bytecode.Mod).PutStatic(main, "qtail")
+	mb.GetStatic(main, "qcount").Const(1).Emit(bytecode.Add).PutStatic(main, "qcount")
+	mb.GetStatic(main, "qlock").Emit(bytecode.NotifyAll)
+	mb.GetStatic(main, "qlock").Emit(bytecode.MonExit)
+	mb.Emit(bytecode.Load, 0).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 0)
+	mb.Branch(bytecode.Jmp, "dispatch")
+	mb.Label("join")
+	mb.GetStatic(main, "qlock").Emit(bytecode.Store, 1)
+	joinBarrier(mb, main, 1, "done", workers)
+	mb.GetStatic(main, "served").Emit(bytecode.Print)
+	mb.Emit(bytecode.Halt)
+	b.Entry(mb)
+	return b.MustProgram()
+}
+
+// Sieve is the single-threaded compute baseline: count primes below n.
+func Sieve(n int) *bytecode.Program {
+	b := bytecode.NewBuilder("sieve")
+	main := b.Class("Main")
+	// locals: 0=arr 1=i 2=j 3=count
+	mb := main.Method("main", 0, 4)
+	mb.Const(int64(n)).Emit(bytecode.NewArr, bytecode.KindByte).Emit(bytecode.Store, 0)
+	mb.Const(2).Emit(bytecode.Store, 1)
+	mb.Label("outer")
+	mb.Emit(bytecode.Load, 1).Emit(bytecode.Load, 1).Emit(bytecode.Mul).Const(int64(n)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "count")
+	mb.Emit(bytecode.Load, 0).Emit(bytecode.Load, 1).Emit(bytecode.ALoad).Branch(bytecode.Jnz, "next")
+	mb.Emit(bytecode.Load, 1).Emit(bytecode.Load, 1).Emit(bytecode.Mul).Emit(bytecode.Store, 2)
+	mb.Label("mark")
+	mb.Emit(bytecode.Load, 2).Const(int64(n)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "next")
+	mb.Emit(bytecode.Load, 0).Emit(bytecode.Load, 2).Const(1).Emit(bytecode.AStore)
+	mb.Emit(bytecode.Load, 2).Emit(bytecode.Load, 1).Emit(bytecode.Add).Emit(bytecode.Store, 2)
+	mb.Branch(bytecode.Jmp, "mark")
+	mb.Label("next")
+	mb.Emit(bytecode.Load, 1).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 1)
+	mb.Branch(bytecode.Jmp, "outer")
+	mb.Label("count")
+	mb.Const(2).Emit(bytecode.Store, 1)
+	mb.Label("cloop")
+	mb.Emit(bytecode.Load, 1).Const(int64(n)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "done")
+	mb.Emit(bytecode.Load, 0).Emit(bytecode.Load, 1).Emit(bytecode.ALoad).Branch(bytecode.Jnz, "skip")
+	mb.Emit(bytecode.Load, 3).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 3)
+	mb.Label("skip")
+	mb.Emit(bytecode.Load, 1).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 1)
+	mb.Branch(bytecode.Jmp, "cloop")
+	mb.Label("done")
+	mb.Emit(bytecode.Load, 3).Emit(bytecode.Print)
+	mb.Emit(bytecode.Halt)
+	b.Entry(mb)
+	return b.MustProgram()
+}
+
+// Sleepy spreads n threads over sleeps of varying durations — the timed
+// event workload (§2.2).
+func Sleepy(n int) *bytecode.Program {
+	b := bytecode.NewBuilder("sleepy")
+	main := b.Class("Main")
+	main.Static("sum", false)
+	main.Static("lockobj", true)
+	main.Static("done", false)
+
+	nap := main.Method("nap", 1, 2)
+	nap.Emit(bytecode.Load, 0).Const(13).Emit(bytecode.Mul).Const(50).Emit(bytecode.Mod).Const(5).Emit(bytecode.Add).Emit(bytecode.Sleep)
+	nap.GetStatic(main, "lockobj").Emit(bytecode.MonEnter)
+	nap.GetStatic(main, "sum").Emit(bytecode.Load, 0).Emit(bytecode.Add).PutStatic(main, "sum")
+	nap.GetStatic(main, "lockobj").Emit(bytecode.MonExit)
+	nap.GetStatic(main, "lockobj").Emit(bytecode.Store, 1)
+	signalDone(nap, main, 1, "done")
+	nap.Emit(bytecode.Ret)
+
+	mb := main.Method("main", 0, 1)
+	mb.Emit(bytecode.New, int32(main.ID())).PutStatic(main, "lockobj")
+	for i := 0; i < n; i++ {
+		mb.Const(int64(i + 1)).SpawnM(nap).Emit(bytecode.Pop)
+	}
+	mb.GetStatic(main, "lockobj").Emit(bytecode.Store, 0)
+	joinBarrier(mb, main, 0, "done", n)
+	mb.GetStatic(main, "sum").Emit(bytecode.Print)
+	mb.Emit(bytecode.Halt)
+	b.Entry(mb)
+	return b.MustProgram()
+}
+
+// SumLines reads environment input lines until "end", sums the parsed
+// integers, and prints the total — the input-recording workload.
+func SumLines() *bytecode.Program {
+	src := `
+program sumlines
+class Main {
+  method main 0 2 {
+  loop:
+    native "readline" 0
+    store 0
+    load 0
+    native "strlen" 1
+    jz out                  # empty line (EOF) ends input
+    load 0
+    native "parseint" 1
+    load 1
+    add
+    store 1
+    jmp loop
+  out:
+    load 1
+    print
+    halt
+  }
+}
+entry Main.main
+`
+	return bytecode.MustAssemble(src)
+}
+
+// Events exercises the JNI callback path (§2.5): pollevents delivers a
+// host-chosen number of callbacks carrying host-chosen payloads.
+func Events(polls int) *bytecode.Program {
+	src := fmt.Sprintf(`
+program events
+class Main {
+  static count
+  static sum
+  method onEvent 2 2 {
+    gets Main.count
+    iconst 1
+    add
+    puts Main.count
+    gets Main.sum
+    load 1
+    add
+    puts Main.sum
+    ret
+  }
+  method main 0 1 {
+    iconst %d
+    store 0
+  loop:
+    load 0
+    jz out
+    sconst "Main.onEvent"
+    iconst 4
+    native "pollevents" 2
+    pop
+    load 0
+    iconst 1
+    sub
+    store 0
+    jmp loop
+  out:
+    gets Main.count
+    print
+    gets Main.sum
+    print
+    halt
+  }
+}
+entry Main.main
+`, polls)
+	return bytecode.MustAssemble(src)
+}
+
+// RandomProgram generates a structurally valid multithreaded program from
+// seed: several worker threads run random arithmetic over statics, with
+// randomly placed critical sections, sleeps, clock reads, and allocations.
+// Used by the property-based replay tests (E8).
+func RandomProgram(seed int64) *bytecode.Program {
+	rng := rand.New(rand.NewSource(seed))
+	nWorkers := 2 + rng.Intn(3)
+	b := bytecode.NewBuilder(fmt.Sprintf("rand%d", seed))
+	main := b.Class("Main")
+	main.Static("a", false)
+	main.Static("bv", false)
+	main.Static("lockobj", true)
+	main.Static("done", false)
+
+	var workers []*bytecode.MethodBuilder
+	for w := 0; w < nWorkers; w++ {
+		wm := main.Method(fmt.Sprintf("w%d", w), 1, 4)
+		iters := 3 + rng.Intn(8)
+		wm.Const(int64(iters)).Emit(bytecode.Store, 1)
+		loop := fmt.Sprintf("l%d", w)
+		wm.Label(loop)
+		nOps := 1 + rng.Intn(6)
+		for i := 0; i < nOps; i++ {
+			switch rng.Intn(7) {
+			case 0: // a = a + k
+				wm.GetStatic(main, "a").Const(int64(rng.Intn(100))).Emit(bytecode.Add).PutStatic(main, "a")
+			case 1: // bv = bv ^ a
+				wm.GetStatic(main, "bv").GetStatic(main, "a").Emit(bytecode.Xor).PutStatic(main, "bv")
+			case 2: // critical section: a = a*3+1
+				wm.GetStatic(main, "lockobj").Emit(bytecode.MonEnter)
+				wm.GetStatic(main, "a").Const(3).Emit(bytecode.Mul).Const(1).Emit(bytecode.Add).PutStatic(main, "a")
+				wm.GetStatic(main, "lockobj").Emit(bytecode.MonExit)
+			case 3: // sleep a little
+				wm.Const(int64(1 + rng.Intn(5))).Emit(bytecode.Sleep)
+			case 4: // clock read folded into bv
+				wm.GetStatic(main, "bv").NativeCall("clock", 0).Emit(bytecode.Add).PutStatic(main, "bv")
+			case 5: // allocate garbage
+				wm.Const(int64(1+rng.Intn(16))).Emit(bytecode.NewArr, bytecode.KindInt64).Emit(bytecode.Pop)
+			case 6: // busy loop
+				busy(wm, 2, 1+rng.Intn(6))
+			}
+		}
+		wm.Emit(bytecode.Load, 1).Const(1).Emit(bytecode.Sub).Emit(bytecode.Store, 1)
+		wm.Emit(bytecode.Load, 1).Branch(bytecode.Jnz, loop)
+		wm.GetStatic(main, "lockobj").Emit(bytecode.Store, 3)
+		signalDone(wm, main, 3, "done")
+		wm.Emit(bytecode.Ret)
+		workers = append(workers, wm)
+	}
+
+	mb := main.Method("main", 0, 1)
+	mb.Emit(bytecode.New, int32(main.ID())).PutStatic(main, "lockobj")
+	for i, wm := range workers {
+		mb.Const(int64(i)).SpawnM(wm).Emit(bytecode.Pop)
+	}
+	mb.GetStatic(main, "lockobj").Emit(bytecode.Store, 0)
+	joinBarrier(mb, main, 0, "done", nWorkers)
+	mb.GetStatic(main, "a").Emit(bytecode.Print)
+	mb.GetStatic(main, "bv").Emit(bytecode.Print)
+	mb.Emit(bytecode.Halt)
+	b.Entry(mb)
+	return b.MustProgram()
+}
+
+// Hashy makes heap addresses program-visible through the address-based
+// identity-hash native (as in Jalapeño), while recursing deep enough that
+// stack segments grow at preemption-time eager-growth checks. Any
+// asymmetry in instrumentation allocation or stack growth between record
+// and replay shifts addresses and changes the printed output — the
+// workload for the E9 symmetry ablations.
+func Hashy(rounds, depth int) *bytecode.Program {
+	b := bytecode.NewBuilder("hashy")
+	main := b.Class("Main")
+	main.Static("acc", false)
+	main.Static("done", false)
+
+	// rec(d): recurse to depth d, allocating and hashing on the way down.
+	rec := main.Method("rec", 1, 3)
+	rec.Emit(bytecode.Load, 0).Branch(bytecode.Jnz, "deeper")
+	rec.Const(0).Emit(bytecode.RetV)
+	rec.Label("deeper")
+	rec.Const(3).Emit(bytecode.NewArr, bytecode.KindInt64).NativeCall("idhash", 1).Emit(bytecode.Store, 1)
+	busy(rec, 2, 2)
+	rec.Emit(bytecode.Load, 0).Const(1).Emit(bytecode.Sub).CallM(rec).
+		Emit(bytecode.Load, 1).Emit(bytecode.Add).Emit(bytecode.RetV)
+
+	worker := main.Method("worker", 1, 3)
+	worker.Const(int64(rounds)).Emit(bytecode.Store, 1)
+	worker.Label("loop")
+	worker.Const(int64(depth)).CallM(rec).Emit(bytecode.Store, 2)
+	worker.GetStatic(main, "acc").Emit(bytecode.Load, 2).Emit(bytecode.Xor).PutStatic(main, "acc")
+	worker.Emit(bytecode.Load, 1).Const(1).Emit(bytecode.Sub).Emit(bytecode.Store, 1)
+	worker.Emit(bytecode.Load, 1).Branch(bytecode.Jnz, "loop")
+	worker.GetStatic(main, "done").Const(1).Emit(bytecode.Add).PutStatic(main, "done")
+	worker.Emit(bytecode.Ret)
+
+	mb := main.Method("main", 0, 1)
+	mb.Const(0).SpawnM(worker).Emit(bytecode.Pop)
+	mb.Const(1).SpawnM(worker).Emit(bytecode.Pop)
+	mb.Label("wait")
+	mb.GetStatic(main, "done").Const(2).Emit(bytecode.CmpGe).Branch(bytecode.Jz, "wait")
+	mb.GetStatic(main, "acc").Const(1000003).Emit(bytecode.Mod).Emit(bytecode.Print)
+	mb.Emit(bytecode.Halt)
+	b.Entry(mb)
+	return b.MustProgram()
+}
+
+// PhilosophersDeadlock is the classic unordered-fork variant: every
+// philosopher grabs its left fork first, so the timer can drive all of
+// them into a cycle. It demonstrates the VM's deadlock detection — and
+// that replay reproduces the *same* deadlock, which is exactly what a
+// developer wants from a replay debugger chasing one.
+func PhilosophersDeadlock(n int) *bytecode.Program {
+	b := bytecode.NewBuilder("deadlockphil")
+	main := b.Class("Main")
+	main.Static("forks", true)
+
+	// phil(id): lock fork[id], busy, lock fork[(id+1)%n] — no ordering.
+	phil := main.Method("phil", 1, 3)
+	phil.Label("loop")
+	phil.GetStatic(main, "forks").Emit(bytecode.Load, 0).Emit(bytecode.ALoad).Emit(bytecode.MonEnter)
+	busy(phil, 2, 6) // hold left while reaching for right: the race window
+	phil.GetStatic(main, "forks").
+		Emit(bytecode.Load, 0).Const(1).Emit(bytecode.Add).Const(int64(n)).Emit(bytecode.Mod).
+		Emit(bytecode.ALoad).Emit(bytecode.MonEnter)
+	busy(phil, 2, 3)
+	phil.GetStatic(main, "forks").
+		Emit(bytecode.Load, 0).Const(1).Emit(bytecode.Add).Const(int64(n)).Emit(bytecode.Mod).
+		Emit(bytecode.ALoad).Emit(bytecode.MonExit)
+	phil.GetStatic(main, "forks").Emit(bytecode.Load, 0).Emit(bytecode.ALoad).Emit(bytecode.MonExit)
+	phil.Branch(bytecode.Jmp, "loop")
+
+	mb := main.Method("main", 0, 1)
+	mb.Const(int64(n)).Emit(bytecode.NewArr, bytecode.KindRef).PutStatic(main, "forks")
+	mb.Const(0).Emit(bytecode.Store, 0)
+	mb.Label("mk")
+	mb.Emit(bytecode.Load, 0).Const(int64(n)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "spawn")
+	mb.GetStatic(main, "forks").Emit(bytecode.Load, 0).Emit(bytecode.New, int32(main.ID())).Emit(bytecode.AStore)
+	mb.Emit(bytecode.Load, 0).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 0)
+	mb.Branch(bytecode.Jmp, "mk")
+	mb.Label("spawn")
+	for i := 0; i < n; i++ {
+		mb.Const(int64(i)).SpawnM(phil).Emit(bytecode.Pop)
+	}
+	mb.Emit(bytecode.Ret) // main exits; philosophers dine forever (or deadlock)
+	b.Entry(mb)
+	return b.MustProgram()
+}

@@ -1,0 +1,291 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dejavu/internal/core"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/vm"
+)
+
+func optsFor(name string, seed int64) replaycheck.Options {
+	o := replaycheck.Options{Seed: seed, HostRand: seed}
+	if name == "sumlines" {
+		o.Input = "10\n20\n12\n\n"
+	}
+	return o
+}
+
+// TestAllWorkloadsRecordReplay is the headline accuracy check (E8): every
+// workload, recorded under several preemption seeds, replays to an
+// identical execution.
+func TestAllWorkloadsRecordReplay(t *testing.T) {
+	for _, name := range Names() {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				prog := Registry[name]()
+				_, _, err := replaycheck.CheckReplay(prog, optsFor(name, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestFig1ScheduleDependence shows the Figure 1 point: different timer
+// seeds produce different outputs for the racy program, and each is
+// reproduced exactly by replay.
+func TestFig1ScheduleDependence(t *testing.T) {
+	outputs := map[string]int64{}
+	for seed := int64(1); seed <= 40; seed++ {
+		o := replaycheck.Options{Seed: seed, PreemptMin: 2, PreemptMax: 10}
+		rec, _, err := replaycheck.CheckReplay(Fig1AB(), o)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		outputs[string(rec.Output)] = seed
+	}
+	if len(outputs) < 2 {
+		t.Fatalf("expected schedule-dependent outputs, got only %v", outputs)
+	}
+}
+
+// TestFig1CDClockDependence shows the wall clock steering control flow
+// (Fig. 1 C/D): with different time bases the branch differs, and both
+// executions replay.
+func TestFig1CDClockDependence(t *testing.T) {
+	outs := map[string]bool{}
+	for base := int64(0); base < 8; base++ {
+		o := replaycheck.Options{Seed: 5, TimeBase: 1000 + base, TimeStep: 3}
+		rec, _, err := replaycheck.CheckReplay(Fig1CD(), o)
+		if err != nil {
+			t.Fatalf("base %d: %v", base, err)
+		}
+		outs[string(rec.Output)] = true
+	}
+	if len(outs) < 2 {
+		t.Fatalf("expected clock-dependent outputs, got %v", outs)
+	}
+}
+
+// TestNoPreemptionIsDeterministic: with the timer off, all remaining
+// switches are deterministic, so two plain runs (no replay involved) are
+// identical.
+func TestNoPreemptionIsDeterministic(t *testing.T) {
+	for _, name := range []string{"bank", "prodcons", "philosophers"} {
+		r1, err := replaycheck.Record(Registry[name](), replaycheck.Options{NoPreempt: true})
+		if err != nil || r1.RunErr != nil {
+			t.Fatalf("%s: %v %v", name, err, r1.RunErr)
+		}
+		r2, err := replaycheck.Record(Registry[name](), replaycheck.Options{NoPreempt: true})
+		if err != nil || r2.RunErr != nil {
+			t.Fatalf("%s: %v %v", name, err, r2.RunErr)
+		}
+		if r1.Digest.Sum() != r2.Digest.Sum() {
+			t.Fatalf("%s: deterministic runs differ", name)
+		}
+	}
+}
+
+// TestTraceMinimality: deterministic switches are never logged. The
+// prodcons workload blocks constantly on wait/notify; the switch count in
+// its trace must be only the preemptive ones (bounded by yield points /
+// PreemptMin), far below the total dispatch count.
+func TestTraceMinimality(t *testing.T) {
+	rec, err := replaycheck.Record(ProdCons(2, 2, 2, 100), replaycheck.Options{Seed: 1})
+	if err != nil || rec.RunErr != nil {
+		t.Fatalf("%v %v", err, rec.RunErr)
+	}
+	recorded := rec.EngStats.Switches
+	dispatches := rec.Digest.Switches()
+	if recorded >= dispatches {
+		t.Fatalf("recorded %d switches but only %d dispatches — deterministic switches are being logged", recorded, dispatches)
+	}
+	if dispatches-recorded < 50 {
+		t.Fatalf("expected many deterministic switches; dispatches=%d recorded=%d", dispatches, recorded)
+	}
+}
+
+// TestWorkloadOutputsSane spot-checks functional correctness.
+func TestWorkloadOutputsSane(t *testing.T) {
+	check := func(name, wantLine string) {
+		t.Helper()
+		rec, err := replaycheck.Record(Registry[name](), optsFor(name, 2))
+		if err != nil || rec.RunErr != nil {
+			t.Fatalf("%s: %v %v", name, err, rec.RunErr)
+		}
+		if !strings.Contains(string(rec.Output), wantLine) {
+			t.Errorf("%s output %q missing %q", name, rec.Output, wantLine)
+		}
+	}
+	check("bank", "800")         // 8 accounts × 100 conserved
+	check("philosophers", "150") // 5 × 30 meals
+	check("prodcons", "")        // just completes
+	check("sieve", "303")        // π(2000) = 303
+	check("sumlines", "42")      // 10+20+12
+	check("sleepy", "10")        // 1+2+3+4
+}
+
+// TestRandomProgramsReplay is the program-space property test: randomly
+// generated multithreaded programs record and replay identically.
+func TestRandomProgramsReplay(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := RandomProgram(seed)
+		_, _, err := replaycheck.CheckReplay(prog, replaycheck.Options{Seed: seed, HostRand: seed})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayWithJitterTime uses the random-walk clock (closer to a real
+// wall clock) rather than the fixed-step one.
+func TestReplayWithJitterTime(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		o := replaycheck.Options{Seed: seed, TimeStep: -1}
+		if _, _, err := replaycheck.CheckReplay(Server(3, 40), o); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestAblationsBreakReplay (E9): disabling each symmetry mechanism makes
+// some workload diverge, demonstrating the mechanism is load-bearing.
+func TestAblationsBreakReplay(t *testing.T) {
+	// liveclock: instrumentation yields leak into the logical clock;
+	// record and replay instrumentation differ, so switch points drift.
+	t.Run("liveclock", func(t *testing.T) {
+		diverged := false
+		for seed := int64(1); seed <= 10 && !diverged; seed++ {
+			o := replaycheck.Options{Seed: seed, PreemptMin: 2, PreemptMax: 12}
+			o.TweakEngine = func(c *core.Config) { c.LiveClockGuard = false }
+			_, _, err := replaycheck.CheckReplay(Bank(3, 4, 120), o)
+			diverged = err != nil
+		}
+		if !diverged {
+			t.Fatal("liveclock ablation never diverged")
+		}
+	})
+	// Sanity: with everything enabled the same workloads replay.
+	t.Run("control", func(t *testing.T) {
+		o := replaycheck.Options{Seed: 1, PreemptMin: 2, PreemptMax: 12}
+		if _, _, err := replaycheck.CheckReplay(Bank(3, 4, 120), o); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllWorkloadsVerify: every workload and random program passes the
+// static bytecode verifier.
+func TestAllWorkloadsVerify(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := vm.VerifyProgram(Registry[name]()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		if _, err := vm.VerifyProgram(RandomProgram(seed)); err != nil {
+			t.Errorf("random %d: %v", seed, err)
+		}
+	}
+	if _, err := vm.VerifyProgram(Hashy(4, 6)); err != nil {
+		t.Errorf("hashy: %v", err)
+	}
+}
+
+// TestDeadlockReproducesUnderReplay: when a run deadlocks, replaying its
+// trace reproduces the same deadlock at the same event — the bug arrives
+// on demand, which is the tool's whole purpose.
+func TestDeadlockReproducesUnderReplay(t *testing.T) {
+	prog := PhilosophersDeadlock(3)
+	var rec *replaycheck.Result
+	var seed int64
+	for seed = 1; seed <= 50; seed++ {
+		r, err := replaycheck.Record(prog, replaycheck.Options{
+			Seed: seed, PreemptMin: 2, PreemptMax: 6, MaxEvents: 300_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.RunErr != nil && strings.Contains(r.RunErr.Error(), "deadlock") {
+			rec = r
+			break
+		}
+	}
+	if rec == nil {
+		t.Skip("no seed deadlocked within budget (schedule-dependent)")
+	}
+	rep, err := replaycheck.Replay(prog, rec.Trace, replaycheck.Options{MaxEvents: 300_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RunErr == nil || !strings.Contains(rep.RunErr.Error(), "deadlock") {
+		t.Fatalf("replay did not reproduce the deadlock: %v", rep.RunErr)
+	}
+	if !strings.Contains(rep.RunErr.Error(), "blocked on monitor") {
+		t.Fatalf("deadlock error lacks the wait-for diagnostic: %v", rep.RunErr)
+	}
+	if rep.Events != rec.Events {
+		t.Fatalf("deadlock reproduced at event %d, recorded at %d", rep.Events, rec.Events)
+	}
+	if rep.Digest.Sum() != rec.Digest.Sum() {
+		t.Fatal("deadlocked executions differ")
+	}
+	t.Logf("seed %d deadlocked at event %d; replay reproduced it exactly", seed, rec.Events)
+}
+
+// TestGCTransparency: garbage collection is invisible to programs. A run
+// with a forced collection before every fourth allocation produces the
+// exact same event stream, output, and logical clocks as the unstressed
+// run — and still records and replays exactly.
+func TestGCTransparency(t *testing.T) {
+	prog := Bank(3, 4, 200)
+	base, err := replaycheck.Record(prog, replaycheck.Options{Seed: 6})
+	if err != nil || base.RunErr != nil {
+		t.Fatalf("%v %v", err, base.RunErr)
+	}
+	o := replaycheck.Options{Seed: 6}
+	o.TweakVM = func(c *vm.Config) { c.GCStress = 4 }
+	stressed, err := replaycheck.Record(prog, o)
+	if err != nil || stressed.RunErr != nil {
+		t.Fatalf("%v %v", err, stressed.RunErr)
+	}
+	if stressed.VM.Heap().Collections <= base.VM.Heap().Collections {
+		t.Fatalf("stress had %d collections, base %d", stressed.VM.Heap().Collections, base.VM.Heap().Collections)
+	}
+	if base.Digest.Sum() != stressed.Digest.Sum() {
+		t.Fatal("GC frequency changed program-visible behavior")
+	}
+	// And the stressed run replays exactly (GCStress set in both modes).
+	rep, err := replaycheck.Replay(prog, stressed.Trace, o)
+	if err != nil || rep.RunErr != nil {
+		t.Fatalf("%v %v", err, rep.RunErr)
+	}
+	if err := replaycheck.CompareRuns(stressed, rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllWorkloadsUnderGCStress shakes out rooting bugs: with a forced
+// collection before every third allocation, every workload still runs,
+// records, and replays identically.
+func TestAllWorkloadsUnderGCStress(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			o := optsFor(name, 2)
+			o.TweakVM = func(c *vm.Config) { c.GCStress = 3 }
+			if _, _, err := replaycheck.CheckReplay(Registry[name](), o); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
