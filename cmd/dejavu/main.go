@@ -12,13 +12,16 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dejavu/internal/bytecode"
 	"dejavu/internal/cli"
 	"dejavu/internal/core"
+	"dejavu/internal/replaycheck"
 	"dejavu/internal/tools"
 	"dejavu/internal/trace"
 	"dejavu/internal/vm"
@@ -73,6 +76,7 @@ func cmdRun(args []string, mode core.Mode) error {
 	realtime := fs.Bool("realtime", false, "use the real wall clock")
 	heapKB := fs.Int("heap", 1024, "initial semispace KiB")
 	traceOut := fs.String("o", "trace.dvt", "trace output file (record mode)")
+	flat := fs.Bool("flat", false, "buffer the whole trace in memory and write the flat container (record mode)")
 	stats := fs.Bool("stats", false, "print execution statistics")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -82,7 +86,24 @@ func cmdRun(args []string, mode core.Mode) error {
 	if err != nil {
 		return err
 	}
-	eng, stop, err := cli.BuildEngine(prog, cli.EngineFlags{Mode: mode, Seed: *seed, Realtime: *realtime})
+	flags := cli.EngineFlags{Mode: mode, Seed: *seed, Realtime: *realtime}
+	// Record mode streams chunks to the output file as it runs, so the
+	// trace never lives in memory; -flat restores the old buffered path.
+	var sink *trace.StreamWriter
+	var out *os.File
+	if mode == core.ModeRecord && !*flat {
+		out, err = os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		sink, err = trace.NewStreamWriter(out, vm.ProgramHash(prog))
+		if err != nil {
+			return err
+		}
+		flags.TraceSink = sink
+	}
+	eng, stop, err := cli.BuildEngine(prog, flags)
 	if err != nil {
 		return err
 	}
@@ -94,10 +115,20 @@ func cmdRun(args []string, mode core.Mode) error {
 	runErr := m.Run()
 	if mode == core.ModeRecord {
 		traceBytes := eng.End()
-		if err := os.WriteFile(*traceOut, traceBytes, 0o644); err != nil {
-			return err
+		if sink != nil {
+			if err := sink.Close(); err != nil {
+				return err
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d bytes (streamed) -> %s\n", sink.Stats().TotalBytes, *traceOut)
+		} else {
+			if err := os.WriteFile(*traceOut, traceBytes, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d bytes -> %s\n", len(traceBytes), *traceOut)
 		}
-		fmt.Fprintf(os.Stderr, "trace: %d bytes -> %s\n", len(traceBytes), *traceOut)
 	}
 	if *stats {
 		printStats(m, eng)
@@ -121,11 +152,30 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	traceBytes, err := os.ReadFile(*traceIn)
+	f, err := os.Open(*traceIn)
 	if err != nil {
 		return err
 	}
-	eng, stop, err := cli.BuildEngine(prog, cli.EngineFlags{Mode: core.ModeReplay, TraceIn: traceBytes})
+	defer f.Close()
+	// Sniff the container: streamed recordings replay incrementally, flat
+	// ones load into memory as before.
+	br := bufio.NewReader(f)
+	magic, _ := br.Peek(4)
+	flags := cli.EngineFlags{Mode: core.ModeReplay}
+	if trace.IsStream(magic) {
+		src, err := trace.NewStreamReader(br, vm.ProgramHash(prog))
+		if err != nil {
+			return err
+		}
+		flags.TraceSrc = src
+	} else {
+		traceBytes, err := io.ReadAll(br)
+		if err != nil {
+			return err
+		}
+		flags.TraceIn = traceBytes
+	}
+	eng, stop, err := cli.BuildEngine(prog, flags)
 	if err != nil {
 		return err
 	}
@@ -211,25 +261,81 @@ func cmdDisasm(args []string) error {
 }
 
 func cmdVerify(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: dejavu verify <prog>")
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "also run record→replay verification across N parallel workers (0 = static bytecode verification only)")
+	seeds := fs.Int("seeds", 5, "preemption seeds per program for replay verification")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dejavu verify [-workers N] [-seeds K] <prog|all>")
 	}
-	prog, err := cli.LoadProgram(args[0])
-	if err != nil {
-		return err
-	}
-	facts, err := vm.VerifyProgram(prog)
-	if err != nil {
-		return err
-	}
-	for i, m := range prog.Methods {
-		ret := "void"
-		if facts[i].ReturnsValue {
-			ret = "value"
+	arg := fs.Arg(0)
+	if *workers <= 0 {
+		if arg == "all" {
+			return fmt.Errorf("verify all requires -workers")
 		}
-		fmt.Printf("%-30s maxstack=%-3d returns %s\n", m.FullName(), facts[i].MaxStack, ret)
+		prog, err := cli.LoadProgram(arg)
+		if err != nil {
+			return err
+		}
+		facts, err := vm.VerifyProgram(prog)
+		if err != nil {
+			return err
+		}
+		for i, m := range prog.Methods {
+			ret := "void"
+			if facts[i].ReturnsValue {
+				ret = "value"
+			}
+			fmt.Printf("%-30s maxstack=%-3d returns %s\n", m.FullName(), facts[i].MaxStack, ret)
+		}
+		fmt.Println("verification passed")
+		return nil
 	}
-	fmt.Println("verification passed")
+	return verifyReplay(arg, *workers, *seeds)
+}
+
+// verifyReplay fans record→replay accuracy checks over a worker pool:
+// every named program (or the whole workload registry for "all") is
+// recorded and replayed under several preemption seeds, and the per-run
+// divergence reports are aggregated into one summary.
+func verifyReplay(arg string, workers, seeds int) error {
+	type target struct {
+		name string
+		mk   func() *bytecode.Program
+	}
+	var targets []target
+	if arg == "all" {
+		for _, n := range workloads.Names() {
+			targets = append(targets, target{n, workloads.Registry[n]})
+		}
+	} else {
+		if _, err := cli.LoadProgram(arg); err != nil {
+			return err
+		}
+		// Reload per job so concurrent runs never share a Program value.
+		targets = append(targets, target{arg, func() *bytecode.Program {
+			p, err := cli.LoadProgram(arg)
+			if err != nil {
+				panic(err)
+			}
+			return p
+		}})
+	}
+	var jobs []replaycheck.VerifyJob
+	for _, tg := range targets {
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			o := replaycheck.Options{Seed: seed, HostRand: seed}
+			if tg.name == "sumlines" || tg.name == "workload:sumlines" {
+				o.Input = "5\n15\n22\n\n"
+			}
+			jobs = append(jobs, replaycheck.VerifyJob{Name: tg.name, Prog: tg.mk, Options: o, Stream: true})
+		}
+	}
+	sum := replaycheck.VerifyPool(jobs, workers)
+	fmt.Print(sum.Report())
+	if sum.Failed > 0 {
+		return fmt.Errorf("%d of %d replays diverged", sum.Failed, sum.Failed+sum.Passed)
+	}
 	return nil
 }
 
@@ -241,11 +347,20 @@ func cmdTraceInfo(args []string) error {
 	if err != nil {
 		return err
 	}
+	container := "flat"
+	streamedLen := len(data)
+	if trace.IsStream(data) {
+		container = "streamed"
+		if data, err = cli.ReadTraceFile(args[0]); err != nil {
+			return err
+		}
+	}
 	s, err := trace.Summarize(data)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trace    %s (%d bytes)\n", args[0], s.Stats.TotalBytes)
+	fmt.Printf("trace    %s (%s container, %d bytes on disk, %d flat)\n",
+		args[0], container, streamedLen, s.Stats.TotalBytes)
 	fmt.Printf("program  %x\n", s.ProgHash)
 	kinds := []trace.Kind{trace.EvSwitch, trace.EvClock, trace.EvNative, trace.EvInput, trace.EvCallback}
 	names := []string{"preemptive switches", "clock reads", "native results", "input reads", "callbacks"}

@@ -376,39 +376,43 @@ func runE7(r *report) error {
 // --- E8 ---
 
 func runE8(r *report) error {
-	rows := [][]string{}
-	total, passed := 0, 0
+	// Build the same job matrix as before — every workload under five
+	// seeds, plus random programs — and fan it across the verify pool.
+	var jobs []replaycheck.VerifyJob
+	const seeds = 5
 	for _, name := range workloads.Names() {
-		pass := 0
-		const seeds = 5
 		for seed := int64(1); seed <= seeds; seed++ {
 			o := replaycheck.Options{Seed: seed, HostRand: seed}
 			if name == "sumlines" {
 				o.Input = "5\n15\n22\n\n"
 			}
-			if _, _, err := replaycheck.CheckReplay(workloads.Registry[name](), o); err == nil {
-				pass++
-			}
+			jobs = append(jobs, replaycheck.VerifyJob{Name: name, Prog: workloads.Registry[name], Options: o})
 		}
-		total += seeds
-		passed += pass
-		rows = append(rows, []string{name, fmt.Sprintf("%d/%d", pass, seeds)})
 	}
-	// Random programs too.
-	randPass := 0
 	const randN = 10
 	for seed := int64(100); seed < 100+randN; seed++ {
-		if _, _, err := replaycheck.CheckReplay(workloads.RandomProgram(seed), replaycheck.Options{Seed: seed}); err == nil {
-			randPass++
-		}
+		seed := seed
+		jobs = append(jobs, replaycheck.VerifyJob{
+			Name:    "random programs",
+			Prog:    func() *bytecode.Program { return workloads.RandomProgram(seed) },
+			Options: replaycheck.Options{Seed: seed},
+		})
 	}
-	total += randN
-	passed += randPass
-	rows = append(rows, []string{"random programs", fmt.Sprintf("%d/%d", randPass, randN)})
+	sum := replaycheck.VerifyPool(jobs, verifyWorkers)
+	byName := sum.ByName()
+	rows := [][]string{}
+	for _, name := range append(workloads.Names(), "random programs") {
+		c := byName[name]
+		rows = append(rows, []string{name, fmt.Sprintf("%d/%d", c[0], c[1])})
+	}
 	r.table([]string{"workload", "replays identical"}, rows)
-	r.note("accuracy: %d/%d recorded executions replayed to identical digests, outputs, heaps, and logical clocks", passed, total)
-	if passed != total {
-		return fmt.Errorf("replay accuracy %d/%d", passed, total)
+	for _, f := range sum.Failures() {
+		r.note("diverged: %s seed=%d: %v", f.Name, f.Seed, f.Err)
+	}
+	r.note("accuracy: %d/%d recorded executions replayed to identical digests, outputs, heaps, and logical clocks (%d workers, %v)",
+		sum.Passed, sum.Passed+sum.Failed, sum.Workers, sum.Wall.Round(time.Millisecond))
+	if sum.Failed != 0 {
+		return fmt.Errorf("replay accuracy %d/%d", sum.Passed, sum.Passed+sum.Failed)
 	}
 	return nil
 }

@@ -44,9 +44,13 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, strings.ToUpper(v)); return nil }
 
+// verifyWorkers sizes the E8 verification pool (0 = GOMAXPROCS).
+var verifyWorkers int
+
 func main() {
 	var only multiFlag
 	flag.Var(&only, "e", "experiment id to run (repeatable; default all)")
+	flag.IntVar(&verifyWorkers, "workers", 0, "parallel workers for replay verification (E8); 0 = GOMAXPROCS")
 	flag.Parse()
 	sel := map[string]bool{}
 	for _, id := range only {

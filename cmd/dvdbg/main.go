@@ -56,7 +56,7 @@ func localREPL(progArg, traceIn string) error {
 	if err != nil {
 		return err
 	}
-	traceBytes, err := os.ReadFile(traceIn)
+	traceBytes, err := cli.ReadTraceFile(traceIn)
 	if err != nil {
 		return err
 	}

@@ -45,7 +45,7 @@ func run(progArg, traceIn, listen, peek string, checkpoint uint64, restore strin
 	if err != nil {
 		return err
 	}
-	traceBytes, err := os.ReadFile(traceIn)
+	traceBytes, err := cli.ReadTraceFile(traceIn)
 	if err != nil {
 		return err
 	}

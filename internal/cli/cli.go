@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"strings"
@@ -11,9 +12,28 @@ import (
 
 	"dejavu/internal/bytecode"
 	"dejavu/internal/core"
+	"dejavu/internal/trace"
 	"dejavu/internal/vm"
 	"dejavu/internal/workloads"
 )
+
+// ReadTraceFile loads a trace file in either container format, returning
+// flat DVT2 bytes. Streaming recordings (DVS1) are materialized, so tools
+// that need a seekable trace — checkpointing, the debugger — accept both.
+func ReadTraceFile(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if trace.IsStream(raw) {
+		flat, err := trace.DecodeStream(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return flat, nil
+	}
+	return raw, nil
+}
 
 // LoadProgram resolves a program argument:
 //
@@ -48,11 +68,13 @@ func LoadProgram(arg string) (*bytecode.Program, error) {
 
 // EngineFlags describes how a tool wants its engine built.
 type EngineFlags struct {
-	Mode     core.Mode
-	Seed     int64 // seeded preemption; <0 selects the real host timer
-	Interval time.Duration
-	TraceIn  []byte
-	Realtime bool // real wall clock instead of deterministic fake time
+	Mode      core.Mode
+	Seed      int64 // seeded preemption; <0 selects the real host timer
+	Interval  time.Duration
+	TraceIn   []byte
+	TraceSink trace.Sink   // record to an external sink (streaming)
+	TraceSrc  trace.Source // replay from an external source (streaming)
+	Realtime  bool         // real wall clock instead of deterministic fake time
 }
 
 // BuildEngine constructs an engine (and a stopper for any host timer).
@@ -60,6 +82,8 @@ func BuildEngine(prog *bytecode.Program, f EngineFlags) (*core.Engine, func(), e
 	cfg := core.DefaultConfig(f.Mode)
 	cfg.ProgHash = vm.ProgramHash(prog)
 	cfg.TraceIn = f.TraceIn
+	cfg.TraceSink = f.TraceSink
+	cfg.TraceSrc = f.TraceSrc
 	stop := func() {}
 	if f.Realtime {
 		cfg.Time = core.RealTime{}

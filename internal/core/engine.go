@@ -29,8 +29,8 @@ type Engine struct {
 	mode Mode
 	host Host
 
-	w     *trace.Writer
-	r     *trace.Reader
+	w     trace.Sink
+	r     trace.Source
 	input *bufio.Reader
 
 	// Fig. 2 state.
@@ -48,6 +48,10 @@ type Engine struct {
 // ErrNotReplaying is returned by replay-only queries in other modes.
 var ErrNotReplaying = errors.New("core: engine is not in replay mode")
 
+// ErrNotSeekable is returned by Snapshot/Restore when the engine replays
+// from a streaming source, which cannot rewind.
+var ErrNotSeekable = errors.New("core: trace source is not seekable (streaming replay)")
+
 // NewEngine builds an engine from cfg.
 func NewEngine(cfg Config) (*Engine, error) {
 	e := &Engine{cfg: cfg, mode: cfg.Mode, liveClock: true}
@@ -61,13 +65,21 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if cfg.Preempt == nil {
 			return nil, errors.New("core: record mode requires a Preemptor")
 		}
-		e.w = trace.NewWriter(cfg.ProgHash)
-	case ModeReplay:
-		r, err := trace.NewReader(cfg.TraceIn, cfg.ProgHash)
-		if err != nil {
-			return nil, err
+		if cfg.TraceSink != nil {
+			e.w = cfg.TraceSink
+		} else {
+			e.w = trace.NewWriter(cfg.ProgHash)
 		}
-		e.r = r
+	case ModeReplay:
+		if cfg.TraceSrc != nil {
+			e.r = cfg.TraceSrc
+		} else {
+			r, err := trace.NewReader(cfg.TraceIn, cfg.ProgHash)
+			if err != nil {
+				return nil, err
+			}
+			e.r = r
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
 	}
@@ -154,19 +166,38 @@ func (e *Engine) warmupIO() error {
 	return nil
 }
 
-// End finalizes record mode and returns the trace bytes.
+// End finalizes record mode and returns the trace bytes. When recording
+// through an external sink (Config.TraceSink) the bytes live wherever the
+// sink put them: End still emits the final data-stream event but returns
+// nil, and the caller closes the sink.
 func (e *Engine) End() []byte {
 	if e.mode != ModeRecord {
 		return nil
 	}
 	e.w.End()
-	return e.w.Bytes()
+	if bw, ok := e.w.(*trace.Writer); ok {
+		return bw.Bytes()
+	}
+	return nil
 }
+
+// sourceErrer is implemented by streaming sources whose NextSwitch can
+// fail on transport errors rather than clean exhaustion.
+type sourceErrer interface{ Err() error }
 
 func (e *Engine) loadNextSwitch() {
 	nyp, ok := e.r.NextSwitch()
 	e.nyp = nyp
 	e.hasPending = ok
+	if !ok {
+		// A flat reader runs out of switches only at the recorded end; a
+		// streaming source may instead have hit a truncated or corrupt
+		// container, which must fail replay, not silently disable
+		// preemption.
+		if se, isSE := e.r.(sourceErrer); isSE && se.Err() != nil {
+			e.fail(se.Err())
+		}
+	}
 }
 
 // AtYieldPoint is the Fig. 2 instrumentation, executed at every yield
@@ -441,14 +472,26 @@ type EngineSnapshot struct {
 	stats      Stats
 }
 
+// traceSeeker is the optional rewind surface a Source may provide; only
+// the in-memory Reader does.
+type traceSeeker interface {
+	Pos() trace.ReaderPos
+	Seek(trace.ReaderPos)
+}
+
 // Snapshot captures replay position and countdown state. Only meaningful
-// in replay mode (record-mode traces are append-only and cannot rewind).
+// in replay mode (record-mode traces are append-only and cannot rewind),
+// and only over a seekable (in-memory) trace source.
 func (e *Engine) Snapshot() (*EngineSnapshot, error) {
 	if e.mode != ModeReplay {
 		return nil, ErrNotReplaying
 	}
+	sk, ok := e.r.(traceSeeker)
+	if !ok {
+		return nil, ErrNotSeekable
+	}
 	return &EngineSnapshot{
-		readerPos:  e.r.Pos(),
+		readerPos:  sk.Pos(),
 		nyp:        e.nyp,
 		hasPending: e.hasPending,
 		switchBit:  e.switchBit,
@@ -462,7 +505,11 @@ func (e *Engine) Restore(s *EngineSnapshot) error {
 	if e.mode != ModeReplay {
 		return ErrNotReplaying
 	}
-	e.r.Seek(s.readerPos)
+	sk, ok := e.r.(traceSeeker)
+	if !ok {
+		return ErrNotSeekable
+	}
+	sk.Seek(s.readerPos)
 	e.nyp = s.nyp
 	e.hasPending = s.hasPending
 	e.switchBit = s.switchBit
@@ -502,6 +549,7 @@ func (s *EngineSnapshot) EncodeTo(buf *[]byte) {
 	uv(s.stats.NativeCalls)
 	uv(s.stats.InputReads)
 	uv(s.stats.Callbacks)
+	uv(s.stats.WarmupBytes)
 }
 
 // DecodeEngineSnapshot parses a snapshot encoded by EncodeTo, returning
@@ -550,6 +598,7 @@ func DecodeEngineSnapshot(data []byte) (*EngineSnapshot, []byte, error) {
 	s.stats.NativeCalls = uv()
 	s.stats.InputReads = uv()
 	s.stats.Callbacks = uv()
+	s.stats.WarmupBytes = uv()
 	if fail != nil {
 		return nil, nil, fail
 	}

@@ -550,3 +550,44 @@ func TestWarmupIOSymmetric(t *testing.T) {
 		t.Fatal("off mode should not warm up I/O")
 	}
 }
+
+// TestEngineSnapshotCodecAllStats fills every Stats field with a distinct
+// value via reflection and round-trips the snapshot codec. Adding a field
+// to Stats without extending EncodeTo/DecodeEngineSnapshot fails here
+// (the regression that silently dropped WarmupBytes from checkpoints).
+func TestEngineSnapshotCodecAllStats(t *testing.T) {
+	s := &EngineSnapshot{
+		readerPos:  trace.ReaderPos{SwPos: 3, Pos: 999, Index: 42},
+		nyp:        77,
+		hasPending: true,
+		switchBit:  true,
+		liveClock:  true,
+	}
+	sv := reflect.ValueOf(&s.stats).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		if f.Kind() != reflect.Uint64 {
+			t.Fatalf("Stats field %s is %v; extend this test for non-uint64 fields",
+				sv.Type().Field(i).Name, f.Kind())
+		}
+		f.SetUint(uint64(1000 + i*131)) // distinct per field, multi-byte varints
+	}
+	var buf []byte
+	s.EncodeTo(&buf)
+	got, rest, err := DecodeEngineSnapshot(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("snapshot did not round-trip:\nenc %+v\ndec %+v", s, got)
+	}
+	// Every truncation of the encoding must error, not mis-decode.
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeEngineSnapshot(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

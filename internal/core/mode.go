@@ -14,6 +14,8 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"time"
+
+	"dejavu/internal/trace"
 )
 
 // Mode selects the engine behavior.
@@ -194,9 +196,18 @@ type Config struct {
 	Mode     Mode
 	Time     TimeSource
 	Preempt  Preemptor
-	TraceIn  []byte    // replay input (required in ModeReplay)
+	TraceIn  []byte    // replay input (required in ModeReplay unless TraceSrc is set)
 	ProgHash uint64    // program identity check
 	Input    io.Reader // environment input for the readline native
+
+	// TraceSink, when set, receives record-mode events instead of the
+	// default in-memory Writer — e.g. a trace.StreamWriter over a file, so
+	// the trace never lives in memory. The caller owns closing it.
+	TraceSink trace.Sink
+	// TraceSrc, when set, supplies replay-mode events instead of decoding
+	// TraceIn — e.g. a trace.StreamReader. Streaming sources are not
+	// seekable, so engine snapshots are unavailable over them.
+	TraceSrc trace.Source
 
 	// Symmetry switches. All default to on; the E9 ablations turn them
 	// off one at a time to demonstrate the resulting divergence.

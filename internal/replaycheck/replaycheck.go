@@ -11,9 +11,11 @@ package replaycheck
 import (
 	"bytes"
 	"fmt"
+	"io"
 
 	"dejavu/internal/bytecode"
 	"dejavu/internal/core"
+	"dejavu/internal/trace"
 	"dejavu/internal/vm"
 )
 
@@ -166,10 +168,31 @@ func (o Options) newVM(prog *bytecode.Program, eng *core.Engine, d *Digest) (*vm
 
 // Record executes prog in record mode and returns the run plus its trace.
 func Record(prog *bytecode.Program, o Options) (*Result, error) {
+	return record(prog, o, nil)
+}
+
+// RecordTo is Record with the trace streamed incrementally to dst instead
+// of materialized in Result.Trace; the recording VM never holds the full
+// trace in memory. The stream is finalized (flushed, end marker written)
+// before RecordTo returns; dst itself is left open for the caller.
+func RecordTo(prog *bytecode.Program, dst io.Writer, o Options) (*Result, error) {
+	sink, err := trace.NewStreamWriter(dst, vm.ProgramHash(prog))
+	if err != nil {
+		return nil, err
+	}
+	res, err := record(prog, o, sink)
+	if cerr := sink.Close(); cerr != nil && err == nil {
+		return res, fmt.Errorf("record trace stream: %w", cerr)
+	}
+	return res, err
+}
+
+func record(prog *bytecode.Program, o Options, sink trace.Sink) (*Result, error) {
 	o = o.fill()
 	ecfg := core.DefaultConfig(core.ModeRecord)
 	ecfg.ProgHash = vm.ProgramHash(prog)
 	ecfg.Time = o.timeSource()
+	ecfg.TraceSink = sink
 	if o.NoPreempt {
 		ecfg.Preempt = core.NeverPreempt{}
 	} else {
@@ -196,7 +219,7 @@ func Record(prog *bytecode.Program, o Options) (*Result, error) {
 		Digest:   d,
 		Output:   append([]byte(nil), m.Output()...),
 		Events:   m.Events(),
-		Trace:    eng.End(),
+		Trace:    eng.End(), // nil when streaming to a sink
 		VM:       m,
 		EngStats: eng.Stats(),
 		RunErr:   runErr,
@@ -205,10 +228,26 @@ func Record(prog *bytecode.Program, o Options) (*Result, error) {
 
 // Replay executes prog against a previously recorded trace.
 func Replay(prog *bytecode.Program, traceBytes []byte, o Options) (*Result, error) {
+	return replay(prog, traceBytes, nil, o)
+}
+
+// ReplayFrom is Replay over a streaming trace container read incrementally
+// from src (e.g. a file recorded by RecordTo), without materializing the
+// trace in memory.
+func ReplayFrom(prog *bytecode.Program, src io.Reader, o Options) (*Result, error) {
+	sr, err := trace.NewStreamReader(src, vm.ProgramHash(prog))
+	if err != nil {
+		return nil, err
+	}
+	return replay(prog, nil, sr, o)
+}
+
+func replay(prog *bytecode.Program, traceBytes []byte, src trace.Source, o Options) (*Result, error) {
 	o = o.fill()
 	ecfg := core.DefaultConfig(core.ModeReplay)
 	ecfg.ProgHash = vm.ProgramHash(prog)
 	ecfg.TraceIn = traceBytes
+	ecfg.TraceSrc = src
 	// Replay must not depend on any live source: poison them.
 	ecfg.Time = &core.FakeTime{Base: -1 << 40, Step: 0}
 	ecfg.Preempt = nil

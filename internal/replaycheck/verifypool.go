@@ -1,0 +1,176 @@
+package replaycheck
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dejavu/internal/bytecode"
+)
+
+// VerifyJob is one record→replay accuracy check: a program constructor
+// (invoked fresh per run, so concurrent runs never share mutable program
+// state) plus the run options. Name groups runs in the summary.
+type VerifyJob struct {
+	Name    string
+	Prog    func() *bytecode.Program
+	Options Options
+
+	// Stream routes the check through the streaming trace pipeline
+	// (RecordTo → ReplayFrom) instead of the in-memory container,
+	// verifying the two paths agree.
+	Stream bool
+}
+
+// VerifyRun is the outcome of one job.
+type VerifyRun struct {
+	Name     string
+	Seed     int64
+	Err      error // nil: replay was behaviorally identical
+	Events   uint64
+	Duration time.Duration
+}
+
+// VerifySummary aggregates a pool run.
+type VerifySummary struct {
+	Runs           []VerifyRun // in job order
+	Passed, Failed int
+	Wall           time.Duration
+	Workers        int
+}
+
+// Failures returns the diverged runs, in job order.
+func (s *VerifySummary) Failures() []VerifyRun {
+	var out []VerifyRun
+	for _, r := range s.Runs {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ByName folds runs into per-name pass/total counts.
+func (s *VerifySummary) ByName() map[string][2]int {
+	out := map[string][2]int{}
+	for _, r := range s.Runs {
+		c := out[r.Name]
+		if r.Err == nil {
+			c[0]++
+		}
+		c[1]++
+		out[r.Name] = c
+	}
+	return out
+}
+
+// Report renders the aggregated divergence report: one line per job group
+// and one per failure.
+func (s *VerifySummary) Report() string {
+	var b strings.Builder
+	byName := s.ByName()
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := byName[n]
+		fmt.Fprintf(&b, "%-20s %d/%d replays identical\n", n, c[0], c[1])
+	}
+	for _, r := range s.Failures() {
+		fmt.Fprintf(&b, "FAIL %s seed=%d: %v\n", r.Name, r.Seed, r.Err)
+	}
+	fmt.Fprintf(&b, "verified %d/%d runs in %v (%d workers)\n",
+		s.Passed, s.Passed+s.Failed, s.Wall.Round(time.Millisecond), s.Workers)
+	return b.String()
+}
+
+// VerifyPool fans the jobs across a worker pool and aggregates the per-run
+// divergence reports. Each VM is single-goroutine, so N seeds × M
+// workloads parallelize trivially; workers ≤ 0 selects GOMAXPROCS.
+// Results keep job order regardless of completion order.
+func VerifyPool(jobs []VerifyJob, workers int) *VerifySummary {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	start := time.Now()
+	sum := &VerifySummary{Runs: make([]VerifyRun, len(jobs)), Workers: workers}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sum.Runs[i] = runVerifyJob(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	sum.Wall = time.Since(start)
+	for _, r := range sum.Runs {
+		if r.Err == nil {
+			sum.Passed++
+		} else {
+			sum.Failed++
+		}
+	}
+	return sum
+}
+
+func runVerifyJob(j VerifyJob) (run VerifyRun) {
+	start := time.Now()
+	run = VerifyRun{Name: j.Name, Seed: j.Options.Seed}
+	defer func() {
+		if r := recover(); r != nil {
+			run.Err = fmt.Errorf("panic: %v", r)
+		}
+		run.Duration = time.Since(start)
+	}()
+	var rec, rep *Result
+	var err error
+	if j.Stream {
+		rec, rep, err = checkReplayStream(j.Prog(), j.Options)
+	} else {
+		rec, _, err = CheckReplay(j.Prog(), j.Options)
+	}
+	_ = rep
+	run.Err = err
+	if rec != nil {
+		run.Events = rec.Events
+	}
+	return run
+}
+
+// checkReplayStream is CheckReplay routed through the streaming container:
+// record streams the trace out chunk by chunk, replay streams it back in.
+func checkReplayStream(prog *bytecode.Program, o Options) (rec, rep *Result, err error) {
+	var buf bytes.Buffer
+	rec, err = RecordTo(prog, &buf, o)
+	if err != nil {
+		return nil, nil, fmt.Errorf("record setup: %w", err)
+	}
+	if rec.RunErr != nil {
+		return rec, nil, fmt.Errorf("record run: %w", rec.RunErr)
+	}
+	rep, err = ReplayFrom(prog, bytes.NewReader(buf.Bytes()), o)
+	if err != nil {
+		return rec, nil, fmt.Errorf("replay setup: %w", err)
+	}
+	if rep.RunErr != nil {
+		return rec, rep, fmt.Errorf("replay run: %w", rep.RunErr)
+	}
+	return rec, rep, CompareRuns(rec, rep)
+}

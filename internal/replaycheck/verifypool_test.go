@@ -1,0 +1,183 @@
+package replaycheck_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/trace"
+	"dejavu/internal/workloads"
+)
+
+func optsFor(name string, seed int64) replaycheck.Options {
+	o := replaycheck.Options{Seed: seed, HostRand: seed}
+	if name == "sumlines" {
+		o.Input = "5\n15\n22\n\n"
+	}
+	return o
+}
+
+func registryJobs(seeds []int64, stream bool) []replaycheck.VerifyJob {
+	var jobs []replaycheck.VerifyJob
+	for _, name := range workloads.Names() {
+		for _, seed := range seeds {
+			jobs = append(jobs, replaycheck.VerifyJob{
+				Name:    name,
+				Prog:    workloads.Registry[name],
+				Options: optsFor(name, seed),
+				Stream:  stream,
+			})
+		}
+	}
+	return jobs
+}
+
+// TestVerifyPoolMatchesSequential checks that fanning the checks across
+// workers yields exactly the sequential results, in job order.
+func TestVerifyPoolMatchesSequential(t *testing.T) {
+	jobs := registryJobs([]int64{1, 2}, false)
+	seq := replaycheck.VerifyPool(jobs, 1)
+	par := replaycheck.VerifyPool(jobs, 4)
+	if seq.Passed != len(jobs) || seq.Failed != 0 {
+		t.Fatalf("sequential pool: %d/%d passed\n%s", seq.Passed, len(jobs), seq.Report())
+	}
+	if par.Passed != seq.Passed || par.Failed != seq.Failed {
+		t.Fatalf("parallel pool diverges: seq %d/%d, par %d/%d",
+			seq.Passed, seq.Failed, par.Passed, par.Failed)
+	}
+	for i := range jobs {
+		if (seq.Runs[i].Err == nil) != (par.Runs[i].Err == nil) {
+			t.Fatalf("run %d (%s): seq err=%v, par err=%v",
+				i, jobs[i].Name, seq.Runs[i].Err, par.Runs[i].Err)
+		}
+		if seq.Runs[i].Name != par.Runs[i].Name || seq.Runs[i].Seed != par.Runs[i].Seed {
+			t.Fatalf("run %d out of order: seq %s/%d, par %s/%d",
+				i, seq.Runs[i].Name, seq.Runs[i].Seed, par.Runs[i].Name, par.Runs[i].Seed)
+		}
+		if seq.Runs[i].Events != par.Runs[i].Events {
+			t.Fatalf("run %d (%s): event counts differ: %d vs %d",
+				i, jobs[i].Name, seq.Runs[i].Events, par.Runs[i].Events)
+		}
+	}
+}
+
+// TestVerifyPoolStreaming runs the whole registry through the streaming
+// record→replay path concurrently.
+func TestVerifyPoolStreaming(t *testing.T) {
+	jobs := registryJobs([]int64{3}, true)
+	sum := replaycheck.VerifyPool(jobs, 4)
+	if sum.Failed != 0 {
+		t.Fatalf("streaming pool failures:\n%s", sum.Report())
+	}
+	if got := sum.Report(); !strings.Contains(got, "replays identical") {
+		t.Fatalf("report missing per-workload lines:\n%s", got)
+	}
+}
+
+// TestVerifyPoolReportsFailures checks divergence aggregation: a program
+// whose constructor panics must surface as a failed run, not kill the pool.
+func TestVerifyPoolReportsFailures(t *testing.T) {
+	jobs := []replaycheck.VerifyJob{
+		{Name: "good", Prog: workloads.Fig1AB, Options: optsFor("fig1ab", 1)},
+		{Name: "bad", Prog: func() *bytecode.Program { panic("constructor exploded") }},
+	}
+	sum := replaycheck.VerifyPool(jobs, 2)
+	if sum.Passed != 1 || sum.Failed != 1 {
+		t.Fatalf("want 1 pass 1 fail, got %d/%d:\n%s", sum.Passed, sum.Failed, sum.Report())
+	}
+	fails := sum.Failures()
+	if len(fails) != 1 || fails[0].Name != "bad" || !strings.Contains(fails[0].Err.Error(), "constructor exploded") {
+		t.Fatalf("failure not aggregated: %+v", fails)
+	}
+	if !strings.Contains(sum.Report(), "FAIL bad") {
+		t.Fatalf("report missing failure line:\n%s", sum.Report())
+	}
+}
+
+// TestStreamGoldenByteIdentical is the format-compatibility golden test:
+// for every workload in the registry, the streamed container decoded back
+// to flat form must be byte-identical to what the in-memory Writer
+// produced for the same run.
+func TestStreamGoldenByteIdentical(t *testing.T) {
+	for _, name := range workloads.Names() {
+		t.Run(name, func(t *testing.T) {
+			o := optsFor(name, 7)
+			flat, err := replaycheck.Record(workloads.Registry[name](), o)
+			if err != nil || flat.RunErr != nil {
+				t.Fatalf("flat record: %v / %v", err, flat.RunErr)
+			}
+			var buf bytes.Buffer
+			streamed, err := replaycheck.RecordTo(workloads.Registry[name](), &buf, o)
+			if err != nil || streamed.RunErr != nil {
+				t.Fatalf("streamed record: %v / %v", err, streamed.RunErr)
+			}
+			if streamed.Trace != nil {
+				t.Fatalf("streaming record should not materialize Result.Trace")
+			}
+			if !trace.IsStream(buf.Bytes()) {
+				t.Fatalf("RecordTo did not produce a stream container")
+			}
+			decoded, err := trace.DecodeStream(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("DecodeStream: %v", err)
+			}
+			if !bytes.Equal(flat.Trace, decoded) {
+				t.Fatalf("decoded stream differs from flat container: %d vs %d bytes",
+					len(flat.Trace), len(decoded))
+			}
+		})
+	}
+}
+
+// TestStreamReplayBothPaths replays one streamed recording through both
+// Reader paths — StreamReader directly, and Reader over the decoded flat
+// container — and requires all three executions to be identical.
+func TestStreamReplayBothPaths(t *testing.T) {
+	for _, name := range []string{"bank", "prodcons", "sumlines"} {
+		t.Run(name, func(t *testing.T) {
+			o := optsFor(name, 11)
+			var buf bytes.Buffer
+			rec, err := replaycheck.RecordTo(workloads.Registry[name](), &buf, o)
+			if err != nil || rec.RunErr != nil {
+				t.Fatalf("record: %v / %v", err, rec.RunErr)
+			}
+			repStream, err := replaycheck.ReplayFrom(workloads.Registry[name](), bytes.NewReader(buf.Bytes()), o)
+			if err != nil || repStream.RunErr != nil {
+				t.Fatalf("streamed replay: %v / %v", err, repStream.RunErr)
+			}
+			if err := replaycheck.CompareRuns(rec, repStream); err != nil {
+				t.Fatalf("streamed replay diverged: %v", err)
+			}
+			flat, err := trace.DecodeStream(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("DecodeStream: %v", err)
+			}
+			repFlat, err := replaycheck.Replay(workloads.Registry[name](), flat, o)
+			if err != nil || repFlat.RunErr != nil {
+				t.Fatalf("flat replay: %v / %v", err, repFlat.RunErr)
+			}
+			if err := replaycheck.CompareRuns(rec, repFlat); err != nil {
+				t.Fatalf("flat replay of decoded stream diverged: %v", err)
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyPool measures the fan-out win: the same job matrix at 1
+// worker vs 4. On multicore hosts the 4-worker run should be ≥2× faster.
+func BenchmarkVerifyPool(b *testing.B) {
+	jobs := registryJobs([]int64{1, 2, 3, 4}, false)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sum := replaycheck.VerifyPool(jobs, workers)
+				if sum.Failed != 0 {
+					b.Fatalf("failures:\n%s", sum.Report())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+// Fuzz targets for the trace decoders. External test package so the seed
+// corpus can come from real recorded executions (replaycheck/workloads
+// import trace; the reverse would cycle).
+package trace_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/trace"
+	"dejavu/internal/workloads"
+)
+
+// seedTraces records a few real workloads and returns their flat
+// containers, so the fuzzers start from well-formed inputs instead of
+// discovering the format from scratch.
+func seedTraces(f *testing.F) [][]byte {
+	f.Helper()
+	var out [][]byte
+	for _, s := range []struct {
+		prog func() []byte
+	}{
+		{func() []byte {
+			r, err := replaycheck.Record(workloads.Fig1AB(), replaycheck.Options{Seed: 1, HostRand: 1})
+			if err != nil || r.RunErr != nil {
+				f.Fatalf("seed record: %v / %v", err, r.RunErr)
+			}
+			return r.Trace
+		}},
+		{func() []byte {
+			r, err := replaycheck.Record(workloads.Bank(2, 4, 3), replaycheck.Options{Seed: 2, HostRand: 2})
+			if err != nil || r.RunErr != nil {
+				f.Fatalf("seed record: %v / %v", err, r.RunErr)
+			}
+			return r.Trace
+		}},
+		{func() []byte {
+			r, err := replaycheck.Record(workloads.SumLines(),
+				replaycheck.Options{Seed: 3, HostRand: 3, Input: "5\n15\n22\n\n"})
+			if err != nil || r.RunErr != nil {
+				f.Fatalf("seed record: %v / %v", err, r.RunErr)
+			}
+			return r.Trace
+		}},
+	} {
+		out = append(out, s.prog())
+	}
+	return out
+}
+
+func traceHash(raw []byte) uint64 {
+	if len(raw) < 12 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(raw[4:12])
+}
+
+// FuzzTraceReader drives the flat Reader over arbitrary bytes: any input
+// must produce either clean decoding or an error — never a panic, hang, or
+// out-of-range access.
+func FuzzTraceReader(f *testing.F) {
+	for _, tr := range seedTraces(f) {
+		f.Add(tr)
+		// Truncations and bit flips of real traces reach deep decode paths.
+		f.Add(tr[:len(tr)/2])
+		mut := append([]byte(nil), tr...)
+		mut[len(mut)/3] ^= 0x40
+		f.Add(mut)
+	}
+	f.Add([]byte("DVT2"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := trace.NewReader(data, traceHash(data))
+		if err != nil {
+			return
+		}
+		for {
+			if _, ok := r.NextSwitch(); !ok {
+				break
+			}
+		}
+		for i := 0; i < 1<<20; i++ {
+			k, err := r.Peek()
+			if err != nil {
+				return
+			}
+			switch k {
+			case trace.EvClock:
+				_, err = r.Clock()
+			case trace.EvNative:
+				// id 0 may mismatch the recorded id; a divergence error is
+				// a valid outcome, we only require no panic.
+				_, err = r.Native(0)
+			case trace.EvInput:
+				_, err = r.Input()
+			case trace.EvCallback:
+				_, _, err = r.Callback()
+			case trace.EvEnd:
+				return
+			default:
+				t.Fatalf("Peek returned invalid kind %v without error", k)
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzSummarize checks Summarize either rejects the input or returns an
+// internally consistent summary.
+func FuzzSummarize(f *testing.F) {
+	for _, tr := range seedTraces(f) {
+		f.Add(tr)
+		f.Add(tr[:len(tr)-1])
+	}
+	f.Add([]byte("DVT2\x00\x00\x00\x00\x00\x00\x00\x00\x00\x06"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := trace.Summarize(data)
+		if err != nil {
+			return
+		}
+		if s.Stats.TotalBytes != len(data) {
+			t.Fatalf("TotalBytes = %d, input is %d", s.Stats.TotalBytes, len(data))
+		}
+		if s.Stats.Events[trace.EvEnd] != 1 {
+			t.Fatalf("accepted trace with %d EvEnd events", s.Stats.Events[trace.EvEnd])
+		}
+		if s.SwitchNYP.Min > s.SwitchNYP.Max {
+			t.Fatalf("nyp Min %d > Max %d", s.SwitchNYP.Min, s.SwitchNYP.Max)
+		}
+	})
+}
+
+// FuzzDecodeStream checks the stream demultiplexer: any accepted input
+// must decode to a flat container the Reader in turn accepts.
+func FuzzDecodeStream(f *testing.F) {
+	for i, mk := range []func() *bytecode.Program{workloads.Fig1AB, func() *bytecode.Program { return workloads.Bank(2, 4, 3) }} {
+		var buf bytes.Buffer
+		r, err := replaycheck.RecordTo(mk(), &buf, replaycheck.Options{Seed: int64(i + 1), HostRand: int64(i + 1)})
+		if err != nil || r.RunErr != nil {
+			f.Fatalf("seed stream record: %v / %v", err, r.RunErr)
+		}
+		f.Add(append([]byte(nil), buf.Bytes()...))
+		f.Add(append([]byte(nil), buf.Bytes()[:buf.Len()-1]...))
+	}
+	f.Add([]byte("DVS1\x00\x00\x00\x00\x00\x00\x00\x00\x03"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flat, err := trace.DecodeStream(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if _, err := trace.NewReader(flat, traceHash(flat)); err != nil {
+			t.Fatalf("DecodeStream output rejected by NewReader: %v", err)
+		}
+	})
+}

@@ -1,0 +1,404 @@
+// Streaming trace containers.
+//
+// The flat DVT2 container places the switch-stream length before the
+// switch stream, so it cannot be emitted single-pass to a non-seekable
+// sink. The streaming container ("DVS1") keeps the two streams chunked and
+// interleaved instead:
+//
+//	magic "DVS1" | progHash (8 bytes LE)
+//	chunk*       where chunk = tag (1 byte) | uvarint payload length | payload
+//	end tag      (one byte, no payload)
+//
+// Tags 0x01/0x02 carry switch-stream and data-stream bytes; demultiplexing
+// chunks in order reconstructs exactly the two streams a Writer would have
+// buffered, so DecodeStream materializes a byte-identical DVT2 container.
+// Chunks always split at event boundaries (the writer flushes whole
+// buffered events), but the reader does not rely on that.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const streamMagic = "DVS1"
+
+const (
+	chunkSwitch byte = 0x01
+	chunkData   byte = 0x02
+	chunkEnd    byte = 0x03
+)
+
+// DefaultChunkBytes is the flush threshold for StreamWriter buffers.
+const DefaultChunkBytes = 1 << 15
+
+// IsStream reports whether b begins with the streaming-container magic.
+func IsStream(b []byte) bool {
+	return len(b) >= len(streamMagic) && string(b[:len(streamMagic)]) == streamMagic
+}
+
+// StreamWriter encodes a trace incrementally to any io.Writer, so record
+// mode never holds the whole trace in memory. It logs the same events as
+// Writer (both implement Sink) and emits identical stream bytes; only the
+// container framing differs. Close flushes the final chunks and the end
+// marker; the caller owns closing the underlying sink.
+type StreamWriter struct {
+	dst      io.Writer
+	log      eventLog
+	chunk    int
+	written  int
+	closed   bool
+	err      error
+	progHash uint64
+}
+
+// NewStreamWriter starts a streaming trace for progHash on dst, writing
+// the container header immediately.
+func NewStreamWriter(dst io.Writer, progHash uint64) (*StreamWriter, error) {
+	return NewStreamWriterSize(dst, progHash, DefaultChunkBytes)
+}
+
+// NewStreamWriterSize is NewStreamWriter with an explicit chunk flush
+// threshold (mainly for tests that need to force chunk boundaries).
+func NewStreamWriterSize(dst io.Writer, progHash uint64, chunkBytes int) (*StreamWriter, error) {
+	if chunkBytes < 1 {
+		chunkBytes = DefaultChunkBytes
+	}
+	s := &StreamWriter{dst: dst, log: newEventLog(), chunk: chunkBytes, progHash: progHash}
+	var hdr [streamHeaderLen]byte
+	copy(hdr[:], streamMagic)
+	binary.LittleEndian.PutUint64(hdr[len(streamMagic):], progHash)
+	if _, err := dst.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: stream header: %w", err)
+	}
+	s.written = len(hdr)
+	return s, nil
+}
+
+const streamHeaderLen = len(streamMagic) + 8
+
+// Switch logs a preemptive thread switch after nyp yield points.
+func (s *StreamWriter) Switch(nyp uint64) { s.log.logSwitch(nyp); s.maybeFlush() }
+
+// Clock logs one wall-clock value.
+func (s *StreamWriter) Clock(v int64) { s.log.logClock(v); s.maybeFlush() }
+
+// Native logs the result words of non-deterministic native call id.
+func (s *StreamWriter) Native(id int, vals []int64) { s.log.logNative(id, vals); s.maybeFlush() }
+
+// Input logs environment bytes.
+func (s *StreamWriter) Input(b []byte) { s.log.logInput(b); s.maybeFlush() }
+
+// Callback logs one native-to-VM callback.
+func (s *StreamWriter) Callback(cb int, params []int64) {
+	s.log.logCallback(cb, params)
+	s.maybeFlush()
+}
+
+// End finalizes the data stream (the event, not the container — Close
+// writes the container's end marker).
+func (s *StreamWriter) End() { s.log.logEnd() }
+
+// maybeFlush emits full chunks. Pending switch bytes flush first so the
+// reader sees a switch count no later than data recorded after it — the
+// replay prefetch pattern then buffers at most about one chunk ahead.
+func (s *StreamWriter) maybeFlush() {
+	if s.log.data.Len() >= s.chunk {
+		s.flushChunk(chunkSwitch, &s.log.sw)
+		s.flushChunk(chunkData, &s.log.data)
+	} else if s.log.sw.Len() >= s.chunk {
+		s.flushChunk(chunkSwitch, &s.log.sw)
+	}
+}
+
+func (s *StreamWriter) flushChunk(tag byte, buf *bytes.Buffer) {
+	if s.err != nil || buf.Len() == 0 {
+		buf.Reset()
+		return
+	}
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = tag
+	n := binary.PutUvarint(hdr[1:], uint64(buf.Len()))
+	if _, err := s.dst.Write(hdr[:1+n]); err != nil {
+		s.err = fmt.Errorf("trace: stream write: %w", err)
+		return
+	}
+	if _, err := s.dst.Write(buf.Bytes()); err != nil {
+		s.err = fmt.Errorf("trace: stream write: %w", err)
+		return
+	}
+	s.written += 1 + n + buf.Len()
+	buf.Reset()
+}
+
+// Close flushes the remaining chunks and the end marker. It is idempotent
+// and returns the first write error, if any.
+func (s *StreamWriter) Close() error {
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	s.flushChunk(chunkSwitch, &s.log.sw)
+	s.flushChunk(chunkData, &s.log.data)
+	if s.err == nil {
+		if _, err := s.dst.Write([]byte{chunkEnd}); err != nil {
+			s.err = fmt.Errorf("trace: stream write: %w", err)
+		} else {
+			s.written++
+		}
+	}
+	return s.err
+}
+
+// Err returns the sticky write error.
+func (s *StreamWriter) Err() error { return s.err }
+
+// Stats returns event counts and sizes. TotalBytes counts container bytes
+// written so far (final once Close has run).
+func (s *StreamWriter) Stats() Stats {
+	s.log.stats.TotalBytes = s.written + s.log.sw.Len() + s.log.data.Len()
+	return s.log.stats
+}
+
+// StreamReader replays a streaming container from any io.Reader,
+// demultiplexing chunks on demand. It implements Source; unlike Reader it
+// is not seekable, so engine snapshots (checkpointing) require the flat
+// path. Memory stays bounded by the chunk size plus one preemption
+// interval of buffered data — except when the switch stream ends long
+// before the data stream (e.g. a trace with no preemptions), where
+// discovering the exhausted switch stream buffers the remaining data.
+type StreamReader struct {
+	src   *bufio.Reader
+	inner Reader // demultiplexed, partially filled streams
+	eof   bool   // end marker (or transport EOF) reached
+	err   error  // sticky transport/framing error
+}
+
+// NewStreamReader validates the streaming container header against
+// progHash.
+func NewStreamReader(r io.Reader, progHash uint64) (*StreamReader, error) {
+	var hdr [streamHeaderLen]byte
+	br := bufio.NewReader(r)
+	if _, err := io.ReadFull(br, hdr[:]); err != nil || string(hdr[:len(streamMagic)]) != streamMagic {
+		return nil, fmt.Errorf("trace: bad stream magic")
+	}
+	h := binary.LittleEndian.Uint64(hdr[len(streamMagic):])
+	if h != progHash {
+		return nil, fmt.Errorf("trace: program hash mismatch: trace %x, program %x", h, progHash)
+	}
+	return &StreamReader{src: br}, nil
+}
+
+// fill reads one chunk into the demultiplexed streams; on the end marker
+// it sets eof. Payload bytes are copied incrementally so a corrupt length
+// cannot force a huge allocation.
+func (s *StreamReader) fill() error {
+	if s.err != nil {
+		return s.err
+	}
+	tag, err := s.src.ReadByte()
+	if err != nil {
+		s.err = fmt.Errorf("trace: stream truncated before end marker: %w", io.ErrUnexpectedEOF)
+		return s.err
+	}
+	switch tag {
+	case chunkEnd:
+		s.eof = true
+		return nil
+	case chunkSwitch, chunkData:
+		ln, err := binary.ReadUvarint(s.src)
+		if err != nil {
+			s.err = fmt.Errorf("trace: stream chunk header truncated: %w", io.ErrUnexpectedEOF)
+			return s.err
+		}
+		if ln > 1<<56 {
+			s.err = fmt.Errorf("trace: stream chunk length %d corrupt", ln)
+			return s.err
+		}
+		var buf bytes.Buffer
+		if _, err := io.CopyN(&buf, s.src, int64(ln)); err != nil {
+			s.err = fmt.Errorf("trace: stream chunk truncated: %w", io.ErrUnexpectedEOF)
+			return s.err
+		}
+		if tag == chunkSwitch {
+			s.inner.sw = append(s.inner.sw, buf.Bytes()...)
+		} else {
+			s.inner.data = append(s.inner.data, buf.Bytes()...)
+		}
+		return nil
+	default:
+		s.err = fmt.Errorf("trace: unknown stream chunk tag %#x", tag)
+		return s.err
+	}
+}
+
+// compact drops consumed stream prefixes so long replays stay bounded.
+// Only called at the top of a public consume operation, never between a
+// saved position and its retry.
+func (s *StreamReader) compact() {
+	const keep = 1 << 16
+	if s.inner.pos > keep {
+		s.inner.data = append([]byte(nil), s.inner.data[s.inner.pos:]...)
+		s.inner.pos = 0
+	}
+	if s.inner.swPos > 1<<12 {
+		s.inner.sw = append([]byte(nil), s.inner.sw[s.inner.swPos:]...)
+		s.inner.swPos = 0
+	}
+}
+
+// retry runs one decode attempt against the buffered streams, pulling more
+// chunks and re-running from the saved position whenever the attempt ran
+// out of bytes before the container did.
+func (s *StreamReader) retry(f func() error) error {
+	if s.err != nil {
+		return s.err
+	}
+	s.compact()
+	for {
+		p := s.inner.Pos()
+		err := f()
+		if err != nil && errors.Is(err, io.ErrUnexpectedEOF) && !s.eof {
+			s.inner.Seek(p)
+			if ferr := s.fill(); ferr != nil {
+				return ferr
+			}
+			continue
+		}
+		return err
+	}
+}
+
+// NextSwitch returns the next recorded nyp value, or ok=false once the
+// container holds no further switches.
+func (s *StreamReader) NextSwitch() (uint64, bool) {
+	s.compact()
+	for {
+		if v, ok := s.inner.NextSwitch(); ok {
+			return v, true
+		}
+		if s.eof || s.err != nil {
+			return 0, false
+		}
+		if err := s.fill(); err != nil {
+			return 0, false
+		}
+	}
+}
+
+// Peek returns the kind of the next data event without consuming it.
+func (s *StreamReader) Peek() (Kind, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	for {
+		if k, err := s.inner.Peek(); err == nil {
+			return k, nil
+		}
+		if s.eof {
+			return s.inner.Peek()
+		}
+		if err := s.fill(); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// Clock consumes a clock event.
+func (s *StreamReader) Clock() (int64, error) {
+	var v int64
+	err := s.retry(func() (e error) { v, e = s.inner.Clock(); return })
+	return v, err
+}
+
+// Native consumes a native-result event, verifying the native id matches.
+func (s *StreamReader) Native(id int) ([]int64, error) {
+	var vals []int64
+	err := s.retry(func() (e error) { vals, e = s.inner.Native(id); return })
+	return vals, err
+}
+
+// Input consumes an input event.
+func (s *StreamReader) Input() ([]byte, error) {
+	var b []byte
+	err := s.retry(func() (e error) { b, e = s.inner.Input(); return })
+	return b, err
+}
+
+// Callback consumes a callback event.
+func (s *StreamReader) Callback() (cb int, params []int64, err error) {
+	err = s.retry(func() (e error) { cb, params, e = s.inner.Callback(); return })
+	return cb, params, err
+}
+
+// AtEnd reports whether the next data event is EvEnd.
+func (s *StreamReader) AtEnd() bool {
+	k, err := s.Peek()
+	return err == nil && k == EvEnd
+}
+
+// EventIndex returns how many data events have been consumed.
+func (s *StreamReader) EventIndex() int { return s.inner.index }
+
+// SwitchesRemaining reports whether unconsumed switch entries remain; it
+// may read ahead to the end marker to decide.
+func (s *StreamReader) SwitchesRemaining() bool {
+	for {
+		if s.inner.SwitchesRemaining() {
+			return true
+		}
+		if s.eof || s.err != nil {
+			return false
+		}
+		if err := s.fill(); err != nil {
+			return false
+		}
+	}
+}
+
+// Err returns the sticky transport/framing error.
+func (s *StreamReader) Err() error { return s.err }
+
+// DecodeStream reads a complete streaming container and returns the
+// equivalent flat DVT2 container — byte-identical to what Writer.Bytes()
+// would have produced for the same event sequence.
+func DecodeStream(r io.Reader) ([]byte, error) {
+	var hdr [streamHeaderLen]byte
+	br := bufio.NewReader(r)
+	if _, err := io.ReadFull(br, hdr[:]); err != nil || string(hdr[:len(streamMagic)]) != streamMagic {
+		return nil, fmt.Errorf("trace: bad stream magic")
+	}
+	progHash := binary.LittleEndian.Uint64(hdr[len(streamMagic):])
+	var sw, data bytes.Buffer
+	for {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: stream truncated before end marker: %w", io.ErrUnexpectedEOF)
+		}
+		switch tag {
+		case chunkEnd:
+			return appendContainer(progHash, sw.Bytes(), data.Bytes()), nil
+		case chunkSwitch, chunkData:
+			ln, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: stream chunk header truncated: %w", io.ErrUnexpectedEOF)
+			}
+			if ln > 1<<56 {
+				return nil, fmt.Errorf("trace: stream chunk length %d corrupt", ln)
+			}
+			dst := &sw
+			if tag == chunkData {
+				dst = &data
+			}
+			if _, err := io.CopyN(dst, br, int64(ln)); err != nil {
+				return nil, fmt.Errorf("trace: stream chunk truncated: %w", io.ErrUnexpectedEOF)
+			}
+		default:
+			return nil, fmt.Errorf("trace: unknown stream chunk tag %#x", tag)
+		}
+	}
+}

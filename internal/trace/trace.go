@@ -60,31 +60,104 @@ type Stats struct {
 	TotalBytes  int
 }
 
+// Sink is the recording surface shared by Writer (in-memory container)
+// and StreamWriter (incremental container to an io.Writer). The engine
+// logs through this interface so record mode is independent of where the
+// trace bytes end up.
+type Sink interface {
+	Switch(nyp uint64)
+	Clock(v int64)
+	Native(id int, vals []int64)
+	Input(b []byte)
+	Callback(cb int, params []int64)
+	End()
+	Stats() Stats
+}
+
+// Source is the replay surface shared by Reader (in-memory container) and
+// StreamReader (incremental container from an io.Reader).
+type Source interface {
+	NextSwitch() (nyp uint64, ok bool)
+	Peek() (Kind, error)
+	Clock() (int64, error)
+	Native(id int) ([]int64, error)
+	Input() ([]byte, error)
+	Callback() (cb int, params []int64, err error)
+	AtEnd() bool
+	EventIndex() int
+	SwitchesRemaining() bool
+}
+
+// eventLog accumulates the two streams plus per-kind statistics. Writer
+// and StreamWriter share it, so both paths emit identical stream bytes.
+type eventLog struct {
+	sw    bytes.Buffer // switch stream: raw varints
+	data  bytes.Buffer // data stream: tagged events
+	stats Stats
+}
+
+func newEventLog() eventLog {
+	return eventLog{stats: Stats{Events: map[Kind]int{}, BytesByKind: map[Kind]int{}}}
+}
+
+func (l *eventLog) event(k Kind, body func()) {
+	start := l.data.Len()
+	l.data.WriteByte(byte(k))
+	if body != nil {
+		body()
+	}
+	l.stats.Events[k]++
+	l.stats.BytesByKind[k] += l.data.Len() - start
+}
+
+func (l *eventLog) logSwitch(nyp uint64) {
+	start := l.sw.Len()
+	uvTo(&l.sw, nyp)
+	l.stats.Events[EvSwitch]++
+	l.stats.BytesByKind[EvSwitch] += l.sw.Len() - start
+}
+
+func (l *eventLog) logClock(v int64) { l.event(EvClock, func() { svTo(&l.data, v) }) }
+
+func (l *eventLog) logNative(id int, vals []int64) {
+	l.event(EvNative, func() {
+		uvTo(&l.data, uint64(id))
+		uvTo(&l.data, uint64(len(vals)))
+		for _, v := range vals {
+			svTo(&l.data, v)
+		}
+	})
+}
+
+func (l *eventLog) logInput(b []byte) {
+	l.event(EvInput, func() {
+		uvTo(&l.data, uint64(len(b)))
+		l.data.Write(b)
+	})
+}
+
+func (l *eventLog) logCallback(cb int, params []int64) {
+	l.event(EvCallback, func() {
+		uvTo(&l.data, uint64(cb))
+		uvTo(&l.data, uint64(len(params)))
+		for _, v := range params {
+			svTo(&l.data, v)
+		}
+	})
+}
+
+func (l *eventLog) logEnd() { l.event(EvEnd, nil) }
+
 // Writer builds a trace. DejaVu pre-allocates the writer during
 // initialization in both modes (symmetric allocation, §2.4).
 type Writer struct {
 	progHash uint64
-	sw       bytes.Buffer // switch stream: raw varints
-	data     bytes.Buffer // data stream: tagged events
-	stats    Stats
+	log      eventLog
 }
 
 // NewWriter starts a trace for a program identified by progHash.
 func NewWriter(progHash uint64) *Writer {
-	return &Writer{
-		progHash: progHash,
-		stats:    Stats{Events: map[Kind]int{}, BytesByKind: map[Kind]int{}},
-	}
-}
-
-func (w *Writer) event(k Kind, body func()) {
-	start := w.data.Len()
-	w.data.WriteByte(byte(k))
-	if body != nil {
-		body()
-	}
-	w.stats.Events[k]++
-	w.stats.BytesByKind[k] += w.data.Len() - start
+	return &Writer{progHash: progHash, log: newEventLog()}
 }
 
 func uvTo(buf *bytes.Buffer, v uint64) {
@@ -100,67 +173,52 @@ func svTo(buf *bytes.Buffer, v int64) {
 }
 
 // Switch logs a preemptive thread switch after nyp yield points.
-func (w *Writer) Switch(nyp uint64) {
-	start := w.sw.Len()
-	uvTo(&w.sw, nyp)
-	w.stats.Events[EvSwitch]++
-	w.stats.BytesByKind[EvSwitch] += w.sw.Len() - start
-}
+func (w *Writer) Switch(nyp uint64) { w.log.logSwitch(nyp) }
 
 // Clock logs one wall-clock value.
-func (w *Writer) Clock(v int64) { w.event(EvClock, func() { svTo(&w.data, v) }) }
+func (w *Writer) Clock(v int64) { w.log.logClock(v) }
 
 // Native logs the result words of non-deterministic native call id.
-func (w *Writer) Native(id int, vals []int64) {
-	w.event(EvNative, func() {
-		uvTo(&w.data, uint64(id))
-		uvTo(&w.data, uint64(len(vals)))
-		for _, v := range vals {
-			svTo(&w.data, v)
-		}
-	})
-}
+func (w *Writer) Native(id int, vals []int64) { w.log.logNative(id, vals) }
 
 // Input logs environment bytes (console reads etc.).
-func (w *Writer) Input(b []byte) {
-	w.event(EvInput, func() {
-		uvTo(&w.data, uint64(len(b)))
-		w.data.Write(b)
-	})
-}
+func (w *Writer) Input(b []byte) { w.log.logInput(b) }
 
 // Callback logs one native-to-VM callback: which callback and its params.
-func (w *Writer) Callback(cb int, params []int64) {
-	w.event(EvCallback, func() {
-		uvTo(&w.data, uint64(cb))
-		uvTo(&w.data, uint64(len(params)))
-		for _, v := range params {
-			svTo(&w.data, v)
-		}
-	})
-}
+func (w *Writer) Callback(cb int, params []int64) { w.log.logCallback(cb, params) }
 
 // End finalizes the data stream.
-func (w *Writer) End() { w.event(EvEnd, nil) }
+func (w *Writer) End() { w.log.logEnd() }
 
-// Bytes returns the encoded trace container:
+// appendContainer assembles the flat DVT2 container:
 // magic, progHash, len(switch stream), switch stream, data stream.
-func (w *Writer) Bytes() []byte {
-	var out bytes.Buffer
-	out.WriteString(magic)
+func appendContainer(progHash uint64, sw, data []byte) []byte {
+	out := make([]byte, 0, containerLen(len(sw), len(data)))
+	out = append(out, magic...)
 	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], w.progHash)
-	out.Write(tmp[:])
-	uvTo(&out, uint64(w.sw.Len()))
-	out.Write(w.sw.Bytes())
-	out.Write(w.data.Bytes())
-	return out.Bytes()
+	binary.LittleEndian.PutUint64(tmp[:], progHash)
+	out = append(out, tmp[:]...)
+	var uv [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(uv[:], uint64(len(sw)))
+	out = append(out, uv[:n]...)
+	out = append(out, sw...)
+	out = append(out, data...)
+	return out
+}
+
+func containerLen(swLen, dataLen int) int {
+	return len(magic) + 8 + uvLen(uint64(swLen)) + swLen + dataLen
+}
+
+// Bytes returns the encoded trace container.
+func (w *Writer) Bytes() []byte {
+	return appendContainer(w.progHash, w.log.sw.Bytes(), w.log.data.Bytes())
 }
 
 // Stats returns event counts and sizes.
 func (w *Writer) Stats() Stats {
-	w.stats.TotalBytes = len(magic) + 8 + uvLen(uint64(w.sw.Len())) + w.sw.Len() + w.data.Len()
-	return w.stats
+	w.log.stats.TotalBytes = containerLen(w.log.sw.Len(), w.log.data.Len())
+	return w.log.stats
 }
 
 func uvLen(v uint64) int {
@@ -182,32 +240,69 @@ func (e *DivergenceError) Error() string {
 		e.Index, e.Expected, e.Found)
 }
 
+// TruncatedError reports that the data stream ended mid-event. Unlike a
+// bare io.ErrUnexpectedEOF it carries the event ordinal and the kind being
+// decoded, so divergence reports stay actionable. It unwraps to
+// io.ErrUnexpectedEOF for errors.Is compatibility.
+type TruncatedError struct {
+	Index int  // data-event ordinal being decoded when bytes ran out
+	Kind  Kind // event kind being decoded; 0 when the tag byte itself is missing
+}
+
+func (e *TruncatedError) Error() string {
+	if e.Kind == 0 {
+		return fmt.Sprintf("trace: data stream truncated at event %d: event tag missing", e.Index)
+	}
+	return fmt.Sprintf("trace: data stream truncated at event %d while decoding %v payload", e.Index, e.Kind)
+}
+
+// Unwrap makes errors.Is(err, io.ErrUnexpectedEOF) hold.
+func (e *TruncatedError) Unwrap() error { return io.ErrUnexpectedEOF }
+
+// headerLen is the fixed container prefix: magic plus the program hash.
+const headerLen = len(magic) + 8
+
+// parseContainer validates a flat DVT2 container and splits it into its
+// program hash, switch stream, and data stream. It is the single,
+// bounds-checked parser shared by NewReader and Summarize; the returned
+// slices alias raw.
+func parseContainer(raw []byte) (progHash uint64, sw, data []byte, err error) {
+	if len(raw) < headerLen || string(raw[:len(magic)]) != magic {
+		return 0, nil, nil, fmt.Errorf("trace: bad magic")
+	}
+	progHash = binary.LittleEndian.Uint64(raw[len(magic):headerLen])
+	rest := raw[headerLen:]
+	swLen, n := binary.Uvarint(rest)
+	if n <= 0 || swLen > uint64(len(rest)-n) {
+		// The guard also keeps swLen within int range on 32-bit platforms:
+		// it cannot exceed len(rest), which is an int.
+		return 0, nil, nil, fmt.Errorf("trace: container header truncated: %w", io.ErrUnexpectedEOF)
+	}
+	rest = rest[n:]
+	return progHash, rest[:swLen], rest[swLen:], nil
+}
+
 // Reader consumes a trace: the switch stream via NextSwitch, the data
 // stream in strict order via the typed methods.
 type Reader struct {
-	sw    []byte
-	swPos int
-	data  []byte
-	pos   int
-	index int
+	sw       []byte
+	swPos    int
+	data     []byte
+	pos      int
+	index    int
+	decoding Kind // kind whose payload is being decoded, for TruncatedError
 }
 
 // NewReader validates the container against progHash.
 func NewReader(raw []byte, progHash uint64) (*Reader, error) {
-	if len(raw) < len(magic)+8 || string(raw[:4]) != magic {
-		return nil, fmt.Errorf("trace: bad magic")
+	h, sw, data, err := parseContainer(raw)
+	if err != nil {
+		return nil, err
 	}
-	h := binary.LittleEndian.Uint64(raw[4:12])
 	if h != progHash {
 		return nil, fmt.Errorf("trace: program hash mismatch: trace %x, program %x", h, progHash)
 	}
-	rest := raw[12:]
-	swLen, n := binary.Uvarint(rest)
-	if n <= 0 || swLen > uint64(len(rest)-n) {
-		return nil, io.ErrUnexpectedEOF
-	}
-	rest = rest[n:]
-	return &Reader{sw: rest[:swLen], data: rest[swLen:]}, nil
+	return &Reader{sw: sw, data: data}, nil
 }
 
 // NextSwitch returns the next recorded nyp value, or ok=false when the
@@ -224,12 +319,18 @@ func (r *Reader) NextSwitch() (nyp uint64, ok bool) {
 	return v, true
 }
 
-// Peek returns the kind of the next data event without consuming it.
+// Peek returns the kind of the next data event without consuming it. A
+// byte that is not a valid data-stream kind (EvClock..EvEnd) reports
+// corruption here rather than leaking an undefined Kind to the caller.
 func (r *Reader) Peek() (Kind, error) {
 	if r.pos >= len(r.data) {
-		return 0, io.ErrUnexpectedEOF
+		return 0, &TruncatedError{Index: r.index}
 	}
-	return Kind(r.data[r.pos]), nil
+	k := Kind(r.data[r.pos])
+	if k < EvClock || k > EvEnd {
+		return 0, fmt.Errorf("trace: unknown event kind %d at event %d", k, r.index)
+	}
+	return k, nil
 }
 
 func (r *Reader) expect(k Kind) error {
@@ -242,13 +343,21 @@ func (r *Reader) expect(k Kind) error {
 	}
 	r.pos++
 	r.index++
+	r.decoding = k
 	return nil
+}
+
+// truncated builds the contextual truncation error for the event whose
+// payload is currently being decoded (its tag was already consumed, so the
+// ordinal is index-1).
+func (r *Reader) truncated() error {
+	return &TruncatedError{Index: r.index - 1, Kind: r.decoding}
 }
 
 func (r *Reader) uv() (uint64, error) {
 	v, n := binary.Uvarint(r.data[r.pos:])
 	if n <= 0 {
-		return 0, io.ErrUnexpectedEOF
+		return 0, r.truncated()
 	}
 	r.pos += n
 	return v, nil
@@ -257,7 +366,7 @@ func (r *Reader) uv() (uint64, error) {
 func (r *Reader) sv() (int64, error) {
 	v, n := binary.Varint(r.data[r.pos:])
 	if n <= 0 {
-		return 0, io.ErrUnexpectedEOF
+		return 0, r.truncated()
 	}
 	r.pos += n
 	return v, nil
@@ -288,7 +397,7 @@ func (r *Reader) Native(id int) ([]int64, error) {
 		return nil, err
 	}
 	if n > uint64(len(r.data)-r.pos) {
-		return nil, io.ErrUnexpectedEOF
+		return nil, r.truncated()
 	}
 	vals := make([]int64, n)
 	for i := range vals {
@@ -309,7 +418,7 @@ func (r *Reader) Input() ([]byte, error) {
 		return nil, err
 	}
 	if n > uint64(len(r.data)-r.pos) {
-		return nil, io.ErrUnexpectedEOF
+		return nil, r.truncated()
 	}
 	b := make([]byte, n)
 	copy(b, r.data[r.pos:])
@@ -331,7 +440,7 @@ func (r *Reader) Callback() (cb int, params []int64, err error) {
 		return 0, nil, err
 	}
 	if n > uint64(len(r.data)-r.pos) {
-		return 0, nil, io.ErrUnexpectedEOF
+		return 0, nil, r.truncated()
 	}
 	params = make([]int64, n)
 	for i := range params {
@@ -378,19 +487,13 @@ type Summary struct {
 // counts, byte breakdowns, and the preemption-interval distribution. The
 // program hash is not checked (pass what NewReader would).
 func Summarize(raw []byte) (*Summary, error) {
-	if len(raw) < len(magic)+8 || string(raw[:4]) != magic {
-		return nil, fmt.Errorf("trace: bad magic")
+	h, sw, data, err := parseContainer(raw)
+	if err != nil {
+		return nil, err
 	}
-	s := &Summary{ProgHash: binary.LittleEndian.Uint64(raw[4:12])}
+	s := &Summary{ProgHash: h}
 	s.Stats = Stats{Events: map[Kind]int{}, BytesByKind: map[Kind]int{}, TotalBytes: len(raw)}
-	r := &Reader{}
-	rest := raw[12:]
-	swLen, n := binary.Uvarint(rest)
-	if n <= 0 || swLen > uint64(len(rest)-n) {
-		return nil, io.ErrUnexpectedEOF
-	}
-	r.sw = rest[n : n+int(swLen)]
-	r.data = rest[n+int(swLen):]
+	r := &Reader{sw: sw, data: data}
 	s.SwitchNYP.Min = ^uint64(0)
 	for {
 		start := r.swPos
@@ -414,7 +517,7 @@ func Summarize(raw []byte) (*Summary, error) {
 	for {
 		k, err := r.Peek()
 		if err != nil {
-			return nil, fmt.Errorf("trace: data stream truncated: %w", err)
+			return nil, err
 		}
 		start := r.pos
 		switch k {
