@@ -3,6 +3,7 @@
 //	dejavu run [flags] <prog>          execute (no recording)
 //	dejavu record [flags] <prog>       execute and write a trace
 //	dejavu replay [flags] <prog>       re-execute a recorded trace
+//	dejavu vet [flags] <prog|all>      static replay-determinism analyses
 //	dejavu asm <in.dvs> <out.dva>      assemble to a binary image
 //	dejavu disasm <in.dva>             print assembler text
 //	dejavu workloads                   list built-in benchmark programs
@@ -47,6 +48,9 @@ func main() {
 		err = cmdDisasm(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "vet":
+		// vet owns its exit-code discipline: 0 clean, 1 findings, 2 usage.
+		os.Exit(cmdVet(os.Args[2:]))
 	case "traceinfo":
 		err = cmdTraceInfo(os.Args[2:])
 	case "workloads":
@@ -66,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dejavu <run|record|replay|asm|disasm|verify|traceinfo|workloads|info> [flags] args...
+	fmt.Fprintln(os.Stderr, `usage: dejavu <run|record|replay|vet|asm|disasm|verify|traceinfo|workloads|info> [flags] args...
 run "dejavu <cmd> -h" for command flags`)
 }
 
@@ -78,6 +82,7 @@ func cmdRun(args []string, mode core.Mode) error {
 	traceOut := fs.String("o", "trace.dvt", "trace output file (record mode)")
 	flat := fs.Bool("flat", false, "buffer the whole trace in memory and write the flat container (record mode)")
 	stats := fs.Bool("stats", false, "print execution statistics")
+	preflight := fs.Bool("preflight", false, "run the static determinism analyses before recording; refuse to record on findings")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one program argument")
@@ -86,7 +91,14 @@ func cmdRun(args []string, mode core.Mode) error {
 	if err != nil {
 		return err
 	}
-	flags := cli.EngineFlags{Mode: mode, Seed: *seed, Realtime: *realtime}
+	flags := cli.EngineFlags{Mode: mode, Seed: *seed, Realtime: *realtime, Preflight: *preflight}
+	if *preflight && mode == core.ModeRecord {
+		// Gate before the trace file is created, so a refused recording
+		// leaves nothing behind (BuildEngine re-checks for API callers).
+		if err := cli.Preflight(prog); err != nil {
+			return err
+		}
+	}
 	// Record mode streams chunks to the output file as it runs, so the
 	// trace never lives in memory; -flat restores the old buffered path.
 	var sink *trace.StreamWriter

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dejavu/internal/analysis"
+	"dejavu/internal/cli"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+// cmdVet implements `dejavu vet` and returns the process exit code:
+//
+//	0  every analyzed program is clean (or all findings are allowlisted)
+//	1  at least one unexpected finding
+//	2  usage or load error
+//
+// The split makes the command CI-friendly: a pipeline can distinguish
+// "the program has determinism hazards" from "the invocation was wrong".
+func cmdVet(args []string) int {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	allowFile := fs.String("allow", "", "allowlist file: lines of \"<prog> <analysis>\" naming expected findings")
+	analysesFlag := fs.String("analyses", "", "comma-separated subset of analyses to run (default: all of "+strings.Join(analysis.AllAnalyses, ",")+")")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: dejavu vet [-json] [-allow file] [-analyses list] <prog|all>
+
+Runs the static replay-determinism analyses over a program (or every
+built-in workload for "all") and reports findings with method/pc/line
+locations. Exit codes: 0 clean, 1 findings, 2 usage/error.`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	var selected []string
+	if *analysesFlag != "" {
+		known := map[string]bool{}
+		for _, a := range analysis.AllAnalyses {
+			known[a] = true
+		}
+		for _, a := range strings.Split(*analysesFlag, ",") {
+			a = strings.TrimSpace(a)
+			if !known[a] {
+				fmt.Fprintf(os.Stderr, "dejavu vet: unknown analysis %q (have: %s)\n", a, strings.Join(analysis.AllAnalyses, ", "))
+				return 2
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	allow, err := loadAllowlist(*allowFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dejavu vet:", err)
+		return 2
+	}
+
+	var progArgs []string
+	if fs.Arg(0) == "all" {
+		for _, n := range workloads.Names() {
+			progArgs = append(progArgs, "workload:"+n)
+		}
+	} else {
+		progArgs = append(progArgs, fs.Arg(0))
+	}
+
+	cfg := analysis.Config{
+		Natives:        vm.NativeSignature,
+		NativeCoverage: vm.NativeCoverage,
+		Analyses:       selected,
+	}
+	unexpected := 0
+	var jsonReports []string
+	for _, arg := range progArgs {
+		prog, err := cli.LoadProgram(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dejavu vet:", err)
+			return 2
+		}
+		r := analysis.Analyze(prog, cfg)
+		for _, f := range r.Findings {
+			if !allow[allowKey(arg, f.Analysis)] {
+				unexpected++
+			}
+		}
+		if *jsonOut {
+			jsonReports = append(jsonReports, r.JSON())
+		} else {
+			fmt.Print(r.Text())
+		}
+	}
+	if *jsonOut {
+		if len(jsonReports) == 1 {
+			fmt.Println(jsonReports[0])
+		} else {
+			fmt.Println("[" + strings.Join(jsonReports, ",\n") + "]")
+		}
+	}
+	if unexpected > 0 {
+		fmt.Fprintf(os.Stderr, "dejavu vet: %d unexpected finding(s)\n", unexpected)
+		return 1
+	}
+	return 0
+}
+
+func allowKey(prog, analysisName string) string { return prog + " " + analysisName }
+
+// loadAllowlist parses an allowlist file. Each non-comment line reads
+// "<prog> <analysis>", meaning findings of that analysis in that program
+// are expected (e.g. the intentionally racy demo workloads).
+func loadAllowlist(path string) (map[string]bool, error) {
+	allow := map[string]bool{}
+	if path == "" {
+		return allow, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<prog> <analysis>\", got %q", path, i+1, line)
+		}
+		allow[allowKey(fields[0], fields[1])] = true
+	}
+	return allow, nil
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"errors"
+
+	"dejavu/internal/bytecode"
+)
+
+// Native coverage kinds, as reported by Config.NativeCoverage (the VM
+// exports its registry in this shape; see vm.NativeCoverage).
+const (
+	NativeRecorded      = "recorded"      // result captured in the trace
+	NativeDeterministic = "deterministic" // pure function of replayed state
+	NativeRemote        = "remote"        // remote-reflection channel, bypasses the engine
+)
+
+// Config parameterizes Analyze.
+type Config struct {
+	// Natives is the native registry used for stack-shape verification
+	// (normally vm.NativeSignature).
+	Natives bytecode.NativeSig
+	// NativeCoverage classifies a native for the non-determinism coverage
+	// audit (normally vm.NativeCoverage). ok=false means unknown.
+	NativeCoverage func(name string) (kind string, ok bool)
+	// Analyses selects which analyses run; nil or empty means all five.
+	Analyses []string
+}
+
+// Analyze runs the selected static analyses over p and returns the report.
+// The program is first validated and verified; a verifier rejection is
+// itself reported as a single "verify" finding (the other analyses need a
+// stack-consistent program to run).
+func Analyze(p *bytecode.Program, cfg Config) *Report {
+	r := &Report{Program: p.Name, Findings: []Finding{}}
+	if err := p.Validate(); err != nil {
+		r.add(AVerify, nil, 0, "program rejected: %v", err)
+		return r
+	}
+	facts, err := bytecode.Verify(p, bytecode.VerifyConfig{Natives: cfg.Natives})
+	if err != nil {
+		f := Finding{Analysis: AVerify, Message: err.Error()}
+		var ve *bytecode.VerifyError
+		if errors.As(err, &ve) {
+			f.Method = ve.Method
+			f.PC = ve.PC
+			f.Message = ve.Reason
+			if m, ok := p.MethodByName(ve.Method); ok && ve.PC >= 0 && ve.PC < len(m.Lines) {
+				f.Line = int(m.Lines[ve.PC])
+			}
+		}
+		r.Findings = append(r.Findings, f)
+		return r
+	}
+
+	want := map[string]bool{}
+	sel := cfg.Analyses
+	if len(sel) == 0 {
+		sel = AllAnalyses
+	}
+	for _, a := range sel {
+		want[a] = true
+	}
+
+	mo := buildModel(p, cfg, facts)
+	if want[ALocks] {
+		analyzeLocks(mo, r)
+	}
+	if want[ARaces] {
+		analyzeRaces(mo, r)
+	}
+	if want[AYield] {
+		analyzeYield(mo, r)
+	}
+	if want[ACoverage] {
+		analyzeCoverage(mo, r)
+	}
+	if want[ADeadcode] {
+		analyzeDeadcode(mo, r)
+	}
+	r.sortFindings()
+	return r
+}
+
+// nativeSite is one Native instruction with its resolved argument symbols.
+type nativeSite struct {
+	mid, pc int
+	name    string
+	args    []*SymVal
+}
+
+// nativeSites walks every method and collects Native call sites in
+// deterministic order.
+func (mo *model) nativeSites() []nativeSite {
+	var sites []nativeSite
+	for id := range mo.prog.Methods {
+		mo.walkMethod(id, symEvents{onNative: func(pc int, name string, args []*SymVal) {
+			sites = append(sites, nativeSite{mid: id, pc: pc, name: name, args: args})
+		}})
+	}
+	return sites
+}

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"dejavu/internal/bytecode"
+)
+
+// Block is a basic block: the half-open pc range [Start, End).
+type Block struct {
+	Index      int
+	Start, End int
+	Succs      []int // successor block indices, deterministic order
+	Preds      []int
+}
+
+// CFG is the control-flow graph of one method.
+type CFG struct {
+	Method  *bytecode.Method
+	Blocks  []Block
+	BlockOf []int // pc -> block index
+
+	idom      []int  // immediate dominator per block, -1 for entry/unreachable
+	reachable []bool // per block, from the entry block
+	rpo       []int  // reverse postorder over reachable blocks
+}
+
+// isTerminal reports whether op never falls through to pc+1.
+func isTerminal(op bytecode.Opcode) bool {
+	switch op {
+	case bytecode.Jmp, bytecode.Ret, bytecode.RetV, bytecode.Halt:
+		return true
+	}
+	return false
+}
+
+// isBranch reports whether op carries a jump target in A.
+func isBranch(op bytecode.Opcode) bool {
+	ka, _ := op.Operands()
+	return ka == bytecode.OpTarget
+}
+
+// BuildCFG partitions m's code into basic blocks and wires the edges.
+// The method must be structurally valid (Program.Validate).
+func BuildCFG(m *bytecode.Method) *CFG {
+	n := len(m.Code)
+	leader := make([]bool, n)
+	leader[0] = true
+	for pc, in := range m.Code {
+		if isBranch(in.Op) {
+			leader[in.A] = true
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		} else if isTerminal(in.Op) && pc+1 < n {
+			leader[pc+1] = true
+		}
+	}
+	g := &CFG{Method: m, BlockOf: make([]int, n)}
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			g.Blocks = append(g.Blocks, Block{Index: len(g.Blocks), Start: pc})
+		}
+		g.BlockOf[pc] = len(g.Blocks) - 1
+	}
+	for i := range g.Blocks {
+		if i+1 < len(g.Blocks) {
+			g.Blocks[i].End = g.Blocks[i+1].Start
+		} else {
+			g.Blocks[i].End = n
+		}
+	}
+	addEdge := func(from, to int) {
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	}
+	for i := range g.Blocks {
+		last := m.Code[g.Blocks[i].End-1]
+		switch {
+		case last.Op == bytecode.Jmp:
+			addEdge(i, g.BlockOf[last.A])
+		case isBranch(last.Op): // Jz/Jnz: fallthrough first, then taken
+			if g.Blocks[i].End < n {
+				addEdge(i, g.BlockOf[g.Blocks[i].End])
+			}
+			addEdge(i, g.BlockOf[last.A])
+		case isTerminal(last.Op): // Ret/RetV/Halt: no successors
+		default:
+			if g.Blocks[i].End < n {
+				addEdge(i, g.BlockOf[g.Blocks[i].End])
+			}
+		}
+	}
+	g.computeOrder()
+	g.computeDominators()
+	return g
+}
+
+// computeOrder fills reachable and the reverse postorder (entry first).
+func (g *CFG) computeOrder() {
+	g.reachable = make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(int)
+	visited := make([]bool, len(g.Blocks))
+	dfs = func(b int) {
+		visited[b] = true
+		g.reachable[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	g.rpo = make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		g.rpo = append(g.rpo, post[i])
+	}
+}
+
+// computeDominators runs the Cooper–Harvey–Kennedy iterative algorithm
+// over the reverse postorder.
+func (g *CFG) computeDominators() {
+	n := len(g.Blocks)
+	g.idom = make([]int, n)
+	for i := range g.idom {
+		g.idom[i] = -1
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range g.rpo {
+		rpoNum[b] = i
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = g.idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = g.idom[b]
+			}
+		}
+		return a
+	}
+	g.idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.rpo[1:] {
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if !g.reachable[p] || g.idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && g.idom[b] != newIdom {
+				g.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	g.idom[0] = -1 // entry has no immediate dominator
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (g *CFG) Reachable(b int) bool { return g.reachable[b] }
+
+// Idom returns the immediate dominator of b (-1 for the entry block or an
+// unreachable block).
+func (g *CFG) Idom(b int) int { return g.idom[b] }
+
+// Dominates reports whether block a dominates block b (reflexive).
+func (g *CFG) Dominates(a, b int) bool {
+	if !g.reachable[a] || !g.reachable[b] {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = g.idom[b]
+		if b == -1 {
+			return false
+		}
+	}
+}
+
+// Backedges returns the CFG edges (from, to) where the target dominates
+// the source — the loop backedges, in deterministic order.
+func (g *CFG) Backedges() [][2]int {
+	var out [][2]int
+	for _, b := range g.rpo {
+		for _, s := range g.Blocks[b].Succs {
+			if g.Dominates(s, b) {
+				out = append(out, [2]int{b, s})
+			}
+		}
+	}
+	return out
+}
+
+// RPO returns the reverse postorder over reachable blocks.
+func (g *CFG) RPO() []int { return g.rpo }
+
+// SCCs returns the strongly connected components of the reachable blocks
+// (Tarjan), in deterministic order. Components are returned even when
+// trivial; use len(c) > 1 or a self-loop test for cycles.
+func (g *CFG) SCCs() [][]int {
+	n := len(g.Blocks)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+	var strong func(int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.Blocks[v].Succs {
+			if index[w] == -1 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, b := range g.rpo {
+		if index[b] == -1 {
+			strong(b)
+		}
+	}
+	return comps
+}
+
+// HasSelfLoop reports whether block b has an edge to itself.
+func (g *CFG) HasSelfLoop(b int) bool {
+	for _, s := range g.Blocks[b].Succs {
+		if s == b {
+			return true
+		}
+	}
+	return false
+}
+
+// InCycle reports, per block, whether it belongs to some CFG cycle.
+func (g *CFG) InCycle() []bool {
+	in := make([]bool, len(g.Blocks))
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 || g.HasSelfLoop(comp[0]) {
+			for _, b := range comp {
+				in[b] = true
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,113 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dejavu/internal/analysis"
+	"dejavu/internal/bytecode"
+)
+
+// A diamond followed by a self-loop:
+//
+//	B0: load 0; jz else
+//	B1: iconst 1; store 1; jmp join
+//	B2: else: iconst 2; store 1
+//	B3: join: load 1; jnz join   (self-loop)
+//	B4: ret
+func diamondLoopMethod(t *testing.T) *bytecode.Method {
+	t.Helper()
+	prog, err := bytecode.Assemble(`
+program cfgfix
+class Main {
+  method m 1 2 {
+    load 0
+    jz else
+    iconst 1
+    store 1
+    jmp join
+  else:
+    iconst 2
+    store 1
+  join:
+    load 1
+    jnz join
+    ret
+  }
+  method main 0 0 { halt }
+}
+entry Main.main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := prog.MethodByName("Main.m")
+	if !ok {
+		t.Fatal("Main.m not found")
+	}
+	return m
+}
+
+func TestCFGStructure(t *testing.T) {
+	g := analysis.BuildCFG(diamondLoopMethod(t))
+	if len(g.Blocks) != 5 {
+		for _, b := range g.Blocks {
+			t.Logf("block %d: [%d,%d) succs=%v preds=%v", b.Index, b.Start, b.End, b.Succs, b.Preds)
+		}
+		t.Fatalf("want 5 blocks, got %d", len(g.Blocks))
+	}
+	wantSuccs := [][]int{{1, 2}, {3}, {3}, {4, 3}, nil}
+	for i, want := range wantSuccs {
+		got := g.Blocks[i].Succs
+		if len(got) != len(want) {
+			t.Fatalf("block %d succs: got %v want %v", i, got, want)
+		}
+		seen := map[int]bool{}
+		for _, s := range got {
+			seen[s] = true
+		}
+		for _, s := range want {
+			if !seen[s] {
+				t.Errorf("block %d missing successor %d (got %v)", i, s, got)
+			}
+		}
+	}
+	for i := range g.Blocks {
+		if !g.Reachable(i) {
+			t.Errorf("block %d should be reachable", i)
+		}
+	}
+}
+
+func TestCFGDominators(t *testing.T) {
+	g := analysis.BuildCFG(diamondLoopMethod(t))
+	wantIdom := []int{-1, 0, 0, 0, 3}
+	for i, want := range wantIdom {
+		if got := g.Idom(i); got != want {
+			t.Errorf("idom(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if !g.Dominates(0, 4) {
+		t.Error("entry should dominate the exit block")
+	}
+	if g.Dominates(1, 3) {
+		t.Error("one diamond arm must not dominate the join")
+	}
+}
+
+func TestCFGBackedgesAndCycles(t *testing.T) {
+	g := analysis.BuildCFG(diamondLoopMethod(t))
+	be := g.Backedges()
+	if len(be) != 1 || be[0][0] != 3 || be[0][1] != 3 {
+		t.Fatalf("want single backedge 3->3, got %v", be)
+	}
+	if !g.HasSelfLoop(3) {
+		t.Error("join block has a self-loop")
+	}
+	in := g.InCycle()
+	if !in[3] {
+		t.Error("join block is in a cycle")
+	}
+	if in[0] || in[4] {
+		t.Error("entry and exit are not in cycles")
+	}
+}

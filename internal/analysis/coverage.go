@@ -1,0 +1,36 @@
+package analysis
+
+// The non-determinism coverage audit — the static side of the paper's
+// symmetric-instrumentation pillar. Every source of non-determinism a
+// program can touch must be captured by record instrumentation, or replay
+// silently diverges. The bytecode-level sources (Sleep, TimedWait, input
+// natives) are covered by construction: the engine intercepts the opcodes
+// themselves. Natives are the open end: a name the record instrumentation
+// does not cover executes against live host state during replay.
+//
+// The audit classifies every Native site with the VM's coverage registry:
+//
+//   - recorded:       result captured in the trace, regenerated on replay
+//   - deterministic:  pure function of replayed VM state, safe to re-run
+//   - remote:         remote-reflection channel that bypasses the engine —
+//     legitimate in tool VMs, but unrecordable, so flagged
+//   - unknown:        not in the registry at all (would also trap at run
+//     time, but vet reports it with a location before recording starts)
+
+func analyzeCoverage(mo *model, r *Report) {
+	if mo.cfg.NativeCoverage == nil {
+		return
+	}
+	for _, s := range mo.nativeSites() {
+		m := mo.prog.Methods[s.mid]
+		kind, ok := mo.cfg.NativeCoverage(s.name)
+		switch {
+		case !ok:
+			r.add(ACoverage, m, s.pc,
+				"native %q is not in the record-instrumentation registry: its result would never be captured and replay would diverge", s.name)
+		case kind == NativeRemote:
+			r.add(ACoverage, m, s.pc,
+				"native %q reads the remote-reflection channel, which bypasses record instrumentation: results are not captured in the trace (tool-VM only)", s.name)
+		}
+	}
+}

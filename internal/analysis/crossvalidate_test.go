@@ -1,0 +1,54 @@
+package analysis_test
+
+// Cross-validation of the static lockset detector against the dynamic
+// replay-based one (tools.RaceDetector) over the whole workload matrix.
+// The dynamic detector only sees accesses the schedule actually executes,
+// so everything it flags must also be flagged statically — the static
+// pass abstracts over all schedules. The reverse inclusion is checked for
+// the known-racy demos: both detectors agree the races are there.
+
+import (
+	"testing"
+
+	"dejavu/internal/analysis"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/tools"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+func TestStaticCoversDynamicRaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every workload under several recorded schedules")
+	}
+	for _, name := range workloads.Names() {
+		prog := workloads.Registry[name]()
+
+		staticRacy := false
+		for _, f := range analysis.Analyze(prog, vetCfg()).Findings {
+			if f.Analysis == analysis.ARaces {
+				staticRacy = true
+			}
+		}
+
+		dynamicRaces := 0
+		for _, seed := range []int64{1, 2, 3} {
+			rd := tools.NewRaceDetector()
+			o := replaycheck.Options{Seed: seed, PreemptMin: 2, PreemptMax: 10}
+			o.TweakVM = func(c *vm.Config) { c.MemHook = rd; c.SyncHook = rd }
+			rec, err := replaycheck.Record(prog, o)
+			if err != nil || rec.RunErr != nil {
+				t.Fatalf("%s seed %d: %v %v", name, seed, err, rec.RunErr)
+			}
+			dynamicRaces += len(rd.Races())
+		}
+
+		if dynamicRaces > 0 && !staticRacy {
+			t.Errorf("%s: dynamic detector found %d races that the static pass missed", name, dynamicRaces)
+		}
+		if (name == "fig1ab" || name == "fig1cd") && (dynamicRaces == 0 || !staticRacy) {
+			t.Errorf("%s: both detectors should flag the paper's racy demo (dynamic=%d static=%v)",
+				name, dynamicRaces, staticRacy)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package analysis
+
+// The generic worklist solver. Analyses supply a transfer function over a
+// basic block and a meet that joins a flowed-in state into a block's
+// accumulated in-state; the solver iterates to a fixpoint over the CFG in
+// (reverse) postorder. transfer must not mutate its input; meet mutates
+// its accumulator and reports change; clone deep-copies a state so block
+// in-states never alias.
+
+// Flow direction for Solve.
+const (
+	Forward = iota
+	Backward
+)
+
+// Solve runs a dataflow analysis over g and returns the fixpoint in-state
+// of every reachable block: the state at block entry for Forward, the
+// state at block exit for Backward.
+//
+// Forward seeds the entry block with entry; Backward seeds every block
+// with entry (the lattice bottom — e.g. the empty live set), which is the
+// classic initialization and keeps loops without exit blocks sound.
+//
+// The solver visits blocks in reverse postorder (Forward) or postorder
+// (Backward) and bounds total iterations defensively, so a malformed
+// (non-finite) lattice cannot loop forever.
+func Solve[S any](g *CFG, dir int, entry S, clone func(S) S, transfer func(b *Block, in S) S, meet func(acc S, in S) (S, bool)) []S {
+	n := len(g.Blocks)
+	in := make([]S, n)
+	have := make([]bool, n)
+
+	order := g.rpo
+	if dir == Backward {
+		order = make([]int, n)
+		for i, b := range g.rpo {
+			order[n-1-i] = b
+		}
+	}
+	edges := func(b int) []int {
+		if dir == Forward {
+			return g.Blocks[b].Succs
+		}
+		return g.Blocks[b].Preds
+	}
+
+	inWork := make([]bool, n)
+	var work []int
+	for _, b := range order {
+		if !g.reachable[b] {
+			continue
+		}
+		if dir == Backward || b == 0 {
+			in[b] = clone(entry)
+			have[b] = true
+		}
+		work = append(work, b)
+		inWork[b] = true
+	}
+
+	// Defensive bound: a correct finite lattice converges far earlier.
+	budget := 64*n + 4096
+	for len(work) > 0 && budget > 0 {
+		budget--
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		if !have[b] {
+			continue
+		}
+		out := transfer(&g.Blocks[b], in[b])
+		for _, s := range edges(b) {
+			if !g.reachable[s] {
+				continue
+			}
+			var changed bool
+			if !have[s] {
+				in[s], changed = clone(out), true
+				have[s] = true
+			} else {
+				in[s], changed = meet(in[s], out)
+			}
+			if changed && !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,91 @@
+package analysis
+
+// Unreachable-code and dead-store detection. Neither breaks replay by
+// itself — the verifier tolerates both — but dead code is where stale
+// instrumentation assumptions hide, and a dead store in trace-generation
+// workloads usually means the workload does not exercise what it claims
+// to. Unreachable regions are found from the CFG; dead stores by a
+// classic backward liveness analysis over the local slots.
+
+import "dejavu/internal/bytecode"
+
+// liveSet is the backward-liveness lattice: live[i] = local slot i may be
+// read before its next write.
+type liveSet []bool
+
+func (l liveSet) clone() liveSet { return append(liveSet(nil), l...) }
+
+// applyLiveness updates l backward across one instruction.
+func applyLiveness(l liveSet, in bytecode.Instr) {
+	switch in.Op {
+	case bytecode.Load:
+		if int(in.A) < len(l) {
+			l[in.A] = true
+		}
+	case bytecode.Store:
+		if int(in.A) < len(l) {
+			l[in.A] = false
+		}
+	}
+}
+
+func analyzeDeadcode(mo *model, r *Report) {
+	for id, m := range mo.prog.Methods {
+		g := mo.cfgs[id]
+
+		// Unreachable regions, merged across consecutive blocks.
+		for bi := 0; bi < len(g.Blocks); {
+			if g.Reachable(bi) {
+				bi++
+				continue
+			}
+			lo := g.Blocks[bi].Start
+			for bi < len(g.Blocks) && !g.Reachable(bi) {
+				bi++
+			}
+			hi := g.Blocks[bi-1].End
+			r.add(ADeadcode, m, lo, "unreachable code (pc %d..%d)", lo, hi-1)
+		}
+
+		// Dead stores via backward liveness. Solve returns, per block, the
+		// fixpoint state at block exit; replay each block backward from it.
+		exit := Solve(g, Backward, make(liveSet, m.NLocals),
+			liveSet.clone,
+			func(b *Block, out liveSet) liveSet {
+				l := out.clone()
+				for pc := b.End - 1; pc >= b.Start; pc-- {
+					applyLiveness(l, m.Code[pc])
+				}
+				return l
+			},
+			func(acc, in liveSet) (liveSet, bool) {
+				changed := false
+				for i := range acc {
+					if in[i] && !acc[i] {
+						acc[i] = true
+						changed = true
+					}
+				}
+				return acc, changed
+			})
+		for _, bi := range g.RPO() {
+			l := exit[bi].clone()
+			type ds struct {
+				pc   int
+				slot int32
+			}
+			var dead []ds
+			for pc := g.Blocks[bi].End - 1; pc >= g.Blocks[bi].Start; pc-- {
+				in := m.Code[pc]
+				if in.Op == bytecode.Store && int(in.A) < len(l) && !l[in.A] {
+					dead = append(dead, ds{pc, in.A})
+				}
+				applyLiveness(l, in)
+			}
+			for i := len(dead) - 1; i >= 0; i-- {
+				r.add(ADeadcode, m, dead[i].pc,
+					"dead store: local %d is overwritten or never read afterwards", dead[i].slot)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package analysis is the static-analysis counterpart of the DejaVu
+// engine: a CFG + dataflow framework over bytecode.Program, with analyses
+// that prove — before a single trace is recorded — the invariants replay
+// correctness rests on. Where the runtime discovers a violated invariant
+// only when replay diverges, `dejavu vet` reports it up front with a
+// method/pc/source-line location.
+//
+// The five analyses (see Analyze):
+//
+//   - locks:    monitor balance and wait/notify-under-monitor, by abstract
+//     interpretation of MonEnter/MonExit over every path
+//   - races:    a static Eraser-style lockset race detector across all
+//     Spawn-reachable threads
+//   - yield:    the logical-clock yield-point audit (every cycle carries a
+//     yield point; callback closures never block)
+//   - coverage: the symmetric-instrumentation audit (every
+//     non-deterministic native is captured by record instrumentation)
+//   - deadcode: unreachable code and dead stores
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dejavu/internal/bytecode"
+)
+
+// Analysis names, used in Finding.Analysis and Config.Analyses.
+const (
+	AVerify   = "verify" // verifier rejection surfaced as a finding
+	ALocks    = "locks"
+	ARaces    = "races"
+	AYield    = "yield"
+	ACoverage = "coverage"
+	ADeadcode = "deadcode"
+)
+
+// AllAnalyses lists the five vet analyses in report order.
+var AllAnalyses = []string{ALocks, ARaces, AYield, ACoverage, ADeadcode}
+
+// Finding is one located diagnostic.
+type Finding struct {
+	Analysis string `json:"analysis"`
+	Method   string `json:"method"` // full name, e.g. "Main.t1"
+	PC       int    `json:"pc"`
+	Line     int    `json:"line"` // source line from the method line table, 0 if absent
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	loc := fmt.Sprintf("%s pc=%d", f.Method, f.PC)
+	if f.Line > 0 {
+		loc += fmt.Sprintf(" line=%d", f.Line)
+	}
+	return fmt.Sprintf("[%s] %s: %s", f.Analysis, loc, f.Message)
+}
+
+// Report is the result of analyzing one program.
+type Report struct {
+	Program  string    `json:"program"`
+	Findings []Finding `json:"findings"`
+}
+
+// add appends a finding, resolving the source line from m's line table.
+func (r *Report) add(analysis string, m *bytecode.Method, pc int, format string, args ...any) {
+	f := Finding{Analysis: analysis, PC: pc, Message: fmt.Sprintf(format, args...)}
+	if m != nil {
+		f.Method = m.FullName()
+		if pc >= 0 && pc < len(m.Lines) {
+			f.Line = int(m.Lines[pc])
+		}
+	}
+	r.Findings = append(r.Findings, f)
+}
+
+// sortFindings orders findings deterministically: by analysis (report
+// order), then method, pc, message.
+func (r *Report) sortFindings() {
+	rank := map[string]int{AVerify: -1}
+	for i, a := range AllAnalyses {
+		rank[a] = i
+	}
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if rank[a.Analysis] != rank[b.Analysis] {
+			return rank[a.Analysis] < rank[b.Analysis]
+		}
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Clean reports whether no findings were produced.
+func (r *Report) Clean() bool { return len(r.Findings) == 0 }
+
+// Text renders the report for humans, one finding per line.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	if r.Clean() {
+		fmt.Fprintf(&sb, "%s: clean\n", r.Program)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%s: %d findings\n", r.Program, len(r.Findings))
+	for _, f := range r.Findings {
+		fmt.Fprintf(&sb, "  %s\n", f)
+	}
+	return sb.String()
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() string {
+	// Findings is never nil so the JSON shape is stable.
+	if r.Findings == nil {
+		r.Findings = []Finding{}
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"program":%q,"error":%q}`, r.Program, err.Error())
+	}
+	return string(b)
+}

@@ -1,0 +1,351 @@
+package analysis_test
+
+// Seeded-bug fixtures: one assembled program per analysis with a known
+// defect, checking that the finding carries the right analysis name and a
+// real method/pc/source-line location in both text and JSON output.
+// Assembled (rather than builder-made) sources matter here: the assembler
+// records line-number tables, so Line must be non-zero.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dejavu/internal/analysis"
+	"dejavu/internal/bytecode"
+)
+
+func analyzeSrc(t *testing.T, src string) *analysis.Report {
+	t.Helper()
+	prog, err := bytecode.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return analysis.Analyze(prog, vetCfg())
+}
+
+// requireFinding asserts one finding of the given analysis in the given
+// method (any method when method is empty) whose message contains msgSub,
+// with a resolved source line.
+func requireFinding(t *testing.T, r *analysis.Report, analysisName, method, msgSub string) analysis.Finding {
+	t.Helper()
+	for _, f := range r.Findings {
+		if f.Analysis == analysisName && (method == "" || f.Method == method) && strings.Contains(f.Message, msgSub) {
+			if f.Line <= 0 {
+				t.Errorf("finding %s: assembled fixture should resolve a source line", f)
+			}
+			if !strings.Contains(r.Text(), f.String()) {
+				t.Errorf("text output missing finding %s", f)
+			}
+			return f
+		}
+	}
+	t.Fatalf("no [%s] finding in %s containing %q; report:\n%s", analysisName, method, msgSub, r.Text())
+	return analysis.Finding{}
+}
+
+// The four adversarial monitor CFG shapes: release on one branch only,
+// acquire inside a loop, wait outside any monitor, nested monitors
+// released out of LIFO order.
+const lockFixture = `
+program lockfix
+class Main {
+  static lock ref
+  static a ref
+  static b ref
+  method branchrel 1 1 {
+    gets Main.lock
+    monenter
+    load 0
+    jz skip
+    gets Main.lock
+    monexit
+  skip:
+    ret
+  }
+  method loopacq 0 1 {
+    iconst 3
+    store 0
+  loop:
+    load 0
+    jz out
+    gets Main.lock
+    monenter
+    load 0
+    iconst 1
+    sub
+    store 0
+    jmp loop
+  out:
+    ret
+  }
+  method waiter 0 0 {
+    gets Main.lock
+    wait
+    ret
+  }
+  method lifo 0 0 {
+    gets Main.a
+    monenter
+    gets Main.b
+    monenter
+    gets Main.a
+    monexit
+    gets Main.b
+    monexit
+    ret
+  }
+  method main 0 0 {
+    halt
+  }
+}
+entry Main.main
+`
+
+func TestLockFixtures(t *testing.T) {
+	r := analyzeSrc(t, lockFixture)
+	requireFinding(t, r, analysis.ALocks, "Main.branchrel", "unbalanced monitor stack")
+	requireFinding(t, r, analysis.ALocks, "Main.loopacq", "unbalanced monitor stack")
+	requireFinding(t, r, analysis.ALocks, "Main.waiter", "with no monitor held")
+	requireFinding(t, r, analysis.ALocks, "Main.lifo", "released out of LIFO order")
+}
+
+func TestLockReturnHeldFixture(t *testing.T) {
+	r := analyzeSrc(t, `
+program leakfix
+class Main {
+  static lock ref
+  method leaky 0 0 {
+    gets Main.lock
+    monenter
+    ret
+  }
+  method main 0 0 { halt }
+}
+entry Main.main
+`)
+	requireFinding(t, r, analysis.ALocks, "Main.leaky", "still held")
+}
+
+func TestRaceFixture(t *testing.T) {
+	r := analyzeSrc(t, `
+program racefix
+class Main {
+  static x
+  method worker 0 0 {
+    gets Main.x
+    iconst 1
+    add
+    puts Main.x
+    ret
+  }
+  method main 0 0 {
+    spawn Main.worker
+    pop
+    spawn Main.worker
+    pop
+    halt
+  }
+}
+entry Main.main
+`)
+	f := requireFinding(t, r, analysis.ARaces, "Main.worker", "possible data race")
+	if !strings.Contains(f.Message, "Main.x") {
+		t.Errorf("race finding should name the static: %s", f.Message)
+	}
+}
+
+// A race guarded on one side only is still a race: the common lockset is
+// empty.
+func TestRaceOneSidedLockFixture(t *testing.T) {
+	r := analyzeSrc(t, `
+program onesided
+class Main {
+  static x
+  static lock ref
+  method locked 0 0 {
+    gets Main.lock
+    monenter
+    iconst 1
+    puts Main.x
+    gets Main.lock
+    monexit
+    ret
+  }
+  method unlocked 0 0 {
+    iconst 2
+    puts Main.x
+    ret
+  }
+  method main 0 0 {
+    spawn Main.locked
+    pop
+    spawn Main.unlocked
+    pop
+    halt
+  }
+}
+entry Main.main
+`)
+	requireFinding(t, r, analysis.ARaces, "", "possible data race")
+}
+
+// Both sides under the same global monitor: no race.
+func TestRaceGuardedCleanFixture(t *testing.T) {
+	r := analyzeSrc(t, `
+program guarded
+class Main {
+  static x
+  static lock ref
+  method worker 0 0 {
+    gets Main.lock
+    monenter
+    gets Main.x
+    iconst 1
+    add
+    puts Main.x
+    gets Main.lock
+    monexit
+    ret
+  }
+  method main 0 0 {
+    spawn Main.worker
+    pop
+    spawn Main.worker
+    pop
+    halt
+  }
+}
+entry Main.main
+`)
+	for _, f := range r.Findings {
+		if f.Analysis == analysis.ARaces {
+			t.Errorf("guarded program should have no race findings, got %s", f)
+		}
+	}
+}
+
+func TestYieldCallbackFixture(t *testing.T) {
+	r := analyzeSrc(t, `
+program yieldfix
+class Main {
+  method handler 2 2 {
+    iconst 5
+    sleep
+    ret
+  }
+  method main 0 0 {
+    sconst "Main.handler"
+    iconst 1
+    native pollevents 2
+    pop
+    halt
+  }
+}
+entry Main.main
+`)
+	f := requireFinding(t, r, analysis.AYield, "Main.handler", "inside the callback closure")
+	if !strings.Contains(f.Message, "Main.handler") {
+		t.Errorf("callback finding should name the handler: %s", f.Message)
+	}
+}
+
+func TestYieldUnresolvableHandlerFixture(t *testing.T) {
+	r := analyzeSrc(t, `
+program yieldfix2
+class Main {
+  static h ref
+  method main 0 0 {
+    gets Main.h
+    iconst 1
+    native pollevents 2
+    pop
+    halt
+  }
+}
+entry Main.main
+`)
+	requireFinding(t, r, analysis.AYield, "Main.main", "cannot be audited")
+}
+
+func TestCoverageFixture(t *testing.T) {
+	r := analyzeSrc(t, `
+program coverfix
+class Main {
+  method main 0 0 {
+    native remotedict 0
+    pop
+    halt
+  }
+}
+entry Main.main
+`)
+	requireFinding(t, r, analysis.ACoverage, "Main.main", "remote-reflection channel")
+}
+
+// An unregistered native (simulated by a coverage registry that does not
+// know "random") is the replay-divergence case the audit exists for.
+func TestCoverageUnknownNative(t *testing.T) {
+	prog, err := bytecode.Assemble(`
+program coverfix2
+class Main {
+  method main 0 0 {
+    native random 0
+    pop
+    halt
+  }
+}
+entry Main.main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vetCfg()
+	cfg.NativeCoverage = func(string) (string, bool) { return "", false }
+	r := analysis.Analyze(prog, cfg)
+	requireFinding(t, r, analysis.ACoverage, "Main.main", "not in the record-instrumentation registry")
+}
+
+func TestDeadcodeFixture(t *testing.T) {
+	r := analyzeSrc(t, `
+program deadfix
+class Main {
+  method main 0 1 {
+    iconst 1
+    store 0
+    iconst 2
+    store 0
+    load 0
+    print
+    halt
+    iconst 9
+    print
+    ret
+  }
+}
+entry Main.main
+`)
+	requireFinding(t, r, analysis.ADeadcode, "Main.main", "dead store: local 0")
+	requireFinding(t, r, analysis.ADeadcode, "Main.main", "unreachable code")
+}
+
+// TestFixtureJSONLocations re-parses the JSON output and checks the
+// machine-readable locations match the in-memory findings.
+func TestFixtureJSONLocations(t *testing.T) {
+	r := analyzeSrc(t, lockFixture)
+	var decoded analysis.Report
+	if err := json.Unmarshal([]byte(r.JSON()), &decoded); err != nil {
+		t.Fatalf("JSON output does not round-trip: %v", err)
+	}
+	if decoded.Program != "lockfix" || len(decoded.Findings) != len(r.Findings) {
+		t.Fatalf("JSON lost findings: %d vs %d", len(decoded.Findings), len(r.Findings))
+	}
+	for i, f := range decoded.Findings {
+		if f != r.Findings[i] {
+			t.Errorf("finding %d differs after JSON round-trip: %+v vs %+v", i, f, r.Findings[i])
+		}
+		if f.Method == "" || f.Line <= 0 {
+			t.Errorf("JSON finding %d missing location: %+v", i, f)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package analysis_test
+
+// FuzzAnalyze hardens the vet entry point: whatever program image the
+// codec accepts, Analyze must terminate without panicking (the dataflow
+// solver is budgeted) and produce the same report twice — vet runs in CI,
+// where a crash or flaky finding on a weird-but-valid program is a build
+// breaker, not a bug report.
+
+import (
+	"reflect"
+	"testing"
+
+	"dejavu/internal/analysis"
+	"dejavu/internal/bytecode"
+	"dejavu/internal/workloads"
+)
+
+func FuzzAnalyze(f *testing.F) {
+	for _, name := range workloads.Names() {
+		f.Add(bytecode.EncodeImage(workloads.Registry[name]()))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := bytecode.DecodeImage(data)
+		if err != nil {
+			return
+		}
+		// Analyze owns validation/verification: malformed programs come
+		// back as a single "verify" finding, never a panic.
+		a := analysis.Analyze(prog, vetCfg())
+		b := analysis.Analyze(prog, vetCfg())
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("findings not deterministic:\n%s\nvs\n%s", a.Text(), b.Text())
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package analysis
+
+// The monitor-balance analysis. Replay correctness assumes structured
+// locking: every path through a method holds a balanced monitor stack, and
+// Wait/TimedWait/Notify/NotifyAll run with the receiver's monitor held
+// (the runtime traps the latter, but only when the offending path
+// executes; the analysis proves it for every path).
+//
+// Two finding sources:
+//
+//  1. The symbolic walk itself (symEvents.onLock): monitorexit with no or
+//     the wrong monitor held, out-of-LIFO releases, wait/notify without
+//     the receiver's monitor, and returns with monitors still held.
+//
+//  2. A post-fixpoint edge audit: if two paths reach the same program
+//     point with different monitor-stack depths, some path acquired or
+//     released a lock the other did not — the classic
+//     "released-on-one-branch-only" and "acquired-in-a-loop" shapes.
+
+import "dejavu/internal/bytecode"
+
+func analyzeLocks(mo *model, r *Report) {
+	for id, m := range mo.prog.Methods {
+		method := m
+		mo.walkMethod(id, symEvents{onLock: func(pc int, format string, args ...any) {
+			r.add(ALocks, method, pc, format, args...)
+		}})
+		// Returns with monitors held: re-walk looking at Ret/RetV sites.
+		mo.walkRetHeld(id, r)
+		mo.auditLockDepths(id, r)
+	}
+}
+
+// walkRetHeld reports Ret/RetV executed while the abstract monitor stack
+// is non-empty. Halt is exempt: it tears down the whole VM.
+func (mo *model) walkRetHeld(id int, r *Report) {
+	m := mo.prog.Methods[id]
+	g := mo.cfgs[id]
+	states := mo.inStates[id]
+	for _, bi := range g.RPO() {
+		if states[bi] == nil {
+			continue
+		}
+		st := states[bi].clone()
+		for pc := g.Blocks[bi].Start; pc < g.Blocks[bi].End; pc++ {
+			op := m.Code[pc].Op
+			if (op == bytecode.Ret || op == bytecode.RetV) && len(st.locks) > 0 {
+				r.add(ALocks, m, pc, "returns with %d monitor(s) still held (%s)",
+					len(st.locks), lockNames(st.locks, mo.prog))
+			}
+			mo.exec(id, pc, st, symEvents{})
+		}
+	}
+}
+
+// auditLockDepths compares, for every reachable block, the monitor-stack
+// depths its predecessors leave behind. A mismatch means a monitor is
+// acquired or released on only some of the converging paths.
+func (mo *model) auditLockDepths(id int, r *Report) {
+	m := mo.prog.Methods[id]
+	g := mo.cfgs[id]
+	states := mo.inStates[id]
+
+	outDepth := make([]int, len(g.Blocks))
+	haveOut := make([]bool, len(g.Blocks))
+	for _, bi := range g.RPO() {
+		if states[bi] == nil {
+			continue
+		}
+		st := states[bi].clone()
+		for pc := g.Blocks[bi].Start; pc < g.Blocks[bi].End; pc++ {
+			mo.exec(id, pc, st, symEvents{})
+		}
+		outDepth[bi] = len(st.locks)
+		haveOut[bi] = true
+	}
+
+	for _, bi := range g.RPO() {
+		min, max := -1, -1
+		note := func(d int) {
+			if min == -1 || d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		if bi == 0 {
+			note(0) // method entry reaches block 0 with no monitors held
+		}
+		for _, p := range g.Blocks[bi].Preds {
+			if g.Reachable(p) && haveOut[p] {
+				note(outDepth[p])
+			}
+		}
+		if min != -1 && min != max {
+			r.add(ALocks, m, g.Blocks[bi].Start,
+				"unbalanced monitor stack: paths join here holding between %d and %d monitors (a lock is acquired or released on only some paths)",
+				min, max)
+		}
+	}
+}

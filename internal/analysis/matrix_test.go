@@ -1,0 +1,76 @@
+package analysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dejavu/internal/analysis"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+func vetCfg() analysis.Config {
+	return analysis.Config{Natives: vm.NativeSignature, NativeCoverage: vm.NativeCoverage}
+}
+
+// TestWorkloadMatrix pins the analysis verdict for every built-in
+// workload: the intentionally racy paper demos (fig1ab, fig1cd) are the
+// only programs with findings, and those findings are all races.
+func TestWorkloadMatrix(t *testing.T) {
+	racy := map[string]bool{"fig1ab": true, "fig1cd": true}
+	for _, name := range workloads.Names() {
+		r := analysis.Analyze(workloads.Registry[name](), vetCfg())
+		if racy[name] {
+			if r.Clean() {
+				t.Errorf("%s: intentionally racy workload reported clean", name)
+				continue
+			}
+			for _, f := range r.Findings {
+				if f.Analysis != analysis.ARaces {
+					t.Errorf("%s: want only race findings, got %s", name, f)
+				}
+			}
+			continue
+		}
+		if !r.Clean() {
+			t.Errorf("%s: want clean, got:\n%s", name, r.Text())
+		}
+	}
+}
+
+// TestAnalyzeDeterministic runs every analysis twice over every workload
+// and requires byte-identical reports: vet output must be stable so CI
+// diffs and allowlists mean something.
+func TestAnalyzeDeterministic(t *testing.T) {
+	for _, name := range workloads.Names() {
+		prog := workloads.Registry[name]()
+		a := analysis.Analyze(prog, vetCfg())
+		b := analysis.Analyze(prog, vetCfg())
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two runs disagree:\n%s\nvs\n%s", name, a.Text(), b.Text())
+		}
+		if a.JSON() != b.JSON() {
+			t.Errorf("%s: JSON output differs between runs", name)
+		}
+	}
+}
+
+// TestAnalysisSubset checks Config.Analyses filtering: asking for one
+// analysis must not leak findings from another.
+func TestAnalysisSubset(t *testing.T) {
+	prog := workloads.Fig1AB()
+	cfg := vetCfg()
+	cfg.Analyses = []string{analysis.ADeadcode}
+	r := analysis.Analyze(prog, cfg)
+	for _, f := range r.Findings {
+		if f.Analysis != analysis.ADeadcode {
+			t.Errorf("subset run leaked finding %s", f)
+		}
+	}
+	// The full run on fig1ab has race findings; the deadcode-only run
+	// must not.
+	full := analysis.Analyze(prog, vetCfg())
+	if full.Clean() {
+		t.Fatal("fig1ab full analysis should have findings")
+	}
+}

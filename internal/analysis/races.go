@@ -1,0 +1,347 @@
+package analysis
+
+// The static Eraser-style lockset race detector. Per Ronsse & De
+// Bosschere, replay of a racy program is only sound up to the first
+// unsynchronized access; this analysis surfaces candidate first races
+// before recording starts.
+//
+// For every heap access whose target has a stable cross-thread name
+// (statics, fields/elements reached from statics or once-allocated
+// objects), the analysis records the set of global locks held. Accesses
+// are then grouped by location across all thread contexts — the entry
+// thread plus one context per Spawn target, with a multiplicity flag when
+// a target can be spawned more than once. A location is reported when it
+// is reachable from two contexts (or one replicated context), someone
+// writes it, and the intersection of the held locksets is empty.
+//
+// Initialization writes the entry thread performs before any Spawn can
+// have executed are excluded: they are ordered before every other thread
+// exists (Eraser's virgin/exclusive states model the same idiom).
+
+import (
+	"sort"
+	"strings"
+
+	"dejavu/internal/bytecode"
+)
+
+// callGraph returns, per method, the sorted set of methods it can invoke:
+// Call targets, CallV candidates, and pollevents callback handlers.
+func (mo *model) callGraph() [][]int {
+	n := len(mo.prog.Methods)
+	edges := make([]map[int]bool, n)
+	for i := range edges {
+		edges[i] = map[int]bool{}
+	}
+	for id, m := range mo.prog.Methods {
+		for _, in := range m.Code {
+			switch in.Op {
+			case bytecode.Call:
+				edges[id][int(in.A)] = true
+			case bytecode.CallV:
+				for _, c := range mo.callvCands[in.A] {
+					edges[id][c] = true
+				}
+			}
+		}
+	}
+	for _, s := range mo.nativeSites() {
+		if h := mo.resolveHandler(s); h >= 0 {
+			edges[s.mid][h] = true
+		}
+	}
+	out := make([][]int, n)
+	for i, set := range edges {
+		for c := range set {
+			out[i] = append(out[i], c)
+		}
+		sort.Ints(out[i])
+	}
+	return out
+}
+
+// resolveHandler returns the method ID of a pollevents callback handler,
+// or -1 when the site is not a resolvable registration.
+func (mo *model) resolveHandler(s nativeSite) int {
+	if s.name != "pollevents" || len(s.args) < 1 || s.args[0].kind != symStr {
+		return -1
+	}
+	if m, ok := mo.prog.MethodByName(mo.prog.Strings[s.args[0].a]); ok {
+		return m.ID
+	}
+	return -1
+}
+
+// reachFrom returns the methods reachable from root over graph, root
+// included.
+func reachFrom(graph [][]int, root int) map[int]bool {
+	seen := map[int]bool{root: true}
+	work := []int{root}
+	for len(work) > 0 {
+		m := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, c := range graph[m] {
+			if !seen[c] {
+				seen[c] = true
+				work = append(work, c)
+			}
+		}
+	}
+	return seen
+}
+
+// threadCtx is one static thread context: the body every runtime thread
+// spawned at a given site executes. multi marks contexts that can have
+// more than one runtime instance.
+type threadCtx struct {
+	name    string
+	root    int
+	multi   bool
+	methods map[int]bool
+}
+
+// contexts computes the entry context plus one per distinct Spawn target.
+func (mo *model) contexts(graph [][]int) []threadCtx {
+	p := mo.prog
+	type spawnInfo struct {
+		sites int
+		multi bool
+	}
+	spawns := map[int]*spawnInfo{}
+	for id, m := range p.Methods {
+		inCycle := mo.cfgs[id].InCycle()
+		for pc, in := range m.Code {
+			if in.Op != bytecode.Spawn {
+				continue
+			}
+			tgt := int(in.A)
+			si := spawns[tgt]
+			if si == nil {
+				si = &spawnInfo{}
+				spawns[tgt] = si
+			}
+			si.sites++
+			// A spawn site inside a loop, or outside the entry method
+			// (i.e. possibly itself executed by several threads), can run
+			// more than once.
+			if inCycle[mo.cfgs[id].BlockOf[pc]] || id != p.Entry {
+				si.multi = true
+			}
+		}
+	}
+	ctxs := []threadCtx{{name: "main", root: p.Entry, methods: reachFrom(graph, p.Entry)}}
+	var tgts []int
+	for t := range spawns {
+		tgts = append(tgts, t)
+	}
+	sort.Ints(tgts)
+	for _, t := range tgts {
+		si := spawns[t]
+		ctxs = append(ctxs, threadCtx{
+			name:    "spawn:" + p.Methods[t].FullName(),
+			root:    t,
+			multi:   si.multi || si.sites > 1,
+			methods: reachFrom(graph, t),
+		})
+	}
+	return ctxs
+}
+
+// canSpawn returns, per method, whether it can transitively reach a Spawn.
+func (mo *model) canSpawn(graph [][]int) []bool {
+	n := len(mo.prog.Methods)
+	direct := make([]bool, n)
+	for id, m := range mo.prog.Methods {
+		for _, in := range m.Code {
+			if in.Op == bytecode.Spawn {
+				direct[id] = true
+			}
+		}
+	}
+	can := make([]bool, n)
+	for id := range can {
+		for r := range reachFrom(graph, id) {
+			if direct[r] {
+				can[id] = true
+			}
+		}
+	}
+	return can
+}
+
+// raceAccess is one heap access to a globally nameable location.
+type raceAccess struct {
+	mid, pc  int
+	write    bool
+	lockset  []string // sorted global-lock keys held
+	preSpawn bool     // in the entry method, before any Spawn can have run
+}
+
+// collectAccesses walks every method and gathers accesses per method,
+// keyed by canonical location.
+func (mo *model) collectAccesses(graph [][]int) map[string]map[int][]raceAccess {
+	p := mo.prog
+	spawny := mo.canSpawn(graph)
+
+	// Forward may-spawn dataflow over the entry method: has a Spawn (or a
+	// call that can spawn) possibly executed by block entry?
+	entryID := p.Entry
+	g := mo.cfgs[entryID]
+	blockSpawns := func(b *Block) bool {
+		for pc := b.Start; pc < b.End; pc++ {
+			in := p.Methods[entryID].Code[pc]
+			switch in.Op {
+			case bytecode.Spawn:
+				return true
+			case bytecode.Call:
+				if spawny[in.A] {
+					return true
+				}
+			case bytecode.CallV:
+				for _, c := range mo.callvCands[in.A] {
+					if spawny[c] {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	maySpawnIn := Solve(g, Forward, false,
+		func(b bool) bool { return b },
+		func(b *Block, in bool) bool { return in || blockSpawns(b) },
+		func(acc, in bool) (bool, bool) { return acc || in, in && !acc })
+
+	// preSpawnAt reports whether an entry-method pc is provably executed
+	// before any Spawn: no spawn flowed into its block, and none of the
+	// instructions earlier in the block spawns either.
+	preSpawnAt := func(pc int) bool {
+		b := &g.Blocks[g.BlockOf[pc]]
+		if maySpawnIn[b.Index] {
+			return false
+		}
+		return !blockSpawns(&Block{Start: b.Start, End: pc})
+	}
+
+	accs := map[string]map[int][]raceAccess{}
+	for id := range p.Methods {
+		mid := id
+		isEntry := mid == entryID
+		mo.walkMethod(mid, symEvents{
+			onAccess: func(pc int, in bytecode.Instr, target *SymVal, write bool, locks []*SymVal) {
+				if !mo.locGlobal(target) {
+					return
+				}
+				key := target.key(p)
+				var held []string
+				for _, l := range locks {
+					held = append(held, l.key(p))
+				}
+				sort.Strings(held)
+				if accs[key] == nil {
+					accs[key] = map[int][]raceAccess{}
+				}
+				accs[key][mid] = append(accs[key][mid], raceAccess{
+					mid: mid, pc: pc, write: write, lockset: held,
+					preSpawn: isEntry && preSpawnAt(pc),
+				})
+			},
+		})
+	}
+	return accs
+}
+
+func analyzeRaces(mo *model, r *Report) {
+	p := mo.prog
+	graph := mo.callGraph()
+	ctxs := mo.contexts(graph)
+	byLoc := mo.collectAccesses(graph)
+
+	var keys []string
+	for k := range byLoc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, key := range keys {
+		perMethod := byLoc[key]
+		var (
+			ctxNames []string
+			multi    bool
+			writes   int
+			reads    int
+			common   map[string]bool
+			haveAny  bool
+			first    *raceAccess
+		)
+		for _, c := range ctxs {
+			used := false
+			var mids []int
+			for mid := range perMethod {
+				if c.methods[mid] {
+					mids = append(mids, mid)
+				}
+			}
+			sort.Ints(mids)
+			for _, mid := range mids {
+				for i := range perMethod[mid] {
+					a := &perMethod[mid][i]
+					if c.name == "main" && a.preSpawn {
+						continue // ordered before every other thread exists
+					}
+					used = true
+					if a.write {
+						writes++
+						if first == nil || !first.write {
+							first = a
+						}
+					} else {
+						reads++
+						if first == nil {
+							first = a
+						}
+					}
+					if !haveAny {
+						haveAny = true
+						common = map[string]bool{}
+						for _, l := range a.lockset {
+							common[l] = true
+						}
+					} else {
+						next := map[string]bool{}
+						for _, l := range a.lockset {
+							if common[l] {
+								next[l] = true
+							}
+						}
+						common = next
+					}
+				}
+			}
+			if used {
+				ctxNames = append(ctxNames, c.name)
+				if c.multi {
+					multi = true
+				}
+			}
+		}
+		shared := len(ctxNames) >= 2 || (len(ctxNames) == 1 && multi)
+		if !shared || writes == 0 || len(common) > 0 || first == nil {
+			continue
+		}
+		m := p.Methods[first.mid]
+		r.add(ARaces, m, first.pc,
+			"possible data race on %s: accessed by %s with no common lock (%d writes, %d reads)",
+			displayKey(key), strings.Join(ctxNames, ", "), writes, reads)
+	}
+}
+
+// displayKey prettifies a canonical location key for humans.
+func displayKey(key string) string {
+	key = strings.TrimPrefix(key, "static:")
+	key = strings.ReplaceAll(key, "static:", "")
+	if rest, ok := strings.CutPrefix(key, "new:"); ok {
+		key = "object allocated at " + rest
+	}
+	return key
+}

@@ -1,0 +1,632 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"dejavu/internal/bytecode"
+)
+
+// The symbolic layer names runtime values statically so the lock and race
+// analyses can reason about identity: which object a MonEnter acquires,
+// which object a field access touches. The domain is a small tree of
+// provenances — statics, allocation sites, method-entry arguments, fields
+// and elements of other symbols — with Unknown as the top element. Joins
+// move strictly toward Unknown, so every chain is finite.
+
+type symKind uint8
+
+const (
+	symUnknown symKind = iota
+	symConst           // some primitive constant (value untracked)
+	symStr             // string constant; a = Strings index
+	symLocal           // method argument a, unresolved across calls
+	symStatic          // current value of static slot b of class a
+	symNew             // object allocated at (method a, pc b)
+	symField           // value of field slot a of base
+	symElem            // some element of array base
+)
+
+// maxSymDepth caps symbol trees; deeper derivations widen to Unknown,
+// keeping the lattice finite.
+const maxSymDepth = 4
+
+// SymVal is one abstract value. Values are immutable after construction.
+type SymVal struct {
+	kind symKind
+	a, b int32
+	base *SymVal
+}
+
+var (
+	unknownSym = &SymVal{kind: symUnknown}
+	constSym   = &SymVal{kind: symConst}
+)
+
+func (s *SymVal) depth() int {
+	d := 1
+	for s.base != nil {
+		d++
+		s = s.base
+	}
+	return d
+}
+
+func mkField(base *SymVal, slot int32) *SymVal {
+	if base == nil || base.kind == symUnknown || base.depth() >= maxSymDepth {
+		return unknownSym
+	}
+	return &SymVal{kind: symField, a: slot, base: base}
+}
+
+func mkElem(base *SymVal) *SymVal {
+	if base == nil || base.kind == symUnknown || base.depth() >= maxSymDepth {
+		return unknownSym
+	}
+	return &SymVal{kind: symElem, base: base}
+}
+
+func symEqual(a, b *SymVal) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if a == nil || b == nil {
+			return false
+		}
+		if a.kind != b.kind || a.a != b.a || a.b != b.b {
+			return false
+		}
+		a, b = a.base, b.base
+		if a == nil && b == nil {
+			return true
+		}
+	}
+}
+
+// join returns a if the symbols agree, Unknown otherwise.
+func join(a, b *SymVal) *SymVal {
+	if symEqual(a, b) {
+		return a
+	}
+	return unknownSym
+}
+
+// key renders a canonical identity string (used for lock/location sets).
+func (s *SymVal) key(p *bytecode.Program) string {
+	switch s.kind {
+	case symConst:
+		return "const"
+	case symStr:
+		return fmt.Sprintf("str%d", s.a)
+	case symLocal:
+		return fmt.Sprintf("arg%d", s.a)
+	case symStatic:
+		return "static:" + p.Classes[s.a].Name + "." + p.Classes[s.a].Statics[s.b].Name
+	case symNew:
+		return fmt.Sprintf("new:%s:%d", p.Methods[s.a].FullName(), s.b)
+	case symField:
+		return fmt.Sprintf("%s.f%d", s.base.key(p), s.a)
+	case symElem:
+		return s.base.key(p) + "[]"
+	default:
+		return "?"
+	}
+}
+
+// symState is the abstract machine state at one point: operand stack,
+// locals, and the stack of monitors held by the executing thread.
+type symState struct {
+	stack  []*SymVal
+	locals []*SymVal
+	locks  []*SymVal // innermost last
+}
+
+func (s *symState) clone() *symState {
+	return &symState{
+		stack:  append([]*SymVal(nil), s.stack...),
+		locals: append([]*SymVal(nil), s.locals...),
+		locks:  append([]*SymVal(nil), s.locks...),
+	}
+}
+
+// meetState joins src into acc, reporting change. Lock stacks of unequal
+// depth are truncated to the common prefix (the imbalance itself is
+// reported separately by the locks analysis, which compares edge depths
+// after the fixpoint).
+func meetState(acc, src *symState) (*symState, bool) {
+	changed := false
+	joinSlice := func(dst, from []*SymVal) []*SymVal {
+		if len(from) < len(dst) {
+			dst = dst[:len(from)]
+			changed = true
+		}
+		for i := range dst {
+			m := join(dst[i], from[i])
+			if !symEqual(m, dst[i]) {
+				dst[i] = m
+				changed = true
+			}
+		}
+		return dst
+	}
+	acc.stack = joinSlice(acc.stack, src.stack)
+	acc.locals = joinSlice(acc.locals, src.locals)
+	acc.locks = joinSlice(acc.locks, src.locks)
+	return acc, changed
+}
+
+// maxLockDepth bounds the abstract monitor stack (a MonEnter loop would
+// otherwise grow it without bound before the join truncates it).
+const maxLockDepth = 64
+
+// symEvents receives the facts the final (post-fixpoint) pass emits.
+// All callbacks are optional.
+type symEvents struct {
+	// onAccess fires for every heap access: GetS/PutS/GetF/PutF/ALoad/AStore.
+	onAccess func(pc int, in bytecode.Instr, target *SymVal, write bool, locks []*SymVal)
+	// onLock fires for monitor/wait findings discovered during execution.
+	onLock func(pc int, format string, args ...any)
+	// onNative fires at Native sites with the popped argument symbols.
+	onNative func(pc int, name string, args []*SymVal)
+	// onCall fires at Call/CallV/Spawn sites with callee IDs and actuals.
+	onCall func(pc int, targets []int, actuals []*SymVal)
+}
+
+// model is the whole-program symbolic analysis: per-method CFGs, verifier
+// facts, and the interprocedural argument summaries reached by fixpoint.
+type model struct {
+	prog  *bytecode.Program
+	cfg   Config
+	facts []bytecode.MethodFacts
+	cfgs  []*CFG
+
+	summaries  [][]*SymVal // per method: join of actuals at every call site; nil entry = no site seen
+	callvCands map[int32][]int
+	onceNew    map[[2]int32]bool // New sites that execute at most once
+	inStates   [][]*symState     // per method, per block: fixpoint entry states
+}
+
+// buildModel runs the interprocedural fixpoint. The program must already
+// have passed Verify (facts supplied).
+func buildModel(p *bytecode.Program, cfg Config, facts []bytecode.MethodFacts) *model {
+	mo := &model{
+		prog:       p,
+		cfg:        cfg,
+		facts:      facts,
+		cfgs:       make([]*CFG, len(p.Methods)),
+		summaries:  make([][]*SymVal, len(p.Methods)),
+		callvCands: map[int32][]int{},
+		onceNew:    map[[2]int32]bool{},
+	}
+	for i, m := range p.Methods {
+		mo.cfgs[i] = BuildCFG(m)
+	}
+	// CallV candidate sets by string-pool index of the method name.
+	for si, s := range p.Strings {
+		for _, m := range p.Methods {
+			if m.Name == s {
+				mo.callvCands[int32(si)] = append(mo.callvCands[int32(si)], m.ID)
+			}
+		}
+	}
+	// New sites executing at most once: in the entry method, outside any
+	// cycle, with the entry method never called or spawned again.
+	entryReentered := false
+	for _, m := range p.Methods {
+		for _, in := range m.Code {
+			switch in.Op {
+			case bytecode.Call, bytecode.Spawn:
+				if int(in.A) == p.Entry {
+					entryReentered = true
+				}
+			case bytecode.CallV:
+				for _, id := range mo.callvCands[in.A] {
+					if id == p.Entry {
+						entryReentered = true
+					}
+				}
+			}
+		}
+	}
+	if !entryReentered {
+		em := p.Methods[p.Entry]
+		inCycle := mo.cfgs[p.Entry].InCycle()
+		for pc, in := range em.Code {
+			if (in.Op == bytecode.New || in.Op == bytecode.NewArr) && !inCycle[mo.cfgs[p.Entry].BlockOf[pc]] {
+				mo.onceNew[[2]int32{int32(p.Entry), int32(pc)}] = true
+			}
+		}
+	}
+
+	// Interprocedural rounds: solve every method intra-procedurally with
+	// the current summaries, harvest call-site actuals into new summaries,
+	// repeat to fixpoint (bounded; the summary lattice is tiny).
+	for round := 0; round < 12; round++ {
+		changed := false
+		for id := range p.Methods {
+			mo.solveMethod(id)
+			ev := symEvents{onCall: func(pc int, targets []int, actuals []*SymVal) {
+				for _, tgt := range targets {
+					if mo.mergeSummary(tgt, actuals) {
+						changed = true
+					}
+				}
+			}}
+			mo.walkMethod(id, ev)
+		}
+		if !changed {
+			break
+		}
+	}
+	// Final intra states under the settled summaries.
+	for id := range p.Methods {
+		mo.solveMethod(id)
+	}
+	return mo
+}
+
+// mergeSummary joins actuals into the callee's argument summary.
+func (mo *model) mergeSummary(callee int, actuals []*SymVal) bool {
+	m := mo.prog.Methods[callee]
+	if len(actuals) != m.NArgs {
+		return false
+	}
+	if mo.summaries[callee] == nil {
+		mo.summaries[callee] = append([]*SymVal(nil), actuals...)
+		return true
+	}
+	sum := mo.summaries[callee]
+	changed := false
+	for i := range sum {
+		j := join(sum[i], actuals[i])
+		if !symEqual(j, sum[i]) {
+			sum[i] = j
+			changed = true
+		}
+	}
+	return changed
+}
+
+// entryState builds a method's abstract entry state: argument slots take
+// their interprocedural summary (or a symbolic placeholder when no call
+// site resolved them), remaining locals start as zeroed primitives.
+func (mo *model) entryState(id int) *symState {
+	m := mo.prog.Methods[id]
+	st := &symState{locals: make([]*SymVal, m.NLocals)}
+	sum := mo.summaries[id]
+	for i := range st.locals {
+		switch {
+		case i >= m.NArgs:
+			st.locals[i] = constSym
+		case sum != nil && sum[i].kind != symUnknown:
+			st.locals[i] = sum[i]
+		default:
+			st.locals[i] = &SymVal{kind: symLocal, a: int32(i)}
+		}
+	}
+	return st
+}
+
+// solveMethod computes the per-block fixpoint entry states for method id.
+func (mo *model) solveMethod(id int) {
+	g := mo.cfgs[id]
+	entry := mo.entryState(id)
+	if mo.inStates == nil {
+		mo.inStates = make([][]*symState, len(mo.prog.Methods))
+	}
+	mo.inStates[id] = Solve(g, Forward, entry,
+		func(s *symState) *symState { return s.clone() },
+		func(b *Block, in *symState) *symState {
+			st := in.clone()
+			for pc := b.Start; pc < b.End; pc++ {
+				mo.exec(id, pc, st, symEvents{})
+			}
+			return st
+		},
+		meetState)
+}
+
+// walkMethod replays every reachable block once over its fixpoint entry
+// state, firing ev's callbacks. Deterministic: blocks in RPO.
+func (mo *model) walkMethod(id int, ev symEvents) {
+	g := mo.cfgs[id]
+	states := mo.inStates[id]
+	for _, bi := range g.RPO() {
+		if states[bi] == nil {
+			continue
+		}
+		st := states[bi].clone()
+		for pc := g.Blocks[bi].Start; pc < g.Blocks[bi].End; pc++ {
+			mo.exec(id, pc, st, ev)
+		}
+	}
+}
+
+// pop with defensive underflow handling (Verify rules it out, but the
+// walker must never panic on adversarial input).
+func (st *symState) pop() *SymVal {
+	if len(st.stack) == 0 {
+		return unknownSym
+	}
+	v := st.stack[len(st.stack)-1]
+	st.stack = st.stack[:len(st.stack)-1]
+	return v
+}
+
+func (st *symState) push(v *SymVal) { st.stack = append(st.stack, v) }
+
+// popN pops n values, returning them in evaluation (push) order.
+func (st *symState) popN(n int) []*SymVal {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]*SymVal, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = st.pop()
+	}
+	return out
+}
+
+// heldLocks filters the monitor stack down to globally nameable locks
+// (stable identity across threads): statics and once-allocated sites.
+func (mo *model) heldLocks(st *symState) []*SymVal {
+	var out []*SymVal
+	for _, l := range st.locks {
+		if mo.lockGlobal(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// lockGlobal reports whether l names one runtime object across all
+// threads: a static field's value (assumed stable, as in Eraser) or an
+// allocation site that executes at most once.
+func (mo *model) lockGlobal(l *SymVal) bool {
+	switch l.kind {
+	case symStatic:
+		return true
+	case symNew:
+		return mo.onceNew[[2]int32{l.a, l.b}]
+	}
+	return false
+}
+
+// locGlobal reports whether s is usable as a shared-location name: global
+// locks plus fields/elements reached from them.
+func (mo *model) locGlobal(s *SymVal) bool {
+	switch s.kind {
+	case symStatic:
+		return true
+	case symNew:
+		return mo.onceNew[[2]int32{s.a, s.b}]
+	case symField, symElem:
+		return mo.locGlobal(s.base)
+	}
+	return false
+}
+
+// exec interprets one instruction over st, firing ev callbacks.
+func (mo *model) exec(id, pc int, st *symState, ev symEvents) {
+	m := mo.prog.Methods[id]
+	in := m.Code[pc]
+	held := func() []*SymVal { return mo.heldLocks(st) }
+	access := func(target *SymVal, write bool) {
+		if ev.onAccess != nil {
+			ev.onAccess(pc, in, target, write, held())
+		}
+	}
+	lockf := func(format string, args ...any) {
+		if ev.onLock != nil {
+			ev.onLock(pc, format, args...)
+		}
+	}
+	// waitHeld checks that obj's monitor is provably held.
+	waitHeld := func(what string, obj *SymVal) {
+		if len(st.locks) == 0 {
+			lockf("%s with no monitor held", what)
+			return
+		}
+		if obj.kind == symUnknown {
+			return
+		}
+		for _, l := range st.locks {
+			if l.kind == symUnknown || symEqual(l, obj) {
+				return
+			}
+		}
+		lockf("%s on %s, whose monitor is not held (held: %s)", what, obj.key(mo.prog), lockNames(st.locks, mo.prog))
+	}
+
+	switch in.Op {
+	case bytecode.Nop, bytecode.YieldOp:
+	case bytecode.IConst, bytecode.LConst:
+		st.push(constSym)
+	case bytecode.SConst:
+		st.push(&SymVal{kind: symStr, a: in.A})
+	case bytecode.Null:
+		st.push(constSym)
+	case bytecode.Pop:
+		st.pop()
+	case bytecode.Dup:
+		if n := len(st.stack); n > 0 {
+			st.push(st.stack[n-1])
+		} else {
+			st.push(unknownSym)
+		}
+	case bytecode.Swap:
+		if n := len(st.stack); n >= 2 {
+			st.stack[n-1], st.stack[n-2] = st.stack[n-2], st.stack[n-1]
+		}
+	case bytecode.Load:
+		if int(in.A) < len(st.locals) {
+			st.push(st.locals[in.A])
+		} else {
+			st.push(unknownSym)
+		}
+	case bytecode.Store:
+		v := st.pop()
+		if int(in.A) < len(st.locals) {
+			st.locals[in.A] = v
+		}
+	case bytecode.Add, bytecode.Sub, bytecode.Mul, bytecode.Div, bytecode.Mod,
+		bytecode.And, bytecode.Or, bytecode.Xor, bytecode.Shl, bytecode.Shr,
+		bytecode.CmpEq, bytecode.CmpNe, bytecode.CmpLt, bytecode.CmpLe, bytecode.CmpGt, bytecode.CmpGe:
+		st.pop()
+		st.pop()
+		st.push(unknownSym)
+	case bytecode.Neg, bytecode.Not:
+		st.pop()
+		st.push(unknownSym)
+	case bytecode.Jmp:
+	case bytecode.Jz, bytecode.Jnz:
+		st.pop()
+	case bytecode.Ret:
+	case bytecode.RetV:
+		st.pop()
+	case bytecode.Call, bytecode.Spawn:
+		tgt := int(in.A)
+		actuals := st.popN(mo.prog.Methods[tgt].NArgs)
+		if ev.onCall != nil {
+			ev.onCall(pc, []int{tgt}, actuals)
+		}
+		if in.Op == bytecode.Spawn {
+			st.push(constSym) // thread id
+		} else if mo.facts[tgt].ReturnsValue {
+			st.push(unknownSym)
+		}
+	case bytecode.CallV:
+		cands := mo.callvCands[in.A]
+		actuals := st.popN(int(in.B))
+		if ev.onCall != nil && len(cands) > 0 {
+			ev.onCall(pc, cands, actuals)
+		}
+		if len(cands) > 0 && mo.facts[cands[0]].ReturnsValue {
+			st.push(unknownSym)
+		}
+	case bytecode.Native:
+		name := ""
+		if int(in.A) < len(mo.prog.Strings) {
+			name = mo.prog.Strings[in.A]
+		}
+		args := st.popN(int(in.B))
+		if ev.onNative != nil {
+			ev.onNative(pc, name, args)
+		}
+		pushes := 1
+		if mo.cfg.Natives != nil {
+			if _, p, ok := mo.cfg.Natives(name); ok {
+				pushes = p
+			}
+		}
+		for i := 0; i < pushes; i++ {
+			st.push(unknownSym)
+		}
+	case bytecode.New, bytecode.NewArr:
+		if in.Op == bytecode.NewArr {
+			st.pop() // length
+		}
+		st.push(&SymVal{kind: symNew, a: int32(id), b: int32(pc)})
+	case bytecode.GetF:
+		recv := st.pop()
+		access(mkField(recv, in.A), false)
+		st.push(mkField(recv, in.A))
+	case bytecode.PutF:
+		st.pop() // value
+		recv := st.pop()
+		access(mkField(recv, in.A), true)
+	case bytecode.GetS:
+		access(&SymVal{kind: symStatic, a: in.A, b: in.B}, false)
+		st.push(&SymVal{kind: symStatic, a: in.A, b: in.B})
+	case bytecode.PutS:
+		st.pop()
+		access(&SymVal{kind: symStatic, a: in.A, b: in.B}, true)
+	case bytecode.ALoad:
+		st.pop() // index
+		arr := st.pop()
+		access(mkElem(arr), false)
+		st.push(mkElem(arr))
+	case bytecode.AStore:
+		st.pop() // value
+		st.pop() // index
+		arr := st.pop()
+		access(mkElem(arr), true)
+	case bytecode.ArrLen, bytecode.InstOf:
+		st.pop()
+		st.push(unknownSym)
+	case bytecode.MonEnter:
+		obj := st.pop()
+		if len(st.locks) < maxLockDepth {
+			st.locks = append(st.locks, obj)
+		} else {
+			lockf("monitor stack deeper than %d; lock tracking saturated", maxLockDepth)
+		}
+	case bytecode.MonExit:
+		obj := st.pop()
+		n := len(st.locks)
+		switch {
+		case n == 0:
+			lockf("monitorexit with no monitor held")
+		case obj.kind == symUnknown || st.locks[n-1].kind == symUnknown || symEqual(st.locks[n-1], obj):
+			st.locks = st.locks[:n-1]
+		default:
+			// Search deeper: a non-LIFO release (legal at runtime, but it
+			// defeats structured-locking reasoning, so it is reported).
+			found := -1
+			for i := n - 2; i >= 0; i-- {
+				if symEqual(st.locks[i], obj) || st.locks[i].kind == symUnknown {
+					found = i
+					break
+				}
+			}
+			if found >= 0 {
+				lockf("monitor %s released out of LIFO order (innermost held is %s)",
+					obj.key(mo.prog), st.locks[n-1].key(mo.prog))
+				st.locks = append(st.locks[:found], st.locks[found+1:]...)
+			} else {
+				lockf("monitorexit on %s, whose monitor is not provably held (held: %s)",
+					obj.key(mo.prog), lockNames(st.locks, mo.prog))
+				st.locks = st.locks[:n-1]
+			}
+		}
+	case bytecode.Wait:
+		waitHeld("wait", st.pop())
+	case bytecode.TimedWait:
+		st.pop() // millis
+		waitHeld("timedwait", st.pop())
+	case bytecode.Notify:
+		waitHeld("notify", st.pop())
+	case bytecode.NotifyAll:
+		waitHeld("notifyall", st.pop())
+	case bytecode.ThreadID:
+		st.push(constSym)
+	case bytecode.Sleep, bytecode.Interrupt, bytecode.Print, bytecode.PrintS, bytecode.Assert:
+		st.pop()
+	case bytecode.Halt:
+	}
+}
+
+func lockNames(locks []*SymVal, p *bytecode.Program) string {
+	if len(locks) == 0 {
+		return "none"
+	}
+	s := ""
+	for i, l := range locks {
+		if i > 0 {
+			s += ", "
+		}
+		s += l.key(p)
+	}
+	return s
+}
+
+// lockKeys renders held global locks as a sorted key set.
+func lockKeys(locks []*SymVal, p *bytecode.Program) []string {
+	out := make([]string, 0, len(locks))
+	for _, l := range locks {
+		out = append(out, l.key(p))
+	}
+	sort.Strings(out)
+	return out
+}

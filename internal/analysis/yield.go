@@ -1,0 +1,110 @@
+package analysis
+
+// The yield-point audit. The logical thread clock (`nyp` in the paper's
+// Fig. 2) counts yield points; preemption deltas are only well-defined if
+// every place a thread can spin carries one. In this ISA a taken backward
+// jump (target <= pc) and a method prologue are the yield points, so the
+// audit proves two things per method:
+//
+//  1. Every CFG cycle contains a yield carrier — a backward branch, a
+//     call (prologue yield), or an explicit YieldOp. The instruction
+//     encoding makes a carrier-free cycle impossible (any pc-space cycle
+//     must jump backward), so a finding here means the invariant the
+//     replay clock depends on has been broken by an ISA or CFG change.
+//
+//  2. Callback closures never block: a pollevents handler runs nested
+//     inside a native frame, where Wait/TimedWait/Sleep/MonEnter would
+//     trap at runtime ("blocking inside a native callback") — and would
+//     desynchronize the yield-point count between record and replay if it
+//     did not. The audit walks every method reachable from a registered
+//     handler and flags blocking instructions. An unresolvable handler
+//     registration (not a compile-time string) is itself reported, since
+//     the closure cannot be audited.
+
+import (
+	"sort"
+
+	"dejavu/internal/bytecode"
+)
+
+// yieldCarrier reports whether executing pc can tick the yield clock:
+// backward branches, calls (callee prologue), and explicit yields.
+func yieldCarrier(in bytecode.Instr, pc int) bool {
+	switch in.Op {
+	case bytecode.Jmp, bytecode.Jz, bytecode.Jnz:
+		return int(in.A) <= pc
+	case bytecode.Call, bytecode.CallV, bytecode.YieldOp:
+		return true
+	}
+	return false
+}
+
+// blockingOp reports whether op can block the executing thread on another
+// thread's progress or on time.
+func blockingOp(op bytecode.Opcode) bool {
+	switch op {
+	case bytecode.Wait, bytecode.TimedWait, bytecode.Sleep, bytecode.MonEnter:
+		return true
+	}
+	return false
+}
+
+func analyzeYield(mo *model, r *Report) {
+	p := mo.prog
+
+	// 1. Cycle audit.
+	for id, m := range p.Methods {
+		g := mo.cfgs[id]
+		for _, comp := range g.SCCs() {
+			if len(comp) == 1 && !g.HasSelfLoop(comp[0]) {
+				continue
+			}
+			carrier := false
+			lo := -1
+			for _, bi := range comp {
+				if lo == -1 || g.Blocks[bi].Start < lo {
+					lo = g.Blocks[bi].Start
+				}
+				for pc := g.Blocks[bi].Start; pc < g.Blocks[bi].End && !carrier; pc++ {
+					if yieldCarrier(m.Code[pc], pc) {
+						carrier = true
+					}
+				}
+			}
+			if !carrier {
+				r.add(AYield, m, lo,
+					"CFG cycle with no yield point: the logical thread clock cannot observe preemption inside this loop")
+			}
+		}
+	}
+
+	// 2. Callback closure audit.
+	graph := mo.callGraph()
+	for _, s := range mo.nativeSites() {
+		if s.name != "pollevents" {
+			continue
+		}
+		reg := p.Methods[s.mid]
+		h := mo.resolveHandler(s)
+		if h < 0 {
+			r.add(AYield, reg, s.pc,
+				"pollevents handler is not a compile-time method name; the callback closure cannot be audited for blocking operations")
+			continue
+		}
+		var mids []int
+		for mid := range reachFrom(graph, h) {
+			mids = append(mids, mid)
+		}
+		sort.Ints(mids)
+		for _, mid := range mids {
+			hm := p.Methods[mid]
+			for pc, in := range hm.Code {
+				if blockingOp(in.Op) {
+					r.add(AYield, hm, pc,
+						"%s inside the callback closure of handler %s (registered at %s pc=%d): blocking in a native callback traps and skews the yield-point clock",
+						in.Op, p.Methods[h].FullName(), reg.FullName(), s.pc)
+				}
+			}
+		}
+	}
+}

@@ -205,6 +205,10 @@ func verifyMethod(p *Program, m *Method, cfg VerifyConfig, returns []int, byName
 	}
 	// flow merges a successor state, queueing it if changed.
 	flow := func(pc, target int, st *state) error {
+		if target < 0 || target >= len(m.Code) {
+			// A non-terminal last instruction falls through past the end.
+			return fail(pc, "control flows past the end of the method")
+		}
 		cur := inStates[target]
 		if cur == nil {
 			inStates[target] = st.clone()

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"dejavu/internal/analysis"
 	"dejavu/internal/bytecode"
 	"dejavu/internal/core"
 	"dejavu/internal/trace"
@@ -75,11 +76,33 @@ type EngineFlags struct {
 	TraceSink trace.Sink   // record to an external sink (streaming)
 	TraceSrc  trace.Source // replay from an external source (streaming)
 	Realtime  bool         // real wall clock instead of deterministic fake time
+	Preflight bool         // run the static determinism analyses before recording
+}
+
+// Preflight runs the static determinism analyses (the `dejavu vet` pass)
+// over prog and returns an error carrying the report when any finding
+// would undermine record/replay fidelity.
+func Preflight(prog *bytecode.Program) error {
+	r := analysis.Analyze(prog, analysis.Config{
+		Natives:        vm.NativeSignature,
+		NativeCoverage: vm.NativeCoverage,
+	})
+	if !r.Clean() {
+		return fmt.Errorf("preflight analysis found %d issue(s); fix them or record without -preflight:\n%s",
+			len(r.Findings), r.Text())
+	}
+	return nil
 }
 
 // BuildEngine constructs an engine (and a stopper for any host timer).
 func BuildEngine(prog *bytecode.Program, f EngineFlags) (*core.Engine, func(), error) {
 	cfg := core.DefaultConfig(f.Mode)
+	cfg.PreflightAnalysis = f.Preflight
+	if f.Preflight && f.Mode == core.ModeRecord {
+		if err := Preflight(prog); err != nil {
+			return nil, nil, err
+		}
+	}
 	cfg.ProgHash = vm.ProgramHash(prog)
 	cfg.TraceIn = f.TraceIn
 	cfg.TraceSink = f.TraceSink

@@ -233,6 +233,14 @@ type Config struct {
 	// the liveclock guard exists.
 	InstrYieldsRecord int
 	InstrYieldsReplay int
+
+	// PreflightAnalysis asks embedders to run the static determinism
+	// analyses (internal/analysis) over the program before record mode
+	// starts, refusing to record when they report findings. The engine
+	// itself never sees the program, so the gate is honored by the layer
+	// that builds the VM (see cli.BuildEngine); the flag lives here so one
+	// Config names the complete record contract.
+	PreflightAnalysis bool
 }
 
 // DefaultConfig returns a Config with all symmetry mechanisms enabled.

@@ -293,6 +293,25 @@ func NativeSignature(name string) (pops, pushes int, ok bool) {
 	return 0, 0, false
 }
 
+// NativeCoverage classifies a native for the static non-determinism
+// coverage audit: "recorded" natives have their results captured in the
+// trace and regenerated during replay, "deterministic" natives are pure
+// functions of replayed VM state and re-run in both modes, and "remote"
+// natives read the remote-reflection channel, which bypasses the
+// record/replay engine entirely (tool VMs only). ok is false for names
+// outside the registry.
+func NativeCoverage(name string) (kind string, ok bool) {
+	switch name {
+	case "clock", "nanotime", "random", "randrange", "readline", "pollevents":
+		return "recorded", true
+	case "gc", "heapused", "idhash", "interrupted", "isremote", "parseint", "strlen":
+		return "deterministic", true
+	case "remotedict", "remotethreads":
+		return "remote", true
+	}
+	return "", false
+}
+
 // VerifyProgram statically verifies prog against this VM's native
 // registry, returning the per-method facts (max operand depth, return
 // shape).

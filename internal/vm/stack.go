@@ -87,6 +87,7 @@ func (vm *VM) popObj(t *threads.Thread) (heap.Addr, error) {
 // growth policy (§2.4) makes them coincide despite the modes' differing
 // instrumentation frames.
 func (vm *VM) growStack(t *threads.Thread, minFree int) error {
+	vm.stackGrows++
 	cur := vm.h.Len(t.StackSeg)
 	newLen := cur * 2
 	if newLen < cur+minFree {
@@ -116,7 +117,15 @@ func (vm *VM) growStack(t *threads.Thread, minFree int) error {
 // [argStart, argStart+m.NArgs) of t's own stack; they are copied into the
 // callee's locals and logically popped (SavedSP = argStart).
 func (vm *VM) pushFrame(t *threads.Thread, m *bytecode.Method, argStart int) error {
-	need := t.SP + FrameHeader + m.NLocals + 8
+	// Reserve the verifier-proven frame footprint (header + locals +
+	// MaxStack + headroom) in one step; the flat constant is the fallback
+	// for unverifiable programs. Either way the reservation is the same
+	// deterministic function of the program in record and replay.
+	slots := FrameHeader + m.NLocals + 8
+	if vm.frameNeed != nil {
+		slots = vm.frameNeed[m.ID]
+	}
+	need := t.SP + slots
 	if need > vm.h.Len(t.StackSeg) {
 		if err := vm.growStack(t, need-t.SP); err != nil {
 			return err

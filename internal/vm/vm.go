@@ -140,7 +140,13 @@ type VM struct {
 	out     outputSink
 	rngHost *rand.Rand
 
+	// frameNeed caches, per method ID, the stack slots pushFrame must
+	// reserve: header + locals + verified MaxStack + interpreter headroom.
+	// nil when the program did not verify (a fallback heuristic applies).
+	frameNeed []int
+
 	events      uint64
+	stackGrows  uint64
 	stressCount uint64
 	halted      bool
 	err         error
@@ -172,9 +178,19 @@ func New(prog *bytecode.Program, cfg Config) (*VM, error) {
 	if prog.EntryMethod().NArgs != 0 {
 		return nil, fmt.Errorf("vm: entry method %s must take no arguments", prog.EntryMethod().FullName())
 	}
-	if cfg.Verify {
-		if _, err := VerifyProgram(prog); err != nil {
-			return nil, fmt.Errorf("vm: %w", err)
+	// Verification also yields per-method MaxStack facts, which pre-size
+	// activation frames so call-heavy code rarely grows its stack
+	// mid-method. Sizing is a pure function of the program, so record and
+	// replay reserve identically and growth points stay symmetric.
+	facts, verr := VerifyProgram(prog)
+	if cfg.Verify && verr != nil {
+		return nil, fmt.Errorf("vm: %w", verr)
+	}
+	var frameNeed []int
+	if verr == nil {
+		frameNeed = make([]int, len(prog.Methods))
+		for i, m := range prog.Methods {
+			frameNeed[i] = FrameHeader + m.NLocals + facts[i].MaxStack + opHeadroom
 		}
 	}
 	if cfg.HeapBytes == 0 {
@@ -193,6 +209,7 @@ func New(prog *bytecode.Program, cfg Config) (*VM, error) {
 		prog:      prog,
 		progHash:  ProgramHash(prog),
 		cfg:       cfg,
+		frameNeed: frameNeed,
 		sched:     threads.NewScheduler(),
 		internIdx: map[string]int{},
 		rngHost:   rand.New(rand.NewSource(cfg.HostRand + 1)),
@@ -475,6 +492,10 @@ func (vm *VM) Output() []byte { return vm.out.buf }
 
 // Events returns the number of instructions executed.
 func (vm *VM) Events() uint64 { return vm.events }
+
+// StackGrows returns how many stack-segment reallocations have happened
+// across all threads (frame pre-sizing exists to keep this low).
+func (vm *VM) StackGrows() uint64 { return vm.stackGrows }
 
 // Halted reports whether execution finished.
 func (vm *VM) Halted() bool { return vm.halted }

@@ -396,7 +396,7 @@ func Philosophers(n, rounds int) *bytecode.Program {
 	signalDone(phil, main, 2, "done")
 	phil.Emit(bytecode.Ret)
 
-	mb := main.Method("main", 0, 1)
+	mb := main.Method("main", 0, 2)
 	mb.Emit(bytecode.New, int32(main.ID())).PutStatic(main, "lockobj")
 	mb.Const(int64(n)).Emit(bytecode.NewArr, bytecode.KindRef).PutStatic(main, "forks")
 	mb.Const(0).Emit(bytecode.Store, 0)
@@ -411,8 +411,13 @@ func Philosophers(n, rounds int) *bytecode.Program {
 	}
 	mb.GetStatic(main, "lockobj").Emit(bytecode.Store, 0)
 	joinBarrier(mb, main, 0, "done", n)
-	mb.GetStatic(main, "meals").Emit(bytecode.Print)
-	mb.GetStatic(main, "meals").Const(int64(n * rounds)).Emit(bytecode.CmpEq).Emit(bytecode.Assert)
+	// Read the result under the same monitor the philosophers used, so
+	// every post-init access to meals shares a lock.
+	mb.Emit(bytecode.Load, 0).Emit(bytecode.MonEnter)
+	mb.GetStatic(main, "meals").Emit(bytecode.Store, 1)
+	mb.Emit(bytecode.Load, 0).Emit(bytecode.MonExit)
+	mb.Emit(bytecode.Load, 1).Emit(bytecode.Print)
+	mb.Emit(bytecode.Load, 1).Const(int64(n * rounds)).Emit(bytecode.CmpEq).Emit(bytecode.Assert)
 	mb.Emit(bytecode.Halt)
 	b.Entry(mb)
 	return b.MustProgram()
@@ -496,7 +501,12 @@ func Server(workers, requests int) *bytecode.Program {
 	mb.Label("join")
 	mb.GetStatic(main, "qlock").Emit(bytecode.Store, 1)
 	joinBarrier(mb, main, 1, "done", workers)
-	mb.GetStatic(main, "served").Emit(bytecode.Print)
+	// Read the result under qlock (local 0 is dead after dispatch), so
+	// every post-init access to served shares a lock.
+	mb.Emit(bytecode.Load, 1).Emit(bytecode.MonEnter)
+	mb.GetStatic(main, "served").Emit(bytecode.Store, 0)
+	mb.Emit(bytecode.Load, 1).Emit(bytecode.MonExit)
+	mb.Emit(bytecode.Load, 0).Emit(bytecode.Print)
 	mb.Emit(bytecode.Halt)
 	b.Entry(mb)
 	return b.MustProgram()
@@ -556,14 +566,19 @@ func Sleepy(n int) *bytecode.Program {
 	signalDone(nap, main, 1, "done")
 	nap.Emit(bytecode.Ret)
 
-	mb := main.Method("main", 0, 1)
+	mb := main.Method("main", 0, 2)
 	mb.Emit(bytecode.New, int32(main.ID())).PutStatic(main, "lockobj")
 	for i := 0; i < n; i++ {
 		mb.Const(int64(i + 1)).SpawnM(nap).Emit(bytecode.Pop)
 	}
 	mb.GetStatic(main, "lockobj").Emit(bytecode.Store, 0)
 	joinBarrier(mb, main, 0, "done", n)
-	mb.GetStatic(main, "sum").Emit(bytecode.Print)
+	// Read the result under the same monitor the sleepers used, so every
+	// post-init access to sum shares a lock.
+	mb.Emit(bytecode.Load, 0).Emit(bytecode.MonEnter)
+	mb.GetStatic(main, "sum").Emit(bytecode.Store, 1)
+	mb.Emit(bytecode.Load, 0).Emit(bytecode.MonExit)
+	mb.Emit(bytecode.Load, 1).Emit(bytecode.Print)
 	mb.Emit(bytecode.Halt)
 	b.Entry(mb)
 	return b.MustProgram()

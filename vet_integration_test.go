@@ -1,0 +1,139 @@
+package dejavu
+
+// Black-box tests of the `dejavu vet` command: the documented exit-code
+// contract (0 clean, 1 findings, 2 usage/error), the allowlist that CI
+// uses to bless the intentionally racy demo workloads, and the JSON
+// output shape.
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runVet(t *testing.T, bin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, "dejavu"), append([]string{"vet"}, args...)...)
+	var out, errb strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("vet %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestCLIVetExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+
+	// Clean workload: exit 0, "clean" on stdout.
+	out, _, code := runVet(t, bin, "workload:bank")
+	if code != 0 || !strings.Contains(out, "clean") {
+		t.Fatalf("vet workload:bank: code=%d out=%q", code, out)
+	}
+
+	// Racy demo: exit 1, finding count on stderr.
+	out, errOut, code := runVet(t, bin, "workload:fig1ab")
+	if code != 1 {
+		t.Fatalf("vet workload:fig1ab: want exit 1, got %d (out=%q)", code, out)
+	}
+	if !strings.Contains(out, "[races]") || !strings.Contains(errOut, "unexpected finding") {
+		t.Fatalf("vet workload:fig1ab output: out=%q err=%q", out, errOut)
+	}
+
+	// Whole matrix with the checked-in allowlist: exit 0 — CI's exact
+	// invocation.
+	_, errOut, code = runVet(t, bin, "-allow", ".github/vet-allowlist.txt", "all")
+	if code != 0 {
+		t.Fatalf("vet -allow all: want exit 0, got %d (err=%q)", code, errOut)
+	}
+
+	// Without the allowlist the racy demos fail the matrix.
+	_, _, code = runVet(t, bin, "all")
+	if code != 1 {
+		t.Fatalf("vet all: want exit 1, got %d", code)
+	}
+
+	// Usage and load errors: exit 2.
+	if _, _, code = runVet(t, bin); code != 2 {
+		t.Fatalf("vet with no args: want exit 2, got %d", code)
+	}
+	if _, _, code = runVet(t, bin, "no-such-program"); code != 2 {
+		t.Fatalf("vet no-such-program: want exit 2, got %d", code)
+	}
+	if _, _, code = runVet(t, bin, "-analyses", "bogus", "workload:bank"); code != 2 {
+		t.Fatalf("vet -analyses bogus: want exit 2, got %d", code)
+	}
+}
+
+func TestCLIVetJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	out, _, code := runVet(t, bin, "-json", "workload:fig1ab")
+	if code != 1 {
+		t.Fatalf("want exit 1, got %d", code)
+	}
+	var report struct {
+		Program  string `json:"program"`
+		Findings []struct {
+			Analysis string `json:"analysis"`
+			Method   string `json:"method"`
+			PC       int    `json:"pc"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("vet -json output is not JSON: %v\n%s", err, out)
+	}
+	if len(report.Findings) == 0 {
+		t.Fatal("fig1ab JSON report has no findings")
+	}
+	for _, f := range report.Findings {
+		if f.Analysis != "races" || f.Method == "" {
+			t.Errorf("unexpected finding: %+v", f)
+		}
+	}
+}
+
+func TestCLIRecordPreflightGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+
+	// A racy program must be refused before any trace is written.
+	tr := filepath.Join(dir, "racy.trace")
+	cmd := exec.Command(filepath.Join(bin, "dejavu"), "record", "-preflight", "-seed", "3", "-o", tr, "workload:fig1ab")
+	b, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("record -preflight workload:fig1ab should fail; output:\n%s", b)
+	}
+	if !strings.Contains(string(b), "preflight analysis found") {
+		t.Fatalf("missing preflight refusal message:\n%s", b)
+	}
+	if _, statErr := os.Stat(tr); statErr == nil {
+		t.Fatal("refused recording still wrote a trace file")
+	}
+
+	// A clean program records normally under the same gate.
+	tr = filepath.Join(dir, "clean.trace")
+	cmd = exec.Command(filepath.Join(bin, "dejavu"), "record", "-preflight", "-seed", "3", "-o", tr, "workload:bank")
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("record -preflight workload:bank: %v\n%s", err, b)
+	}
+	if _, err := os.Stat(tr); err != nil {
+		t.Fatalf("clean preflight recording wrote no trace: %v", err)
+	}
+}
