@@ -3,6 +3,7 @@
 //	dejavu run [flags] <prog>          execute (no recording)
 //	dejavu record [flags] <prog>       execute and write a trace
 //	dejavu replay [flags] <prog>       re-execute a recorded trace
+//	dejavu recover [flags] <trace>     salvage a torn or corrupt recording
 //	dejavu vet [flags] <prog|all>      static replay-determinism analyses
 //	dejavu asm <in.dvs> <out.dva>      assemble to a binary image
 //	dejavu disasm <in.dva>             print assembler text
@@ -14,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +44,8 @@ func main() {
 		err = cmdRun(os.Args[2:], core.ModeRecord)
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "recover":
+		err = cmdRecover(os.Args[2:])
 	case "asm":
 		err = cmdAsm(os.Args[2:])
 	case "disasm":
@@ -70,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dejavu <run|record|replay|vet|asm|disasm|verify|traceinfo|workloads|info> [flags] args...
+	fmt.Fprintln(os.Stderr, `usage: dejavu <run|record|replay|recover|vet|asm|disasm|verify|traceinfo|workloads|info> [flags] args...
 run "dejavu <cmd> -h" for command flags`)
 }
 
@@ -81,6 +85,7 @@ func cmdRun(args []string, mode core.Mode) error {
 	heapKB := fs.Int("heap", 1024, "initial semispace KiB")
 	traceOut := fs.String("o", "trace.dvt", "trace output file (record mode)")
 	flat := fs.Bool("flat", false, "buffer the whole trace in memory and write the flat container (record mode)")
+	syncMode := fs.String("sync", "none", "trace durability: none (page cache), chunk (fsync per chunk), event (fsync per event)")
 	stats := fs.Bool("stats", false, "print execution statistics")
 	preflight := fs.Bool("preflight", false, "run the static determinism analyses before recording; refuse to record on findings")
 	fs.Parse(args)
@@ -92,6 +97,9 @@ func cmdRun(args []string, mode core.Mode) error {
 		return err
 	}
 	flags := cli.EngineFlags{Mode: mode, Seed: *seed, Realtime: *realtime, Preflight: *preflight}
+	if flags.Sync, err = trace.ParseSyncPolicy(*syncMode); err != nil {
+		return err
+	}
 	if *preflight && mode == core.ModeRecord {
 		// Gate before the trace file is created, so a refused recording
 		// leaves nothing behind (BuildEngine re-checks for API callers).
@@ -104,16 +112,11 @@ func cmdRun(args []string, mode core.Mode) error {
 	var sink *trace.StreamWriter
 	var out *os.File
 	if mode == core.ModeRecord && !*flat {
-		out, err = os.Create(*traceOut)
+		sink, out, err = flags.OpenTraceSink(*traceOut, vm.ProgramHash(prog))
 		if err != nil {
 			return err
 		}
 		defer out.Close()
-		sink, err = trace.NewStreamWriter(out, vm.ProgramHash(prog))
-		if err != nil {
-			return err
-		}
-		flags.TraceSink = sink
 	}
 	eng, stop, err := cli.BuildEngine(prog, flags)
 	if err != nil {
@@ -156,6 +159,7 @@ func cmdReplay(args []string) error {
 	race := fs.Bool("race", false, "run the lockset race detector over the replay")
 	profile := fs.Bool("profile", false, "print a replay profile (hot methods, threads, opcodes)")
 	contention := fs.Bool("contention", false, "print monitor acquisition counts")
+	partial := fs.Bool("partial", false, "the trace is a salvaged prefix (e.g. from `dejavu recover -o`): stop cleanly at the salvage point instead of failing")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one program argument")
@@ -173,7 +177,7 @@ func cmdReplay(args []string) error {
 	// ones load into memory as before.
 	br := bufio.NewReader(f)
 	magic, _ := br.Peek(4)
-	flags := cli.EngineFlags{Mode: core.ModeReplay}
+	flags := cli.EngineFlags{Mode: core.ModeReplay, PartialTrace: *partial}
 	if trace.IsStream(magic) {
 		src, err := trace.NewStreamReader(br, vm.ProgramHash(prog))
 		if err != nil {
@@ -222,6 +226,17 @@ func cmdReplay(args []string) error {
 		return err
 	}
 	runErr := m.Run()
+	if runErr != nil && errors.Is(runErr, io.ErrUnexpectedEOF) {
+		if *partial {
+			// Stopping at the end of a salvaged prefix is the expected
+			// outcome of replaying a recovered crash, not a failure.
+			n, _ := eng.ReplayedEvents()
+			fmt.Fprintf(os.Stderr, "partial trace: replayed %d events, stopped at the salvage point\n", n)
+			runErr = nil
+		} else {
+			runErr = fmt.Errorf("%w (trace is torn; run `dejavu recover` to salvage a replayable prefix, or replay a salvaged trace with -partial)", runErr)
+		}
+	}
 	if *stats {
 		printStats(m, eng)
 	}
@@ -233,6 +248,72 @@ func cmdReplay(args []string) error {
 	}
 	if cont != nil {
 		fmt.Fprint(os.Stderr, cont.Report(5))
+	}
+	return runErr
+}
+
+// cmdRecover salvages the longest valid prefix of a torn or corrupt
+// streamed recording, optionally writing it out and replaying it to show
+// how far the salvage carries.
+func cmdRecover(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	out := fs.String("o", "", "write the salvaged trace (flat container) to this file")
+	replayProg := fs.String("replay", "", "replay the salvage against this program and report coverage")
+	heapKB := fs.Int("heap", 1024, "initial semispace KiB (with -replay)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dejavu recover [-o out.dvt] [-replay <prog>] <trace>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	flat, rep, err := trace.Recover(f)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, flat, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("salvaged trace (%d bytes flat) -> %s\n", len(flat), *out)
+	}
+	if *replayProg != "" {
+		return replaySalvage(*replayProg, flat, rep, *heapKB*1024)
+	}
+	return nil
+}
+
+// replaySalvage replays a salvaged trace. A salvage without its end event
+// is replayed as a partial trace: the run deterministically reproduces the
+// recording up to the salvage point, then reports coverage — that is the
+// expected outcome of recovering a crash, so it exits 0.
+func replaySalvage(progArg string, flat []byte, rep *trace.RecoverReport, heapBytes int) error {
+	prog, err := cli.LoadProgram(progArg)
+	if err != nil {
+		return err
+	}
+	flags := cli.EngineFlags{Mode: core.ModeReplay, TraceIn: flat, PartialTrace: !rep.EndEvent}
+	eng, stop, err := cli.BuildEngine(prog, flags)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	m, err := vm.New(prog, vm.Config{Engine: eng, Stdout: os.Stdout, HeapBytes: heapBytes})
+	if err != nil {
+		return err
+	}
+	runErr := m.Run()
+	n, _ := eng.ReplayedEvents()
+	if runErr == nil {
+		fmt.Fprintf(os.Stderr, "replay complete: %d events\n", n)
+		return nil
+	}
+	if errors.Is(runErr, io.ErrUnexpectedEOF) {
+		fmt.Fprintf(os.Stderr, "partial trace: replayed %d of ~%d events\n", n, rep.EstimatedEvents)
+		return nil
 	}
 	return runErr
 }

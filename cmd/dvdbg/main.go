@@ -42,7 +42,13 @@ func main() {
 }
 
 func remoteREPL(addr string) error {
-	c, err := dbgproto.Dial(addr)
+	// The reconnecting client survives a dvserve restart (or a dropped
+	// connection) with capped exponential backoff instead of dying at the
+	// first transport hiccup.
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dvdbg: "+format+"\n", args...)
+	}
+	c, err := dbgproto.DialRetry(addr, logf)
 	if err != nil {
 		return err
 	}

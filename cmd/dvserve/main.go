@@ -7,6 +7,10 @@
 //     out-of-process remote reflection
 //
 // usage: dvserve -t trace.dvt -listen :4455 -peek :4456 <prog>
+//
+// SIGINT/SIGTERM shut the server down gracefully: both listeners close
+// (connected clients see clean EOFs, not resets), and with -exit-save the
+// session checkpoints to a file so `dvserve -restore` resumes it.
 package main
 
 import (
@@ -14,6 +18,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"dejavu/internal/cli"
 	"dejavu/internal/core"
@@ -29,18 +35,19 @@ func main() {
 	peek := flag.String("peek", "127.0.0.1:4456", "ptrace peek address (empty to disable)")
 	checkpoint := flag.Uint64("checkpoint", 10000, "instructions per time-travel checkpoint (0 disables)")
 	restore := flag.String("restore", "", "resume from a checkpoint file (written by the debugger's save command)")
+	exitSave := flag.String("exit-save", "", "on SIGINT/SIGTERM, write a checkpoint here before exiting (resume with -restore)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dvserve [flags] <prog>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *traceIn, *listen, *peek, *checkpoint, *restore); err != nil {
+	if err := run(flag.Arg(0), *traceIn, *listen, *peek, *checkpoint, *restore, *exitSave); err != nil {
 		fmt.Fprintln(os.Stderr, "dvserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(progArg, traceIn, listen, peek string, checkpoint uint64, restore string) error {
+func run(progArg, traceIn, listen, peek string, checkpoint uint64, restore, exitSave string) error {
 	prog, err := cli.LoadProgram(progArg)
 	if err != nil {
 		return err
@@ -70,13 +77,15 @@ func run(progArg, traceIn, listen, peek string, checkpoint uint64, restore strin
 	d := debugger.New(m)
 	d.CheckpointEvery = checkpoint
 
+	var listeners []net.Listener
 	if peek != "" {
 		pl, err := net.Listen("tcp", peek)
 		if err != nil {
 			return err
 		}
 		defer pl.Close()
-		go ptrace.Serve(pl, m.Heap(), m)
+		listeners = append(listeners, pl)
+		go (&ptrace.Server{H: m.Heap(), Roots: m}).Serve(pl)
 		fmt.Fprintf(os.Stderr, "peek endpoint on %s\n", pl.Addr())
 	}
 
@@ -85,8 +94,49 @@ func run(progArg, traceIn, listen, peek string, checkpoint uint64, restore strin
 		return err
 	}
 	defer dl.Close()
+	listeners = append(listeners, dl)
 	fmt.Fprintf(os.Stderr, "debug endpoint on %s — connect with: dvdbg -connect %s\n", dl.Addr(), dl.Addr())
 	srv := &dbgproto.Server{D: d}
+
+	// Graceful shutdown: on a signal, first checkpoint the session (under
+	// the command lock, so the VM is between commands), then close every
+	// listener — Serve returns, clients get EOF rather than a reset, and
+	// run() can't exit before the checkpoint is on disk.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "dvserve: %v: shutting down\n", sig)
+		if exitSave != "" {
+			srv.Locked(func() { saveCheckpoint(m, exitSave) })
+		}
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+
 	srv.Serve(dl)
 	return nil
+}
+
+// saveCheckpoint flushes the session state to a -restore-able file; it must
+// run under the server's command lock so the VM is at an instruction
+// boundary.
+func saveCheckpoint(m *vm.VM, path string) {
+	snap, err := m.Snapshot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvserve: exit checkpoint: %v\n", err)
+		return
+	}
+	blob := snap.Encode(m.Hash())
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dvserve: exit checkpoint: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dvserve: checkpoint at event %d -> %s (%d bytes); resume with dvserve -restore %s\n",
+		m.Events(), path, len(blob), path)
 }

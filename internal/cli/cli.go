@@ -5,7 +5,9 @@ package cli
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -29,6 +31,9 @@ func ReadTraceFile(path string) ([]byte, error) {
 	if trace.IsStream(raw) {
 		flat, err := trace.DecodeStream(bytes.NewReader(raw))
 		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, trace.ErrChecksum) {
+				return nil, fmt.Errorf("%s: %w (trace is torn or corrupt; run `dejavu recover` to salvage a replayable prefix)", path, err)
+			}
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		return flat, nil
@@ -77,6 +82,32 @@ type EngineFlags struct {
 	TraceSrc  trace.Source // replay from an external source (streaming)
 	Realtime  bool         // real wall clock instead of deterministic fake time
 	Preflight bool         // run the static determinism analyses before recording
+
+	// Sync selects the record-mode durability policy for sinks opened via
+	// OpenTraceSink (the `dejavu record -sync` flag).
+	Sync trace.SyncPolicy
+	// PartialTrace marks TraceIn as a salvaged prefix (trace.Recover
+	// output without its end event): replay stops at the salvage point
+	// with core.ErrPartialTrace instead of running past it.
+	PartialTrace bool
+}
+
+// OpenTraceSink creates path and a streaming sink over it honoring the
+// durability policy in f, storing the sink in f.TraceSink. The caller must
+// Close the sink, then the file, and should check both errors — a sticky
+// mid-record write failure surfaces at the sink's Close.
+func (f *EngineFlags) OpenTraceSink(path string, progHash uint64) (*trace.StreamWriter, *os.File, error) {
+	out, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sink, err := trace.NewStreamWriterOptions(out, progHash, trace.StreamOptions{Sync: f.Sync})
+	if err != nil {
+		out.Close()
+		return nil, nil, err
+	}
+	f.TraceSink = sink
+	return sink, out, nil
 }
 
 // Preflight runs the static determinism analyses (the `dejavu vet` pass)
@@ -107,6 +138,7 @@ func BuildEngine(prog *bytecode.Program, f EngineFlags) (*core.Engine, func(), e
 	cfg.TraceIn = f.TraceIn
 	cfg.TraceSink = f.TraceSink
 	cfg.TraceSrc = f.TraceSrc
+	cfg.PartialTrace = f.PartialTrace
 	stop := func() {}
 	if f.Realtime {
 		cfg.Time = core.RealTime{}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 
 	"dejavu/internal/threads"
@@ -51,6 +52,15 @@ var ErrNotReplaying = errors.New("core: engine is not in replay mode")
 // ErrNotSeekable is returned by Snapshot/Restore when the engine replays
 // from a streaming source, which cannot rewind.
 var ErrNotSeekable = errors.New("core: trace source is not seekable (streaming replay)")
+
+// ErrPartialTrace is the sticky engine error raised when replay of a
+// salvaged trace (Config.PartialTrace) exhausts the salvaged switch stream:
+// the recording held more preemptions than survived the crash, so the
+// engine stops at the last point it can prove faithful rather than
+// continuing cooperatively and diverging silently. It unwraps to
+// io.ErrUnexpectedEOF, the same condition a torn data stream raises, so
+// one errors.Is check recognizes every partial-replay stop.
+var ErrPartialTrace = fmt.Errorf("core: salvaged trace exhausted mid-replay: %w", io.ErrUnexpectedEOF)
 
 // NewEngine builds an engine from cfg.
 func NewEngine(cfg Config) (*Engine, error) {
@@ -196,6 +206,12 @@ func (e *Engine) loadNextSwitch() {
 		// preemption.
 		if se, isSE := e.r.(sourceErrer); isSE && se.Err() != nil {
 			e.fail(se.Err())
+		} else if e.cfg.PartialTrace {
+			// Salvaged trace: the switch stream ends at the salvage
+			// point, not at the recorded end. Failing here — at the
+			// prefetch — stops replay at the last switch the recording
+			// still vouches for.
+			e.fail(ErrPartialTrace)
 		}
 	}
 }
@@ -449,6 +465,16 @@ func (e *Engine) ReadLine() []byte {
 	default:
 		return readReal()
 	}
+}
+
+// ReplayedEvents returns how many data events replay has consumed — the N
+// in a partial-trace report ("replayed N of ~M events"). ok is false
+// outside replay mode.
+func (e *Engine) ReplayedEvents() (n int, ok bool) {
+	if e.mode != ModeReplay {
+		return 0, false
+	}
+	return e.r.EventIndex(), true
 }
 
 // PendingSwitch exposes the replay countdown for the debugger's status

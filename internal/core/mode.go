@@ -234,6 +234,16 @@ type Config struct {
 	InstrYieldsRecord int
 	InstrYieldsReplay int
 
+	// PartialTrace marks the replay input as a salvaged prefix of a torn
+	// recording (trace.Recover output). Replay then stops with
+	// ErrPartialTrace the moment the salvaged switch stream is exhausted:
+	// past the last recorded switch the engine can no longer prove the
+	// schedule matches the recording, so continuing cooperatively could
+	// diverge silently. Complete traces leave this off — for them an
+	// exhausted switch stream just means the recording held no further
+	// preemptions.
+	PartialTrace bool
+
 	// PreflightAnalysis asks embedders to run the static determinism
 	// analyses (internal/analysis) over the program before record mode
 	// starts, refusing to record when they report findings. The engine

@@ -15,14 +15,54 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dejavu/internal/debugger"
 )
 
+// Hardening defaults. A debug server lives next to a replay worth hours of
+// reproduction work; one hung or hostile front end must not take it down.
+const (
+	DefaultMaxConns     = 8
+	DefaultIdleTimeout  = 10 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+)
+
 // Server exposes one Debugger over a listener. Commands execute serially.
+// Connections beyond MaxConns are refused with an error response; an idle
+// or unwritable connection is dropped at its deadline; a panic while
+// executing a command is returned as an ERR response instead of killing
+// the process.
 type Server struct {
-	D  *debugger.Debugger
-	mu sync.Mutex
+	D *debugger.Debugger
+
+	MaxConns     int           // concurrent connections (0 = DefaultMaxConns, <0 = unlimited)
+	IdleTimeout  time.Duration // per-read deadline (0 = DefaultIdleTimeout, <0 = none)
+	WriteTimeout time.Duration // per-response deadline (0 = DefaultWriteTimeout, <0 = none)
+
+	mu     sync.Mutex
+	active atomic.Int32
+}
+
+func pickLimit[T int | time.Duration](v, def T) T {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0 // explicit "unlimited"
+	default:
+		return v
+	}
+}
+
+// Locked runs f while holding the command-serialization lock, so external
+// code (e.g. a shutdown handler snapshotting the VM) can act between
+// debugger commands, never during one.
+func (s *Server) Locked(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f()
 }
 
 // Serve accepts connections until the listener closes.
@@ -32,18 +72,47 @@ func (s *Server) Serve(l net.Listener) {
 		if err != nil {
 			return
 		}
-		go s.serveConn(conn)
+		if max := pickLimit(s.MaxConns, DefaultMaxConns); max > 0 && s.active.Load() >= int32(max) {
+			refuse(conn)
+			continue
+		}
+		s.active.Add(1)
+		go func() {
+			defer s.active.Add(-1)
+			s.serveConn(conn)
+		}()
 	}
+}
+
+// refuse answers an over-capacity connection with a protocol-shaped error
+// so the client reports something better than a hangup.
+func refuse(conn net.Conn) {
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	fmt.Fprintf(conn, "ERR server at connection capacity\n.\n")
 }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	// A panic in the connection plumbing drops this connection only.
+	defer func() { recover() }()
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
-	for sc.Scan() {
+	idle := pickLimit(s.IdleTimeout, DefaultIdleTimeout)
+	write := pickLimit(s.WriteTimeout, DefaultWriteTimeout)
+	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		if !sc.Scan() {
+			return
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
+		}
+		if write > 0 {
+			conn.SetWriteDeadline(time.Now().Add(write))
 		}
 		if line == "quit" {
 			fmt.Fprintf(w, "OK\nbye\n.\n")
@@ -61,15 +130,25 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			fmt.Fprintf(w, ".\n")
 		}
-		w.Flush()
+		if werr := w.Flush(); werr != nil {
+			return
+		}
 	}
 }
 
-// execute runs one command against the debugger.
-func (s *Server) execute(line string) (string, error) {
+// execute runs one command against the debugger. A panic inside a command
+// surfaces as an error response: the session survives, and the message
+// names the command so the defect is findable.
+func (s *Server) execute(line string) (body string, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fields := strings.Fields(line)
+	defer func() {
+		if r := recover(); r != nil {
+			body = ""
+			err = fmt.Errorf("internal error executing %q: %v", fields[0], r)
+		}
+	}()
 	d := s.D
 	switch fields[0] {
 	case "break":
@@ -274,7 +353,116 @@ func (c *Client) Send(cmd string) (string, error) {
 		body.WriteString(line)
 	}
 	if strings.HasPrefix(status, "ERR ") {
-		return "", fmt.Errorf("%s", strings.TrimPrefix(status, "ERR "))
+		return "", &RemoteError{Msg: strings.TrimPrefix(status, "ERR ")}
 	}
 	return body.String(), nil
+}
+
+// RemoteError is a server-reported command failure ("ERR ..."): the
+// connection itself is healthy, so a reconnecting client must not treat it
+// as transport loss.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Reconnecting is a Client that survives server restarts and dropped
+// connections: a transport failure closes the connection, redials with
+// capped exponential backoff, and retries the command once. Command
+// failures the server reports (RemoteError) pass through untouched.
+type Reconnecting struct {
+	Addr string
+
+	MaxAttempts int                              // dial attempts per (re)connect; 0 = 6
+	BaseDelay   time.Duration                    // first backoff step; 0 = 100ms
+	MaxDelay    time.Duration                    // backoff cap; 0 = 3s
+	Logf        func(format string, args ...any) // optional reconnect notices
+
+	mu sync.Mutex
+	c  *Client
+}
+
+// DialRetry connects to a debug server with backoff, returning a client
+// that keeps reconnecting across transport failures. logf (optional)
+// receives human-readable retry notices.
+func DialRetry(addr string, logf func(string, ...any)) (*Reconnecting, error) {
+	r := &Reconnecting{Addr: addr, Logf: logf}
+	if err := r.connect(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Reconnecting) connect() error {
+	attempts := r.MaxAttempts
+	if attempts <= 0 {
+		attempts = 6
+	}
+	delay := r.BaseDelay
+	if delay <= 0 {
+		delay = 100 * time.Millisecond
+	}
+	maxDelay := r.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 3 * time.Second
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		var c *Client
+		if c, err = Dial(r.Addr); err == nil {
+			r.c = c
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		if r.Logf != nil {
+			r.Logf("connect %s failed (%v); retrying in %v", r.Addr, err, delay)
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+	return fmt.Errorf("dbgproto: %s unreachable after %d attempts: %w", r.Addr, attempts, err)
+}
+
+// Send issues one command, transparently reconnecting (and retrying the
+// command once) if the transport fails under it.
+func (r *Reconnecting) Send(cmd string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c == nil {
+		if err := r.connect(); err != nil {
+			return "", err
+		}
+	}
+	body, err := r.c.Send(cmd)
+	if err == nil {
+		return body, nil
+	}
+	if _, isRemote := err.(*RemoteError); isRemote {
+		return "", err
+	}
+	// Transport loss: drop the dead connection, redial, retry once.
+	r.c.Close()
+	r.c = nil
+	if r.Logf != nil {
+		r.Logf("connection to %s lost (%v); reconnecting", r.Addr, err)
+	}
+	if cerr := r.connect(); cerr != nil {
+		return "", fmt.Errorf("connection lost (%v); %w", err, cerr)
+	}
+	return r.c.Send(cmd)
+}
+
+// Close shuts the current connection, if any.
+func (r *Reconnecting) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c == nil {
+		return nil
+	}
+	err := r.c.Close()
+	r.c = nil
+	return err
 }

@@ -14,6 +14,13 @@ import (
 
 func startServer(t *testing.T) (*Client, *debugger.Debugger) {
 	t.Helper()
+	return startServerOpts(t, &Server{})
+}
+
+// startServerOpts serves a fresh bank-replay debugger through the caller's
+// Server (so tests can set hardening limits) and returns a connected client.
+func startServerOpts(t *testing.T, srv *Server) (*Client, *debugger.Debugger) {
+	t.Helper()
 	prog := workloads.Bank(2, 4, 100)
 	rec, err := replaycheck.Record(prog, replaycheck.Options{Seed: 3})
 	if err != nil || rec.RunErr != nil {
@@ -28,7 +35,7 @@ func startServer(t *testing.T) (*Client, *debugger.Debugger) {
 		t.Fatal(err)
 	}
 	d := debugger.New(m)
-	srv := &Server{D: d}
+	srv.D = d
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

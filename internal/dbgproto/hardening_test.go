@@ -1,0 +1,153 @@
+// Hardening tests: the debug server guards a replay session that may
+// represent hours of reproduction work, so a hung, hostile, or crashing
+// front end must cost at most its own connection — and the front end must
+// survive the server going away and coming back.
+package dbgproto
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rawDialAndRead opens a bare TCP connection and reads whatever the server
+// sends until EOF, without writing anything. Used to observe the
+// capacity-refusal response deterministically (a client write racing the
+// server's close could turn into a RST and discard it).
+func rawDialAndRead(t *testing.T, addr string) string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	b, _ := io.ReadAll(conn)
+	return string(b)
+}
+
+func TestConnectionCapRefusal(t *testing.T) {
+	c, _ := startServerOpts(t, &Server{MaxConns: 1})
+	// A successful command proves the first connection is being served, so
+	// the active count is at 1 before the second connection arrives.
+	if _, err := c.Send("status"); err != nil {
+		t.Fatal(err)
+	}
+	got := rawDialAndRead(t, c.conn.RemoteAddr().String())
+	if !strings.Contains(got, "ERR server at connection capacity") {
+		t.Fatalf("over-cap connection got %q, want capacity refusal", got)
+	}
+	// The refusal must not cost the served connection anything.
+	if _, err := c.Send("status"); err != nil {
+		t.Fatalf("in-cap connection broken by refusal: %v", err)
+	}
+}
+
+func TestIdleConnectionDropped(t *testing.T) {
+	c, _ := startServerOpts(t, &Server{IdleTimeout: 50 * time.Millisecond})
+	time.Sleep(250 * time.Millisecond)
+	if _, err := c.Send("status"); err == nil {
+		t.Fatal("idle connection survived past its deadline")
+	}
+}
+
+func TestExecutePanicBecomesError(t *testing.T) {
+	// A nil debugger makes every command dereference nil: the panic must
+	// come back as an ERR naming the command, with the connection and the
+	// server both intact.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go (&Server{D: nil}).Serve(l)
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	_, err = c.Send("status")
+	var remote *RemoteError
+	if !errors.As(err, &remote) || !strings.Contains(remote.Msg, `internal error executing "status"`) {
+		t.Fatalf("panic did not surface as a remote error naming the command: %v", err)
+	}
+	// Same connection still serves commands that don't touch the debugger.
+	if body, err := c.Send("help"); err != nil || !strings.Contains(body, "commands:") {
+		t.Fatalf("connection dead after recovered panic: %q %v", body, err)
+	}
+}
+
+func TestRemoteErrorIsTyped(t *testing.T) {
+	c, _ := startServer(t)
+	_, err := c.Send("frobnicate")
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("server-reported failure is %T, want *RemoteError: %v", err, err)
+	}
+}
+
+// TestReconnectingSurvivesServerRestart walks the full outage story: the
+// client talks to a server, the server dies, a replacement comes up on the
+// same address, and the next command transparently lands on it.
+func TestReconnectingSurvivesServerRestart(t *testing.T) {
+	_, d := startServer(t)
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l1.Addr().String()
+	go (&Server{D: d}).Serve(l1)
+
+	r, err := DialRetry(addr, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	if _, err := r.Send("status"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server-reported failures pass through without tearing the connection.
+	var remote *RemoteError
+	if _, err := r.Send("nosuchcmd"); !errors.As(err, &remote) {
+		t.Fatalf("want *RemoteError through the reconnecting client, got %v", err)
+	}
+
+	// "quit" makes the server close our connection cleanly; killing the
+	// listener then simulates the whole process dying.
+	if _, err := r.Send("quit"); err != nil {
+		t.Fatal(err)
+	}
+	l1.Close()
+
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	t.Cleanup(func() { l2.Close() })
+	go (&Server{D: d}).Serve(l2)
+
+	body, err := r.Send("help")
+	if err != nil || !strings.Contains(body, "commands:") {
+		t.Fatalf("command after server restart: %q %v", body, err)
+	}
+}
+
+func TestDialRetryGivesUp(t *testing.T) {
+	// A dead listener address: dialing must fail after the capped attempts,
+	// quickly, with the address in the error.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	r := &Reconnecting{Addr: addr, MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	if _, err := r.Send("status"); err == nil || !strings.Contains(err.Error(), addr) {
+		t.Fatalf("want unreachable error naming %s, got %v", addr, err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package faults provides deterministic fault-injecting wrappers around
+// io.Reader, io.Writer, and net.Conn, used by the crash-tolerance tests to
+// simulate the failure modes a recording or replay service meets in
+// production: a process dying mid-write, a disk or kernel tearing a write
+// short, a flipped bit, a slow peer, and a dropped connection.
+//
+// All injectors are byte-deterministic — the fault fires at an exact byte
+// offset, never on a timer or a random draw — so a failing matrix case
+// reproduces exactly.
+package faults
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error surfaced at an injected fault point.
+var ErrInjected = errors.New("faults: injected fault")
+
+// WriteMode selects what happens to bytes past a Writer's limit.
+type WriteMode uint8
+
+const (
+	// FailWrite returns an error for bytes past the limit (after passing
+	// the in-budget prefix through): an I/O error mid-record.
+	FailWrite WriteMode = iota
+	// ShortWrite reports success for only the in-budget prefix while
+	// returning a nil error — deliberately violating the io.Writer
+	// contract, the way a buggy transport does. Robust writers must detect
+	// this themselves (io.ErrShortWrite).
+	ShortWrite
+	// SilentDrop discards bytes past the limit while reporting success: a
+	// crash model. The writer believes everything was persisted, but only
+	// the prefix ever reached storage — what a torn page-cache flush or a
+	// powered-off disk leaves behind.
+	SilentDrop
+)
+
+// Writer passes writes through to W until Limit bytes have been written,
+// then injects the configured fault. Limit < 0 never faults.
+type Writer struct {
+	W     io.Writer
+	Limit int64
+	Mode  WriteMode
+	Err   error // error for FailWrite (default ErrInjected)
+
+	n int64
+}
+
+// Written returns how many bytes actually reached W.
+func (w *Writer) Written() int64 { return w.n }
+
+// Write implements io.Writer with the configured fault behavior.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.Limit < 0 || w.n+int64(len(p)) <= w.Limit {
+		n, err := w.W.Write(p)
+		w.n += int64(n)
+		return n, err
+	}
+	allow := w.Limit - w.n
+	if allow < 0 {
+		allow = 0
+	}
+	n, err := w.W.Write(p[:allow])
+	w.n += int64(n)
+	if err != nil {
+		return n, err
+	}
+	switch w.Mode {
+	case ShortWrite:
+		return n, nil // contract violation on purpose
+	case SilentDrop:
+		return len(p), nil // pretend the lost tail was written
+	default:
+		e := w.Err
+		if e == nil {
+			e = ErrInjected
+		}
+		return n, e
+	}
+}
+
+// Reader passes reads through to R until Limit bytes have been read, then
+// returns Err (default ErrInjected). Limit < 0 never faults. The in-budget
+// prefix of a crossing read is still delivered (with a nil error), so the
+// fault always fires at the exact byte offset.
+type Reader struct {
+	R     io.Reader
+	Limit int64
+	Err   error
+
+	n int64
+}
+
+// Read implements io.Reader with the byte-budget fault.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.Limit >= 0 {
+		allow := r.Limit - r.n
+		if allow <= 0 {
+			e := r.Err
+			if e == nil {
+				e = ErrInjected
+			}
+			return 0, e
+		}
+		if int64(len(p)) > allow {
+			p = p[:allow]
+		}
+	}
+	n, err := r.R.Read(p)
+	r.n += int64(n)
+	return n, err
+}
+
+// Conn wraps a net.Conn with injected latency and read/write byte budgets.
+// When either budget trips the connection is closed and DropErr (default
+// ErrInjected) is returned — a peer vanishing mid-conversation. Budgets
+// < 0 are unlimited. Conn is safe for one reader and one writer goroutine,
+// like net.Conn itself.
+type Conn struct {
+	net.Conn
+	ReadLimit  int64         // bytes readable before the drop; <0 unlimited
+	WriteLimit int64         // bytes writable before the drop; <0 unlimited
+	Latency    time.Duration // injected before every Read and Write
+	DropErr    error
+
+	mu      sync.Mutex
+	rn, wn  int64
+	dropped bool
+}
+
+func (c *Conn) dropErr() error {
+	if c.DropErr != nil {
+		return c.DropErr
+	}
+	return ErrInjected
+}
+
+// trip marks the connection dropped and closes the underlying conn so the
+// peer sees the failure too.
+func (c *Conn) trip() error {
+	if !c.dropped {
+		c.dropped = true
+		c.Conn.Close()
+	}
+	return c.dropErr()
+}
+
+// Read implements net.Conn with latency and the read byte budget.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.Latency > 0 {
+		time.Sleep(c.Latency)
+	}
+	c.mu.Lock()
+	if c.dropped {
+		c.mu.Unlock()
+		return 0, c.dropErr()
+	}
+	if c.ReadLimit >= 0 {
+		allow := c.ReadLimit - c.rn
+		if allow <= 0 {
+			defer c.mu.Unlock()
+			return 0, c.trip()
+		}
+		if int64(len(p)) > allow {
+			p = p[:allow]
+		}
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.rn += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Write implements net.Conn with latency and the write byte budget. The
+// in-budget prefix is delivered before the drop fires.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.Latency > 0 {
+		time.Sleep(c.Latency)
+	}
+	c.mu.Lock()
+	if c.dropped {
+		c.mu.Unlock()
+		return 0, c.dropErr()
+	}
+	allow := int64(len(p))
+	if c.WriteLimit >= 0 {
+		if allow = c.WriteLimit - c.wn; allow <= 0 {
+			defer c.mu.Unlock()
+			return 0, c.trip()
+		}
+		if allow > int64(len(p)) {
+			allow = int64(len(p))
+		}
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Write(p[:allow])
+	c.mu.Lock()
+	c.wn += int64(n)
+	tripped := false
+	if err == nil && int64(len(p)) > allow {
+		tripped = true
+	}
+	c.mu.Unlock()
+	if tripped {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return n, c.trip()
+	}
+	return n, err
+}
+
+// FlipBit returns a copy of b with one bit inverted at byte offset i — the
+// storage-corruption injector for recorded traces.
+func FlipBit(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	if len(out) > 0 {
+		out[i%len(out)] ^= 1 << (i % 8)
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+)
+
+func TestWriterFailAfterLimit(t *testing.T) {
+	var dst bytes.Buffer
+	w := &Writer{W: &dst, Limit: 10}
+	if n, err := w.Write(make([]byte, 8)); n != 8 || err != nil {
+		t.Fatalf("in-budget write: n=%d err=%v", n, err)
+	}
+	n, err := w.Write(make([]byte, 8))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected fault, got n=%d err=%v", n, err)
+	}
+	if n != 2 || dst.Len() != 10 || w.Written() != 10 {
+		t.Fatalf("prefix not delivered exactly to the limit: n=%d persisted=%d", n, dst.Len())
+	}
+}
+
+func TestWriterShortWriteViolatesContract(t *testing.T) {
+	var dst bytes.Buffer
+	w := &Writer{W: &dst, Limit: 5, Mode: ShortWrite}
+	n, err := w.Write(make([]byte, 9))
+	if n != 5 || err != nil {
+		t.Fatalf("short write: n=%d err=%v (want 5, nil)", n, err)
+	}
+}
+
+func TestWriterSilentDrop(t *testing.T) {
+	var dst bytes.Buffer
+	w := &Writer{W: &dst, Limit: 5, Mode: SilentDrop}
+	for i := 0; i < 4; i++ {
+		if n, err := w.Write(make([]byte, 3)); n != 3 || err != nil {
+			t.Fatalf("write %d: n=%d err=%v (crash model must report success)", i, n, err)
+		}
+	}
+	if dst.Len() != 5 {
+		t.Fatalf("persisted %d bytes, want exactly the 5-byte budget", dst.Len())
+	}
+}
+
+func TestWriterUnlimited(t *testing.T) {
+	var dst bytes.Buffer
+	w := &Writer{W: &dst, Limit: -1}
+	if n, err := w.Write(make([]byte, 1<<16)); n != 1<<16 || err != nil {
+		t.Fatalf("unlimited writer faulted: n=%d err=%v", n, err)
+	}
+}
+
+func TestReaderFailAfterLimit(t *testing.T) {
+	src := strings.NewReader(strings.Repeat("x", 100))
+	r := &Reader{R: src, Limit: 7}
+	got, err := io.ReadAll(io.LimitReader(r, 1000))
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected fault, got err=%v", err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("delivered %d bytes before fault, want 7", len(got))
+	}
+}
+
+func TestConnDropsAfterWriteBudget(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := &Conn{Conn: a, ReadLimit: -1, WriteLimit: 4}
+	done := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(b)
+		done <- buf
+	}()
+	n, err := fc.Write([]byte("hello!"))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past budget: n=%d err=%v", n, err)
+	}
+	if got := <-done; string(got) != "hell" {
+		t.Fatalf("peer saw %q, want the 4-byte prefix", got)
+	}
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dropped conn accepted another write: %v", err)
+	}
+}
+
+func TestConnDropsAfterReadBudget(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := &Conn{Conn: a, ReadLimit: 3, WriteLimit: -1}
+	go b.Write([]byte("abcdef"))
+	buf := make([]byte, 16)
+	n, err := fc.Read(buf)
+	if err != nil || string(buf[:n]) != "abc" {
+		t.Fatalf("in-budget read: %q err=%v", buf[:n], err)
+	}
+	if _, err := fc.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read past budget: %v", err)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	b := []byte{0, 0, 0, 0}
+	out := FlipBit(b, 9)
+	if bytes.Equal(b, out) {
+		t.Fatal("no bit flipped")
+	}
+	if out[1] != 1<<1 {
+		t.Fatalf("wrong bit: %v", out)
+	}
+	if b[1] != 0 {
+		t.Fatal("input mutated")
+	}
+}

@@ -1,0 +1,107 @@
+// Hardening tests for the peek endpoint: it guards the same long-lived
+// replay session as the debug endpoint, so connection floods, idle peers,
+// and panics while servicing a request must never take the server down.
+package ptrace
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dejavu/internal/heap"
+)
+
+func startServerCustom(t *testing.T, srv *Server) (*Client, net.Listener) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go srv.Serve(l)
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, l
+}
+
+// readRefusal reads the error-response framing (status 1, u32 length,
+// message) from a bare connection without writing anything first, so the
+// server's close can never race a client write into a RST.
+func readRefusal(t *testing.T, addr string) string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var hdr [5]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.Fatalf("reading refusal header: %v", err)
+	}
+	if hdr[0] != 1 {
+		t.Fatalf("refusal status = %d, want 1", hdr[0])
+	}
+	msg := make([]byte, binary.LittleEndian.Uint32(hdr[1:]))
+	if _, err := io.ReadFull(conn, msg); err != nil {
+		t.Fatalf("reading refusal message: %v", err)
+	}
+	return string(msg)
+}
+
+func TestPeekConnectionCap(t *testing.T) {
+	h := testHeap(t)
+	c, l := startServerCustom(t, &Server{H: h, MaxConns: 1})
+	// A served peek proves the first connection holds the one slot.
+	buf := make([]byte, 8)
+	if err := c.Peek(8, buf); err != nil {
+		t.Fatal(err)
+	}
+	if msg := readRefusal(t, l.Addr().String()); !strings.Contains(msg, "connection capacity") {
+		t.Fatalf("over-cap connection got %q, want capacity refusal", msg)
+	}
+	// The in-cap connection keeps working.
+	if err := c.Peek(8, buf); err != nil {
+		t.Fatalf("in-cap connection broken by refusal: %v", err)
+	}
+}
+
+func TestPeekIdleConnectionDropped(t *testing.T) {
+	h := testHeap(t)
+	c, _ := startServerCustom(t, &Server{H: h, IdleTimeout: 50 * time.Millisecond})
+	time.Sleep(250 * time.Millisecond)
+	buf := make([]byte, 8)
+	if err := c.Peek(8, buf); err == nil {
+		t.Fatal("idle connection survived past its deadline")
+	}
+}
+
+type panicRoots struct{}
+
+func (panicRoots) Roots() (heap.Addr, heap.Addr) { panic("roots exploded") }
+
+func TestPeekPanicCostsOnlyTheConnection(t *testing.T) {
+	h := testHeap(t)
+	srv := &Server{H: h, Roots: panicRoots{}}
+	c, l := startServerCustom(t, srv)
+	// The panicking request loses this connection...
+	if _, _, err := c.Roots(); err == nil {
+		t.Fatal("expected transport error after server-side panic")
+	}
+	// ...but the accept loop survives: a new connection peeks fine.
+	c2, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatalf("server dead after recovered panic: %v", err)
+	}
+	defer c2.Close()
+	buf := make([]byte, 8)
+	if err := c2.Peek(8, buf); err != nil {
+		t.Fatalf("peek on fresh connection after panic: %v", err)
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dejavu/internal/heap"
 )
@@ -62,24 +64,84 @@ type RootSource interface {
 // payload (requested bytes or two u32 roots on ok; u32-length + message on
 // error).
 
+// Hardening defaults, mirroring dbgproto: the peek endpoint guards the
+// same long-lived replay session.
+const (
+	DefaultMaxConns     = 8
+	DefaultIdleTimeout  = 10 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+)
+
+// Server answers peek and root requests. Connections beyond MaxConns are
+// refused with a protocol error; idle or unwritable connections are
+// dropped at their deadlines; a panic while servicing a request drops that
+// connection only.
+type Server struct {
+	H     *heap.Heap
+	Roots RootSource
+
+	MaxConns     int           // concurrent connections (0 = DefaultMaxConns, <0 = unlimited)
+	IdleTimeout  time.Duration // per-request read deadline (0 = DefaultIdleTimeout, <0 = none)
+	WriteTimeout time.Duration // per-response deadline (0 = DefaultWriteTimeout, <0 = none)
+
+	active atomic.Int32
+}
+
 // Serve answers peek and root requests on l until the listener closes.
-// Each connection is served sequentially on its own goroutine.
+// Each connection is served sequentially on its own goroutine. This is the
+// compatibility wrapper over Server with default hardening limits.
 func Serve(l net.Listener, h *heap.Heap, roots RootSource) {
+	(&Server{H: h, Roots: roots}).Serve(l)
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) {
+	max := s.MaxConns
+	if max == 0 {
+		max = DefaultMaxConns
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return
 		}
-		go serveConn(conn, h, roots)
+		if max > 0 && s.active.Load() >= int32(max) {
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			writeErr(conn, "server at connection capacity")
+			conn.Close()
+			continue
+		}
+		s.active.Add(1)
+		go func() {
+			defer s.active.Add(-1)
+			s.serveConn(conn)
+		}()
 	}
 }
 
-func serveConn(conn net.Conn, h *heap.Heap, roots RootSource) {
+func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	// A panic servicing a request costs this connection, not the VM.
+	defer func() { recover() }()
+	idle := s.IdleTimeout
+	if idle == 0 {
+		idle = DefaultIdleTimeout
+	}
+	write := s.WriteTimeout
+	if write == 0 {
+		write = DefaultWriteTimeout
+	}
+	h, roots := s.H, s.Roots
 	var hdr [9]byte
 	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
+		}
+		if write > 0 {
+			conn.SetWriteDeadline(time.Now().Add(write))
 		}
 		switch hdr[0] {
 		case 'P':

@@ -106,6 +106,12 @@ type Options struct {
 	MaxEvents  uint64
 	KeepEvents int
 
+	// ChunkBytes and Sync configure the StreamWriter used by RecordTo
+	// (zero values keep the trace package defaults). Small ChunkBytes make
+	// crash-injection tests tear at interesting offsets.
+	ChunkBytes int
+	Sync       trace.SyncPolicy
+
 	// TweakEngine mutates the engine config before construction (used by
 	// the symmetry-ablation experiments).
 	TweakEngine func(*core.Config)
@@ -176,7 +182,8 @@ func Record(prog *bytecode.Program, o Options) (*Result, error) {
 // trace in memory. The stream is finalized (flushed, end marker written)
 // before RecordTo returns; dst itself is left open for the caller.
 func RecordTo(prog *bytecode.Program, dst io.Writer, o Options) (*Result, error) {
-	sink, err := trace.NewStreamWriter(dst, vm.ProgramHash(prog))
+	sink, err := trace.NewStreamWriterOptions(dst, vm.ProgramHash(prog),
+		trace.StreamOptions{ChunkBytes: o.ChunkBytes, Sync: o.Sync})
 	if err != nil {
 		return nil, err
 	}

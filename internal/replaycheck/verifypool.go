@@ -110,7 +110,7 @@ func VerifyPool(jobs []VerifyJob, workers int) *VerifySummary {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				sum.Runs[i] = runVerifyJob(jobs[i])
+				sum.Runs[i] = safeVerifyJob(jobs[i])
 			}
 		}()
 	}
@@ -128,6 +128,21 @@ func VerifyPool(jobs []VerifyJob, workers int) *VerifySummary {
 		}
 	}
 	return sum
+}
+
+// safeVerifyJob guards the worker goroutine itself. runVerifyJob recovers
+// panics raised while running a job, but a panic escaping it (a panicking
+// recover path, a nil job constructor caught at the wrong layer) would kill
+// the worker — and with the feeder blocked on the unbuffered index channel,
+// deadlock the whole pool. Here it becomes one failed run instead.
+func safeVerifyJob(j VerifyJob) (run VerifyRun) {
+	defer func() {
+		if r := recover(); r != nil {
+			run = VerifyRun{Name: j.Name, Seed: j.Options.Seed,
+				Err: fmt.Errorf("verify worker panic: %v", r)}
+		}
+	}()
+	return runVerifyJob(j)
 }
 
 func runVerifyJob(j VerifyJob) (run VerifyRun) {

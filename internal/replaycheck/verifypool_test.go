@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"dejavu/internal/bytecode"
 	"dejavu/internal/replaycheck"
@@ -94,6 +95,38 @@ func TestVerifyPoolReportsFailures(t *testing.T) {
 	}
 	if !strings.Contains(sum.Report(), "FAIL bad") {
 		t.Fatalf("report missing failure line:\n%s", sum.Report())
+	}
+}
+
+// TestVerifyPoolSurvivesPanickingJobs floods a small pool with jobs that
+// panic (nil and exploding constructors) interleaved with good ones: every
+// panic must land as that run's failure, the good runs must still verify,
+// and the pool must terminate — a dead worker would deadlock the feeder on
+// the unbuffered index channel.
+func TestVerifyPoolSurvivesPanickingJobs(t *testing.T) {
+	var jobs []replaycheck.VerifyJob
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs,
+			replaycheck.VerifyJob{Name: "good", Prog: workloads.Fig1AB, Options: optsFor("fig1ab", int64(i+1))},
+			replaycheck.VerifyJob{Name: "nilprog", Prog: nil},
+			replaycheck.VerifyJob{Name: "boom", Prog: func() *bytecode.Program { panic("boom") }},
+		)
+	}
+	done := make(chan *replaycheck.VerifySummary, 1)
+	go func() { done <- replaycheck.VerifyPool(jobs, 2) }()
+	var sum *replaycheck.VerifySummary
+	select {
+	case sum = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("pool deadlocked after worker panics")
+	}
+	if sum.Passed != 8 || sum.Failed != 16 {
+		t.Fatalf("want 8 passed / 16 failed, got %d/%d:\n%s", sum.Passed, sum.Failed, sum.Report())
+	}
+	for _, r := range sum.Failures() {
+		if !strings.Contains(r.Err.Error(), "panic") {
+			t.Fatalf("failure %s not attributed to a panic: %v", r.Name, r.Err)
+		}
 	}
 }
 

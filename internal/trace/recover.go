@@ -1,0 +1,207 @@
+// Torn-tail recovery for streaming trace containers.
+//
+// A crash mid-record leaves a DVS1 container without its end marker and
+// usually with a partial final chunk; a storage fault can flip bits
+// anywhere. Recover salvages the longest valid checksummed prefix —
+// everything up to (not including) the first damaged or incomplete chunk —
+// then trims both demultiplexed streams back to whole units (complete
+// switch varints, complete data events), so the salvaged trace replays
+// deterministically to the salvage point instead of failing mid-decode.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// RecoverReport describes what Recover salvaged and why it stopped.
+type RecoverReport struct {
+	ProgHash uint64
+	Complete bool // the container end marker was reached intact
+	EndEvent bool // the salvaged data stream ends with EvEnd (replay can finish)
+
+	Chunks   int // whole chunks salvaged
+	Switches int // complete switch entries salvaged
+	Events   int // complete data events salvaged
+
+	SalvagedBytes int64 // container bytes covered by the salvage (incl. header)
+	TotalBytes    int64 // container bytes examined, including the discarded tail
+
+	// EstimatedEvents extrapolates the recording's full event count (~M in
+	// "replayed N of ~M events") from the salvaged density; equals Events
+	// when the trace is complete.
+	EstimatedEvents int
+
+	// Reason says why salvage stopped short (checksum mismatch, torn tail,
+	// unknown tag, ...); empty when Complete.
+	Reason string
+}
+
+// String renders the one-line salvage summary the CLI prints.
+func (r *RecoverReport) String() string {
+	if r.Complete {
+		return fmt.Sprintf("complete trace: %d chunks, %d switches, %d events (%d bytes)",
+			r.Chunks, r.Switches, r.Events, r.SalvagedBytes)
+	}
+	return fmt.Sprintf("salvaged %d chunks, %d switches, %d events (%d of %d bytes; dropped %d): %s",
+		r.Chunks, r.Switches, r.Events, r.SalvagedBytes, r.TotalBytes, r.TotalBytes-r.SalvagedBytes, r.Reason)
+}
+
+// Recover reads a (possibly truncated or corrupt) streaming container and
+// salvages the longest valid prefix, returning it as a flat DVT2 container
+// plus a report. The salvaged trace replays deterministically up to the
+// salvage point; unless the report says EndEvent, replay then stops with a
+// TruncatedError (errors.Is io.ErrUnexpectedEOF), which callers should
+// present as a partial replay, not corruption.
+//
+// Only the container header must be intact; Recover returns an error when
+// even that is unreadable (nothing salvageable).
+func Recover(r io.Reader) ([]byte, *RecoverReport, error) {
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
+	var hdr [streamHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil || string(hdr[:len(streamMagic)]) != streamMagic {
+		return nil, nil, fmt.Errorf("trace: recover: not a streaming container (bad or torn header)")
+	}
+	rep := &RecoverReport{ProgHash: binary.LittleEndian.Uint64(hdr[len(streamMagic):])}
+	rep.SalvagedBytes = int64(streamHeaderLen)
+
+	var sw, data bytes.Buffer
+	mode := frameUnknown
+	for {
+		c, err := readChunk(br, &mode)
+		if err == io.EOF {
+			rep.Reason = "torn at a chunk boundary (no end marker)"
+			break
+		}
+		if err != nil {
+			rep.Reason = err.Error()
+			break
+		}
+		if c.role == chunkEnd {
+			rep.Complete = true
+			rep.SalvagedBytes += c.frameBytes
+			rep.Chunks++
+			break
+		}
+		if c.role == chunkSwitch {
+			sw.Write(c.payload)
+		} else {
+			data.Write(c.payload)
+		}
+		rep.SalvagedBytes += c.frameBytes
+		rep.Chunks++
+	}
+	// Size the damage: drain whatever remains after the salvage point.
+	io.Copy(io.Discard, br)
+	rep.TotalBytes = cr.n
+
+	// Trim both streams back to whole units. Valid checksummed chunks only
+	// hold whole units, but legacy chunks (and the boundary case of a
+	// salvage ending mid-event across chunks) can tear either stream.
+	swCut, switches := trimSwitches(sw.Bytes())
+	dataCut, events, sawEnd := trimEvents(data.Bytes())
+	rep.Switches = switches
+	rep.Events = events
+	rep.EndEvent = sawEnd
+
+	rep.EstimatedEvents = rep.Events
+	if !rep.Complete && rep.SalvagedBytes > int64(streamHeaderLen) && rep.TotalBytes > rep.SalvagedBytes {
+		rep.EstimatedEvents = int(int64(rep.Events) * rep.TotalBytes / rep.SalvagedBytes)
+	}
+	flat := appendContainer(rep.ProgHash, sw.Bytes()[:swCut], data.Bytes()[:dataCut])
+	return flat, rep, nil
+}
+
+// countingReader counts bytes pulled from the underlying reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// trimSwitches finds the longest prefix of sw holding only complete
+// varints, returning the cut offset and the entry count.
+func trimSwitches(sw []byte) (cut, n int) {
+	for cut < len(sw) {
+		_, k := binary.Uvarint(sw[cut:])
+		if k <= 0 {
+			break
+		}
+		cut += k
+		n++
+	}
+	return cut, n
+}
+
+// trimEvents finds the longest prefix of data holding only complete,
+// well-formed events, returning the cut offset, the event count, and
+// whether the prefix ends with EvEnd. Anything after an EvEnd is dropped.
+func trimEvents(data []byte) (cut, n int, sawEnd bool) {
+	r := &Reader{data: data}
+	for {
+		k, err := r.Peek()
+		if err != nil {
+			return cut, n, false
+		}
+		if k == EvEnd {
+			return cut + 1, n + 1, true
+		}
+		if r.skipEvent(k) != nil {
+			return cut, n, false
+		}
+		cut, n = r.pos, r.index
+	}
+}
+
+// skipEvent consumes one data event of kind k without interpreting it (in
+// particular, without checking native-call ids the way Native does).
+func (r *Reader) skipEvent(k Kind) error {
+	if err := r.expect(k); err != nil {
+		return err
+	}
+	switch k {
+	case EvClock:
+		_, err := r.sv()
+		return err
+	case EvNative, EvCallback:
+		if _, err := r.uv(); err != nil { // native/callback id
+			return err
+		}
+		cnt, err := r.uv()
+		if err != nil {
+			return err
+		}
+		if cnt > uint64(len(r.data)-r.pos) {
+			return r.truncated()
+		}
+		for i := uint64(0); i < cnt; i++ {
+			if _, err := r.sv(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case EvInput:
+		cnt, err := r.uv()
+		if err != nil {
+			return err
+		}
+		if cnt > uint64(len(r.data)-r.pos) {
+			return r.truncated()
+		}
+		r.pos += int(cnt)
+		return nil
+	case EvEnd:
+		return nil
+	default:
+		return fmt.Errorf("trace: unknown event kind %d", k)
+	}
+}

@@ -1,0 +1,196 @@
+// Tests for torn-tail recovery. External test package so real recordings
+// can seed the salvage scenarios (replaycheck imports trace; the reverse
+// would cycle).
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/core"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/trace"
+	"dejavu/internal/workloads"
+)
+
+// recordStreamed records prog with small chunks (so cuts land at
+// interesting offsets) and returns the streamed container plus the
+// reference run.
+func recordStreamed(t testing.TB, prog *bytecode.Program, o replaycheck.Options) ([]byte, *replaycheck.Result) {
+	t.Helper()
+	var buf bytes.Buffer
+	o.ChunkBytes = 24
+	o.KeepEvents = 1 << 20 // retain the full transcript for prefix checks
+	rec, err := replaycheck.RecordTo(prog, &buf, o)
+	if err != nil || rec.RunErr != nil {
+		t.Fatalf("record: %v / %v", err, rec.RunErr)
+	}
+	return buf.Bytes(), rec
+}
+
+// replaySalvaged replays a trace.Recover result, marking it partial when
+// the salvage lacks its end event.
+func replaySalvaged(prog *bytecode.Program, flat []byte, rep *trace.RecoverReport) (*replaycheck.Result, error) {
+	return replaycheck.Replay(prog, flat, replaycheck.Options{
+		KeepEvents:  1 << 20,
+		TweakEngine: func(c *core.Config) { c.PartialTrace = !rep.EndEvent },
+	})
+}
+
+func isStringPrefix(p, full []string) (int, bool) {
+	if len(p) > len(full) {
+		return len(full), false
+	}
+	for i := range p {
+		if p[i] != full[i] {
+			return i, false
+		}
+	}
+	return len(p), true
+}
+
+func TestRecoverCompleteTrace(t *testing.T) {
+	prog := workloads.Bank(2, 4, 3)
+	stream, rec := recordStreamed(t, prog, replaycheck.Options{Seed: 9, HostRand: 9})
+	flat, rep, err := trace.Recover(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !rep.Complete || !rep.EndEvent {
+		t.Fatalf("complete trace not recognized: %+v", rep)
+	}
+	if rep.EstimatedEvents != rep.Events {
+		t.Fatalf("complete trace must not extrapolate: est %d, events %d", rep.EstimatedEvents, rep.Events)
+	}
+	repRes, err := replaySalvaged(prog, flat, rep)
+	if err != nil || repRes.RunErr != nil {
+		t.Fatalf("replay of complete salvage: %v / %v", err, repRes.RunErr)
+	}
+	if err := replaycheck.CompareRuns(rec, repRes); err != nil {
+		t.Fatalf("complete salvage diverged from recording: %v", err)
+	}
+}
+
+// TestRecoverEveryPrefix is the crash-anywhere property: for EVERY byte
+// length a crash could leave behind, Recover must salvage something that
+// replays as an exact prefix of the original execution — same transcript,
+// same output — never a panic and never divergence past the salvage point.
+func TestRecoverEveryPrefix(t *testing.T) {
+	progs := []struct {
+		name string
+		mk   func() *bytecode.Program
+	}{
+		{"fig1cd", workloads.Fig1CD}, // clock reads: data events between switches
+		{"bank", func() *bytecode.Program { return workloads.Bank(2, 4, 3) }},
+	}
+	for _, tc := range progs {
+		t.Run(tc.name, func(t *testing.T) {
+			stream, rec := recordStreamed(t, tc.mk(), replaycheck.Options{Seed: 4, HostRand: 4})
+			ref := rec.Digest.Recent()
+			for cut := 0; cut <= len(stream); cut++ {
+				flat, rep, err := trace.Recover(bytes.NewReader(stream[:cut]))
+				if err != nil {
+					if cut >= 12 {
+						t.Fatalf("cut %d: header intact but Recover refused: %v", cut, err)
+					}
+					continue // torn header: nothing salvageable, by contract
+				}
+				res, err := replaySalvaged(tc.mk(), flat, rep)
+				if err != nil {
+					t.Fatalf("cut %d: replay setup: %v", cut, err)
+				}
+				if res.RunErr != nil && !errors.Is(res.RunErr, io.ErrUnexpectedEOF) {
+					t.Fatalf("cut %d: replay failed with a non-truncation error: %v", cut, res.RunErr)
+				}
+				if i, ok := isStringPrefix(res.Digest.Recent(), ref); !ok {
+					t.Fatalf("cut %d: replay diverged from the recording at event %d:\nreplayed %q\nrecorded %q",
+						cut, i, res.Digest.Recent()[i], ref[i])
+				}
+				if !bytes.HasPrefix(rec.Output, res.Output) {
+					t.Fatalf("cut %d: replay output %q is not a prefix of recorded output %q",
+						cut, res.Output, rec.Output)
+				}
+				if cut == len(stream) {
+					if res.RunErr != nil || len(res.Digest.Recent()) != len(ref) {
+						t.Fatalf("full-length salvage did not replay completely: err=%v events=%d/%d",
+							res.RunErr, len(res.Digest.Recent()), len(ref))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRecoverBitFlip corrupts one bit at every byte offset past the header:
+// Recover must stop at or before the damaged chunk (checksums catch what
+// structural parsing alone cannot) and the salvage must still replay as a
+// clean prefix.
+func TestRecoverBitFlip(t *testing.T) {
+	prog := workloads.Fig1CD()
+	stream, rec := recordStreamed(t, prog, replaycheck.Options{Seed: 6, HostRand: 6})
+	ref := rec.Digest.Recent()
+	for off := 12; off < len(stream); off++ {
+		mut := append([]byte(nil), stream...)
+		mut[off] ^= 0x10
+		flat, rep, err := trace.Recover(bytes.NewReader(mut))
+		if err != nil {
+			t.Fatalf("offset %d: Recover refused a bad-body container: %v", off, err)
+		}
+		// CRC32 detects every single-bit error, so no flip can leave the
+		// container looking complete.
+		if rep.Complete {
+			t.Fatalf("offset %d: corrupt container reported complete", off)
+		}
+		res, err := replaySalvaged(prog, flat, rep)
+		if err != nil {
+			t.Fatalf("offset %d: replay setup: %v", off, err)
+		}
+		if res.RunErr != nil && !errors.Is(res.RunErr, io.ErrUnexpectedEOF) {
+			t.Fatalf("offset %d: replay failed with a non-truncation error: %v", off, res.RunErr)
+		}
+		if i, ok := isStringPrefix(res.Digest.Recent(), ref); !ok {
+			t.Fatalf("offset %d: salvage diverged from the recording at event %d", off, i)
+		}
+	}
+}
+
+func TestRecoverRejectsTornHeader(t *testing.T) {
+	for _, in := range [][]byte{nil, []byte("DV"), []byte("DVT2xxxxxxxx"), []byte("DVS1\x01\x02")} {
+		if _, _, err := trace.Recover(bytes.NewReader(in)); err == nil {
+			t.Fatalf("Recover accepted unsalvageable input %q", in)
+		}
+	}
+}
+
+// FuzzRecover: whatever the input, Recover must either refuse it or return
+// a flat container the Reader accepts — never panic.
+func FuzzRecover(f *testing.F) {
+	var buf bytes.Buffer
+	rec, err := replaycheck.RecordTo(workloads.Fig1CD(), &buf,
+		replaycheck.Options{Seed: 2, HostRand: 2, ChunkBytes: 24})
+	if err != nil || rec.RunErr != nil {
+		f.Fatalf("seed record: %v / %v", err, rec.RunErr)
+	}
+	stream := buf.Bytes()
+	f.Add(append([]byte(nil), stream...))
+	f.Add(append([]byte(nil), stream[:len(stream)/2]...))
+	mut := append([]byte(nil), stream...)
+	mut[len(mut)/3] ^= 0x40
+	f.Add(mut)
+	f.Add([]byte("DVS1\x00\x00\x00\x00\x00\x00\x00\x00\x13"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flat, rep, err := trace.Recover(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if rep.SalvagedBytes > rep.TotalBytes {
+			t.Fatalf("salvaged %d > total %d", rep.SalvagedBytes, rep.TotalBytes)
+		}
+		if _, err := trace.NewReader(flat, rep.ProgHash); err != nil {
+			t.Fatalf("Recover output rejected by NewReader: %v", err)
+		}
+	})
+}

@@ -6,14 +6,21 @@
 // interleaved instead:
 //
 //	magic "DVS1" | progHash (8 bytes LE)
-//	chunk*       where chunk = tag (1 byte) | uvarint payload length | payload
-//	end tag      (one byte, no payload)
+//	chunk*       where chunk = tag (1 byte) | uvarint payload length |
+//	              payload | crc32c (4 bytes LE, over tag+length+payload)
+//	end chunk    (tag 0x13, zero-length payload, checksummed)
 //
-// Tags 0x01/0x02 carry switch-stream and data-stream bytes; demultiplexing
+// Tags 0x11/0x12 carry switch-stream and data-stream bytes; demultiplexing
 // chunks in order reconstructs exactly the two streams a Writer would have
 // buffered, so DecodeStream materializes a byte-identical DVT2 container.
 // Chunks always split at event boundaries (the writer flushes whole
 // buffered events), but the reader does not rely on that.
+//
+// The per-chunk CRC32C makes the container a verifiable journal: a torn
+// tail or flipped bit is detected at the first damaged chunk, and Recover
+// salvages the longest valid prefix. Readers also accept the original
+// unchecksummed framing (tags 0x01/0x02/0x03) for traces recorded before
+// checksums existed.
 package trace
 
 import (
@@ -22,34 +29,103 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
 const streamMagic = "DVS1"
 
 const (
+	// Legacy unchecksummed framing, still accepted by all readers.
 	chunkSwitch byte = 0x01
 	chunkData   byte = 0x02
 	chunkEnd    byte = 0x03
+	// Checksummed framing (what StreamWriter emits): same roles, but every
+	// chunk carries a trailing CRC32C over tag, length, and payload.
+	chunkSwitchC byte = 0x11
+	chunkDataC   byte = 0x12
+	chunkEndC    byte = 0x13
 )
+
+// castagnoli is the CRC32C polynomial table shared by the writer, the
+// readers, and Recover.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum reports a chunk whose stored CRC32C does not match its
+// contents — a flipped bit or a torn write inside the chunk.
+var ErrChecksum = errors.New("trace: chunk checksum mismatch")
 
 // DefaultChunkBytes is the flush threshold for StreamWriter buffers.
 const DefaultChunkBytes = 1 << 15
+
+// SyncPolicy selects how aggressively a StreamWriter pushes recorded
+// chunks to stable storage when the underlying sink supports it (anything
+// with a Sync() error method, e.g. *os.File). More durable is slower; the
+// trade is how much of a recording survives a crash.
+type SyncPolicy uint8
+
+const (
+	// SyncNone never syncs: chunks reach the OS when buffers flush, disk
+	// whenever the page cache drains. A crash can lose everything since
+	// the last kernel writeback.
+	SyncNone SyncPolicy = iota
+	// SyncChunk syncs after every flushed chunk: a crash loses at most the
+	// partially-buffered chunk, which Recover trims away.
+	SyncChunk
+	// SyncEvent flushes and syncs after every logged event: a crash loses
+	// at most the event being written. Every event becomes its own chunk,
+	// so traces grow and recording slows; reserve it for hunting the crash
+	// itself.
+	SyncEvent
+)
+
+var syncNames = [...]string{"none", "chunk", "event"}
+
+func (p SyncPolicy) String() string {
+	if int(p) < len(syncNames) {
+		return syncNames[p]
+	}
+	return fmt.Sprintf("sync(%d)", uint8(p))
+}
+
+// ParseSyncPolicy maps the -sync flag spellings to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	for i, n := range syncNames {
+		if s == n {
+			return SyncPolicy(i), nil
+		}
+	}
+	return SyncNone, fmt.Errorf("trace: unknown sync policy %q (have none, chunk, event)", s)
+}
+
+// StreamOptions configures a StreamWriter.
+type StreamOptions struct {
+	ChunkBytes int        // flush threshold; 0 selects DefaultChunkBytes
+	Sync       SyncPolicy // durability policy (no-op if the sink can't Sync)
+}
 
 // IsStream reports whether b begins with the streaming-container magic.
 func IsStream(b []byte) bool {
 	return len(b) >= len(streamMagic) && string(b[:len(streamMagic)]) == streamMagic
 }
 
+// syncer is the optional durability surface of a sink; *os.File has it.
+type syncer interface{ Sync() error }
+
 // StreamWriter encodes a trace incrementally to any io.Writer, so record
 // mode never holds the whole trace in memory. It logs the same events as
 // Writer (both implement Sink) and emits identical stream bytes; only the
 // container framing differs. Close flushes the final chunks and the end
 // marker; the caller owns closing the underlying sink.
+//
+// All write, short-write, and sync failures are sticky: the first one is
+// kept, later operations become no-ops, and both Err and Close report it.
 type StreamWriter struct {
 	dst      io.Writer
+	fsync    syncer // dst's Sync method, when it has one
 	log      eventLog
 	chunk    int
+	sync     SyncPolicy
 	written  int
 	closed   bool
 	err      error
@@ -59,62 +135,121 @@ type StreamWriter struct {
 // NewStreamWriter starts a streaming trace for progHash on dst, writing
 // the container header immediately.
 func NewStreamWriter(dst io.Writer, progHash uint64) (*StreamWriter, error) {
-	return NewStreamWriterSize(dst, progHash, DefaultChunkBytes)
+	return NewStreamWriterOptions(dst, progHash, StreamOptions{})
 }
 
 // NewStreamWriterSize is NewStreamWriter with an explicit chunk flush
 // threshold (mainly for tests that need to force chunk boundaries).
 func NewStreamWriterSize(dst io.Writer, progHash uint64, chunkBytes int) (*StreamWriter, error) {
-	if chunkBytes < 1 {
-		chunkBytes = DefaultChunkBytes
+	return NewStreamWriterOptions(dst, progHash, StreamOptions{ChunkBytes: chunkBytes})
+}
+
+// NewStreamWriterOptions is NewStreamWriter with explicit options.
+func NewStreamWriterOptions(dst io.Writer, progHash uint64, o StreamOptions) (*StreamWriter, error) {
+	if o.ChunkBytes < 1 {
+		o.ChunkBytes = DefaultChunkBytes
 	}
-	s := &StreamWriter{dst: dst, log: newEventLog(), chunk: chunkBytes, progHash: progHash}
+	s := &StreamWriter{dst: dst, log: newEventLog(), chunk: o.ChunkBytes, sync: o.Sync, progHash: progHash}
+	s.fsync, _ = dst.(syncer)
 	var hdr [streamHeaderLen]byte
 	copy(hdr[:], streamMagic)
 	binary.LittleEndian.PutUint64(hdr[len(streamMagic):], progHash)
-	if _, err := dst.Write(hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: stream header: %w", err)
+	if !s.write(hdr[:]) {
+		return nil, fmt.Errorf("trace: stream header: %w", s.err)
 	}
-	s.written = len(hdr)
 	return s, nil
 }
 
 const streamHeaderLen = len(streamMagic) + 8
 
 // Switch logs a preemptive thread switch after nyp yield points.
-func (s *StreamWriter) Switch(nyp uint64) { s.log.logSwitch(nyp); s.maybeFlush() }
+func (s *StreamWriter) Switch(nyp uint64) { s.log.logSwitch(nyp); s.afterEvent() }
 
 // Clock logs one wall-clock value.
-func (s *StreamWriter) Clock(v int64) { s.log.logClock(v); s.maybeFlush() }
+func (s *StreamWriter) Clock(v int64) { s.log.logClock(v); s.afterEvent() }
 
 // Native logs the result words of non-deterministic native call id.
-func (s *StreamWriter) Native(id int, vals []int64) { s.log.logNative(id, vals); s.maybeFlush() }
+func (s *StreamWriter) Native(id int, vals []int64) { s.log.logNative(id, vals); s.afterEvent() }
 
 // Input logs environment bytes.
-func (s *StreamWriter) Input(b []byte) { s.log.logInput(b); s.maybeFlush() }
+func (s *StreamWriter) Input(b []byte) { s.log.logInput(b); s.afterEvent() }
 
 // Callback logs one native-to-VM callback.
 func (s *StreamWriter) Callback(cb int, params []int64) {
 	s.log.logCallback(cb, params)
-	s.maybeFlush()
+	s.afterEvent()
 }
 
 // End finalizes the data stream (the event, not the container — Close
 // writes the container's end marker).
 func (s *StreamWriter) End() { s.log.logEnd() }
 
+// afterEvent applies the durability policy to the event just logged.
+func (s *StreamWriter) afterEvent() {
+	if s.sync == SyncEvent {
+		s.flushChunk(chunkSwitchC, &s.log.sw)
+		s.flushChunk(chunkDataC, &s.log.data)
+		s.syncNow()
+		return
+	}
+	s.maybeFlush()
+}
+
 // maybeFlush emits full chunks. Pending switch bytes flush first so the
 // reader sees a switch count no later than data recorded after it — the
 // replay prefetch pattern then buffers at most about one chunk ahead.
 func (s *StreamWriter) maybeFlush() {
+	flushed := false
 	if s.log.data.Len() >= s.chunk {
-		s.flushChunk(chunkSwitch, &s.log.sw)
-		s.flushChunk(chunkData, &s.log.data)
+		s.flushChunk(chunkSwitchC, &s.log.sw)
+		s.flushChunk(chunkDataC, &s.log.data)
+		flushed = true
 	} else if s.log.sw.Len() >= s.chunk {
-		s.flushChunk(chunkSwitch, &s.log.sw)
+		s.flushChunk(chunkSwitchC, &s.log.sw)
+		flushed = true
+	}
+	if flushed && s.sync == SyncChunk {
+		s.syncNow()
 	}
 }
 
+// write pushes p to the sink, detecting short writes and keeping the first
+// failure sticky. Reports whether the write fully succeeded.
+func (s *StreamWriter) write(p []byte) bool {
+	if s.err != nil {
+		return false
+	}
+	n, err := s.dst.Write(p)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		s.setErr(fmt.Errorf("trace: stream write: %w", err))
+		return false
+	}
+	s.written += n
+	return true
+}
+
+// setErr records the first failure; later ones never shadow it.
+func (s *StreamWriter) setErr(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// syncNow pushes written chunks to stable storage when the sink can.
+func (s *StreamWriter) syncNow() {
+	if s.err != nil || s.fsync == nil {
+		return
+	}
+	if err := s.fsync.Sync(); err != nil {
+		s.setErr(fmt.Errorf("trace: stream sync: %w", err))
+	}
+}
+
+// flushChunk emits one checksummed chunk: tag, length, payload, CRC32C
+// over all three.
 func (s *StreamWriter) flushChunk(tag byte, buf *bytes.Buffer) {
 	if s.err != nil || buf.Len() == 0 {
 		buf.Reset()
@@ -123,33 +258,36 @@ func (s *StreamWriter) flushChunk(tag byte, buf *bytes.Buffer) {
 	var hdr [1 + binary.MaxVarintLen64]byte
 	hdr[0] = tag
 	n := binary.PutUvarint(hdr[1:], uint64(buf.Len()))
-	if _, err := s.dst.Write(hdr[:1+n]); err != nil {
-		s.err = fmt.Errorf("trace: stream write: %w", err)
-		return
+	sum := crc32.Update(0, castagnoli, hdr[:1+n])
+	sum = crc32.Update(sum, castagnoli, buf.Bytes())
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	if s.write(hdr[:1+n]) && s.write(buf.Bytes()) {
+		s.write(crc[:])
 	}
-	if _, err := s.dst.Write(buf.Bytes()); err != nil {
-		s.err = fmt.Errorf("trace: stream write: %w", err)
-		return
-	}
-	s.written += 1 + n + buf.Len()
 	buf.Reset()
 }
 
-// Close flushes the remaining chunks and the end marker. It is idempotent
-// and returns the first write error, if any.
+// Close flushes the remaining chunks, the checksummed end marker, and (for
+// any policy but SyncNone) syncs the sink. It is idempotent and returns
+// the first write, short-write, or sync error.
 func (s *StreamWriter) Close() error {
 	if s.closed {
 		return s.err
 	}
 	s.closed = true
-	s.flushChunk(chunkSwitch, &s.log.sw)
-	s.flushChunk(chunkData, &s.log.data)
+	s.flushChunk(chunkSwitchC, &s.log.sw)
+	s.flushChunk(chunkDataC, &s.log.data)
 	if s.err == nil {
-		if _, err := s.dst.Write([]byte{chunkEnd}); err != nil {
-			s.err = fmt.Errorf("trace: stream write: %w", err)
-		} else {
-			s.written++
+		end := [2]byte{chunkEndC, 0}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(end[:], castagnoli))
+		if s.write(end[:]) {
+			s.write(crc[:])
 		}
+	}
+	if s.sync != SyncNone {
+		s.syncNow()
 	}
 	return s.err
 }
@@ -164,16 +302,136 @@ func (s *StreamWriter) Stats() Stats {
 	return s.log.stats
 }
 
+// chunk is one demultiplexed framing record: its normalized role (the
+// legacy tag values chunkSwitch/chunkData/chunkEnd), payload, and the
+// container bytes the frame occupied.
+type streamChunk struct {
+	role       byte
+	payload    []byte
+	frameBytes int64
+}
+
+// Framing-mode lock values. A writer emits one framing for the whole
+// container, so the mode the first chunk establishes is binding: a later
+// chunk in the other framing means a corrupt tag byte — in particular, a
+// single bit flip turns a checksummed tag (0x1x) into a legacy one (0x0x),
+// which would otherwise dodge its own CRC.
+const (
+	frameUnknown int8 = iota
+	frameLegacy
+	frameChecked
+)
+
+// readChunk parses one framing record in either format, verifying the
+// CRC32C on checksummed chunks and holding the container to the framing
+// mode recorded in *mode (updated from frameUnknown on the first chunk).
+// It returns io.EOF when the container ends exactly at a frame boundary
+// with no end marker (a torn tail), and wraps io.ErrUnexpectedEOF for
+// mid-frame truncation.
+func readChunk(br *bufio.Reader, mode *int8) (streamChunk, error) {
+	tag, err := br.ReadByte()
+	if err != nil {
+		return streamChunk{}, io.EOF
+	}
+	c := streamChunk{frameBytes: 1}
+	checked := false
+	switch tag {
+	case chunkEnd:
+		c.role = chunkEnd
+	case chunkSwitch, chunkData:
+		c.role = tag
+	case chunkEndC:
+		c.role = chunkEnd
+		checked = true
+	case chunkSwitchC:
+		c.role = chunkSwitch
+		checked = true
+	case chunkDataC:
+		c.role = chunkData
+		checked = true
+	default:
+		return c, fmt.Errorf("trace: unknown stream chunk tag %#x", tag)
+	}
+	want := frameLegacy
+	if checked {
+		want = frameChecked
+	}
+	if *mode == frameUnknown {
+		*mode = want
+	} else if *mode != want {
+		return c, fmt.Errorf("trace: chunk tag %#x switches framing mid-stream (corrupt tag byte?)", tag)
+	}
+	if c.role == chunkEnd && !checked {
+		return c, nil
+	}
+	ln, lnRaw, err := readUvarintRaw(br)
+	if err != nil {
+		return c, fmt.Errorf("trace: stream chunk header truncated: %w", io.ErrUnexpectedEOF)
+	}
+	c.frameBytes += int64(len(lnRaw))
+	if ln > 1<<56 {
+		return c, fmt.Errorf("trace: stream chunk length %d corrupt", ln)
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, br, int64(ln)); err != nil {
+		return c, fmt.Errorf("trace: stream chunk truncated: %w", io.ErrUnexpectedEOF)
+	}
+	c.frameBytes += int64(ln)
+	c.payload = buf.Bytes()
+	if checked {
+		var stored [4]byte
+		if _, err := io.ReadFull(br, stored[:]); err != nil {
+			return c, fmt.Errorf("trace: stream chunk checksum truncated: %w", io.ErrUnexpectedEOF)
+		}
+		c.frameBytes += 4
+		sum := crc32.Update(0, castagnoli, []byte{tag})
+		sum = crc32.Update(sum, castagnoli, lnRaw)
+		sum = crc32.Update(sum, castagnoli, c.payload)
+		if sum != binary.LittleEndian.Uint32(stored[:]) {
+			return c, fmt.Errorf("trace: chunk tag %#x (%d bytes): %w", tag, ln, ErrChecksum)
+		}
+	}
+	return c, nil
+}
+
+// readUvarintRaw is binary.ReadUvarint keeping the consumed bytes, which
+// the checksum covers.
+func readUvarintRaw(br *bufio.Reader) (uint64, []byte, error) {
+	var raw []byte
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, raw, err
+		}
+		raw = append(raw, b)
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, raw, errors.New("trace: uvarint overflow")
+			}
+			return v | uint64(b)<<shift, raw, nil
+		}
+		if i == binary.MaxVarintLen64-1 {
+			return 0, raw, errors.New("trace: uvarint overflow")
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+}
+
 // StreamReader replays a streaming container from any io.Reader,
-// demultiplexing chunks on demand. It implements Source; unlike Reader it
-// is not seekable, so engine snapshots (checkpointing) require the flat
-// path. Memory stays bounded by the chunk size plus one preemption
-// interval of buffered data — except when the switch stream ends long
-// before the data stream (e.g. a trace with no preemptions), where
-// discovering the exhausted switch stream buffers the remaining data.
+// demultiplexing chunks on demand and verifying per-chunk checksums. It
+// implements Source; unlike Reader it is not seekable, so engine snapshots
+// (checkpointing) require the flat path. Memory stays bounded by the chunk
+// size plus one preemption interval of buffered data — except when the
+// switch stream ends long before the data stream (e.g. a trace with no
+// preemptions), where discovering the exhausted switch stream buffers the
+// remaining data.
 type StreamReader struct {
 	src   *bufio.Reader
 	inner Reader // demultiplexed, partially filled streams
+	mode  int8   // framing-mode lock (frameUnknown until the first chunk)
 	eof   bool   // end marker (or transport EOF) reached
 	err   error  // sticky transport/framing error
 }
@@ -200,40 +458,23 @@ func (s *StreamReader) fill() error {
 	if s.err != nil {
 		return s.err
 	}
-	tag, err := s.src.ReadByte()
+	c, err := readChunk(s.src, &s.mode)
 	if err != nil {
-		s.err = fmt.Errorf("trace: stream truncated before end marker: %w", io.ErrUnexpectedEOF)
+		if err == io.EOF {
+			err = fmt.Errorf("trace: stream truncated before end marker: %w", io.ErrUnexpectedEOF)
+		}
+		s.err = err
 		return s.err
 	}
-	switch tag {
+	switch c.role {
 	case chunkEnd:
 		s.eof = true
-		return nil
-	case chunkSwitch, chunkData:
-		ln, err := binary.ReadUvarint(s.src)
-		if err != nil {
-			s.err = fmt.Errorf("trace: stream chunk header truncated: %w", io.ErrUnexpectedEOF)
-			return s.err
-		}
-		if ln > 1<<56 {
-			s.err = fmt.Errorf("trace: stream chunk length %d corrupt", ln)
-			return s.err
-		}
-		var buf bytes.Buffer
-		if _, err := io.CopyN(&buf, s.src, int64(ln)); err != nil {
-			s.err = fmt.Errorf("trace: stream chunk truncated: %w", io.ErrUnexpectedEOF)
-			return s.err
-		}
-		if tag == chunkSwitch {
-			s.inner.sw = append(s.inner.sw, buf.Bytes()...)
-		} else {
-			s.inner.data = append(s.inner.data, buf.Bytes()...)
-		}
-		return nil
-	default:
-		s.err = fmt.Errorf("trace: unknown stream chunk tag %#x", tag)
-		return s.err
+	case chunkSwitch:
+		s.inner.sw = append(s.inner.sw, c.payload...)
+	case chunkData:
+		s.inner.data = append(s.inner.data, c.payload...)
 	}
+	return nil
 }
 
 // compact drops consumed stream prefixes so long replays stay bounded.
@@ -365,7 +606,8 @@ func (s *StreamReader) Err() error { return s.err }
 
 // DecodeStream reads a complete streaming container and returns the
 // equivalent flat DVT2 container — byte-identical to what Writer.Bytes()
-// would have produced for the same event sequence.
+// would have produced for the same event sequence. Checksummed and legacy
+// framing both decode; any damage is an error (use Recover to salvage).
 func DecodeStream(r io.Reader) ([]byte, error) {
 	var hdr [streamHeaderLen]byte
 	br := bufio.NewReader(r)
@@ -374,31 +616,22 @@ func DecodeStream(r io.Reader) ([]byte, error) {
 	}
 	progHash := binary.LittleEndian.Uint64(hdr[len(streamMagic):])
 	var sw, data bytes.Buffer
+	mode := frameUnknown
 	for {
-		tag, err := br.ReadByte()
+		c, err := readChunk(br, &mode)
 		if err != nil {
-			return nil, fmt.Errorf("trace: stream truncated before end marker: %w", io.ErrUnexpectedEOF)
+			if err == io.EOF {
+				err = fmt.Errorf("trace: stream truncated before end marker: %w", io.ErrUnexpectedEOF)
+			}
+			return nil, err
 		}
-		switch tag {
+		switch c.role {
 		case chunkEnd:
 			return appendContainer(progHash, sw.Bytes(), data.Bytes()), nil
-		case chunkSwitch, chunkData:
-			ln, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: stream chunk header truncated: %w", io.ErrUnexpectedEOF)
-			}
-			if ln > 1<<56 {
-				return nil, fmt.Errorf("trace: stream chunk length %d corrupt", ln)
-			}
-			dst := &sw
-			if tag == chunkData {
-				dst = &data
-			}
-			if _, err := io.CopyN(dst, br, int64(ln)); err != nil {
-				return nil, fmt.Errorf("trace: stream chunk truncated: %w", io.ErrUnexpectedEOF)
-			}
-		default:
-			return nil, fmt.Errorf("trace: unknown stream chunk tag %#x", tag)
+		case chunkSwitch:
+			sw.Write(c.payload)
+		case chunkData:
+			data.Write(c.payload)
 		}
 	}
 }

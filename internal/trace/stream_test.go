@@ -1,13 +1,17 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"dejavu/internal/faults"
 )
 
 // driveSink logs a pseudo-random but seed-determined event sequence into
@@ -360,5 +364,209 @@ func TestStreamWriterStats(t *testing.T) {
 	}
 	if !reflect.DeepEqual(st.BytesByKind, flatStats.BytesByKind) {
 		t.Fatalf("per-kind byte counts differ: %v vs %v", st.BytesByKind, flatStats.BytesByKind)
+	}
+}
+
+// syncCounter is an in-memory sink exposing the Sync surface so tests can
+// count durability points.
+type syncCounter struct {
+	bytes.Buffer
+	syncs int
+}
+
+func (s *syncCounter) Sync() error { s.syncs++; return nil }
+
+func TestStreamSyncPolicies(t *testing.T) {
+	const events = 40
+	run := func(p SyncPolicy, chunk int) *syncCounter {
+		t.Helper()
+		dst := &syncCounter{}
+		w, err := NewStreamWriterOptions(dst, 1, StreamOptions{ChunkBytes: chunk, Sync: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveSink(w, 11, events)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dst
+	}
+	if got := run(SyncNone, 1).syncs; got != 0 {
+		t.Fatalf("SyncNone synced %d times", got)
+	}
+	if got := run(SyncChunk, 1).syncs; got < 2 {
+		t.Fatalf("SyncChunk with 1-byte chunks synced only %d times", got)
+	}
+	if got := run(SyncEvent, 1<<15).syncs; got < events {
+		t.Fatalf("SyncEvent synced %d times for %d events", got, events)
+	}
+	// All three produce equivalent streams: durability must not change what
+	// is recorded.
+	want, err := DecodeStream(bytes.NewReader(run(SyncNone, 64).Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []SyncPolicy{SyncChunk, SyncEvent} {
+		got, err := DecodeStream(bytes.NewReader(run(p, 64).Bytes()))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v recorded a different trace", p)
+		}
+	}
+}
+
+func TestStreamWriterStickyWriteError(t *testing.T) {
+	fw := &faults.Writer{W: &bytes.Buffer{}, Limit: 40}
+	w, err := NewStreamWriterSize(fw, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		w.Clock(int64(i)) // keeps flushing chunks; must not panic after the fault
+	}
+	first := w.Err()
+	if first == nil || !errors.Is(first, faults.ErrInjected) {
+		t.Fatalf("injected write fault not surfaced: %v", first)
+	}
+	w.End()
+	if cerr := w.Close(); cerr != first {
+		t.Fatalf("Close returned %v, want the first sticky error %v", cerr, first)
+	}
+	if w.Err() != first {
+		t.Fatalf("Err changed after Close: %v", w.Err())
+	}
+}
+
+func TestStreamWriterDetectsShortWrite(t *testing.T) {
+	fw := &faults.Writer{W: &bytes.Buffer{}, Limit: 30, Mode: faults.ShortWrite}
+	w, err := NewStreamWriterSize(fw, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100 && w.Err() == nil; i++ {
+		w.Clock(int64(i))
+	}
+	if !errors.Is(w.Err(), io.ErrShortWrite) {
+		t.Fatalf("short write not detected: %v", w.Err())
+	}
+}
+
+func TestStreamWriterSyncFailureSurfaces(t *testing.T) {
+	dst := &failingSyncer{}
+	w, err := NewStreamWriterOptions(dst, 1, StreamOptions{ChunkBytes: 1, Sync: SyncChunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Clock(1)
+	w.End()
+	if cerr := w.Close(); cerr == nil || !errors.Is(cerr, errSyncFailed) {
+		t.Fatalf("sync failure not reported by Close: %v", cerr)
+	}
+}
+
+var errSyncFailed = errors.New("sync failed")
+
+type failingSyncer struct{ bytes.Buffer }
+
+func (f *failingSyncer) Sync() error { return errSyncFailed }
+
+func TestStreamWriterDoubleClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewStreamWriter(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSink(w, 3, 20)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if buf.Len() != n {
+		t.Fatalf("second Close wrote %d more bytes", buf.Len()-n)
+	}
+	if _, err := DecodeStream(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("double-closed stream corrupt: %v", err)
+	}
+}
+
+// TestStreamLegacyFramingAccepted hand-builds a container in the original
+// unchecksummed framing and checks both readers still take it.
+func TestStreamLegacyFramingAccepted(t *testing.T) {
+	const hash = 0xabcdef
+	w := NewWriter(hash)
+	driveSink(w, 5, 30)
+	flat := w.Bytes()
+	_, sw, data, err := parseContainer(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	stream.WriteString(streamMagic)
+	var ph [8]byte
+	binary.LittleEndian.PutUint64(ph[:], hash)
+	stream.Write(ph[:])
+	legacyChunk := func(tag byte, payload []byte) {
+		stream.WriteByte(tag)
+		var ln [binary.MaxVarintLen64]byte
+		stream.Write(ln[:binary.PutUvarint(ln[:], uint64(len(payload)))])
+		stream.Write(payload)
+	}
+	legacyChunk(chunkSwitch, sw)
+	legacyChunk(chunkData, data)
+	stream.WriteByte(chunkEnd)
+
+	got, err := DecodeStream(bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy framing rejected: %v", err)
+	}
+	if !bytes.Equal(got, flat) {
+		t.Fatal("legacy stream decoded to different flat bytes")
+	}
+	if _, err := NewStreamReader(bytes.NewReader(stream.Bytes()), hash); err != nil {
+		t.Fatalf("StreamReader rejected legacy header: %v", err)
+	}
+	flat2, rep, err := Recover(bytes.NewReader(stream.Bytes()))
+	if err != nil || !rep.Complete {
+		t.Fatalf("Recover on legacy stream: %v %+v", err, rep)
+	}
+	if !bytes.Equal(flat2, flat) {
+		t.Fatal("Recover of legacy stream lost data")
+	}
+}
+
+// TestStreamRejectsMixedFraming: one writer emits one framing for a whole
+// container, so a framing change mid-stream is corruption (a single bit
+// distinguishes the tag spaces) and every reader must refuse it.
+func TestStreamRejectsMixedFraming(t *testing.T) {
+	var stream bytes.Buffer
+	w, err := NewStreamWriterSize(&stream, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSink(w, 9, 40)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := stream.Bytes()
+	// Flip the checksummed-framing bit on the second chunk's tag.
+	mode := frameUnknown
+	br := bufio.NewReader(bytes.NewReader(raw[streamHeaderLen:]))
+	c, err := readChunk(br, &mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := streamHeaderLen + int(c.frameBytes)
+	mut := append([]byte(nil), raw...)
+	mut[off] ^= 0x10
+	if _, err := DecodeStream(bytes.NewReader(mut)); err == nil {
+		t.Fatal("DecodeStream accepted mixed framing")
+	}
+	if _, _, err := Recover(bytes.NewReader(mut)); err != nil {
+		t.Fatalf("Recover must salvage up to the corrupt tag, not refuse: %v", err)
 	}
 }
