@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"dejavu/internal/bytecode"
 	"dejavu/internal/cli"
@@ -83,8 +84,10 @@ func cmdRun(args []string, mode core.Mode) error {
 	seed := fs.Int64("seed", -1, "seeded preemption (-1 = real host timer)")
 	realtime := fs.Bool("realtime", false, "use the real wall clock")
 	heapKB := fs.Int("heap", 1024, "initial semispace KiB")
-	traceOut := fs.String("o", "trace.dvt", "trace output file (record mode)")
+	traceOut := fs.String("o", "trace.dvt", "trace output file, or journal directory with -segment-* (record mode)")
 	flat := fs.Bool("flat", false, "buffer the whole trace in memory and write the flat container (record mode)")
+	segEvents := fs.Int("segment-events", 0, "rotate the trace into a segmented journal after this many logged events; -o names the journal directory (record mode)")
+	segBytes := fs.Int64("segment-bytes", 0, "rotate the trace into a segmented journal after a segment reaches this size; -o names the journal directory (record mode)")
 	syncMode := fs.String("sync", "none", "trace durability: none (page cache), chunk (fsync per chunk), event (fsync per event)")
 	stats := fs.Bool("stats", false, "print execution statistics")
 	preflight := fs.Bool("preflight", false, "run the static determinism analyses before recording; refuse to record on findings")
@@ -108,10 +111,26 @@ func cmdRun(args []string, mode core.Mode) error {
 		}
 	}
 	// Record mode streams chunks to the output file as it runs, so the
-	// trace never lives in memory; -flat restores the old buffered path.
+	// trace never lives in memory; -flat restores the old buffered path and
+	// -segment-* rotates the stream into a checkpointed journal directory.
 	var sink *trace.StreamWriter
 	var out *os.File
-	if mode == core.ModeRecord && !*flat {
+	var journal *trace.SegmentWriter
+	if mode == core.ModeRecord && (*segEvents > 0 || *segBytes > 0) {
+		dfs, err := trace.NewDirFS(*traceOut)
+		if err != nil {
+			return err
+		}
+		journal, err = trace.NewSegmentWriter(dfs, vm.ProgramHash(prog), trace.SegmentOptions{
+			StreamOptions: trace.StreamOptions{Sync: flags.Sync},
+			RotateEvents:  *segEvents,
+			RotateBytes:   *segBytes,
+		})
+		if err != nil {
+			return err
+		}
+		flags.TraceSink = journal
+	} else if mode == core.ModeRecord && !*flat {
 		sink, out, err = flags.OpenTraceSink(*traceOut, vm.ProgramHash(prog))
 		if err != nil {
 			return err
@@ -123,14 +142,26 @@ func cmdRun(args []string, mode core.Mode) error {
 		return err
 	}
 	defer stop()
-	m, err := vm.New(prog, vm.Config{Engine: eng, Stdout: os.Stdout, HeapBytes: *heapKB * 1024})
+	vcfg := vm.Config{Engine: eng, Stdout: os.Stdout, HeapBytes: *heapKB * 1024}
+	if journal != nil {
+		vcfg.Journal = journal // a nil *SegmentWriter must not become a non-nil interface
+	}
+	m, err := vm.New(prog, vcfg)
 	if err != nil {
 		return err
 	}
 	runErr := m.Run()
 	if mode == core.ModeRecord {
 		traceBytes := eng.End()
-		if sink != nil {
+		switch {
+		case journal != nil:
+			if err := journal.Close(); err != nil {
+				return err
+			}
+			man := journal.ManifestSnapshot()
+			fmt.Fprintf(os.Stderr, "journal: %d bytes in %d segment(s), %d checkpoint(s) -> %s/\n",
+				journal.Stats().TotalBytes, len(man.Segments), len(man.Checkpoints), *traceOut)
+		case sink != nil:
 			if err := sink.Close(); err != nil {
 				return err
 			}
@@ -138,7 +169,7 @@ func cmdRun(args []string, mode core.Mode) error {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "trace: %d bytes (streamed) -> %s\n", sink.Stats().TotalBytes, *traceOut)
-		} else {
+		default:
 			if err := os.WriteFile(*traceOut, traceBytes, 0o644); err != nil {
 				return err
 			}
@@ -153,13 +184,15 @@ func cmdRun(args []string, mode core.Mode) error {
 
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
-	traceIn := fs.String("t", "trace.dvt", "trace input file")
+	traceIn := fs.String("t", "trace.dvt", "trace input file, or a journal directory")
 	heapKB := fs.Int("heap", 1024, "initial semispace KiB")
 	stats := fs.Bool("stats", false, "print execution statistics")
 	race := fs.Bool("race", false, "run the lockset race detector over the replay")
 	profile := fs.Bool("profile", false, "print a replay profile (hot methods, threads, opcodes)")
 	contention := fs.Bool("contention", false, "print monitor acquisition counts")
 	partial := fs.Bool("partial", false, "the trace is a salvaged prefix (e.g. from `dejavu recover -o`): stop cleanly at the salvage point instead of failing")
+	fromEvent := fs.Uint64("from-event", 0, "seed replay from the nearest durable checkpoint at or before this instruction count (journal input only)")
+	deadline := fs.Duration("deadline", 0, "abort with a stall report if replay stops consuming the trace for this long (0 = no watchdog)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one program argument")
@@ -168,28 +201,63 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(*traceIn)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	// Sniff the container: streamed recordings replay incrementally, flat
-	// ones load into memory as before.
-	br := bufio.NewReader(f)
-	magic, _ := br.Peek(4)
-	flags := cli.EngineFlags{Mode: core.ModeReplay, PartialTrace: *partial}
-	if trace.IsStream(magic) {
-		src, err := trace.NewStreamReader(br, vm.ProgramHash(prog))
+	flags := cli.EngineFlags{Mode: core.ModeReplay, PartialTrace: *partial, Deadline: *deadline}
+	var seedCk *trace.Checkpoint
+	if fi, err := os.Stat(*traceIn); err == nil && fi.IsDir() {
+		// A directory is a segmented journal: replay its segment chain, and
+		// with -from-event seed from the best durable checkpoint.
+		dfs, err := trace.NewDirFS(*traceIn)
+		if err != nil {
+			return err
+		}
+		j, err := trace.OpenJournal(dfs)
+		if err != nil {
+			return err
+		}
+		if h := vm.ProgramHash(prog); j.ProgHash() != h {
+			return fmt.Errorf("journal %s was recorded from program %x, not %x", *traceIn, j.ProgHash(), h)
+		}
+		seg := 0
+		if *fromEvent > 0 {
+			if seedCk = j.BestCheckpoint(*fromEvent); seedCk != nil {
+				seg = seedCk.Index
+			}
+		}
+		src, err := j.Source(seg)
 		if err != nil {
 			return err
 		}
 		flags.TraceSrc = src
+		if !j.Complete() {
+			flags.PartialTrace = true
+			fmt.Fprintf(os.Stderr, "incomplete journal (crash-cut recording): %s\n", j)
+		}
 	} else {
-		traceBytes, err := io.ReadAll(br)
+		if *fromEvent > 0 {
+			return fmt.Errorf("-from-event needs a journal directory; %s is a flat trace file", *traceIn)
+		}
+		f, err := os.Open(*traceIn)
 		if err != nil {
 			return err
 		}
-		flags.TraceIn = traceBytes
+		defer f.Close()
+		// Sniff the container: streamed recordings replay incrementally,
+		// flat ones load into memory as before.
+		br := bufio.NewReader(f)
+		magic, _ := br.Peek(4)
+		if trace.IsStream(magic) {
+			src, err := trace.NewStreamReader(br, vm.ProgramHash(prog))
+			if err != nil {
+				return err
+			}
+			flags.TraceSrc = src
+		} else {
+			traceBytes, err := io.ReadAll(br)
+			if err != nil {
+				return err
+			}
+			flags.TraceIn = traceBytes
+		}
 	}
 	eng, stop, err := cli.BuildEngine(prog, flags)
 	if err != nil {
@@ -224,6 +292,17 @@ func cmdReplay(args []string) error {
 	m, err := vm.New(prog, cfg)
 	if err != nil {
 		return err
+	}
+	if seedCk != nil {
+		// Restore the durable boundary state and align the engine's switch
+		// countdown; replay then covers only the segment suffix.
+		if err := m.RestoreBytes(seedCk.State); err != nil {
+			return fmt.Errorf("seed checkpoint %d: %w (the replay VM must match the recording geometry; check -heap)", seedCk.Index, err)
+		}
+		if err := eng.SeedReplay(seedCk.BoundaryNYP); err != nil {
+			return fmt.Errorf("seed checkpoint %d: %w", seedCk.Index, err)
+		}
+		fmt.Fprintf(os.Stderr, "seeded from checkpoint %d at %d events\n", seedCk.Index, seedCk.VMEvents)
 	}
 	runErr := m.Run()
 	if runErr != nil && errors.Is(runErr, io.ErrUnexpectedEOF) {
@@ -262,7 +341,10 @@ func cmdRecover(args []string) error {
 	heapKB := fs.Int("heap", 1024, "initial semispace KiB (with -replay)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: dejavu recover [-o out.dvt] [-replay <prog>] <trace>")
+		return fmt.Errorf("usage: dejavu recover [-o out.dvt] [-replay <prog>] <trace|journal-dir>")
+	}
+	if fi, err := os.Stat(fs.Arg(0)); err == nil && fi.IsDir() {
+		return recoverJournal(fs.Arg(0), *replayProg, *heapKB*1024)
 	}
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
@@ -284,6 +366,52 @@ func cmdRecover(args []string) error {
 		return replaySalvage(*replayProg, flat, rep, *heapKB*1024)
 	}
 	return nil
+}
+
+// recoverJournal reports what survives in a segmented journal directory —
+// sealed segments, durable checkpoints, and the salvaged unsealed tail —
+// and optionally replays it to show how far recovery carries.
+func recoverJournal(dir, replayProg string, heapBytes int) error {
+	dfs, err := trace.NewDirFS(dir)
+	if err != nil {
+		return err
+	}
+	j, err := trace.OpenJournal(dfs)
+	if err != nil {
+		return err
+	}
+	fmt.Println(j.String())
+	for _, s := range j.Manifest.Segments {
+		fmt.Printf("  %s: %d events, %d switches, %d bytes (sealed)\n", s.Name, s.Events, s.Switches, s.Bytes)
+	}
+	for _, c := range j.Manifest.Checkpoints {
+		fmt.Printf("  %s: seeds segment %d at %d events\n", c.Name, c.Index, c.VMEvents)
+	}
+	if j.Complete() {
+		fmt.Println("journal is complete; recovery loses nothing")
+	} else {
+		fmt.Println("journal is incomplete: loss is bounded by the unsealed tail")
+	}
+	if replayProg == "" {
+		return nil
+	}
+	prog, err := cli.LoadProgram(replayProg)
+	if err != nil {
+		return err
+	}
+	res, _, err := replaycheck.ReplayJournal(prog, dfs, replaycheck.Options{HeapBytes: heapBytes})
+	if err != nil {
+		return err
+	}
+	if res.RunErr == nil {
+		fmt.Fprintf(os.Stderr, "replay complete: %d events\n", res.Events)
+		return nil
+	}
+	if errors.Is(res.RunErr, io.ErrUnexpectedEOF) {
+		fmt.Fprintf(os.Stderr, "partial journal: replayed %d events, stopped at the salvage point\n", res.Events)
+		return nil
+	}
+	return res.RunErr
 }
 
 // replaySalvage replays a salvaged trace. A salvage without its end event
@@ -357,9 +485,10 @@ func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	workers := fs.Int("workers", 0, "also run record→replay verification across N parallel workers (0 = static bytecode verification only)")
 	seeds := fs.Int("seeds", 5, "preemption seeds per program for replay verification")
+	timeout := fs.Duration("timeout", 0, "per-job time budget; a job that overruns it fails with a stall report instead of hanging the pool (0 = none)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: dejavu verify [-workers N] [-seeds K] <prog|all>")
+		return fmt.Errorf("usage: dejavu verify [-workers N] [-seeds K] [-timeout D] <prog|all>")
 	}
 	arg := fs.Arg(0)
 	if *workers <= 0 {
@@ -384,14 +513,14 @@ func cmdVerify(args []string) error {
 		fmt.Println("verification passed")
 		return nil
 	}
-	return verifyReplay(arg, *workers, *seeds)
+	return verifyReplay(arg, *workers, *seeds, *timeout)
 }
 
 // verifyReplay fans record→replay accuracy checks over a worker pool:
 // every named program (or the whole workload registry for "all") is
 // recorded and replayed under several preemption seeds, and the per-run
 // divergence reports are aggregated into one summary.
-func verifyReplay(arg string, workers, seeds int) error {
+func verifyReplay(arg string, workers, seeds int, timeout time.Duration) error {
 	type target struct {
 		name string
 		mk   func() *bytecode.Program
@@ -421,7 +550,7 @@ func verifyReplay(arg string, workers, seeds int) error {
 			if tg.name == "sumlines" || tg.name == "workload:sumlines" {
 				o.Input = "5\n15\n22\n\n"
 			}
-			jobs = append(jobs, replaycheck.VerifyJob{Name: tg.name, Prog: tg.mk, Options: o, Stream: true})
+			jobs = append(jobs, replaycheck.VerifyJob{Name: tg.name, Prog: tg.mk, Options: o, Stream: true, Timeout: timeout})
 		}
 	}
 	sum := replaycheck.VerifyPool(jobs, workers)

@@ -38,6 +38,7 @@ var experiments = []experiment{
 	{"E13", "Fig. 3/§3.4 — the tool VM's extended bytecodes", runE13},
 	{"E14", "replay-based tools: deterministic race detection and profiling", runE14},
 	{"E15", "crash tolerance: durability policy cost and torn-journal salvage", runE15},
+	{"E16", "segmented journals: checkpoint overhead and seeded-recovery speedup", runE16},
 }
 
 type multiFlag []string

@@ -90,6 +90,10 @@ type EngineFlags struct {
 	// output without its end event): replay stops at the salvage point
 	// with core.ErrPartialTrace instead of running past it.
 	PartialTrace bool
+	// Deadline arms the replay watchdog (`dejavu replay -deadline`): a
+	// replay that stops consuming its trace for this long aborts with a
+	// structured core.ErrStalled instead of hanging.
+	Deadline time.Duration
 }
 
 // OpenTraceSink creates path and a streaming sink over it honoring the
@@ -139,6 +143,7 @@ func BuildEngine(prog *bytecode.Program, f EngineFlags) (*core.Engine, func(), e
 	cfg.TraceSink = f.TraceSink
 	cfg.TraceSrc = f.TraceSrc
 	cfg.PartialTrace = f.PartialTrace
+	cfg.ProgressDeadline = f.Deadline
 	stop := func() {}
 	if f.Realtime {
 		cfg.Time = core.RealTime{}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"dejavu/internal/threads"
 	"dejavu/internal/trace"
@@ -42,6 +43,16 @@ type Engine struct {
 
 	inInstr bool // guard against recursive instrumentation simulation
 
+	// Logical-clock position for diagnostics: the thread most recently
+	// dispatched or seen at a yield point (-1 before the first).
+	lastThread int
+
+	// Watchdog state (replay with Config.ProgressDeadline): the wall-clock
+	// time of the last trace consumption. Replay that yields without ever
+	// consuming trace — a livelocked schedule, a hung native stub, a corrupt
+	// switch stream — stops advancing this and trips the deadline.
+	lastProgress time.Time
+
 	err   error // sticky divergence/IO error
 	stats Stats
 }
@@ -52,6 +63,28 @@ var ErrNotReplaying = errors.New("core: engine is not in replay mode")
 // ErrNotSeekable is returned by Snapshot/Restore when the engine replays
 // from a streaming source, which cannot rewind.
 var ErrNotSeekable = errors.New("core: trace source is not seekable (streaming replay)")
+
+// ErrStalled is the sentinel every watchdog abort unwraps to: replay made
+// no logical-clock progress within Config.ProgressDeadline. The concrete
+// error is a *StalledError carrying the stall position.
+var ErrStalled = errors.New("core: replay stalled (no trace progress within deadline)")
+
+// StalledError is the watchdog's structured abort: where replay was when
+// it stopped consuming the trace. It unwraps to ErrStalled.
+type StalledError struct {
+	Thread   int           // thread at the stall point (-1 unknown)
+	Yields   uint64        // yield points executed (logical-clock position)
+	Events   int           // data events consumed before the stall
+	Deadline time.Duration // the deadline that fired
+}
+
+func (s *StalledError) Error() string {
+	return fmt.Sprintf("core: replay stalled: no trace progress within %v (thread %d, %d yield points, %d events replayed)",
+		s.Deadline, s.Thread, s.Yields, s.Events)
+}
+
+// Unwrap makes errors.Is(err, ErrStalled) hold.
+func (s *StalledError) Unwrap() error { return ErrStalled }
 
 // ErrPartialTrace is the sticky engine error raised when replay of a
 // salvaged trace (Config.PartialTrace) exhausts the salvaged switch stream:
@@ -64,7 +97,7 @@ var ErrPartialTrace = fmt.Errorf("core: salvaged trace exhausted mid-replay: %w"
 
 // NewEngine builds an engine from cfg.
 func NewEngine(cfg Config) (*Engine, error) {
-	e := &Engine{cfg: cfg, mode: cfg.Mode, liveClock: true}
+	e := &Engine{cfg: cfg, mode: cfg.Mode, liveClock: true, lastThread: -1}
 	if cfg.Time == nil {
 		cfg.Time = RealTime{}
 		e.cfg.Time = cfg.Time
@@ -118,8 +151,46 @@ func (e *Engine) TraceStats() (trace.Stats, bool) {
 
 func (e *Engine) fail(err error) {
 	if e.err == nil {
+		// The trace layer only knows event ordinals; stamp divergence
+		// reports with the logical-clock position the engine tracks.
+		var div *trace.DivergenceError
+		if errors.As(err, &div) && div.Thread < 0 {
+			div.Thread = e.lastThread
+			div.Yields = e.stats.YieldPoints
+		}
 		e.err = err
 	}
+}
+
+// NotePosition records the thread the VM is about to run, so divergence
+// and stall reports carry a position even when the failure happens between
+// yield points (e.g. inside a native bracket).
+func (e *Engine) NotePosition(threadID int) { e.lastThread = threadID }
+
+// markProgress timestamps trace consumption for the watchdog.
+func (e *Engine) markProgress() {
+	if e.cfg.ProgressDeadline > 0 {
+		e.lastProgress = time.Now()
+	}
+}
+
+// checkStall trips the watchdog when replay has gone ProgressDeadline
+// without consuming any trace. Called from the yield-point hot path, so
+// the wall-clock read is amortized to every 256th yield.
+func (e *Engine) checkStall(t *threads.Thread) bool {
+	if e.cfg.ProgressDeadline <= 0 || e.stats.YieldPoints&255 != 0 {
+		return false
+	}
+	if time.Since(e.lastProgress) <= e.cfg.ProgressDeadline {
+		return false
+	}
+	e.fail(&StalledError{
+		Thread:   t.ID,
+		Yields:   e.stats.YieldPoints,
+		Events:   e.r.EventIndex(),
+		Deadline: e.cfg.ProgressDeadline,
+	})
+	return true
 }
 
 // Begin performs DejaVu initialization with symmetric side effects (§2.4):
@@ -141,6 +212,9 @@ func (e *Engine) Begin(host Host) error {
 		}
 	}
 	if e.mode == ModeReplay {
+		if e.cfg.ProgressDeadline > 0 {
+			e.lastProgress = time.Now()
+		}
 		e.loadNextSwitch()
 	}
 	return nil
@@ -199,6 +273,9 @@ func (e *Engine) loadNextSwitch() {
 	nyp, ok := e.r.NextSwitch()
 	e.nyp = nyp
 	e.hasPending = ok
+	if ok {
+		e.markProgress()
+	}
 	if !ok {
 		// A flat reader runs out of switches only at the recorded end; a
 		// streaming source may instead have hit a truncated or corrupt
@@ -223,6 +300,7 @@ func (e *Engine) AtYieldPoint(t *threads.Thread) bool {
 	if e.err != nil {
 		return false
 	}
+	e.lastThread = t.ID
 	switch e.mode {
 	case ModeOff:
 		e.stats.YieldPoints++
@@ -255,6 +333,10 @@ func (e *Engine) AtYieldPoint(t *threads.Thread) bool {
 			e.liveClock = false
 			e.stats.YieldPoints++
 			t.YieldCount++
+			if e.checkStall(t) {
+				e.liveClock = true
+				return false
+			}
 			if e.hasPending {
 				if e.nyp > 0 {
 					e.nyp--
@@ -353,6 +435,7 @@ func (e *Engine) ClockRead() int64 {
 			e.fail(err)
 			return 0
 		}
+		e.markProgress()
 		return v
 	default:
 		return e.cfg.Time.NowMillis()
@@ -375,6 +458,7 @@ func (e *Engine) NativeCall(id int, run func() []int64) []int64 {
 			e.fail(err)
 			return nil
 		}
+		e.markProgress()
 		return vals
 	default:
 		return run()
@@ -417,6 +501,7 @@ func (e *Engine) NativeWithCallbacks(
 				return nil
 			}
 			e.stats.Callbacks++
+			e.markProgress()
 			apply(cb, params)
 		}
 		vals, err := e.r.Native(id)
@@ -424,6 +509,7 @@ func (e *Engine) NativeWithCallbacks(
 			e.fail(err)
 			return nil
 		}
+		e.markProgress()
 		return vals
 	default:
 		return run(func(cb int, params []int64) {
@@ -461,6 +547,7 @@ func (e *Engine) ReadLine() []byte {
 			e.fail(err)
 			return nil
 		}
+		e.markProgress()
 		return b
 	default:
 		return readReal()
@@ -475,6 +562,40 @@ func (e *Engine) ReplayedEvents() (n int, ok bool) {
 		return 0, false
 	}
 	return e.r.EventIndex(), true
+}
+
+// RecordPos returns the record-mode logical position within the current
+// switch interval: how many yield points have executed since the last
+// recorded switch. Segment checkpoints store it so a seeded replay can
+// align its countdown with the middle of the interval. ok is false outside
+// record mode.
+func (e *Engine) RecordPos() (nyp uint64, ok bool) {
+	if e.mode != ModeRecord {
+		return 0, false
+	}
+	return e.nyp, true
+}
+
+// SeedReplay aligns a freshly begun replay engine with a segment-boundary
+// checkpoint taken boundaryNYP yield points into its current switch
+// interval. Begin prefetched the interval's full recorded length from the
+// segment; of those yields, boundaryNYP already happened before the
+// checkpoint, so the countdown shrinks by that much. With no pending
+// switch (a salvaged tail that lost its remaining switches) there is
+// nothing to align.
+func (e *Engine) SeedReplay(boundaryNYP uint64) error {
+	if e.mode != ModeReplay {
+		return ErrNotReplaying
+	}
+	if boundaryNYP == 0 || !e.hasPending {
+		return nil
+	}
+	if boundaryNYP >= e.nyp {
+		return fmt.Errorf("core: checkpoint does not match its segment: checkpoint sits %d yields into a %d-yield switch interval",
+			boundaryNYP, e.nyp)
+	}
+	e.nyp -= boundaryNYP
+	return nil
 }
 
 // PendingSwitch exposes the replay countdown for the debugger's status

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestWatchdogAbortsStalledReplay is the watchdog acceptance bar: a replay
+// that stops consuming its trace — here, driven past every recorded switch
+// interval — must abort with ErrStalled within the configured deadline,
+// and the structured error must carry the stall position.
+func TestWatchdogAbortsStalledReplay(t *testing.T) {
+	cfg := DefaultConfig(ModeRecord)
+	cfg.Preempt = NewSeededPreemptor(42, 5, 50)
+	rec, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Begin(&fakeHost{}); err != nil {
+		t.Fatal(err)
+	}
+	driveYields(rec, newThread(), 1000)
+	tr := rec.End()
+
+	const deadline = 50 * time.Millisecond
+	rcfg := DefaultConfig(ModeReplay)
+	rcfg.TraceIn = tr
+	rcfg.ProgressDeadline = deadline
+	rep, err := NewEngine(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Begin(&fakeHost{}); err != nil {
+		t.Fatal(err)
+	}
+	th := newThread()
+	driveYields(rep, th, 1000) // consume the whole recording
+	if rep.Err() != nil {
+		t.Fatalf("replay of the full recording failed: %v", rep.Err())
+	}
+
+	// The recording is exhausted; every further yield makes no trace
+	// progress. The watchdog must fire within the deadline (plus slack for
+	// its 256-yield amortization), not hang with us forever.
+	start := time.Now()
+	for rep.Err() == nil {
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("watchdog never fired on a stalled replay")
+		}
+		rep.AtYieldPoint(th)
+	}
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("watchdog took %v to fire, deadline was %v", wall, deadline)
+	}
+
+	if !errors.Is(rep.Err(), ErrStalled) {
+		t.Fatalf("stall surfaced as %v, want ErrStalled", rep.Err())
+	}
+	var st *StalledError
+	if !errors.As(rep.Err(), &st) {
+		t.Fatalf("stall error is not a *StalledError: %v", rep.Err())
+	}
+	if st.Thread != th.ID {
+		t.Fatalf("stall thread = %d, want %d", st.Thread, th.ID)
+	}
+	if st.Deadline != deadline {
+		t.Fatalf("stall deadline = %v, want %v", st.Deadline, deadline)
+	}
+	if st.Yields == 0 {
+		t.Fatal("stall report carries no yield position")
+	}
+
+	// Once tripped, the engine stays failed: further yields never demand a
+	// switch and the error is sticky.
+	if rep.AtYieldPoint(th) {
+		t.Fatal("failed engine still demands switches")
+	}
+	if !errors.Is(rep.Err(), ErrStalled) {
+		t.Fatalf("stall error was not sticky: %v", rep.Err())
+	}
+}

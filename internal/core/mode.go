@@ -244,6 +244,16 @@ type Config struct {
 	// preemptions.
 	PartialTrace bool
 
+	// ProgressDeadline arms the replay watchdog: if replay goes this long
+	// without consuming any trace (no switch, clock, native, input, or
+	// callback event), the engine aborts with a *StalledError (errors.Is
+	// ErrStalled) carrying the last thread and logical-clock position —
+	// instead of spinning forever on a livelocked schedule, a hung native
+	// stub, or a corrupt switch stream. Zero disables the watchdog; record
+	// and off modes ignore it (a recording that makes no progress is the
+	// program's own behavior, not a replay fault).
+	ProgressDeadline time.Duration
+
 	// PreflightAnalysis asks embedders to run the static determinism
 	// analyses (internal/analysis) over the program before record mode
 	// starts, refusing to record when they report findings. The engine

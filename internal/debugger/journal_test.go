@@ -1,0 +1,191 @@
+package debugger
+
+import (
+	"strings"
+	"testing"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/faults/memfs"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/trace"
+	"dejavu/internal/workloads"
+)
+
+// journalFixture records the events workload into a multi-segment journal
+// on an in-memory filesystem and opens a debugging session over it.
+func journalFixture(t *testing.T) (*bytecode.Program, trace.FS, *JournalSession) {
+	t.Helper()
+	prog := workloads.Events(12)
+	fs := memfs.New()
+	rec, err := replaycheck.RecordJournal(prog, fs, replaycheck.Options{
+		Seed: 11, HostRand: 11, KeepEvents: 1 << 20,
+		ChunkBytes: 24, RotateEvents: 8,
+		PreemptMin: 2, PreemptMax: 9,
+	})
+	if err != nil || rec.RunErr != nil {
+		t.Fatalf("record journal: %v / %v", err, rec.RunErr)
+	}
+	s, err := OpenJournalSession(prog, fs)
+	if err != nil {
+		t.Fatalf("open session: %v", err)
+	}
+	if n := len(s.Journal().Manifest.Checkpoints); n < 2 {
+		t.Fatalf("want several durable checkpoints, got %d", n)
+	}
+	return prog, fs, s
+}
+
+// TestJournalSessionDurableCheckpointMatchesInMemory is the satellite
+// acceptance bar: a debugger restored from a durable segment checkpoint
+// must present exactly the same stacks, threads, and heap summary at a
+// target event as one that traveled there through in-memory checkpoints.
+func TestJournalSessionDurableCheckpointMatchesInMemory(t *testing.T) {
+	_, _, s := journalFixture(t)
+	cks := s.Journal().Manifest.Checkpoints
+	mid := cks[len(cks)/2]
+	target := mid.VMEvents + 7
+
+	// Reference path: in-session travel from the zero anchor (in-memory
+	// checkpoint restore + forward run).
+	if err := s.D.TravelTo(target); err != nil {
+		t.Fatalf("in-memory travel: %v", err)
+	}
+	refStack, err := s.D.StackTrace(0)
+	if err != nil {
+		t.Fatalf("stack: %v", err)
+	}
+	refHeap, err := s.D.HeapSummary()
+	if err != nil {
+		t.Fatalf("heap: %v", err)
+	}
+	refThreads, err := s.D.ThreadList()
+	if err != nil {
+		t.Fatalf("threads: %v", err)
+	}
+
+	// Durable path: a fresh debugger seeded from the best segment
+	// checkpoint at or before the target, replaying only the suffix.
+	ck := s.Journal().BestCheckpoint(target)
+	if ck == nil || ck.Index == 0 {
+		t.Fatalf("no durable checkpoint covers target %d", target)
+	}
+	d, err := s.newDebugger(ck)
+	if err != nil {
+		t.Fatalf("seed from checkpoint %d: %v", ck.Index, err)
+	}
+	if got := d.VM.Events(); got != ck.VMEvents {
+		t.Fatalf("seeded debugger starts at %d, checkpoint promises %d", got, ck.VMEvents)
+	}
+	if err := d.TravelTo(target); err != nil {
+		t.Fatalf("seeded travel: %v", err)
+	}
+	// A single VM step can log several events (native brackets), so travel
+	// can overshoot the target by a step — but both paths replay the same
+	// deterministic instruction stream, so they overshoot identically.
+	if d.VM.Events() != s.D.VM.Events() {
+		t.Fatalf("seeded debugger at %d, in-memory path at %d", d.VM.Events(), s.D.VM.Events())
+	}
+	if got, _ := d.StackTrace(0); got != refStack {
+		t.Fatalf("stacks differ:\nseeded:\n%s\nin-memory:\n%s", got, refStack)
+	}
+	if got, _ := d.HeapSummary(); got != refHeap {
+		t.Fatalf("heap summaries differ:\nseeded:\n%s\nin-memory:\n%s", got, refHeap)
+	}
+	if got, _ := d.ThreadList(); got != refThreads {
+		t.Fatalf("thread lists differ:\nseeded:\n%s\nin-memory:\n%s", got, refThreads)
+	}
+}
+
+// TestJournalSessionReSeedsPastInMemoryHorizon drives the public TravelTo:
+// a session attached deep into the recording (its in-memory anchor is a
+// durable checkpoint, not event zero) asked to rewind before that anchor
+// must re-seed from an earlier durable checkpoint — the session swaps in a
+// fresh debugger and still lands on the right state.
+func TestJournalSessionReSeedsPastInMemoryHorizon(t *testing.T) {
+	prog, fs, ref := journalFixture(t)
+	cks := ref.Journal().Manifest.Checkpoints
+	last := cks[len(cks)-1]
+
+	s, err := OpenJournalSessionAt(prog, fs, last.VMEvents+5)
+	if err != nil {
+		t.Fatalf("open at %d: %v", last.VMEvents+5, err)
+	}
+	if got := s.D.VM.Events(); got < last.VMEvents+5 {
+		t.Fatalf("session at %d, want at least %d", got, last.VMEvents+5)
+	}
+	early := uint64(10)
+	if s.D.canTravelTo(early) {
+		t.Fatal("deep-attached session claims an in-memory path to event 10; test is vacuous")
+	}
+
+	before := s.D
+	if err := s.TravelTo(early); err != nil {
+		t.Fatalf("re-seeding travel: %v", err)
+	}
+	if s.D == before {
+		t.Fatal("travel past the horizon did not re-seed the session")
+	}
+	// One step can log many events (a native executes its callbacks
+	// nested), so travel lands at the first step boundary at or after the
+	// target — but it must have rewound below the first durable checkpoint.
+	if got := s.D.VM.Events(); got < early || got >= cks[0].VMEvents {
+		t.Fatalf("session at %d, want >= %d and before checkpoint 1 at %d", got, early, cks[0].VMEvents)
+	}
+	if stack, err := s.D.StackTrace(0); err != nil || !strings.Contains(stack, "Main.") {
+		t.Fatalf("stack after re-seed: %v\n%s", err, stack)
+	}
+
+	// The re-seeded session must match a from-zero debugger advanced to
+	// the same point, and stays a full debugger: forward travel works.
+	if err := ref.D.TravelTo(s.D.VM.Events()); err != nil {
+		t.Fatalf("reference travel: %v", err)
+	}
+	a, _ := s.D.StackTrace(0)
+	b, _ := ref.D.StackTrace(0)
+	if a != b {
+		t.Fatalf("re-seeded stack differs from reference:\n%s\nvs\n%s", a, b)
+	}
+	cur := s.D.VM.Events()
+	if err := s.TravelTo(cur + 40); err != nil {
+		t.Fatalf("forward travel after re-seed: %v", err)
+	}
+	if got := s.D.VM.Events(); got < cur+40 {
+		t.Fatalf("session at %d, want at least %d", got, cur+40)
+	}
+}
+
+// TestJournalSessionTaintedRefusesDurableReSeed: once SetStatic has
+// modified state, travel that would re-seed from the durable recording
+// must refuse (it would silently discard the modification), while forward
+// execution of the tainted session keeps working.
+func TestJournalSessionTaintedRefusesDurableReSeed(t *testing.T) {
+	_, _, s := journalFixture(t)
+	cks := s.Journal().Manifest.Checkpoints
+	first := cks[0]
+	if err := s.TravelTo(first.VMEvents + 5); err != nil {
+		t.Fatalf("forward travel: %v", err)
+	}
+	if err := s.D.SetStatic("Main.count", 999); err != nil {
+		t.Fatalf("set static: %v", err)
+	}
+	if !s.D.Tainted() {
+		t.Fatal("SetStatic did not taint the session")
+	}
+	// SetStatic drops the in-memory checkpoints, so this backward target
+	// must hit the durable path — and be refused.
+	err := s.TravelTo(2)
+	if err == nil {
+		t.Fatal("tainted session allowed a durable re-seed")
+	}
+	if !strings.Contains(err.Error(), "tainted") {
+		t.Fatalf("refusal does not explain the taint: %v", err)
+	}
+	// Forward travel never needs a re-seed and stays available.
+	cur := s.D.VM.Events()
+	if err := s.TravelTo(cur + 20); err != nil {
+		t.Fatalf("forward travel on tainted session: %v", err)
+	}
+	if got := s.D.VM.Events(); got < cur+20 {
+		t.Fatalf("session at %d, want at least %d", got, cur+20)
+	}
+}

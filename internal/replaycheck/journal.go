@@ -1,0 +1,98 @@
+// Segmented-journal orchestration: record into a journal directory,
+// replay it from the start, or replay it seeded from the nearest durable
+// checkpoint at or before a target event.
+package replaycheck
+
+import (
+	"fmt"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/core"
+	"dejavu/internal/trace"
+	"dejavu/internal/vm"
+)
+
+// RecordJournal executes prog in record mode with the trace rotated into a
+// segmented journal on fs (Options.RotateEvents / RotateBytes set the
+// policy). The VM drives rotation, so every segment boundary carries a
+// checkpoint taken at an instruction boundary.
+func RecordJournal(prog *bytecode.Program, fs trace.FS, o Options) (*Result, error) {
+	o = o.fill()
+	sw, err := trace.NewSegmentWriter(fs, vm.ProgramHash(prog), trace.SegmentOptions{
+		StreamOptions: trace.StreamOptions{ChunkBytes: o.ChunkBytes, Sync: o.Sync},
+		RotateEvents:  o.RotateEvents,
+		RotateBytes:   o.RotateBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tweak := o.TweakVM
+	o.TweakVM = func(cfg *vm.Config) {
+		if tweak != nil {
+			tweak(cfg)
+		}
+		cfg.Journal = sw
+	}
+	res, err := record(prog, o, sw)
+	if cerr := sw.Close(); cerr != nil && err == nil {
+		return res, fmt.Errorf("record journal: %w", cerr)
+	}
+	return res, err
+}
+
+// SeedInfo says where a journal replay actually started.
+type SeedInfo struct {
+	Segment    int               // first segment replayed
+	VMEvents   uint64            // instruction count at the seed point (0 = from zero)
+	Checkpoint *trace.Checkpoint // nil when replay started from zero
+}
+
+// ReplayJournal replays a journal from its beginning. When the journal is
+// incomplete (crash-cut recording), replay runs in partial-trace mode and
+// stops at the salvage point with core.ErrPartialTrace.
+func ReplayJournal(prog *bytecode.Program, fs trace.FS, o Options) (*Result, *trace.Journal, error) {
+	res, _, j, err := replayJournal(prog, fs, 0, false, o)
+	return res, j, err
+}
+
+// ReplayJournalFrom replays a journal seeded from the best loadable
+// checkpoint at or before target instructions — O(segment) instead of
+// O(trace). Torn or corrupt checkpoint files are skipped (earlier ones are
+// tried); with none usable the replay falls back to from-zero.
+func ReplayJournalFrom(prog *bytecode.Program, fs trace.FS, target uint64, o Options) (*Result, *SeedInfo, error) {
+	res, info, _, err := replayJournal(prog, fs, target, true, o)
+	return res, info, err
+}
+
+func replayJournal(prog *bytecode.Program, fs trace.FS, target uint64, seeded bool, o Options) (*Result, *SeedInfo, *trace.Journal, error) {
+	j, err := trace.OpenJournal(fs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if h := vm.ProgramHash(prog); j.ProgHash() != h {
+		return nil, nil, j, fmt.Errorf("replaycheck: journal program hash mismatch: journal %x, program %x", j.ProgHash(), h)
+	}
+	info := &SeedInfo{}
+	if seeded {
+		if ck := j.BestCheckpoint(target); ck != nil {
+			info.Segment = ck.Index
+			info.VMEvents = ck.VMEvents
+			info.Checkpoint = ck
+		}
+	}
+	src, err := j.Source(info.Segment)
+	if err != nil {
+		return nil, nil, j, err
+	}
+	if !j.Complete() {
+		tweak := o.TweakEngine
+		o.TweakEngine = func(cfg *core.Config) {
+			cfg.PartialTrace = true
+			if tweak != nil {
+				tweak(cfg)
+			}
+		}
+	}
+	res, err := replay(prog, nil, src, o, info.Checkpoint)
+	return res, info, j, err
+}

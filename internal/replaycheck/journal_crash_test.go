@@ -1,0 +1,172 @@
+// The segmented-journal crash matrix: record one journal on an op-taped
+// in-memory filesystem, then "kill the process" at every interesting
+// byte — mid-segment, pre-seal, mid-checkpoint-write, between temp-file
+// and rename, mid-manifest — by replaying budget-bounded prefixes of the
+// tape onto fresh filesystems. Acceptance for every cut:
+//
+//   - OpenJournal never panics; once a MANIFEST is on disk it always opens.
+//   - Recovery loses at most the unsealed tail: replay reaches at least
+//     the last durable checkpoint the cut journal lists.
+//   - From-zero replay of the cut is a clean prefix of the recorded run.
+//   - Replay seeded from every durable checkpoint lands on exactly the
+//     state the from-zero replay of the same cut reaches, unless the seed
+//     point is past the salvage horizon, in which case the seeded run must
+//     still be a clean prefix of the recording.
+package replaycheck_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"dejavu/internal/faults/memfs"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/trace"
+)
+
+// crashCuts derives the budget sweep from the tape: every op boundary
+// (±1 unit, catching "just before rename" and "just after create") plus
+// the middle of every write (a torn page). Byte-exhaustive sweeps are
+// quadratic in journal size; lifecycle-point cuts cover every distinct
+// recovery path the protocol has.
+func crashCuts(tape []memfs.FSOp) []int64 {
+	seen := map[int64]bool{}
+	var cuts []int64
+	add := func(c int64) {
+		if c >= 0 && !seen[c] {
+			seen[c] = true
+			cuts = append(cuts, c)
+		}
+	}
+	var sum int64
+	add(0)
+	for _, op := range tape {
+		cost := op.Units()
+		if op.Kind == memfs.OpWrite && cost > 1 {
+			add(sum + cost/2)
+		}
+		sum += cost
+		add(sum - 1)
+		add(sum)
+		add(sum + 1)
+	}
+	return cuts
+}
+
+func TestJournalCrashMatrix(t *testing.T) {
+	fs := memfs.New()
+	prog := journalProg()
+	rec, err := replaycheck.RecordJournal(prog, fs, journalOptions())
+	if err != nil || rec.RunErr != nil {
+		t.Fatalf("reference record: %v / %v", err, rec.RunErr)
+	}
+	tape := fs.Ops()
+	refEvents := rec.Digest.Recent()
+
+	for _, budget := range crashCuts(tape) {
+		cfs := memfs.BuildFS(tape, budget)
+		j, err := trace.OpenJournal(cfs)
+		if err != nil {
+			// Nothing recoverable is only acceptable before anything durable
+			// exists: a manifest on disk is written atomically and must
+			// always open.
+			if _, ok := cfs.ReadFile("MANIFEST"); ok {
+				t.Fatalf("cut %d: journal with manifest failed to open: %v", budget, err)
+			}
+			continue
+		}
+
+		zero, _, err := replaycheck.ReplayJournal(prog, cfs, journalReplayOptions())
+		if err != nil {
+			t.Fatalf("cut %d: from-zero replay setup: %v", budget, err)
+		}
+		if zero.RunErr != nil && !errors.Is(zero.RunErr, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: replay failed outside the truncation contract: %v", budget, zero.RunErr)
+		}
+
+		// Prefix property: never an event the recording didn't have.
+		got := zero.Digest.Recent()
+		if len(got) > len(refEvents) {
+			t.Fatalf("cut %d: replayed %d events, recording had %d", budget, len(got), len(refEvents))
+		}
+		for i := range got {
+			if got[i] != refEvents[i] {
+				t.Fatalf("cut %d: silent divergence at event %d: %q vs %q", budget, i, got[i], refEvents[i])
+			}
+		}
+
+		// Bounded loss: partial replay stops at the last switch the
+		// recording vouches for, so every switch interval a sealed segment
+		// holds must have executed — the loss window is the unsealed tail
+		// plus at most the one interval spanning the final seal. (Sealed
+		// DATA events past that switch are salvaged but unreachable until
+		// the spanning interval's value, which lives in the next segment,
+		// is recovered; instruction counts are likewise not comparable.)
+		var sealedSwitches int
+		for _, s := range j.Manifest.Segments {
+			sealedSwitches += s.Switches
+		}
+		if int(zero.EngStats.Switches) < sealedSwitches {
+			t.Fatalf("cut %d: replay executed %d switches, sealed segments hold %d",
+				budget, zero.EngStats.Switches, sealedSwitches)
+		}
+		// A cut past the clean close must replay completely.
+		if j.Complete() && (zero.RunErr != nil || zero.Events != rec.Events) {
+			t.Fatalf("cut %d: complete journal did not replay fully: %d/%d events, err %v",
+				budget, zero.Events, rec.Events, zero.RunErr)
+		}
+
+		// Checkpoint-seeded replay, for every checkpoint the cut journal
+		// still lists. A seed at or before the from-zero horizon must land
+		// exactly where from-zero does. A seed PAST the horizon — possible
+		// only when the interval spanning the final seal died with the
+		// tail — recovers strictly more than from-zero can; it must still
+		// be a clean prefix of the recorded run.
+		zh, zu := replaycheck.HeapDigest(zero.VM)
+		for _, ci := range j.Manifest.Checkpoints {
+			seeded, sinfo, err := replaycheck.ReplayJournalFrom(prog, cfs, ci.VMEvents, journalReplayOptions())
+			if err != nil {
+				t.Fatalf("cut %d ckpt %d: seeded replay setup: %v", budget, ci.Index, err)
+			}
+			if seeded.RunErr != nil && !errors.Is(seeded.RunErr, io.ErrUnexpectedEOF) {
+				t.Fatalf("cut %d ckpt %d: seeded replay failed: %v", budget, ci.Index, seeded.RunErr)
+			}
+			if sinfo.VMEvents < zero.Events {
+				if seeded.Events != zero.Events {
+					t.Fatalf("cut %d ckpt %d: seeded stopped at %d events, from-zero at %d",
+						budget, ci.Index, seeded.Events, zero.Events)
+				}
+				if string(seeded.Output) != string(zero.Output) {
+					t.Fatalf("cut %d ckpt %d: seeded output differs from from-zero", budget, ci.Index)
+				}
+				sh, su := replaycheck.HeapDigest(seeded.VM)
+				if sh != zh || su != zu {
+					t.Fatalf("cut %d ckpt %d: seeded heap image differs from from-zero", budget, ci.Index)
+				}
+			} else {
+				if seeded.Events < sinfo.VMEvents {
+					t.Fatalf("cut %d ckpt %d: seeded replay fell short of its own seed point: %d < %d",
+						budget, ci.Index, seeded.Events, sinfo.VMEvents)
+				}
+				if !bytes.HasPrefix(rec.Output, seeded.Output) {
+					t.Fatalf("cut %d ckpt %d: seeded output is not a prefix of the recording", budget, ci.Index)
+				}
+				// Event-for-event against the reference recording: the seeded
+				// run's recent events occupy positions [Events-len, Events).
+				sr := seeded.Digest.Recent()
+				if seeded.Events > uint64(len(refEvents)) {
+					t.Fatalf("cut %d ckpt %d: seeded replayed %d events, recording had %d",
+						budget, ci.Index, seeded.Events, len(refEvents))
+				}
+				ref := refEvents[seeded.Events-uint64(len(sr)) : seeded.Events]
+				for i := range sr {
+					if sr[i] != ref[i] {
+						t.Fatalf("cut %d ckpt %d: seeded event %d = %q, recording had %q",
+							budget, ci.Index, i, sr[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"time"
 
 	"dejavu/internal/bytecode"
 	"dejavu/internal/core"
@@ -111,6 +112,17 @@ type Options struct {
 	// crash-injection tests tear at interesting offsets.
 	ChunkBytes int
 	Sync       trace.SyncPolicy
+
+	// RotateEvents and RotateBytes set the segmented-journal rotation
+	// policy for RecordJournal (zero = that policy off; both zero means a
+	// single never-rotated segment).
+	RotateEvents int
+	RotateBytes  int64
+
+	// ProgressDeadline arms the replay watchdog (core.Config.
+	// ProgressDeadline): replay that consumes no trace for this long
+	// aborts with core.ErrStalled instead of hanging.
+	ProgressDeadline time.Duration
 
 	// TweakEngine mutates the engine config before construction (used by
 	// the symmetry-ablation experiments).
@@ -235,7 +247,7 @@ func record(prog *bytecode.Program, o Options, sink trace.Sink) (*Result, error)
 
 // Replay executes prog against a previously recorded trace.
 func Replay(prog *bytecode.Program, traceBytes []byte, o Options) (*Result, error) {
-	return replay(prog, traceBytes, nil, o)
+	return replay(prog, traceBytes, nil, o, nil)
 }
 
 // ReplayFrom is Replay over a streaming trace container read incrementally
@@ -246,15 +258,20 @@ func ReplayFrom(prog *bytecode.Program, src io.Reader, o Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	return replay(prog, nil, sr, o)
+	return replay(prog, nil, sr, o, nil)
 }
 
-func replay(prog *bytecode.Program, traceBytes []byte, src trace.Source, o Options) (*Result, error) {
+// replay runs prog against a trace; seed, when non-nil, restores a durable
+// segment checkpoint into the fresh VM and aligns the engine's switch
+// countdown before running, so execution resumes at the checkpoint rather
+// than event zero (src must then start at the checkpoint's segment).
+func replay(prog *bytecode.Program, traceBytes []byte, src trace.Source, o Options, seed *trace.Checkpoint) (*Result, error) {
 	o = o.fill()
 	ecfg := core.DefaultConfig(core.ModeReplay)
 	ecfg.ProgHash = vm.ProgramHash(prog)
 	ecfg.TraceIn = traceBytes
 	ecfg.TraceSrc = src
+	ecfg.ProgressDeadline = o.ProgressDeadline
 	// Replay must not depend on any live source: poison them.
 	ecfg.Time = &core.FakeTime{Base: -1 << 40, Step: 0}
 	ecfg.Preempt = nil
@@ -270,6 +287,14 @@ func replay(prog *bytecode.Program, traceBytes []byte, src trace.Source, o Optio
 	m, err := o.newVM(prog, eng, d)
 	if err != nil {
 		return nil, err
+	}
+	if seed != nil {
+		if err := m.RestoreBytes(seed.State); err != nil {
+			return nil, fmt.Errorf("seed checkpoint: %w", err)
+		}
+		if err := eng.SeedReplay(seed.BoundaryNYP); err != nil {
+			return nil, fmt.Errorf("seed checkpoint: %w", err)
+		}
 	}
 	runErr := m.Run()
 	return &Result{

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dejavu/internal/bytecode"
+	"dejavu/internal/core"
 )
 
 // VerifyJob is one record→replay accuracy check: a program constructor
@@ -24,6 +25,13 @@ type VerifyJob struct {
 	// (RecordTo → ReplayFrom) instead of the in-memory container,
 	// verifying the two paths agree.
 	Stream bool
+
+	// Timeout bounds the whole job. A job that overruns it is counted as
+	// a failure with a core.ErrStalled reason — it cannot stall the pool.
+	// The job's replay watchdog (Options.ProgressDeadline) is armed with
+	// the same value when not set explicitly, so the abandoned run also
+	// terminates itself instead of leaking a spinning goroutine.
+	Timeout time.Duration
 }
 
 // VerifyRun is the outcome of one job.
@@ -142,11 +150,33 @@ func safeVerifyJob(j VerifyJob) (run VerifyRun) {
 				Err: fmt.Errorf("verify worker panic: %v", r)}
 		}
 	}()
-	return runVerifyJob(j)
+	if j.Timeout <= 0 {
+		return runVerifyJob(j)
+	}
+	// Bounded job: run it in its own goroutine and give up at the deadline.
+	// The abandoned goroutine keeps its replay watchdog (armed from the
+	// same timeout), so it aborts itself shortly after rather than spinning
+	// for the process lifetime.
+	start := time.Now()
+	done := make(chan VerifyRun, 1)
+	go func() { done <- runVerifyJob(j) }()
+	select {
+	case run = <-done:
+		return run
+	case <-time.After(j.Timeout):
+		return VerifyRun{
+			Name: j.Name, Seed: j.Options.Seed,
+			Err:      &core.StalledError{Thread: -1, Deadline: j.Timeout},
+			Duration: time.Since(start),
+		}
+	}
 }
 
 func runVerifyJob(j VerifyJob) (run VerifyRun) {
 	start := time.Now()
+	if j.Timeout > 0 && j.Options.ProgressDeadline == 0 {
+		j.Options.ProgressDeadline = j.Timeout
+	}
 	run = VerifyRun{Name: j.Name, Seed: j.Options.Seed}
 	defer func() {
 		if r := recover(); r != nil {

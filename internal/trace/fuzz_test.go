@@ -6,6 +6,7 @@ package trace_test
 import (
 	"bytes"
 	"encoding/binary"
+	"reflect"
 	"testing"
 
 	"dejavu/internal/bytecode"
@@ -155,6 +156,41 @@ func FuzzDecodeStream(f *testing.F) {
 		}
 		if _, err := trace.NewReader(flat, traceHash(flat)); err != nil {
 			t.Fatalf("DecodeStream output rejected by NewReader: %v", err)
+		}
+	})
+}
+
+// FuzzSegmentManifest checks the journal manifest codec: ParseManifest
+// must reject or accept without panicking, and anything it accepts must
+// survive an encode/parse round trip unchanged.
+func FuzzSegmentManifest(f *testing.F) {
+	seed := &trace.Manifest{
+		ProgHash: 0xdeadbeefcafe,
+		Segments: []trace.SegmentInfo{
+			{Index: 0, Name: trace.SegmentFileName(0), Events: 12, Switches: 3, Bytes: 90},
+			{Index: 1, Name: trace.SegmentFileName(1), Events: 9, Switches: 2, Bytes: 75},
+		},
+		Checkpoints: []trace.CheckpointInfo{
+			{Index: 1, Name: trace.CheckpointFileName(1), VMEvents: 92},
+		},
+	}
+	f.Add(seed.Encode())
+	seed.Complete = true
+	f.Add(seed.Encode())
+	f.Add((&trace.Manifest{ProgHash: 1}).Encode())
+	f.Add([]byte("DVSG1 0000000000000001\ncrc 00000000\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := trace.ParseManifest(data)
+		if err != nil {
+			return
+		}
+		again, err := trace.ParseManifest(m.Encode())
+		if err != nil {
+			t.Fatalf("re-encoded manifest rejected: %v", err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("manifest round trip changed:\n%+v\nvs\n%+v", m, again)
 		}
 	})
 }

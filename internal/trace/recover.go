@@ -2,22 +2,31 @@
 //
 // A crash mid-record leaves a DVS1 container without its end marker and
 // usually with a partial final chunk; a storage fault can flip bits
-// anywhere. Recover salvages the longest valid checksummed prefix —
+// anywhere. Recovery salvages the longest valid checksummed prefix —
 // everything up to (not including) the first damaged or incomplete chunk —
 // then trims both demultiplexed streams back to whole units (complete
 // switch varints, complete data events), so the salvaged trace replays
 // deterministically to the salvage point instead of failing mid-decode.
+//
+// The scan is incremental: each chunk's payload passes through a
+// switchTrim/dataTrim scanner that emits complete units as they close and
+// carries only the unfinished suffix forward, so memory stays bounded by
+// one chunk plus one event regardless of journal size. Recover buffers the
+// salvage into a flat container (convenient for replay-in-process);
+// ScanStream and RecoverStream are the bounded variants for journals too
+// large to hold.
 package trace
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
 
-// RecoverReport describes what Recover salvaged and why it stopped.
+// RecoverReport describes what recovery salvaged and why it stopped.
 type RecoverReport struct {
 	ProgHash uint64
 	Complete bool // the container end marker was reached intact
@@ -60,16 +69,78 @@ func (r *RecoverReport) String() string {
 // Only the container header must be intact; Recover returns an error when
 // even that is unreadable (nothing salvageable).
 func Recover(r io.Reader) ([]byte, *RecoverReport, error) {
+	var sw, data bytes.Buffer
+	rep, err := salvageStream(r, nil,
+		func(p []byte) { sw.Write(p) },
+		func(p []byte) { data.Write(p) })
+	if err != nil {
+		return nil, nil, err
+	}
+	return appendContainer(rep.ProgHash, sw.Bytes(), data.Bytes()), rep, nil
+}
+
+// ScanStream runs the salvage scan for its report only, holding no stream
+// data. It is how journal recovery sizes a torn tail without loading it.
+func ScanStream(r io.Reader) (*RecoverReport, error) {
+	return salvageStream(r, nil, nil, nil)
+}
+
+// RecoverStream salvages src into dst as a sealed, checksummed DVS1
+// container, holding at most one chunk plus one unfinished event in memory.
+// The output always carries an end marker, so readers see a clean frame
+// boundary; when the report's EndEvent is false, replaying the output still
+// exhausts the data stream at the salvage point exactly like a flat
+// salvage (TruncatedError / partial trace).
+func RecoverStream(src io.Reader, dst io.Writer) (*RecoverReport, error) {
+	bw := bufio.NewWriter(dst)
+	var werr error
+	write := func(p []byte) {
+		if werr == nil {
+			_, werr = bw.Write(p)
+		}
+	}
+	frame := func(tag byte) func([]byte) {
+		var scratch []byte
+		return func(p []byte) {
+			scratch = appendChunkFrame(scratch[:0], tag, p)
+			write(scratch)
+		}
+	}
+	rep, err := salvageStream(src,
+		func(progHash uint64) { write(appendStreamHeader(nil, progHash)) },
+		frame(chunkSwitchC), frame(chunkDataC))
+	if err != nil {
+		return nil, err
+	}
+	write(appendEndFrame(nil))
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr != nil {
+		return rep, fmt.Errorf("trace: recover: writing salvage: %w", werr)
+	}
+	return rep, nil
+}
+
+// salvageStream is the shared scan: walk whole chunks until damage or EOF,
+// push payloads through the incremental trimmers, and report. onHeader
+// (optional) fires once after the container header validates; emitSw and
+// emitData (optional) receive complete salvaged units in stream order.
+func salvageStream(r io.Reader, onHeader func(progHash uint64), emitSw, emitData func([]byte)) (*RecoverReport, error) {
 	cr := &countingReader{r: r}
 	br := bufio.NewReader(cr)
 	var hdr [streamHeaderLen]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil || string(hdr[:len(streamMagic)]) != streamMagic {
-		return nil, nil, fmt.Errorf("trace: recover: not a streaming container (bad or torn header)")
+		return nil, fmt.Errorf("trace: recover: not a streaming container (bad or torn header)")
 	}
 	rep := &RecoverReport{ProgHash: binary.LittleEndian.Uint64(hdr[len(streamMagic):])}
 	rep.SalvagedBytes = int64(streamHeaderLen)
+	if onHeader != nil {
+		onHeader(rep.ProgHash)
+	}
 
-	var sw, data bytes.Buffer
+	st := &switchTrim{emit: emitSw}
+	dt := &dataTrim{emit: emitData}
 	mode := frameUnknown
 	for {
 		c, err := readChunk(br, &mode)
@@ -88,9 +159,9 @@ func Recover(r io.Reader) ([]byte, *RecoverReport, error) {
 			break
 		}
 		if c.role == chunkSwitch {
-			sw.Write(c.payload)
+			st.feed(c.payload)
 		} else {
-			data.Write(c.payload)
+			dt.feed(c.payload)
 		}
 		rep.SalvagedBytes += c.frameBytes
 		rep.Chunks++
@@ -99,21 +170,15 @@ func Recover(r io.Reader) ([]byte, *RecoverReport, error) {
 	io.Copy(io.Discard, br)
 	rep.TotalBytes = cr.n
 
-	// Trim both streams back to whole units. Valid checksummed chunks only
-	// hold whole units, but legacy chunks (and the boundary case of a
-	// salvage ending mid-event across chunks) can tear either stream.
-	swCut, switches := trimSwitches(sw.Bytes())
-	dataCut, events, sawEnd := trimEvents(data.Bytes())
-	rep.Switches = switches
-	rep.Events = events
-	rep.EndEvent = sawEnd
+	rep.Switches = st.n
+	rep.Events = dt.n
+	rep.EndEvent = dt.sawEnd
 
 	rep.EstimatedEvents = rep.Events
 	if !rep.Complete && rep.SalvagedBytes > int64(streamHeaderLen) && rep.TotalBytes > rep.SalvagedBytes {
 		rep.EstimatedEvents = int(int64(rep.Events) * rep.TotalBytes / rep.SalvagedBytes)
 	}
-	flat := appendContainer(rep.ProgHash, sw.Bytes()[:swCut], data.Bytes()[:dataCut])
-	return flat, rep, nil
+	return rep, nil
 }
 
 // countingReader counts bytes pulled from the underlying reader.
@@ -128,37 +193,98 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// trimSwitches finds the longest prefix of sw holding only complete
-// varints, returning the cut offset and the entry count.
-func trimSwitches(sw []byte) (cut, n int) {
-	for cut < len(sw) {
-		_, k := binary.Uvarint(sw[cut:])
-		if k <= 0 {
+// switchTrim incrementally trims the switch stream to complete varints.
+// Checksummed chunks only hold whole entries, but legacy chunks (and a
+// salvage ending mid-entry across chunks) can tear the stream; the pending
+// suffix never exceeds one varint (< 10 bytes). An overflowed varint is
+// permanent damage: everything after it is dropped, matching the whole-
+// buffer trim this replaced.
+type switchTrim struct {
+	pend []byte
+	n    int
+	dead bool
+	emit func([]byte)
+}
+
+func (t *switchTrim) feed(p []byte) {
+	if t.dead {
+		return
+	}
+	t.pend = append(t.pend, p...)
+	cut := 0
+	for cut < len(t.pend) {
+		_, k := binary.Uvarint(t.pend[cut:])
+		if k == 0 {
+			break // incomplete entry: wait for the next chunk
+		}
+		if k < 0 {
+			t.dead = true
 			break
 		}
 		cut += k
-		n++
+		t.n++
 	}
-	return cut, n
+	if cut > 0 {
+		if t.emit != nil {
+			t.emit(t.pend[:cut])
+		}
+		t.pend = append(t.pend[:0], t.pend[cut:]...)
+	}
+	if t.dead {
+		t.pend = nil
+	}
 }
 
-// trimEvents finds the longest prefix of data holding only complete,
-// well-formed events, returning the cut offset, the event count, and
-// whether the prefix ends with EvEnd. Anything after an EvEnd is dropped.
-func trimEvents(data []byte) (cut, n int, sawEnd bool) {
-	r := &Reader{data: data}
+// dataTrim incrementally trims the data stream to complete, well-formed
+// events. A truncation error means the event may finish in a later chunk
+// (keep the suffix pending); any other decode error is permanent damage.
+// Anything after an EvEnd is dropped.
+type dataTrim struct {
+	pend   []byte
+	n      int
+	sawEnd bool
+	dead   bool
+	emit   func([]byte)
+}
+
+func (t *dataTrim) feed(p []byte) {
+	if t.dead || t.sawEnd {
+		return
+	}
+	t.pend = append(t.pend, p...)
+	r := &Reader{data: t.pend}
+	lastGood := 0
 	for {
 		k, err := r.Peek()
 		if err != nil {
-			return cut, n, false
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.dead = true
+			}
+			break
 		}
 		if k == EvEnd {
-			return cut + 1, n + 1, true
+			lastGood = r.pos + 1
+			t.n++
+			t.sawEnd = true
+			break
 		}
-		if r.skipEvent(k) != nil {
-			return cut, n, false
+		if err := r.skipEvent(k); err != nil {
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.dead = true
+			}
+			break
 		}
-		cut, n = r.pos, r.index
+		lastGood = r.pos
+		t.n++
+	}
+	if lastGood > 0 {
+		if t.emit != nil {
+			t.emit(t.pend[:lastGood])
+		}
+		t.pend = append(t.pend[:0], t.pend[lastGood:]...)
+	}
+	if t.dead || t.sawEnd {
+		t.pend = nil
 	}
 }
 

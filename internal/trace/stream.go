@@ -181,8 +181,10 @@ func (s *StreamWriter) Callback(cb int, params []int64) {
 }
 
 // End finalizes the data stream (the event, not the container — Close
-// writes the container's end marker).
-func (s *StreamWriter) End() { s.log.logEnd() }
+// writes the container's end marker). The durability policy applies like
+// any other event: under SyncEvent the EvEnd reaches stable storage even
+// if the process dies before Close.
+func (s *StreamWriter) End() { s.log.logEnd(); s.afterEvent() }
 
 // afterEvent applies the durability policy to the event just logged.
 func (s *StreamWriter) afterEvent() {
@@ -434,6 +436,11 @@ type StreamReader struct {
 	mode  int8   // framing-mode lock (frameUnknown until the first chunk)
 	eof   bool   // end marker (or transport EOF) reached
 	err   error  // sticky transport/framing error
+
+	// next produces the following framing record. The default (set by
+	// NewStreamReader) reads chunks from src; a segmented journal source
+	// (Journal.Source) substitutes one that chains segment files.
+	next func() (streamChunk, error)
 }
 
 // NewStreamReader validates the streaming container header against
@@ -448,7 +455,9 @@ func NewStreamReader(r io.Reader, progHash uint64) (*StreamReader, error) {
 	if h != progHash {
 		return nil, fmt.Errorf("trace: program hash mismatch: trace %x, program %x", h, progHash)
 	}
-	return &StreamReader{src: br}, nil
+	s := &StreamReader{src: br}
+	s.next = func() (streamChunk, error) { return readChunk(s.src, &s.mode) }
+	return s, nil
 }
 
 // fill reads one chunk into the demultiplexed streams; on the end marker
@@ -458,7 +467,7 @@ func (s *StreamReader) fill() error {
 	if s.err != nil {
 		return s.err
 	}
-	c, err := readChunk(s.src, &s.mode)
+	c, err := s.next()
 	if err != nil {
 		if err == io.EOF {
 			err = fmt.Errorf("trace: stream truncated before end marker: %w", io.ErrUnexpectedEOF)
@@ -603,6 +612,39 @@ func (s *StreamReader) SwitchesRemaining() bool {
 
 // Err returns the sticky transport/framing error.
 func (s *StreamReader) Err() error { return s.err }
+
+// appendChunkFrame appends one checksummed chunk frame — tag, uvarint
+// length, payload, CRC32C over all three — to dst. RecoverStream and the
+// segmented-journal tests re-emit salvaged stream bytes through it.
+func appendChunkFrame(dst []byte, tag byte, payload []byte) []byte {
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = tag
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	sum := crc32.Update(0, castagnoli, hdr[:1+n])
+	sum = crc32.Update(sum, castagnoli, payload)
+	dst = append(dst, hdr[:1+n]...)
+	dst = append(dst, payload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	return append(dst, crc[:]...)
+}
+
+// appendEndFrame appends the checksummed end marker.
+func appendEndFrame(dst []byte) []byte {
+	end := [2]byte{chunkEndC, 0}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(end[:], castagnoli))
+	dst = append(dst, end[:]...)
+	return append(dst, crc[:]...)
+}
+
+// appendStreamHeader appends the DVS1 container header.
+func appendStreamHeader(dst []byte, progHash uint64) []byte {
+	dst = append(dst, streamMagic...)
+	var h8 [8]byte
+	binary.LittleEndian.PutUint64(h8[:], progHash)
+	return append(dst, h8[:]...)
+}
 
 // DecodeStream reads a complete streaming container and returns the
 // equivalent flat DVT2 container — byte-identical to what Writer.Bytes()

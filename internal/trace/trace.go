@@ -233,9 +233,19 @@ type DivergenceError struct {
 	Index    int  // data event ordinal
 	Expected Kind // what replay asked for
 	Found    Kind // what the trace holds
+
+	// Logical-clock position, filled in by the engine (the trace layer only
+	// knows event ordinals): the thread whose execution requested the event
+	// and the yield points executed so far. Thread is -1 when unknown.
+	Thread int
+	Yields uint64
 }
 
 func (e *DivergenceError) Error() string {
+	if e.Thread >= 0 {
+		return fmt.Sprintf("trace: replay divergence at event %d (thread %d, %d yield points): execution requested %v but trace holds %v",
+			e.Index, e.Thread, e.Yields, e.Expected, e.Found)
+	}
 	return fmt.Sprintf("trace: replay divergence at event %d: execution requested %v but trace holds %v",
 		e.Index, e.Expected, e.Found)
 }
@@ -339,7 +349,7 @@ func (r *Reader) expect(k Kind) error {
 		return err
 	}
 	if found != k {
-		return &DivergenceError{Index: r.index, Expected: k, Found: found}
+		return &DivergenceError{Index: r.index, Expected: k, Found: found, Thread: -1}
 	}
 	r.pos++
 	r.index++

@@ -56,6 +56,17 @@ func (vm *VM) Run() error {
 // terminated. Debuggers drive the VM through Step so every stop lands on
 // an instruction boundary.
 func (vm *VM) Step() (done bool, err error) {
+	// Segmented-journal rotation happens here, at the instruction boundary
+	// before any dispatching: the snapshot taken now is exactly the state a
+	// seeded replay restores, and every event the coming dispatch or
+	// instruction logs lands in the new segment.
+	if vm.cfg.Journal != nil && vm.err == nil && !vm.halted &&
+		vm.nestedDepth == 0 && vm.cfg.Journal.RotatePending() {
+		if err := vm.rotateJournal(); err != nil {
+			vm.err = fmt.Errorf("vm: journal rotation: %w", err)
+			return true, vm.err
+		}
+	}
 	if done, err := vm.EnsureDispatched(); done || err != nil {
 		return done, err
 	}
@@ -69,10 +80,31 @@ func (vm *VM) Step() (done bool, err error) {
 		return true, err
 	}
 	if e := vm.eng.Err(); e != nil {
-		vm.err = fmt.Errorf("vm: replay diverged after %d events: %w", vm.events, e)
+		if errors.Is(e, core.ErrStalled) {
+			// A stall is a watchdog abort, not a divergence: the trace may
+			// be fine and the replay simply stuck.
+			vm.err = fmt.Errorf("vm: %w", e)
+		} else {
+			vm.err = fmt.Errorf("vm: replay diverged after %d events: %w", vm.events, e)
+		}
 		return true, vm.err
 	}
 	return vm.halted, nil
+}
+
+// rotateJournal seals the current journal segment with a checkpoint of the
+// VM as it stands at this instruction boundary. Only meaningful while
+// recording — a replaying VM never rotates (its journal is read-only).
+func (vm *VM) rotateJournal() error {
+	nyp, ok := vm.eng.RecordPos()
+	if !ok {
+		return nil
+	}
+	snap, err := vm.Snapshot()
+	if err != nil {
+		return err
+	}
+	return vm.cfg.Journal.Rotate(snap.Encode(vm.progHash), vm.events, nyp)
 }
 
 // EnsureDispatched brings the VM to a state where CurrentSite is valid —
@@ -113,6 +145,7 @@ func (vm *VM) dispatch() *threads.Thread {
 	}
 	t := vm.sched.PickNext()
 	if t != nil {
+		vm.eng.NotePosition(t.ID)
 		vm.flushAllMirrors()
 		if vm.cfg.Observer != nil {
 			vm.cfg.Observer.OnSwitch(t.ID)

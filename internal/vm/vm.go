@@ -80,6 +80,20 @@ type SyncHook interface {
 	OnMonitor(threadID int, obj heap.Addr, acquired bool)
 }
 
+// JournalSink is the rotation surface a segmented trace journal offers a
+// recording VM (trace.SegmentWriter implements it). The VM owns the safe
+// point: it polls RotatePending at instruction boundaries and answers with
+// Rotate, handing over its encoded snapshot and position, so a segment
+// boundary always falls where a checkpoint is well-defined.
+type JournalSink interface {
+	// RotatePending reports that a rotation policy threshold was crossed.
+	RotatePending() bool
+	// Rotate seals the current segment and makes state (an encoded VM
+	// snapshot), the instruction count, and the record-side yield position
+	// durable as the next segment's seed checkpoint.
+	Rotate(state []byte, vmEvents, boundaryNYP uint64) error
+}
+
 // Config sizes and wires a VM.
 type Config struct {
 	HeapBytes    int // initial semispace size (default 1<<20)
@@ -106,6 +120,12 @@ type Config struct {
 	// programs that fail it (the interpreter's dynamic checks still run
 	// either way).
 	Verify bool
+
+	// Journal, when set on a recording VM, drives segmented-journal
+	// rotation: Step polls RotatePending at instruction boundaries and
+	// answers with Rotate. The engine's TraceSink should be the same
+	// object, so the sealed segments and the checkpoints stay in step.
+	Journal JournalSink
 }
 
 // VM is one virtual machine instance executing one program.
