@@ -25,6 +25,7 @@ import (
 	"dejavu/internal/bytecode"
 	"dejavu/internal/cli"
 	"dejavu/internal/core"
+	"dejavu/internal/obs"
 	"dejavu/internal/replaycheck"
 	"dejavu/internal/tools"
 	"dejavu/internal/trace"
@@ -91,6 +92,7 @@ func cmdRun(args []string, mode core.Mode) error {
 	syncMode := fs.String("sync", "none", "trace durability: none (page cache), chunk (fsync per chunk), event (fsync per event)")
 	stats := fs.Bool("stats", false, "print execution statistics")
 	preflight := fs.Bool("preflight", false, "run the static determinism analyses before recording; refuse to record on findings")
+	metricsOut := fs.String("metrics-out", "", "write engine/trace metrics as JSON to this file after the run")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one program argument")
@@ -100,6 +102,7 @@ func cmdRun(args []string, mode core.Mode) error {
 		return err
 	}
 	flags := cli.EngineFlags{Mode: mode, Seed: *seed, Realtime: *realtime, Preflight: *preflight}
+	flags.Obs = metricsRegistry(*metricsOut)
 	if flags.Sync, err = trace.ParseSyncPolicy(*syncMode); err != nil {
 		return err
 	}
@@ -122,7 +125,7 @@ func cmdRun(args []string, mode core.Mode) error {
 			return err
 		}
 		journal, err = trace.NewSegmentWriter(dfs, vm.ProgramHash(prog), trace.SegmentOptions{
-			StreamOptions: trace.StreamOptions{Sync: flags.Sync},
+			StreamOptions: trace.StreamOptions{Sync: flags.Sync, Obs: flags.Obs},
 			RotateEvents:  *segEvents,
 			RotateBytes:   *segBytes,
 		})
@@ -179,6 +182,9 @@ func cmdRun(args []string, mode core.Mode) error {
 	if *stats {
 		printStats(m, eng)
 	}
+	if err := dumpMetrics(flags.Obs, *metricsOut, m); err != nil {
+		return err
+	}
 	return runErr
 }
 
@@ -193,6 +199,7 @@ func cmdReplay(args []string) error {
 	partial := fs.Bool("partial", false, "the trace is a salvaged prefix (e.g. from `dejavu recover -o`): stop cleanly at the salvage point instead of failing")
 	fromEvent := fs.Uint64("from-event", 0, "seed replay from the nearest durable checkpoint at or before this instruction count (journal input only)")
 	deadline := fs.Duration("deadline", 0, "abort with a stall report if replay stops consuming the trace for this long (0 = no watchdog)")
+	metricsOut := fs.String("metrics-out", "", "write engine/trace metrics as JSON to this file after the run")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one program argument")
@@ -202,6 +209,7 @@ func cmdReplay(args []string) error {
 		return err
 	}
 	flags := cli.EngineFlags{Mode: core.ModeReplay, PartialTrace: *partial, Deadline: *deadline}
+	flags.Obs = metricsRegistry(*metricsOut)
 	var seedCk *trace.Checkpoint
 	if fi, err := os.Stat(*traceIn); err == nil && fi.IsDir() {
 		// A directory is a segmented journal: replay its segment chain, and
@@ -250,6 +258,7 @@ func cmdReplay(args []string) error {
 			if err != nil {
 				return err
 			}
+			src.Instrument(flags.Obs)
 			flags.TraceSrc = src
 		} else {
 			traceBytes, err := io.ReadAll(br)
@@ -328,7 +337,44 @@ func cmdReplay(args []string) error {
 	if cont != nil {
 		fmt.Fprint(os.Stderr, cont.Report(5))
 	}
+	if err := dumpMetrics(flags.Obs, *metricsOut, m); err != nil {
+		return err
+	}
 	return runErr
+}
+
+// metricsRegistry returns a registry when a -metrics-out path was given,
+// nil (collecting nothing) otherwise.
+func metricsRegistry(path string) *obs.Registry {
+	if path == "" {
+		return nil
+	}
+	return obs.NewRegistry()
+}
+
+// dumpMetrics folds the VM's final levels into reg and writes the snapshot
+// as JSON. The dump happens after the run finishes, so it reads nothing
+// concurrently with execution.
+func dumpMetrics(reg *obs.Registry, path string, m *vm.VM) error {
+	if reg == nil || path == "" {
+		return nil
+	}
+	if m != nil {
+		m.ObserveInto(reg)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = obs.WriteJSON(f, reg.Snapshot())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("metrics dump: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "metrics -> %s\n", path)
+	return nil
 }
 
 // cmdRecover salvages the longest valid prefix of a torn or corrupt
@@ -486,6 +532,7 @@ func cmdVerify(args []string) error {
 	workers := fs.Int("workers", 0, "also run record→replay verification across N parallel workers (0 = static bytecode verification only)")
 	seeds := fs.Int("seeds", 5, "preemption seeds per program for replay verification")
 	timeout := fs.Duration("timeout", 0, "per-job time budget; a job that overruns it fails with a stall report instead of hanging the pool (0 = none)")
+	metricsOut := fs.String("metrics-out", "", "write verification-pool metrics as JSON to this file (replay verification only)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: dejavu verify [-workers N] [-seeds K] [-timeout D] <prog|all>")
@@ -513,14 +560,14 @@ func cmdVerify(args []string) error {
 		fmt.Println("verification passed")
 		return nil
 	}
-	return verifyReplay(arg, *workers, *seeds, *timeout)
+	return verifyReplay(arg, *workers, *seeds, *timeout, *metricsOut)
 }
 
 // verifyReplay fans record→replay accuracy checks over a worker pool:
 // every named program (or the whole workload registry for "all") is
 // recorded and replayed under several preemption seeds, and the per-run
 // divergence reports are aggregated into one summary.
-func verifyReplay(arg string, workers, seeds int, timeout time.Duration) error {
+func verifyReplay(arg string, workers, seeds int, timeout time.Duration, metricsOut string) error {
 	type target struct {
 		name string
 		mk   func() *bytecode.Program
@@ -553,8 +600,12 @@ func verifyReplay(arg string, workers, seeds int, timeout time.Duration) error {
 			jobs = append(jobs, replaycheck.VerifyJob{Name: tg.name, Prog: tg.mk, Options: o, Stream: true, Timeout: timeout})
 		}
 	}
-	sum := replaycheck.VerifyPool(jobs, workers)
+	reg := metricsRegistry(metricsOut)
+	sum := replaycheck.VerifyPoolObs(jobs, workers, reg)
 	fmt.Print(sum.Report())
+	if err := dumpMetrics(reg, metricsOut, nil); err != nil {
+		return err
+	}
 	if sum.Failed > 0 {
 		return fmt.Errorf("%d of %d replays diverged", sum.Failed, sum.Failed+sum.Passed)
 	}

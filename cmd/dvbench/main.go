@@ -39,6 +39,7 @@ var experiments = []experiment{
 	{"E14", "replay-based tools: deterministic race detection and profiling", runE14},
 	{"E15", "crash tolerance: durability policy cost and torn-journal salvage", runE15},
 	{"E16", "segmented journals: checkpoint overhead and seeded-recovery speedup", runE16},
+	{"E17", "observability overhead: metrics on vs off, bit-identical replay", runE17},
 }
 
 type multiFlag []string

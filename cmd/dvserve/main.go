@@ -1,22 +1,35 @@
 // Command dvserve replays a recorded execution under debugger control and
-// serves two TCP endpoints, reproducing the paper's multi-process
-// architecture (§3, §4):
+// serves the paper's multi-process architecture (§3, §4) over TCP:
 //
 //   - a debug endpoint (dbgproto) that front ends like dvdbg connect to
 //   - a peek endpoint (ptrace) that serves raw memory reads for
 //     out-of-process remote reflection
+//   - an optional HTTP observability endpoint (-metrics) exposing
+//     Prometheus series at /metrics and a liveness/position report at
+//     /healthz — sampled outside the logical clock, so scraping never
+//     perturbs the replay
 //
 // usage: dvserve -t trace.dvt -listen :4455 -peek :4456 <prog>
 //
-// SIGINT/SIGTERM shut the server down gracefully: both listeners close
+// The -t argument accepts a flat (DVT2) or streaming (DVS1) trace file, or
+// a segmented journal directory — the latter opens a journal session that
+// seeds from the nearest durable checkpoint (-from-event picks the initial
+// position) and re-seeds across segments during time travel.
+//
+// All listeners are bound before any of them starts serving: a bind
+// failure on any endpoint aborts startup with nothing half-started.
+//
+// SIGINT/SIGTERM shut the server down gracefully: every listener closes
 // (connected clients see clean EOFs, not resets), and with -exit-save the
 // session checkpoints to a file so `dvserve -restore` resumes it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,78 +38,186 @@ import (
 	"dejavu/internal/core"
 	"dejavu/internal/dbgproto"
 	"dejavu/internal/debugger"
+	"dejavu/internal/heap"
+	"dejavu/internal/obs"
 	"dejavu/internal/ptrace"
+	"dejavu/internal/trace"
 	"dejavu/internal/vm"
 )
 
+type serveConfig struct {
+	prog       string
+	traceIn    string
+	listen     string
+	peek       string
+	metrics    string
+	checkpoint uint64
+	fromEvent  uint64
+	restore    string
+	exitSave   string
+}
+
 func main() {
-	traceIn := flag.String("t", "trace.dvt", "trace input file")
-	listen := flag.String("listen", "127.0.0.1:4455", "debug protocol address")
-	peek := flag.String("peek", "127.0.0.1:4456", "ptrace peek address (empty to disable)")
-	checkpoint := flag.Uint64("checkpoint", 10000, "instructions per time-travel checkpoint (0 disables)")
-	restore := flag.String("restore", "", "resume from a checkpoint file (written by the debugger's save command)")
-	exitSave := flag.String("exit-save", "", "on SIGINT/SIGTERM, write a checkpoint here before exiting (resume with -restore)")
+	var c serveConfig
+	flag.StringVar(&c.traceIn, "t", "trace.dvt", "trace input: a .dvt/.dvs file or a segmented journal directory")
+	flag.StringVar(&c.listen, "listen", "127.0.0.1:4455", "debug protocol address")
+	flag.StringVar(&c.peek, "peek", "127.0.0.1:4456", "ptrace peek address (empty to disable)")
+	flag.StringVar(&c.metrics, "metrics", "", "HTTP observability address serving /metrics and /healthz (empty to disable)")
+	flag.Uint64Var(&c.checkpoint, "checkpoint", 10000, "instructions per time-travel checkpoint (0 disables)")
+	flag.Uint64Var(&c.fromEvent, "from-event", 0, "initial replay position; journal traces seed from the nearest durable checkpoint")
+	flag.StringVar(&c.restore, "restore", "", "resume from a checkpoint file (written by the debugger's save command)")
+	flag.StringVar(&c.exitSave, "exit-save", "", "on SIGINT/SIGTERM, write a checkpoint here before exiting (resume with -restore)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dvserve [flags] <prog>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *traceIn, *listen, *peek, *checkpoint, *restore, *exitSave); err != nil {
+	c.prog = flag.Arg(0)
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "dvserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(progArg, traceIn, listen, peek string, checkpoint uint64, restore, exitSave string) error {
-	prog, err := cli.LoadProgram(progArg)
+func run(c serveConfig) error {
+	prog, err := cli.LoadProgram(c.prog)
 	if err != nil {
 		return err
 	}
-	traceBytes, err := cli.ReadTraceFile(traceIn)
-	if err != nil {
-		return err
-	}
-	eng, _, err := cli.BuildEngine(prog, cli.EngineFlags{Mode: core.ModeReplay, TraceIn: traceBytes})
-	if err != nil {
-		return err
-	}
-	m, err := vm.New(prog, vm.Config{Engine: eng, Stdout: os.Stdout})
-	if err != nil {
-		return err
-	}
-	if restore != "" {
-		blob, err := os.ReadFile(restore)
-		if err != nil {
-			return err
-		}
-		if err := m.RestoreBytes(blob); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "resumed from %s at event %d\n", restore, m.Events())
-	}
-	d := debugger.New(m)
-	d.CheckpointEvery = checkpoint
+	reg := obs.NewRegistry()
 
-	var listeners []net.Listener
-	if peek != "" {
-		pl, err := net.Listen("tcp", peek)
+	// The trace argument selects the session shape: a directory is a
+	// segmented journal (travel re-seeds across segments, replacing the VM
+	// wholesale), a file is a flat single-debugger session.
+	var session *debugger.JournalSession
+	var d *debugger.Debugger
+	if st, serr := os.Stat(c.traceIn); serr == nil && st.IsDir() {
+		if c.restore != "" {
+			return fmt.Errorf("-restore does not apply to a journal directory; use -from-event to position the session")
+		}
+		fs, err := trace.NewDirFS(c.traceIn)
 		if err != nil {
 			return err
 		}
-		defer pl.Close()
+		if session, err = debugger.OpenJournalSessionObs(prog, fs, c.fromEvent, reg); err != nil {
+			return err
+		}
+		session.CheckpointEvery = c.checkpoint
+		session.D.CheckpointEvery = c.checkpoint
+		j := session.Journal()
+		state := "complete"
+		if !j.Complete() {
+			state = "crash-cut (partial-trace mode)"
+		}
+		fmt.Fprintf(os.Stderr, "journal %s: %s, session at event %d\n", c.traceIn, state, session.D.VM.Events())
+	} else {
+		traceBytes, err := cli.ReadTraceFile(c.traceIn)
+		if err != nil {
+			return err
+		}
+		eng, _, err := cli.BuildEngine(prog, cli.EngineFlags{Mode: core.ModeReplay, TraceIn: traceBytes, Obs: reg})
+		if err != nil {
+			return err
+		}
+		m, err := vm.New(prog, vm.Config{Engine: eng, Stdout: os.Stdout})
+		if err != nil {
+			return err
+		}
+		if c.restore != "" {
+			blob, err := os.ReadFile(c.restore)
+			if err != nil {
+				return err
+			}
+			if err := m.RestoreBytes(blob); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "resumed from %s at event %d\n", c.restore, m.Events())
+		}
+		d = debugger.New(m)
+		d.CheckpointEvery = c.checkpoint
+		if c.fromEvent > 0 {
+			if err := d.TravelTo(c.fromEvent); err != nil {
+				return err
+			}
+		}
+	}
+
+	srv := &dbgproto.Server{D: d, Session: session, Obs: reg}
+	// Every endpoint resolves the CURRENT VM: a journal session replaces
+	// its VM wholesale when travel re-seeds from a durable checkpoint, so
+	// caching the heap or debugger at startup would serve freed state.
+	curVM := func() *vm.VM {
+		if session != nil {
+			return session.D.VM
+		}
+		return d.VM
+	}
+	curDebugger := func() *debugger.Debugger {
+		if session != nil {
+			return session.D
+		}
+		return d
+	}
+
+	// Bind every listener before any of them starts serving. Binding and
+	// serving used to interleave, so a late bind failure (debug port taken)
+	// left the peek endpoint live on a server that then exited — clients
+	// could connect to a half-started server. Now a failure on any bind
+	// closes the already-bound listeners and nothing ever accepts.
+	var listeners []net.Listener
+	closeAll := func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}
+	var pl net.Listener
+	if c.peek != "" {
+		if pl, err = net.Listen("tcp", c.peek); err != nil {
+			return err
+		}
 		listeners = append(listeners, pl)
-		go (&ptrace.Server{H: m.Heap(), Roots: m}).Serve(pl)
+	}
+	dl, err := net.Listen("tcp", c.listen)
+	if err != nil {
+		closeAll()
+		return err
+	}
+	listeners = append(listeners, dl)
+	var ml net.Listener
+	if c.metrics != "" {
+		if ml, err = net.Listen("tcp", c.metrics); err != nil {
+			closeAll()
+			return err
+		}
+		listeners = append(listeners, ml)
+	}
+	defer closeAll()
+
+	if pl != nil {
+		ps := &ptrace.Server{Obs: reg}
+		if session != nil {
+			// Resolve the live heap under the command lock: the session VM
+			// must not be mid-command (or mid-re-seed) when captured.
+			ps.Live = func() (*heap.Heap, ptrace.RootSource) {
+				var h *heap.Heap
+				var r ptrace.RootSource
+				srv.Locked(func() {
+					cur := curVM()
+					h, r = cur.Heap(), cur
+				})
+				return h, r
+			}
+		} else {
+			ps.H, ps.Roots = d.VM.Heap(), d.VM
+		}
+		go ps.Serve(pl)
 		fmt.Fprintf(os.Stderr, "peek endpoint on %s\n", pl.Addr())
 	}
-
-	dl, err := net.Listen("tcp", listen)
-	if err != nil {
-		return err
+	if ml != nil {
+		go (&http.Server{Handler: obsMux(srv, reg, curVM, curDebugger, session != nil)}).Serve(ml)
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s/metrics\n", ml.Addr())
 	}
-	defer dl.Close()
-	listeners = append(listeners, dl)
 	fmt.Fprintf(os.Stderr, "debug endpoint on %s — connect with: dvdbg -connect %s\n", dl.Addr(), dl.Addr())
-	srv := &dbgproto.Server{D: d}
 
 	// Graceful shutdown: on a signal, first checkpoint the session (under
 	// the command lock, so the VM is between commands), then close every
@@ -111,16 +232,55 @@ func run(progArg, traceIn, listen, peek string, checkpoint uint64, restore, exit
 			return
 		}
 		fmt.Fprintf(os.Stderr, "dvserve: %v: shutting down\n", sig)
-		if exitSave != "" {
-			srv.Locked(func() { saveCheckpoint(m, exitSave) })
+		if c.exitSave != "" {
+			srv.Locked(func() { saveCheckpoint(curVM(), c.exitSave) })
 		}
-		for _, l := range listeners {
-			l.Close()
-		}
+		closeAll()
 	}()
 
 	srv.Serve(dl)
 	return nil
+}
+
+// healthReport is the /healthz body: liveness plus the replay position, all
+// read under the command lock so the numbers are mutually consistent.
+type healthReport struct {
+	Alive         bool   `json:"alive"`
+	Journal       bool   `json:"journal"`
+	Events        uint64 `json:"events"`
+	Halted        bool   `json:"halted"`
+	Tainted       bool   `json:"tainted"`
+	PendingSwitch bool   `json:"pending_switch"`
+	NextSwitchNYP uint64 `json:"next_switch_nyp,omitempty"`
+}
+
+// obsMux builds the observability handler. Both endpoints sample under the
+// debug server's command lock — between commands, at an instruction
+// boundary — and neither executes interpreted code nor touches the logical
+// clock, so scraping cannot perturb the replay.
+func obsMux(srv *dbgproto.Server, reg *obs.Registry, curVM func() *vm.VM, curDebugger func() *debugger.Debugger, journal bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		srv.Locked(func() { curVM().ObserveInto(reg) })
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := healthReport{Alive: true, Journal: journal}
+		srv.Locked(func() {
+			cur := curVM()
+			h.Events = cur.Events()
+			h.Halted = cur.Halted()
+			h.Tainted = curDebugger().Tainted()
+			if nyp, pending, err := cur.Engine().PendingSwitch(); err == nil {
+				h.PendingSwitch = pending
+				h.NextSwitchNYP = nyp
+			}
+		})
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(h)
+	})
+	return mux
 }
 
 // saveCheckpoint flushes the session state to a -restore-able file; it must

@@ -15,6 +15,7 @@ import (
 	"dejavu/internal/analysis"
 	"dejavu/internal/bytecode"
 	"dejavu/internal/core"
+	"dejavu/internal/obs"
 	"dejavu/internal/trace"
 	"dejavu/internal/vm"
 	"dejavu/internal/workloads"
@@ -94,6 +95,10 @@ type EngineFlags struct {
 	// replay that stops consuming its trace for this long aborts with a
 	// structured core.ErrStalled instead of hanging.
 	Deadline time.Duration
+	// Obs, when set, receives engine and trace metrics (`-metrics-out`).
+	// Metrics live outside the logical clock, so a run with a registry
+	// records and replays identically to one without.
+	Obs *obs.Registry
 }
 
 // OpenTraceSink creates path and a streaming sink over it honoring the
@@ -105,7 +110,7 @@ func (f *EngineFlags) OpenTraceSink(path string, progHash uint64) (*trace.Stream
 	if err != nil {
 		return nil, nil, err
 	}
-	sink, err := trace.NewStreamWriterOptions(out, progHash, trace.StreamOptions{Sync: f.Sync})
+	sink, err := trace.NewStreamWriterOptions(out, progHash, trace.StreamOptions{Sync: f.Sync, Obs: f.Obs})
 	if err != nil {
 		out.Close()
 		return nil, nil, err
@@ -144,6 +149,7 @@ func BuildEngine(prog *bytecode.Program, f EngineFlags) (*core.Engine, func(), e
 	cfg.TraceSrc = f.TraceSrc
 	cfg.PartialTrace = f.PartialTrace
 	cfg.ProgressDeadline = f.Deadline
+	cfg.Obs = f.Obs
 	stop := func() {}
 	if f.Realtime {
 		cfg.Time = core.RealTime{}

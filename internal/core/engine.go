@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"dejavu/internal/obs"
 	"dejavu/internal/threads"
 	"dejavu/internal/trace"
 )
@@ -51,10 +52,54 @@ type Engine struct {
 	// time of the last trace consumption. Replay that yields without ever
 	// consuming trace — a livelocked schedule, a hung native stub, a corrupt
 	// switch stream — stops advancing this and trips the deadline.
+	//
+	// The wall-clock read is amortized per no-progress streak: idleYields
+	// counts yield points since the last trace consumption, and nextStall is
+	// the streak length at which the next time.Since check runs. The
+	// threshold starts low (stallCheckFirst) so a replay that stalls
+	// immediately — a tiny workload may execute fewer than 256 yields total —
+	// still trips the deadline promptly, then ramps geometrically toward a
+	// steady-state check every 256 idle yields.
 	lastProgress time.Time
+	idleYields   uint64
+	nextStall    uint64
 
 	err   error // sticky divergence/IO error
 	stats Stats
+	m     engineMetrics
+}
+
+// engineMetrics holds the engine's obs series. All fields are nil-safe
+// no-ops when Config.Obs is nil; none of them is ever read by the engine
+// or serialized into EngineSnapshot, which is what keeps observation out
+// of the logical clock (the obs package doc states the invariant).
+type engineMetrics struct {
+	yieldPoints *obs.Counter
+	instrYields *obs.Counter
+	switches    *obs.Counter
+	preemptRec  *obs.Counter // preemptions emitted while recording
+	preemptRep  *obs.Counter // recorded preemptions consumed during replay
+	stallChecks *obs.Counter // wall-clock watchdog checks actually performed
+	clockReads  *obs.Counter
+	nativeCalls *obs.Counter
+	traceBytes  *obs.Gauge // bytes emitted by the record-mode sink
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	if reg == nil {
+		return engineMetrics{}
+	}
+	return engineMetrics{
+		yieldPoints: reg.Counter("dv_engine_yield_points_total"),
+		instrYields: reg.Counter("dv_engine_instr_yields_total"),
+		switches:    reg.Counter("dv_engine_switches_total"),
+		preemptRec:  reg.Counter("dv_engine_preemptions_emitted_total"),
+		preemptRep:  reg.Counter("dv_engine_preemptions_consumed_total"),
+		stallChecks: reg.Counter("dv_engine_stall_checks_total"),
+		clockReads:  reg.Counter("dv_engine_clock_reads_total"),
+		nativeCalls: reg.Counter("dv_engine_native_calls_total"),
+		traceBytes:  reg.Gauge("dv_engine_trace_bytes"),
+	}
 }
 
 // ErrNotReplaying is returned by replay-only queries in other modes.
@@ -97,7 +142,8 @@ var ErrPartialTrace = fmt.Errorf("core: salvaged trace exhausted mid-replay: %w"
 
 // NewEngine builds an engine from cfg.
 func NewEngine(cfg Config) (*Engine, error) {
-	e := &Engine{cfg: cfg, mode: cfg.Mode, liveClock: true, lastThread: -1}
+	e := &Engine{cfg: cfg, mode: cfg.Mode, liveClock: true, lastThread: -1,
+		m: newEngineMetrics(cfg.Obs)}
 	if cfg.Time == nil {
 		cfg.Time = RealTime{}
 		e.cfg.Time = cfg.Time
@@ -167,20 +213,46 @@ func (e *Engine) fail(err error) {
 // yield points (e.g. inside a native bracket).
 func (e *Engine) NotePosition(threadID int) { e.lastThread = threadID }
 
-// markProgress timestamps trace consumption for the watchdog.
+// stallCheckFirst is the no-progress streak length at which the watchdog
+// performs its first wall-clock check. It must be small: a tiny workload
+// can stall with single-digit yields on the clock, and the old
+// global-yield-count gate (check only when stats.YieldPoints was a
+// multiple of 256) could postpone the first check arbitrarily — or, for a
+// program with fewer than 256 total yields that never hit a multiple,
+// forever.
+const stallCheckFirst = 16
+
+// markProgress timestamps trace consumption for the watchdog and resets
+// the no-progress streak.
 func (e *Engine) markProgress() {
 	if e.cfg.ProgressDeadline > 0 {
 		e.lastProgress = time.Now()
+		e.idleYields = 0
+		e.nextStall = stallCheckFirst
 	}
 }
 
 // checkStall trips the watchdog when replay has gone ProgressDeadline
 // without consuming any trace. Called from the yield-point hot path, so
-// the wall-clock read is amortized to every 256th yield.
+// the wall-clock read is amortized: the first check of a streak happens
+// after stallCheckFirst idle yields, then the threshold doubles up to a
+// steady-state check every 256 idle yields. A stall is therefore detected
+// within roughly one deadline plus 256 yield periods in the worst case,
+// and within a few yield periods for programs that stall early.
 func (e *Engine) checkStall(t *threads.Thread) bool {
-	if e.cfg.ProgressDeadline <= 0 || e.stats.YieldPoints&255 != 0 {
+	if e.cfg.ProgressDeadline <= 0 {
 		return false
 	}
+	e.idleYields++
+	if e.idleYields < e.nextStall {
+		return false
+	}
+	next := e.idleYields * 2
+	if next > e.idleYields+256 {
+		next = e.idleYields + 256
+	}
+	e.nextStall = next
+	e.m.stallChecks.Inc()
 	if time.Since(e.lastProgress) <= e.cfg.ProgressDeadline {
 		return false
 	}
@@ -212,9 +284,7 @@ func (e *Engine) Begin(host Host) error {
 		}
 	}
 	if e.mode == ModeReplay {
-		if e.cfg.ProgressDeadline > 0 {
-			e.lastProgress = time.Now()
-		}
+		e.markProgress()
 		e.loadNextSwitch()
 	}
 	return nil
@@ -259,6 +329,7 @@ func (e *Engine) End() []byte {
 		return nil
 	}
 	e.w.End()
+	e.m.traceBytes.Set(int64(e.w.Stats().TotalBytes))
 	if bw, ok := e.w.(*trace.Writer); ok {
 		return bw.Bytes()
 	}
@@ -304,6 +375,7 @@ func (e *Engine) AtYieldPoint(t *threads.Thread) bool {
 	switch e.mode {
 	case ModeOff:
 		e.stats.YieldPoints++
+		e.m.yieldPoints.Inc()
 		t.YieldCount++
 		return e.cfg.Preempt != nil && e.cfg.Preempt.Pending()
 
@@ -311,13 +383,16 @@ func (e *Engine) AtYieldPoint(t *threads.Thread) bool {
 		if e.liveClock {
 			e.liveClock = false // pause the clock
 			e.stats.YieldPoints++
+			e.m.yieldPoints.Inc()
 			e.nyp++
 			t.NYP++
 			t.YieldCount++
 			if e.cfg.Preempt.Pending() { // preemptiveHardwareBit
+				e.m.preemptRec.Inc()
 				e.runInstrumentation(t, e.cfg.InstrYieldsRecord)
 				e.w.Switch(e.nyp) // recordThreadSwitch(nyp)
 				e.stats.Switches++
+				e.m.switches.Inc()
 				e.nyp = 0
 				t.NYP = 0
 				e.symmetricSwitchEffects()
@@ -332,6 +407,7 @@ func (e *Engine) AtYieldPoint(t *threads.Thread) bool {
 		if e.liveClock {
 			e.liveClock = false
 			e.stats.YieldPoints++
+			e.m.yieldPoints.Inc()
 			t.YieldCount++
 			if e.checkStall(t) {
 				e.liveClock = true
@@ -342,9 +418,11 @@ func (e *Engine) AtYieldPoint(t *threads.Thread) bool {
 					e.nyp--
 				}
 				if e.nyp == 0 { // the recorded program switched here
+					e.m.preemptRep.Inc()
 					e.runInstrumentation(t, e.cfg.InstrYieldsReplay)
 					e.loadNextSwitch() // nyp = replayThreadSwitch()
 					e.stats.Switches++
+					e.m.switches.Inc()
 					e.symmetricSwitchEffects()
 					e.switchBit = true
 				}
@@ -381,6 +459,7 @@ func (e *Engine) runInstrumentation(t *threads.Thread, k int) {
 // the ablation counts it, breaking record/replay symmetry.
 func (e *Engine) instrumentationYield(t *threads.Thread) {
 	e.stats.InstrYields++
+	e.m.instrYields.Inc()
 	if e.cfg.LiveClockGuard {
 		return
 	}
@@ -424,6 +503,7 @@ func (e *Engine) symmetricSwitchEffects() {
 // branch reproduces.
 func (e *Engine) ClockRead() int64 {
 	e.stats.ClockReads++
+	e.m.clockReads.Inc()
 	switch e.mode {
 	case ModeRecord:
 		v := e.cfg.Time.NowMillis()
@@ -447,6 +527,7 @@ func (e *Engine) ClockRead() int64 {
 // the recorded results without running it.
 func (e *Engine) NativeCall(id int, run func() []int64) []int64 {
 	e.stats.NativeCalls++
+	e.m.nativeCalls.Inc()
 	switch e.mode {
 	case ModeRecord:
 		vals := run()
@@ -476,6 +557,7 @@ func (e *Engine) NativeWithCallbacks(
 	apply func(cb int, params []int64),
 ) []int64 {
 	e.stats.NativeCalls++
+	e.m.nativeCalls.Inc()
 	switch e.mode {
 	case ModeRecord:
 		vals := run(func(cb int, params []int64) {
@@ -663,6 +745,13 @@ func (e *Engine) Restore(s *EngineSnapshot) error {
 	e.liveClock = s.liveClock
 	e.stats = s.stats
 	e.err = nil
+	// Rewinding is progress from the watchdog's point of view: restart the
+	// deadline and the no-progress streak so a freshly restored session has
+	// a full deadline to resume consuming trace. The obs metrics in e.m are
+	// deliberately NOT rewound — they describe host-side work performed,
+	// not replayed state, and restoring them would make observation part of
+	// the snapshot (exactly what the obs invariant forbids).
+	e.markProgress()
 	return nil
 }
 

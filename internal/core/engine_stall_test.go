@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"dejavu/internal/obs"
 )
 
 // TestWatchdogAbortsStalledReplay is the watchdog acceptance bar: a replay
@@ -78,5 +80,86 @@ func TestWatchdogAbortsStalledReplay(t *testing.T) {
 	}
 	if !errors.Is(rep.Err(), ErrStalled) {
 		t.Fatalf("stall error was not sticky: %v", rep.Err())
+	}
+}
+
+// TestWatchdogFiresOnShortPrograms is the regression test for the
+// amortization bug: the watchdog used to read the wall clock only when the
+// GLOBAL yield count hit a multiple of 256, so a tiny workload that
+// stalled at (say) 40 yields was not checked again until yield 256 — with
+// slow yields that overshoots a short deadline by an order of magnitude,
+// and a program whose stalled yields stop before 256 is never checked at
+// all. The fix amortizes per no-progress streak: the first check of a
+// streak happens after stallCheckFirst (16) idle yields.
+func TestWatchdogFiresOnShortPrograms(t *testing.T) {
+	cfg := DefaultConfig(ModeRecord)
+	cfg.Preempt = NewSeededPreemptor(7, 5, 12)
+	rec, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Begin(&fakeHost{}); err != nil {
+		t.Fatal(err)
+	}
+	const recorded = 40 // well below the old 256-yield check granularity
+	driveYields(rec, newThread(), recorded)
+	tr := rec.End()
+
+	const deadline = 30 * time.Millisecond
+	reg := obs.NewRegistry()
+	rcfg := DefaultConfig(ModeReplay)
+	rcfg.TraceIn = tr
+	rcfg.ProgressDeadline = deadline
+	rcfg.Obs = reg
+	rep, err := NewEngine(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Begin(&fakeHost{}); err != nil {
+		t.Fatal(err)
+	}
+	th := newThread()
+	driveYields(rep, th, recorded)
+	if rep.Err() != nil {
+		t.Fatalf("replay of the full recording failed: %v", rep.Err())
+	}
+
+	// Stall with deliberately slow yields (each ~2ms of VM work). Under the
+	// old global-multiple gate the first wall-clock check would wait for
+	// yield 256 — over 200 stalled yields and ~400ms+ away; the fixed
+	// watchdog must check within the first tens of idle yields.
+	start := time.Now()
+	for rep.Err() == nil {
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("watchdog never fired on a short stalled replay")
+		}
+		rep.AtYieldPoint(th)
+		time.Sleep(2 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	if !errors.Is(rep.Err(), ErrStalled) {
+		t.Fatalf("stall surfaced as %v, want ErrStalled", rep.Err())
+	}
+	var st *StalledError
+	if !errors.As(rep.Err(), &st) {
+		t.Fatalf("stall error is not a *StalledError: %v", rep.Err())
+	}
+	// The crisp regression assertion: the stall position must be far below
+	// the old 256-yield check boundary.
+	if st.Yields >= 150 {
+		t.Fatalf("watchdog fired at yield %d — still waiting for the old 256-yield boundary", st.Yields)
+	}
+	if elapsed > 300*time.Millisecond {
+		t.Fatalf("watchdog took %v; old amortization would explain this, deadline was %v", elapsed, deadline)
+	}
+
+	// The metrics side: watchdog checks are an observable series, and
+	// observing them did not change the outcome (st fields above).
+	if n := reg.Counter("dv_engine_stall_checks_total").Value(); n == 0 {
+		t.Fatal("no stall checks counted despite a fired watchdog")
+	}
+	if n := reg.Counter("dv_engine_yield_points_total").Value(); n == 0 {
+		t.Fatal("yield points not counted")
 	}
 }

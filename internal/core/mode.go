@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dejavu/internal/obs"
 	"dejavu/internal/trace"
 )
 
@@ -253,6 +254,15 @@ type Config struct {
 	// and off modes ignore it (a recording that makes no progress is the
 	// program's own behavior, not a replay fault).
 	ProgressDeadline time.Duration
+
+	// Obs, when set, receives the engine's operational metrics (yield
+	// points, switches, preemptions, stall checks, …). Metrics live outside
+	// the logical clock: they are host-side atomics the program can never
+	// observe, are excluded from EngineSnapshot, and therefore cannot
+	// perturb replay — the same discipline the liveclock guard applies to
+	// instrumentation yields. Nil disables collection at zero cost (the
+	// engine's metric handles become nil-safe no-ops).
+	Obs *obs.Registry
 
 	// PreflightAnalysis asks embedders to run the static determinism
 	// analyses (internal/analysis) over the program before record mode

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dejavu/internal/debugger"
+	"dejavu/internal/obs"
 )
 
 // Hardening defaults. A debug server lives next to a replay worth hours of
@@ -37,12 +38,65 @@ const (
 type Server struct {
 	D *debugger.Debugger
 
+	// Session, when set, serves a journal-backed debugging session whose
+	// embedded Debugger is replaced wholesale on durable re-seeds: every
+	// command then resolves the CURRENT debugger through Session.D, and
+	// travel routes through Session.TravelTo so targets before the
+	// in-memory checkpoint window re-seed from durable checkpoints instead
+	// of failing. D is ignored when Session is set.
+	Session *debugger.JournalSession
+
+	// Obs, when set, receives service metrics: connections (accepted,
+	// refused, active, deadline drops) and per-command counts and latency.
+	// Metric collection happens outside the command lock's protected state
+	// and never touches the VM, so an observed session replays identically
+	// to a bare one.
+	Obs *obs.Registry
+
 	MaxConns     int           // concurrent connections (0 = DefaultMaxConns, <0 = unlimited)
 	IdleTimeout  time.Duration // per-read deadline (0 = DefaultIdleTimeout, <0 = none)
 	WriteTimeout time.Duration // per-response deadline (0 = DefaultWriteTimeout, <0 = none)
 
-	mu     sync.Mutex
-	active atomic.Int32
+	mu       sync.Mutex
+	active   atomic.Int32
+	initOnce sync.Once
+	m        serverMetrics
+}
+
+// serverMetrics holds the server's obs series; all nil-safe no-ops when
+// Obs is unset.
+type serverMetrics struct {
+	conns    *obs.Counter   // connections accepted
+	refused  *obs.Counter   // connections refused at capacity
+	active   *obs.Gauge     // connections currently open
+	drops    *obs.Counter   // connections dropped at an idle/write deadline
+	commands *obs.Counter   // commands executed
+	cmdErrs  *obs.Counter   // commands answered with ERR
+	latency  *obs.Histogram // per-command execution time
+}
+
+func (s *Server) metrics() *serverMetrics {
+	s.initOnce.Do(func() {
+		s.m = serverMetrics{
+			conns:    s.Obs.Counter("dv_dbg_connections_total"),
+			refused:  s.Obs.Counter("dv_dbg_connections_refused_total"),
+			active:   s.Obs.Gauge("dv_dbg_connections_active"),
+			drops:    s.Obs.Counter("dv_dbg_deadline_drops_total"),
+			commands: s.Obs.Counter("dv_dbg_commands_total"),
+			cmdErrs:  s.Obs.Counter("dv_dbg_command_errors_total"),
+			latency:  s.Obs.Histogram("dv_dbg_command_seconds"),
+		}
+	})
+	return &s.m
+}
+
+// debugger resolves the current debugger. Must be called under s.mu: a
+// journal session's embedded Debugger is swapped during durable re-seeds.
+func (s *Server) debugger() *debugger.Debugger {
+	if s.Session != nil {
+		return s.Session.D
+	}
+	return s.D
 }
 
 func pickLimit[T int | time.Duration](v, def T) T {
@@ -72,13 +126,20 @@ func (s *Server) Serve(l net.Listener) {
 		if err != nil {
 			return
 		}
+		m := s.metrics()
 		if max := pickLimit(s.MaxConns, DefaultMaxConns); max > 0 && s.active.Load() >= int32(max) {
+			m.refused.Inc()
 			refuse(conn)
 			continue
 		}
 		s.active.Add(1)
+		m.conns.Inc()
+		m.active.Inc()
 		go func() {
-			defer s.active.Add(-1)
+			defer func() {
+				s.active.Add(-1)
+				m.active.Dec()
+			}()
 			s.serveConn(conn)
 		}()
 	}
@@ -105,6 +166,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			conn.SetReadDeadline(time.Now().Add(idle))
 		}
 		if !sc.Scan() {
+			if ne, ok := sc.Err().(net.Error); ok && ne.Timeout() {
+				s.metrics().drops.Inc()
+			}
 			return
 		}
 		line := strings.TrimSpace(sc.Text())
@@ -131,6 +195,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			fmt.Fprintf(w, ".\n")
 		}
 		if werr := w.Flush(); werr != nil {
+			if ne, ok := werr.(net.Error); ok && ne.Timeout() {
+				s.metrics().drops.Inc()
+			}
 			return
 		}
 	}
@@ -142,14 +209,21 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) execute(line string) (body string, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	m := s.metrics()
+	m.commands.Inc()
+	start := time.Now()
 	fields := strings.Fields(line)
 	defer func() {
 		if r := recover(); r != nil {
 			body = ""
 			err = fmt.Errorf("internal error executing %q: %v", fields[0], r)
 		}
+		m.latency.ObserveSince(start)
+		if err != nil {
+			m.cmdErrs.Inc()
+		}
 	}()
-	d := s.D
+	d := s.debugger()
 	switch fields[0] {
 	case "break":
 		if len(fields) != 3 {
@@ -251,6 +325,15 @@ func (s *Server) execute(line string) (body string, err error) {
 		ev, err := strconv.ParseUint(fields[1], 10, 64)
 		if err != nil {
 			return "", err
+		}
+		if s.Session != nil {
+			// A journal session owns travel: targets before the in-memory
+			// checkpoint window re-seed from a durable checkpoint, which
+			// replaces the embedded Debugger wholesale.
+			if err := s.Session.TravelTo(ev); err != nil {
+				return "", err
+			}
+			return s.Session.D.Status(), nil
 		}
 		if err := d.TravelTo(ev); err != nil {
 			return "", err

@@ -9,6 +9,7 @@ import (
 
 	"dejavu/internal/bytecode"
 	"dejavu/internal/core"
+	"dejavu/internal/obs"
 	"dejavu/internal/trace"
 	"dejavu/internal/vm"
 )
@@ -24,6 +25,12 @@ type JournalSession struct {
 	// CheckpointEvery seeds the in-memory checkpoint cadence of every
 	// debugger this session builds (current and re-seeded).
 	CheckpointEvery uint64
+
+	// Obs, when set, is attached to the replay engine of every debugger
+	// this session builds, so engine metrics survive durable re-seeds.
+	// Metrics are excluded from engine snapshots, so a session with a
+	// registry replays identically to one without.
+	Obs *obs.Registry
 
 	fs trace.FS
 	j  *trace.Journal
@@ -42,6 +49,12 @@ func OpenJournalSession(prog *bytecode.Program, fs trace.FS) (*JournalSession, e
 // it — attaching deep into a long recording costs one segment suffix, not
 // a from-zero replay.
 func OpenJournalSessionAt(prog *bytecode.Program, fs trace.FS, event uint64) (*JournalSession, error) {
+	return OpenJournalSessionObs(prog, fs, event, nil)
+}
+
+// OpenJournalSessionObs is OpenJournalSessionAt with a metrics registry
+// attached to every engine the session builds.
+func OpenJournalSessionObs(prog *bytecode.Program, fs trace.FS, event uint64, reg *obs.Registry) (*JournalSession, error) {
 	j, err := trace.OpenJournal(fs)
 	if err != nil {
 		return nil, err
@@ -49,7 +62,7 @@ func OpenJournalSessionAt(prog *bytecode.Program, fs trace.FS, event uint64) (*J
 	if h := vm.ProgramHash(prog); j.ProgHash() != h {
 		return nil, fmt.Errorf("debugger: journal program hash mismatch: journal %x, program %x", j.ProgHash(), h)
 	}
-	s := &JournalSession{Prog: prog, fs: fs, j: j, CheckpointEvery: 10_000}
+	s := &JournalSession{Prog: prog, fs: fs, j: j, CheckpointEvery: 10_000, Obs: reg}
 	var ck *trace.Checkpoint
 	if event > 0 {
 		ck = j.BestCheckpoint(event)
@@ -87,6 +100,7 @@ func (s *JournalSession) newDebugger(ck *trace.Checkpoint) (*Debugger, error) {
 	ecfg.ProgHash = vm.ProgramHash(s.Prog)
 	ecfg.TraceIn = flat
 	ecfg.PartialTrace = !s.j.Complete()
+	ecfg.Obs = s.Obs
 	eng, err := core.NewEngine(ecfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,175 @@
+// Package obs is the replay platform's zero-dependency metrics layer:
+// atomic counters, gauges, and bounded-bucket latency histograms behind a
+// named registry.
+//
+// The design constraint is the paper's own (§Symmetric instrumentation):
+// observation must never perturb the replayed execution. The `liveclock`
+// flag keeps instrumentation out of the logical clock; obs keeps metrics
+// out of it by construction —
+//
+//   - metrics are host-side atomics the program can never read, so no
+//     control flow depends on them;
+//   - nothing here is serialized into EngineSnapshot or the trace, so a
+//     checkpoint taken with metrics on restores identically with them off;
+//   - every method is nil-safe: a nil *Counter/*Gauge/*Histogram (what a
+//     nil Registry hands out) is a no-op, so "metrics off" is the zero
+//     value, not a config flag threaded through every call site.
+//
+// The determinism test in replaycheck asserts the consequence: a replay
+// digest with a live Registry attached is bit-identical to one without.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; a nil Counter ignores all updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Negative deltas are a caller bug; counters only go up, so n
+// is unsigned.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 level. The zero value is ready to use; a nil
+// Gauge ignores all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the level by n (negative allowed).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current level (0 for a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram bucket layout: power-of-two nanosecond bounds from 1µs
+// (2^10ns ≈ 1.02µs) to ~4.4s (2^32ns), plus a +Inf overflow bucket.
+// 23 buckets cover every latency this platform measures — a ptrace peek
+// to a multi-second stalled verify job — at ≤2x resolution, in a fixed
+// 200-odd bytes of atomics.
+const (
+	histMinShift = 10 // first bound 2^10 ns
+	histBuckets  = 23 // bounds 2^10 .. 2^32 ns
+)
+
+// Histogram records durations into exponential latency buckets. The zero
+// value is ready to use; a nil Histogram ignores all observations.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	buckets [histBuckets + 1]atomic.Uint64 // +1 = overflow (+Inf)
+}
+
+// bucketIndex maps a nanosecond duration to its bucket.
+func bucketIndex(ns uint64) int {
+	// Smallest i such that ns <= 2^(histMinShift+i), i.e. the bucket
+	// whose upper bound first covers ns.
+	if ns <= 1<<histMinShift {
+		return 0
+	}
+	i := bits.Len64(ns-1) - histMinShift // ceil(log2(ns)) - minShift
+	if i > histBuckets {
+		return histBuckets
+	}
+	return i
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// ObserveSince records the elapsed time since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start))
+	}
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// encoding: counts are read bucket-by-bucket without a global lock, so a
+// snapshot racing Observe may be off by in-flight observations, never
+// torn within a single counter.
+type HistogramSnapshot struct {
+	Count   uint64
+	SumNS   uint64
+	Buckets [histBuckets + 1]uint64 // raw per-bucket counts; encoders cumulate
+}
+
+// snapshot copies the histogram's atomics.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// UpperBoundNS returns the inclusive upper bound of bucket i in
+// nanoseconds, or 0 for the overflow bucket (+Inf).
+func UpperBoundNS(i int) uint64 {
+	if i >= histBuckets {
+		return 0
+	}
+	return 1 << (histMinShift + i)
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	c.Inc()
+	c.Add(5)
+	g.Set(9)
+	g.Inc()
+	g.Dec()
+	h.Observe(time.Millisecond)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatalf("nil metrics must read zero, got %d / %d", c.Value(), g.Value())
+	}
+	if s := r.Snapshot(); s != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", s)
+	}
+	r.GaugeFunc("f", func() int64 { return 1 }) // must not panic
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dv_things_total")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	if r.Counter("dv_things_total") != c {
+		t.Fatal("same name must return same counter")
+	}
+	g := r.Gauge("dv_level")
+	g.Set(7)
+	g.Add(-3)
+	g.Inc()
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	// Bound i covers (2^(10+i-1), 2^(10+i)] ns.
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0}, // 1000ns <= 1024ns
+		{1024 * time.Nanosecond, 0},
+		{1025 * time.Nanosecond, 1},
+		{time.Millisecond, 10},         // 1e6 ns <= 2^20=1048576
+		{time.Second, 20},              // 1e9 <= 2^30=1073741824
+		{5 * time.Second, histBuckets}, // beyond 2^32 ns -> overflow
+	}
+	for _, c := range cases {
+		if got := bucketIndex(uint64(c.d)); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	h := (&Registry{histograms: map[string]*Histogram{}}).Histogram("h")
+	h.Observe(time.Millisecond)
+	h.Observe(-time.Second) // clamps to 0
+	s := h.snapshot()
+	if s.Count != 2 || s.Buckets[10] != 1 || s.Buckets[0] != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.SumNS != uint64(time.Millisecond) {
+		t.Fatalf("sum = %d", s.SumNS)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dv_chunks_total").Add(3)
+	r.Counter(`dv_fsyncs_total{policy="chunk"}`).Add(2)
+	r.Counter(`dv_fsyncs_total{policy="event"}`).Add(9)
+	r.Gauge("dv_events").Set(1500)
+	r.GaugeFunc("dv_alive", func() int64 { return 1 })
+	r.Histogram("dv_cmd_seconds").Observe(2 * time.Millisecond)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE dv_chunks_total counter",
+		"dv_chunks_total 3",
+		"# TYPE dv_fsyncs_total counter",
+		`dv_fsyncs_total{policy="chunk"} 2`,
+		`dv_fsyncs_total{policy="event"} 9`,
+		"# TYPE dv_events gauge",
+		"dv_events 1500",
+		"dv_alive 1",
+		"# TYPE dv_cmd_seconds histogram",
+		`dv_cmd_seconds_bucket{le="+Inf"} 1`,
+		"dv_cmd_seconds_sum 0.002",
+		"dv_cmd_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// The labeled family must emit exactly one TYPE line.
+	if n := strings.Count(text, "# TYPE dv_fsyncs_total counter"); n != 1 {
+		t.Errorf("TYPE line for labeled family appeared %d times", n)
+	}
+	// 2ms observation lands in the le="0.002097152" (2^21 ns) bucket.
+	if !strings.Contains(text, `dv_cmd_seconds_bucket{le="0.002097152"} 1`) {
+		t.Errorf("expected 2ms in the 2^21ns bucket:\n%s", text)
+	}
+}
+
+func TestJSONDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(7)
+	r.Histogram("b_seconds").Observe(time.Microsecond)
+	var b strings.Builder
+	if err := WriteJSON(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(out) != 2 || out[0]["name"] != "a_total" || out[0]["value"] != float64(7) {
+		t.Fatalf("unexpected dump: %v", out)
+	}
+	if out[1]["count"] != float64(1) {
+		t.Fatalf("histogram entry: %v", out[1])
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines doing
+// get-or-create, updates, and snapshots; run under -race this is the
+// tentpole's thread-safety proof for the primitive layer.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, iters = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("level").Add(1)
+				r.Histogram("lat_seconds").Observe(time.Duration(i))
+				if i%97 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+}

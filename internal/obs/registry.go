@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of metrics. Get-or-create lookups are
+// mutex-guarded; the returned metric objects update via lock-free atomics,
+// so hot paths resolve their metrics once and hold the pointers.
+//
+// A nil *Registry is valid everywhere and hands out nil metrics, whose
+// methods are all no-ops — instrumented code never branches on whether
+// observability is enabled.
+//
+// Names follow Prometheus conventions and may embed labels:
+// "dv_trace_fsyncs_total{policy=\"chunk\"}". The text before '{' is the
+// metric family; distinct label sets are distinct series.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	gaugeFns   map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		gaugeFns:   map[string]func() int64{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil (a no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Returns nil (a no-op histogram) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers a callback sampled at snapshot time, for levels
+// owned elsewhere (VM event position, heap occupancy). The callback runs
+// while the registry lock is held during Snapshot; keep it cheap and
+// non-reentrant. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, f func() int64) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = f
+}
+
+// Sample is one exported series in a Snapshot.
+type Sample struct {
+	Name  string             `json:"name"`
+	Kind  string             `json:"kind"` // "counter" | "gauge" | "histogram"
+	Value int64              `json:"value,omitempty"`
+	Count uint64             `json:"count,omitempty"`
+	SumNS uint64             `json:"sum_ns,omitempty"`
+	Hist  *HistogramSnapshot `json:"-"`
+}
+
+// Snapshot copies every registered series, sorted by name. Counter and
+// gauge values are single atomic loads; histogram snapshots may lag
+// in-flight observations but are never torn per-field.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+len(r.gaugeFns)+len(r.histograms))
+	for name, c := range r.counters {
+		out = append(out, Sample{Name: name, Kind: "counter", Value: int64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, f := range r.gaugeFns {
+		out = append(out, Sample{Name: name, Kind: "gauge", Value: f()})
+	}
+	for name, h := range r.histograms {
+		s := h.snapshot()
+		out = append(out, Sample{Name: name, Kind: "histogram", Count: s.Count, SumNS: s.SumNS, Hist: &s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// splitName separates a series name into its metric family and any
+// embedded label body: "a_total{x="1"}" -> ("a_total", `x="1"`).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// withLabel renders a family name with labels plus one extra label pair.
+func withLabel(family, labels, k, v string) string {
+	if labels != "" {
+		labels += ","
+	}
+	return fmt.Sprintf("%s{%s%s=%q}", family, labels, k, v)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Histograms export cumulative le-labeled buckets with bounds in
+// seconds, plus _sum (seconds) and _count, matching client conventions.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	typed := map[string]bool{}
+	emitType := func(family, kind string) {
+		if !typed[family] {
+			typed[family] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+		}
+	}
+	var err error
+	track := func(_ int, e error) {
+		if err == nil {
+			err = e
+		}
+	}
+	for _, s := range samples {
+		family, labels := splitName(s.Name)
+		switch s.Kind {
+		case "counter":
+			emitType(family, "counter")
+			track(fmt.Fprintf(w, "%s %d\n", s.Name, s.Value))
+		case "gauge":
+			emitType(family, "gauge")
+			track(fmt.Fprintf(w, "%s %d\n", s.Name, s.Value))
+		case "histogram":
+			emitType(family, "histogram")
+			var cum uint64
+			for i, n := range s.Hist.Buckets {
+				cum += n
+				le := "+Inf"
+				if ub := UpperBoundNS(i); ub != 0 {
+					le = formatSeconds(ub)
+				}
+				track(fmt.Fprintf(w, "%s %d\n", withLabel(family+"_bucket", labels, "le", le), cum))
+			}
+			track(fmt.Fprintf(w, "%s%s %s\n", family+"_sum", braced(labels), formatSeconds(s.SumNS)))
+			track(fmt.Fprintf(w, "%s%s %d\n", family+"_count", braced(labels), s.Count))
+		}
+	}
+	return err
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// formatSeconds renders nanoseconds as a decimal seconds literal without
+// floating-point round-trip noise.
+func formatSeconds(ns uint64) string {
+	whole, frac := ns/1e9, ns%1e9
+	if frac == 0 {
+		return fmt.Sprintf("%d", whole)
+	}
+	s := fmt.Sprintf("%d.%09d", whole, frac)
+	return strings.TrimRight(s, "0")
+}
+
+// jsonSample mirrors Sample with histogram buckets inlined for -metrics-out
+// dumps.
+type jsonSample struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"`
+	Value   *int64   `json:"value,omitempty"`
+	Count   *uint64  `json:"count,omitempty"`
+	SumNS   *uint64  `json:"sum_ns,omitempty"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+	// BoundsNS[i] is the inclusive upper bound of Buckets[i]; the final
+	// bucket is unbounded and has no entry here.
+	BoundsNS []uint64 `json:"bounds_ns,omitempty"`
+}
+
+// WriteJSON renders the snapshot as an indented JSON array (the
+// `-metrics-out` dump format).
+func WriteJSON(w io.Writer, samples []Sample) error {
+	out := make([]jsonSample, 0, len(samples))
+	for _, s := range samples {
+		js := jsonSample{Name: s.Name, Kind: s.Kind}
+		switch s.Kind {
+		case "counter", "gauge":
+			v := s.Value
+			js.Value = &v
+		case "histogram":
+			c, sum := s.Count, s.SumNS
+			js.Count = &c
+			js.SumNS = &sum
+			js.Buckets = append(js.Buckets, s.Hist.Buckets[:]...)
+			for i := 0; i < histBuckets; i++ {
+				js.BoundsNS = append(js.BoundsNS, UpperBoundNS(i))
+			}
+		}
+		out = append(out, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

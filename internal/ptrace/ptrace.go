@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dejavu/internal/heap"
+	"dejavu/internal/obs"
 )
 
 // Mem is the remote-memory interface: fill buf from addr.
@@ -80,11 +81,62 @@ type Server struct {
 	H     *heap.Heap
 	Roots RootSource
 
+	// Live, when set, resolves the heap and root source per request instead
+	// of the static H/Roots fields. A journal-backed debugging session
+	// replaces its VM wholesale when time travel re-seeds from a durable
+	// checkpoint; a server built over the original VM's heap would then
+	// peek freed memory. The callback must be safe to call from the serve
+	// goroutine — dvserve wraps it in the debug server's command lock.
+	Live func() (*heap.Heap, RootSource)
+
+	// Obs, when set, receives peek-endpoint metrics (connections, requests,
+	// bytes served, per-request latency). Peeks execute no interpreted
+	// code, and neither does metric collection, so observation preserves
+	// the §3.2 property.
+	Obs *obs.Registry
+
 	MaxConns     int           // concurrent connections (0 = DefaultMaxConns, <0 = unlimited)
 	IdleTimeout  time.Duration // per-request read deadline (0 = DefaultIdleTimeout, <0 = none)
 	WriteTimeout time.Duration // per-response deadline (0 = DefaultWriteTimeout, <0 = none)
 
-	active atomic.Int32
+	active   atomic.Int32
+	initOnce sync.Once
+	m        peekMetrics
+}
+
+// peekMetrics holds the peek server's obs series; all nil-safe no-ops
+// when Obs is unset.
+type peekMetrics struct {
+	conns   *obs.Counter   // connections accepted
+	refused *obs.Counter   // connections refused at capacity
+	peeks   *obs.Counter   // peek requests served
+	roots   *obs.Counter   // root requests served
+	bytes   *obs.Counter   // heap bytes copied out
+	errors  *obs.Counter   // requests answered with an error
+	latency *obs.Histogram // per-request service time
+}
+
+func (s *Server) metrics() *peekMetrics {
+	s.initOnce.Do(func() {
+		s.m = peekMetrics{
+			conns:   s.Obs.Counter("dv_peek_connections_total"),
+			refused: s.Obs.Counter("dv_peek_connections_refused_total"),
+			peeks:   s.Obs.Counter("dv_peek_requests_total"),
+			roots:   s.Obs.Counter("dv_peek_root_requests_total"),
+			bytes:   s.Obs.Counter("dv_peek_bytes_total"),
+			errors:  s.Obs.Counter("dv_peek_errors_total"),
+			latency: s.Obs.Histogram("dv_peek_request_seconds"),
+		}
+	})
+	return &s.m
+}
+
+// live resolves the heap and roots to serve one request against.
+func (s *Server) live() (*heap.Heap, RootSource) {
+	if s.Live != nil {
+		return s.Live()
+	}
+	return s.H, s.Roots
 }
 
 // Serve answers peek and root requests on l until the listener closes.
@@ -105,13 +157,16 @@ func (s *Server) Serve(l net.Listener) {
 		if err != nil {
 			return
 		}
+		m := s.metrics()
 		if max > 0 && s.active.Load() >= int32(max) {
+			m.refused.Inc()
 			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 			writeErr(conn, "server at connection capacity")
 			conn.Close()
 			continue
 		}
 		s.active.Add(1)
+		m.conns.Inc()
 		go func() {
 			defer s.active.Add(-1)
 			s.serveConn(conn)
@@ -131,7 +186,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	if write == 0 {
 		write = DefaultWriteTimeout
 	}
-	h, roots := s.H, s.Roots
+	m := s.metrics()
 	var hdr [9]byte
 	for {
 		if idle > 0 {
@@ -143,11 +198,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		if write > 0 {
 			conn.SetWriteDeadline(time.Now().Add(write))
 		}
+		// Resolve the heap and roots per request: a journal session's VM
+		// (and with it the live heap) is replaced by durable re-seeds.
+		start := time.Now()
+		h, roots := s.live()
 		switch hdr[0] {
 		case 'P':
 		case 'R':
 			var resp [9]byte
 			if roots == nil {
+				m.errors.Inc()
 				if !writeErr(conn, "no root source") {
 					return
 				}
@@ -159,6 +219,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			if _, err := conn.Write(resp[:]); err != nil {
 				return
 			}
+			m.roots.Inc()
+			m.latency.ObserveSince(start)
 			continue
 		default:
 			return
@@ -166,11 +228,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		addr := heap.Addr(binary.LittleEndian.Uint32(hdr[1:5]))
 		n := binary.LittleEndian.Uint32(hdr[5:9])
 		if n > 1<<20 {
+			m.errors.Inc()
 			writeErr(conn, "peek too large")
 			return
 		}
 		buf := make([]byte, n)
 		if err := h.ReadBytes(addr, buf); err != nil {
+			m.errors.Inc()
 			if !writeErr(conn, err.Error()) {
 				return
 			}
@@ -182,6 +246,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		if _, err := conn.Write(buf); err != nil {
 			return
 		}
+		m.peeks.Inc()
+		m.bytes.Add(uint64(n))
+		m.latency.ObserveSince(start)
 	}
 }
 

@@ -25,10 +25,9 @@ func journalOptions() replaycheck.Options {
 		Seed: 11, HostRand: 11, KeepEvents: 1 << 20,
 		ChunkBytes: 24, RotateEvents: 8,
 		PreemptMin: 2, PreemptMax: 9,
-		HeapBytes:  1 << 17, // small heap keeps per-segment checkpoints small
+		HeapBytes: 1 << 17, // small heap keeps per-segment checkpoints small
 	}
 }
-
 
 // journalReplayOptions mirrors the record-side VM geometry: replay must
 // build the same VM (heap size included) for images and checkpoints to

@@ -11,6 +11,7 @@ import (
 
 	"dejavu/internal/bytecode"
 	"dejavu/internal/core"
+	"dejavu/internal/obs"
 )
 
 // VerifyJob is one record→replay accuracy check: a program constructor
@@ -103,11 +104,36 @@ func (s *VerifySummary) Report() string {
 // workloads parallelize trivially; workers ≤ 0 selects GOMAXPROCS.
 // Results keep job order regardless of completion order.
 func VerifyPool(jobs []VerifyJob, workers int) *VerifySummary {
+	return VerifyPoolObs(jobs, workers, nil)
+}
+
+// poolMetrics holds the pool's obs series; all nil-safe no-ops when the
+// registry is nil.
+type poolMetrics struct {
+	jobs     *obs.Counter   // jobs completed (passed or failed)
+	failures *obs.Counter   // jobs whose replay diverged or errored
+	timeouts *obs.Counter   // jobs abandoned at their Timeout
+	panics   *obs.Counter   // panics recovered inside job runs
+	wall     *obs.Histogram // per-job wall time
+}
+
+// VerifyPoolObs is VerifyPool exporting pool metrics into reg: jobs
+// completed, failures, timeouts, recovered panics, and a per-job wall-time
+// histogram. The registry is shared across workers (its metrics are
+// atomics), and a nil reg collects nothing.
+func VerifyPoolObs(jobs []VerifyJob, workers int, reg *obs.Registry) *VerifySummary {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(jobs) && len(jobs) > 0 {
 		workers = len(jobs)
+	}
+	pm := poolMetrics{
+		jobs:     reg.Counter("dv_verify_jobs_total"),
+		failures: reg.Counter("dv_verify_failures_total"),
+		timeouts: reg.Counter("dv_verify_timeouts_total"),
+		panics:   reg.Counter("dv_verify_panics_recovered_total"),
+		wall:     reg.Histogram("dv_verify_job_seconds"),
 	}
 	start := time.Now()
 	sum := &VerifySummary{Runs: make([]VerifyRun, len(jobs)), Workers: workers}
@@ -118,7 +144,13 @@ func VerifyPool(jobs []VerifyJob, workers int) *VerifySummary {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				sum.Runs[i] = safeVerifyJob(jobs[i])
+				run := safeVerifyJob(jobs[i], pm)
+				pm.jobs.Inc()
+				pm.wall.Observe(run.Duration)
+				if run.Err != nil {
+					pm.failures.Inc()
+				}
+				sum.Runs[i] = run
 			}
 		}()
 	}
@@ -143,15 +175,16 @@ func VerifyPool(jobs []VerifyJob, workers int) *VerifySummary {
 // recover path, a nil job constructor caught at the wrong layer) would kill
 // the worker — and with the feeder blocked on the unbuffered index channel,
 // deadlock the whole pool. Here it becomes one failed run instead.
-func safeVerifyJob(j VerifyJob) (run VerifyRun) {
+func safeVerifyJob(j VerifyJob, pm poolMetrics) (run VerifyRun) {
 	defer func() {
 		if r := recover(); r != nil {
+			pm.panics.Inc()
 			run = VerifyRun{Name: j.Name, Seed: j.Options.Seed,
 				Err: fmt.Errorf("verify worker panic: %v", r)}
 		}
 	}()
 	if j.Timeout <= 0 {
-		return runVerifyJob(j)
+		return runVerifyJob(j, pm)
 	}
 	// Bounded job: run it in its own goroutine and give up at the deadline.
 	// The abandoned goroutine keeps its replay watchdog (armed from the
@@ -159,11 +192,12 @@ func safeVerifyJob(j VerifyJob) (run VerifyRun) {
 	// for the process lifetime.
 	start := time.Now()
 	done := make(chan VerifyRun, 1)
-	go func() { done <- runVerifyJob(j) }()
+	go func() { done <- runVerifyJob(j, pm) }()
 	select {
 	case run = <-done:
 		return run
 	case <-time.After(j.Timeout):
+		pm.timeouts.Inc()
 		return VerifyRun{
 			Name: j.Name, Seed: j.Options.Seed,
 			Err:      &core.StalledError{Thread: -1, Deadline: j.Timeout},
@@ -172,7 +206,7 @@ func safeVerifyJob(j VerifyJob) (run VerifyRun) {
 	}
 }
 
-func runVerifyJob(j VerifyJob) (run VerifyRun) {
+func runVerifyJob(j VerifyJob, pm poolMetrics) (run VerifyRun) {
 	start := time.Now()
 	if j.Timeout > 0 && j.Options.ProgressDeadline == 0 {
 		j.Options.ProgressDeadline = j.Timeout
@@ -180,6 +214,7 @@ func runVerifyJob(j VerifyJob) (run VerifyRun) {
 	run = VerifyRun{Name: j.Name, Seed: j.Options.Seed}
 	defer func() {
 		if r := recover(); r != nil {
+			pm.panics.Inc()
 			run.Err = fmt.Errorf("panic: %v", r)
 		}
 		run.Duration = time.Since(start)

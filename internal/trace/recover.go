@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"dejavu/internal/obs"
 )
 
 // RecoverReport describes what recovery salvaged and why it stopped.
@@ -47,6 +49,28 @@ type RecoverReport struct {
 	// Reason says why salvage stopped short (checksum mismatch, torn tail,
 	// unknown tag, ...); empty when Complete.
 	Reason string
+}
+
+// Observe exports the salvage outcome into reg: how much of a torn
+// recording survived, and whether salvage stopped short. Called after
+// recovery completes, so it perturbs nothing.
+func (r *RecoverReport) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	b := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	reg.Gauge("dv_recover_complete").Set(b(r.Complete))
+	reg.Gauge("dv_recover_end_event").Set(b(r.EndEvent))
+	reg.Gauge("dv_recover_chunks").Set(int64(r.Chunks))
+	reg.Gauge("dv_recover_switches").Set(int64(r.Switches))
+	reg.Gauge("dv_recover_events").Set(int64(r.Events))
+	reg.Gauge("dv_recover_salvaged_bytes").Set(r.SalvagedBytes)
+	reg.Gauge("dv_recover_dropped_bytes").Set(r.TotalBytes - r.SalvagedBytes)
 }
 
 // String renders the one-line salvage summary the CLI prints.

@@ -34,6 +34,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"dejavu/internal/obs"
 )
 
 // FS is the filesystem surface a segmented journal runs on. DirFS maps it
@@ -116,7 +118,7 @@ type SegmentInfo struct {
 
 // CheckpointInfo is one durable checkpoint's manifest entry.
 type CheckpointInfo struct {
-	Index    int    // segment this checkpoint seeds (replay starts at its first byte)
+	Index    int // segment this checkpoint seeds (replay starts at its first byte)
 	Name     string
 	VMEvents uint64 // instruction count at the segment boundary
 }
@@ -376,11 +378,27 @@ type SegmentWriter struct {
 	agg    Stats // sealed segments' aggregated stats
 	closed bool
 	err    error
+	m      segmentMetrics
+}
+
+// segmentMetrics holds the journal writer's obs series; all nil-safe
+// no-ops when StreamOptions.Obs is unset.
+type segmentMetrics struct {
+	seals     *obs.Counter // segments sealed durably
+	rotations *obs.Counter // completed rotations (seal + checkpoint + reopen)
+	ckWrites  *obs.Counter // checkpoint files written
+	ckBytes   *obs.Counter // checkpoint bytes written (encoded VM state)
 }
 
 // NewSegmentWriter opens segment 0 of a fresh journal on fs.
 func NewSegmentWriter(fs FS, progHash uint64, opts SegmentOptions) (*SegmentWriter, error) {
 	s := &SegmentWriter{fs: fs, progHash: progHash, opts: opts}
+	s.m = segmentMetrics{
+		seals:     opts.Obs.Counter("dv_journal_segments_sealed_total"),
+		rotations: opts.Obs.Counter("dv_journal_rotations_total"),
+		ckWrites:  opts.Obs.Counter("dv_journal_checkpoint_writes_total"),
+		ckBytes:   opts.Obs.Counter("dv_journal_checkpoint_bytes_total"),
+	}
 	s.man.ProgHash = progHash
 	s.agg = Stats{Events: map[Kind]int{}, BytesByKind: map[Kind]int{}}
 	if err := s.openSegment(0); err != nil {
@@ -488,6 +506,9 @@ func (s *SegmentWriter) seal() {
 		Bytes:    int64(st.TotalBytes),
 	})
 	s.cur, s.curFile = nil, nil
+	if s.err == nil {
+		s.m.seals.Inc()
+	}
 }
 
 // writeAtomic writes name via a temp file, fsync, and rename.
@@ -533,10 +554,15 @@ func (s *SegmentWriter) Rotate(state []byte, vmEvents, boundaryNYP uint64) error
 		s.man.Checkpoints = append(s.man.Checkpoints, CheckpointInfo{
 			Index: next, Name: CheckpointFileName(next), VMEvents: vmEvents,
 		})
+		s.m.ckWrites.Inc()
+		s.m.ckBytes.Add(uint64(len(state)))
 	}
 	s.writeAtomic(manifestName, s.man.Encode())
 	if s.err == nil {
 		s.setErr(s.openSegment(next))
+	}
+	if s.err == nil {
+		s.m.rotations.Inc()
 	}
 	return s.err
 }

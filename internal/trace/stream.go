@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"dejavu/internal/obs"
 )
 
 const streamMagic = "DVS1"
@@ -102,6 +104,12 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 type StreamOptions struct {
 	ChunkBytes int        // flush threshold; 0 selects DefaultChunkBytes
 	Sync       SyncPolicy // durability policy (no-op if the sink can't Sync)
+
+	// Obs, when set, receives the writer's operational metrics (chunks
+	// flushed, container bytes, fsyncs by policy, events logged). Metrics
+	// never enter the container bytes, so a trace recorded with metrics on
+	// is byte-identical to one recorded with them off.
+	Obs *obs.Registry
 }
 
 // IsStream reports whether b begins with the streaming-container magic.
@@ -130,6 +138,16 @@ type StreamWriter struct {
 	closed   bool
 	err      error
 	progHash uint64
+	m        streamWriterMetrics
+}
+
+// streamWriterMetrics holds the writer's obs series; all nil-safe no-ops
+// when StreamOptions.Obs is unset.
+type streamWriterMetrics struct {
+	chunks *obs.Counter // chunks flushed to the sink
+	bytes  *obs.Counter // container bytes written
+	fsyncs *obs.Counter // Sync calls issued (labeled by policy)
+	events *obs.Counter // events logged
 }
 
 // NewStreamWriter starts a streaming trace for progHash on dst, writing
@@ -151,6 +169,12 @@ func NewStreamWriterOptions(dst io.Writer, progHash uint64, o StreamOptions) (*S
 	}
 	s := &StreamWriter{dst: dst, log: newEventLog(), chunk: o.ChunkBytes, sync: o.Sync, progHash: progHash}
 	s.fsync, _ = dst.(syncer)
+	s.m = streamWriterMetrics{
+		chunks: o.Obs.Counter("dv_trace_chunks_flushed_total"),
+		bytes:  o.Obs.Counter("dv_trace_bytes_written_total"),
+		fsyncs: o.Obs.Counter(fmt.Sprintf("dv_trace_fsyncs_total{policy=%q}", o.Sync.String())),
+		events: o.Obs.Counter("dv_trace_events_total"),
+	}
 	var hdr [streamHeaderLen]byte
 	copy(hdr[:], streamMagic)
 	binary.LittleEndian.PutUint64(hdr[len(streamMagic):], progHash)
@@ -188,6 +212,7 @@ func (s *StreamWriter) End() { s.log.logEnd(); s.afterEvent() }
 
 // afterEvent applies the durability policy to the event just logged.
 func (s *StreamWriter) afterEvent() {
+	s.m.events.Inc()
 	if s.sync == SyncEvent {
 		s.flushChunk(chunkSwitchC, &s.log.sw)
 		s.flushChunk(chunkDataC, &s.log.data)
@@ -230,6 +255,7 @@ func (s *StreamWriter) write(p []byte) bool {
 		return false
 	}
 	s.written += n
+	s.m.bytes.Add(uint64(n))
 	return true
 }
 
@@ -247,7 +273,9 @@ func (s *StreamWriter) syncNow() {
 	}
 	if err := s.fsync.Sync(); err != nil {
 		s.setErr(fmt.Errorf("trace: stream sync: %w", err))
+		return
 	}
+	s.m.fsyncs.Inc()
 }
 
 // flushChunk emits one checksummed chunk: tag, length, payload, CRC32C
@@ -265,7 +293,9 @@ func (s *StreamWriter) flushChunk(tag byte, buf *bytes.Buffer) {
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], sum)
 	if s.write(hdr[:1+n]) && s.write(buf.Bytes()) {
-		s.write(crc[:])
+		if s.write(crc[:]) {
+			s.m.chunks.Inc()
+		}
 	}
 	buf.Reset()
 }
@@ -441,6 +471,28 @@ type StreamReader struct {
 	// NewStreamReader) reads chunks from src; a segmented journal source
 	// (Journal.Source) substitutes one that chains segment files.
 	next func() (streamChunk, error)
+
+	m streamReaderMetrics
+}
+
+// streamReaderMetrics holds the reader's obs series; all nil-safe no-ops
+// until Instrument is called.
+type streamReaderMetrics struct {
+	chunks   *obs.Counter // framing records read
+	verified *obs.Counter // checksummed chunks whose CRC32C matched
+	failed   *obs.Counter // chunks rejected for a checksum mismatch
+}
+
+// Instrument attaches replay-side metrics: chunks read, CRC verifications,
+// and CRC failures. Metrics never feed back into decoding, so an
+// instrumented replay consumes byte-for-byte the same stream as a bare
+// one.
+func (s *StreamReader) Instrument(reg *obs.Registry) {
+	s.m = streamReaderMetrics{
+		chunks:   reg.Counter("dv_trace_read_chunks_total"),
+		verified: reg.Counter("dv_trace_crc_verified_total"),
+		failed:   reg.Counter("dv_trace_crc_failed_total"),
+	}
 }
 
 // NewStreamReader validates the streaming container header against
@@ -469,11 +521,18 @@ func (s *StreamReader) fill() error {
 	}
 	c, err := s.next()
 	if err != nil {
+		if errors.Is(err, ErrChecksum) {
+			s.m.failed.Inc()
+		}
 		if err == io.EOF {
 			err = fmt.Errorf("trace: stream truncated before end marker: %w", io.ErrUnexpectedEOF)
 		}
 		s.err = err
 		return s.err
+	}
+	s.m.chunks.Inc()
+	if s.mode == frameChecked {
+		s.m.verified.Inc()
 	}
 	switch c.role {
 	case chunkEnd:

@@ -1,0 +1,29 @@
+package vm
+
+import "dejavu/internal/obs"
+
+// ObserveInto publishes the VM's current execution levels into reg as
+// gauges: event position, halted state, heap occupancy, GC count, stack
+// growths, and output size. It reads VM state without mutating it, but the
+// VM is single-goroutine — callers synchronize with execution themselves
+// (dvserve samples under the debug server's command lock; the CLIs sample
+// after the run finishes). None of these reads execute interpreted code or
+// touch the engine, so sampling cannot perturb a replay.
+func (vm *VM) ObserveInto(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	b := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	reg.Gauge("dv_vm_events").Set(int64(vm.events))
+	reg.Gauge("dv_vm_halted").Set(b(vm.halted))
+	reg.Gauge("dv_vm_heap_used_bytes").Set(int64(vm.h.Used()))
+	reg.Gauge("dv_vm_heap_semi_bytes").Set(int64(vm.h.SemiSize()))
+	reg.Gauge("dv_vm_gc_collections").Set(int64(vm.h.Collections))
+	reg.Gauge("dv_vm_stack_grows").Set(int64(vm.stackGrows))
+	reg.Gauge("dv_vm_output_bytes").Set(int64(len(vm.out.buf)))
+}
