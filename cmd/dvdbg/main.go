@@ -23,11 +23,12 @@ import (
 
 func main() {
 	connect := flag.String("connect", "", "attach to a dvserve debug endpoint")
+	session := flag.String("session", "", "session ID to attach on a multi-tenant dvserve (with -connect)")
 	traceIn := flag.String("t", "trace.dvt", "trace input file (in-process mode)")
 	flag.Parse()
 	var err error
 	if *connect != "" {
-		err = remoteREPL(*connect)
+		err = remoteREPL(*connect, *session)
 	} else {
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "usage: dvdbg -connect host:port | dvdbg -t trace.dvt <prog>")
@@ -41,7 +42,7 @@ func main() {
 	}
 }
 
-func remoteREPL(addr string) error {
+func remoteREPL(addr, session string) error {
 	// The reconnecting client survives a dvserve restart (or a dropped
 	// connection) with capped exponential backoff instead of dying at the
 	// first transport hiccup.
@@ -53,8 +54,25 @@ func remoteREPL(addr string) error {
 		return err
 	}
 	defer c.Close()
+	send := func(cmd string) (string, error) { return c.Send(cmd) }
+	if session != "" {
+		// Multi-tenant dvserve: bind this connection to a session, and
+		// re-bind transparently after any reconnect (the attachment is
+		// per-connection state the server forgets on transport loss).
+		send = func(cmd string) (string, error) {
+			if _, err := c.Send("attach " + session); err != nil {
+				return "", err
+			}
+			return c.Send(cmd)
+		}
+		if _, err := send("status"); err != nil {
+			return fmt.Errorf("attach %s: %w", session, err)
+		}
+		fmt.Printf("connected to %s, session %s (type help)\n", addr, session)
+		return repl(send)
+	}
 	fmt.Printf("connected to %s (type help)\n", addr)
-	return repl(func(cmd string) (string, error) { return c.Send(cmd) })
+	return repl(send)
 }
 
 func localREPL(progArg, traceIn string) error {

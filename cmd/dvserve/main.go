@@ -1,27 +1,45 @@
-// Command dvserve replays a recorded execution under debugger control and
+// Command dvserve replays recorded executions under debugger control and
 // serves the paper's multi-process architecture (§3, §4) over TCP:
 //
 //   - a debug endpoint (dbgproto) that front ends like dvdbg connect to
 //   - a peek endpoint (ptrace) that serves raw memory reads for
 //     out-of-process remote reflection
-//   - an optional HTTP observability endpoint (-metrics) exposing
-//     Prometheus series at /metrics and a liveness/position report at
-//     /healthz — sampled outside the logical clock, so scraping never
-//     perturbs the replay
+//   - an optional HTTP endpoint exposing Prometheus series at /metrics
+//     and a liveness/position report at /healthz — sampled outside the
+//     logical clock, so scraping never perturbs any replay
 //
-// usage: dvserve -t trace.dvt -listen :4455 -peek :4456 <prog>
+// Single-session usage (one process, one debug session):
+//
+//	dvserve -t trace.dvt -listen :4455 -peek :4456 <prog>
 //
 // The -t argument accepts a flat (DVT2) or streaming (DVS1) trace file, or
 // a segmented journal directory — the latter opens a journal session that
 // seeds from the nearest durable checkpoint (-from-event picks the initial
 // position) and re-seeds across segments during time travel.
 //
+// Multi-tenant usage (one process, many sessions):
+//
+//	dvserve -data-root /var/lib/dejavu -http :8080 -listen :4455 -peek :4456
+//
+// With -data-root, dvserve becomes a session-manager platform: sessions
+// are created, traveled, verified, and killed over the HTTP/JSON control
+// plane (/v1/sessions...), each with its own journal under the data root,
+// its own command lock, and a share of a bounded worker budget (-workers).
+// The debug and peek listeners stay up but become per-session attachable
+// (dbgproto `attach <id>`, ptrace 'A' request). Admission control refuses
+// over-capacity creates with structured reasons; /metrics exports the
+// per-pool series (active sessions, admissions, rejections, re-seeds,
+// worker occupancy).
+//
 // All listeners are bound before any of them starts serving: a bind
 // failure on any endpoint aborts startup with nothing half-started.
 //
-// SIGINT/SIGTERM shut the server down gracefully: every listener closes
-// (connected clients see clean EOFs, not resets), and with -exit-save the
-// session checkpoints to a file so `dvserve -restore` resumes it.
+// SIGINT/SIGTERM shut the server down gracefully. Single-session mode
+// checkpoints to -exit-save so `dvserve -restore` resumes. Multi-tenant
+// mode first stops admissions, then writes an -exit-save checkpoint into
+// every live session's directory under that session's lock — no checkpoint
+// is ever half a command, even when many sessions exit together — and only
+// then closes the listeners.
 package main
 
 import (
@@ -33,6 +51,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dejavu/internal/cli"
 	"dejavu/internal/core"
@@ -41,6 +60,7 @@ import (
 	"dejavu/internal/heap"
 	"dejavu/internal/obs"
 	"dejavu/internal/ptrace"
+	"dejavu/internal/sessions"
 	"dejavu/internal/trace"
 	"dejavu/internal/vm"
 )
@@ -55,19 +75,51 @@ type serveConfig struct {
 	fromEvent  uint64
 	restore    string
 	exitSave   string
+
+	// Multi-tenant mode (enabled by -data-root).
+	dataRoot     string
+	httpAddr     string
+	maxSessions  int
+	maxPerTenant int
+	workers      int
+	admitTimeout time.Duration
 }
 
 func main() {
 	var c serveConfig
-	flag.StringVar(&c.traceIn, "t", "trace.dvt", "trace input: a .dvt/.dvs file or a segmented journal directory")
+	flag.StringVar(&c.traceIn, "t", "trace.dvt", "trace input: a .dvt/.dvs file or a segmented journal directory (single-session mode)")
 	flag.StringVar(&c.listen, "listen", "127.0.0.1:4455", "debug protocol address")
 	flag.StringVar(&c.peek, "peek", "127.0.0.1:4456", "ptrace peek address (empty to disable)")
 	flag.StringVar(&c.metrics, "metrics", "", "HTTP observability address serving /metrics and /healthz (empty to disable)")
 	flag.Uint64Var(&c.checkpoint, "checkpoint", 10000, "instructions per time-travel checkpoint (0 disables)")
 	flag.Uint64Var(&c.fromEvent, "from-event", 0, "initial replay position; journal traces seed from the nearest durable checkpoint")
 	flag.StringVar(&c.restore, "restore", "", "resume from a checkpoint file (written by the debugger's save command)")
-	flag.StringVar(&c.exitSave, "exit-save", "", "on SIGINT/SIGTERM, write a checkpoint here before exiting (resume with -restore)")
+	flag.StringVar(&c.exitSave, "exit-save", "", "on SIGINT/SIGTERM, write a checkpoint before exiting: a file path (single-session), or a file name written into every live session's directory (multi-tenant)")
+	flag.StringVar(&c.dataRoot, "data-root", "", "session storage root; enables the multi-tenant session manager")
+	flag.StringVar(&c.httpAddr, "http", "", "HTTP control-plane address (/v1/sessions, /metrics, /healthz); required with -data-root unless -metrics is set")
+	flag.IntVar(&c.maxSessions, "max-sessions", 0, "pool-wide session cap (0 = 128)")
+	flag.IntVar(&c.maxPerTenant, "max-per-tenant", 0, "per-tenant session cap (0 = 16, -1 = unlimited)")
+	flag.IntVar(&c.workers, "workers", 0, "concurrent command budget shared by all sessions (0 = 8)")
+	flag.DurationVar(&c.admitTimeout, "admit-timeout", 0, "max wait for a worker slot before a busy refusal (0 = 5s)")
 	flag.Parse()
+	if c.dataRoot != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: dvserve -data-root DIR -http ADDR [flags]   (programs are chosen per session; no positional args)")
+			os.Exit(2)
+		}
+		if c.httpAddr == "" {
+			c.httpAddr = c.metrics
+		}
+		if c.httpAddr == "" {
+			fmt.Fprintln(os.Stderr, "dvserve: -data-root requires -http (the session control plane)")
+			os.Exit(2)
+		}
+		if err := runMulti(c); err != nil {
+			fmt.Fprintln(os.Stderr, "dvserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dvserve [flags] <prog>")
 		os.Exit(2)
@@ -77,6 +129,115 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dvserve:", err)
 		os.Exit(1)
 	}
+}
+
+// runMulti boots the multi-tenant session-manager platform: session
+// registry over -data-root, HTTP control plane, and per-session attachable
+// debug/peek endpoints.
+func runMulti(c serveConfig) error {
+	reg := obs.NewRegistry()
+	mgr, err := sessions.NewManager(sessions.Config{
+		DataRoot:        c.dataRoot,
+		MaxSessions:     c.maxSessions,
+		MaxPerTenant:    c.maxPerTenant,
+		Workers:         c.workers,
+		AdmitTimeout:    c.admitTimeout,
+		CheckpointEvery: c.checkpoint,
+		Obs:             reg,
+	})
+	if err != nil {
+		return err
+	}
+	if n := len(mgr.List()); n > 0 {
+		fmt.Fprintf(os.Stderr, "data root %s: %d cold session(s) registered\n", c.dataRoot, n)
+	}
+
+	// Bind everything before serving anything (same invariant as
+	// single-session mode: no half-started server).
+	var listeners []net.Listener
+	closeAll := func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}
+	bind := func(addr string) (net.Listener, error) {
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		listeners = append(listeners, l)
+		return l, nil
+	}
+	var pl net.Listener
+	if c.peek != "" {
+		if pl, err = bind(c.peek); err != nil {
+			return err
+		}
+	}
+	dl, err := bind(c.listen)
+	if err != nil {
+		return err
+	}
+	hl, err := bind(c.httpAddr)
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+
+	// Connection caps scale with the pool: every session may hold a debug
+	// and a peek connection at once.
+	maxConns := mgr.MaxSessions() * 2
+	srv := &dbgproto.Server{Resolver: mgr, Obs: reg, MaxConns: maxConns}
+	if pl != nil {
+		ps := &ptrace.Server{Sessions: mgr, Obs: reg, MaxConns: maxConns}
+		go ps.Serve(pl)
+		fmt.Fprintf(os.Stderr, "peek endpoint on %s (multi-session: attach first)\n", pl.Addr())
+	}
+	mux := http.NewServeMux()
+	mgr.Routes(mux)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		counts := map[string]int{}
+		for _, in := range mgr.List() {
+			counts[in.State]++
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"alive":        true,
+			"multi_tenant": true,
+			"draining":     mgr.Draining(),
+			"sessions":     counts,
+		})
+	})
+	go (&http.Server{Handler: mux}).Serve(hl)
+	fmt.Fprintf(os.Stderr, "control plane on http://%s/v1/sessions (metrics at /metrics)\n", hl.Addr())
+	fmt.Fprintf(os.Stderr, "debug endpoint on %s — connect with: dvdbg -connect %s -session <id>\n", dl.Addr(), dl.Addr())
+
+	// Graceful shutdown: stop admissions first, checkpoint every live
+	// session under its own lock, then close listeners — a fleet of
+	// sessions exiting together never tears a checkpoint.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "dvserve: %v: draining %d session(s)\n", sig, len(mgr.List()))
+		saved := mgr.Drain(c.exitSave)
+		if c.exitSave != "" {
+			fmt.Fprintf(os.Stderr, "dvserve: checkpointed %d session(s) to %s\n", len(saved), c.exitSave)
+		}
+		closeAll()
+	}()
+
+	srv.Serve(dl)
+	return nil
 }
 
 func run(c serveConfig) error {

@@ -16,6 +16,7 @@ import (
 	"dejavu/internal/bytecode"
 	"dejavu/internal/core"
 	"dejavu/internal/obs"
+	"dejavu/internal/replaycheck"
 	"dejavu/internal/trace"
 	"dejavu/internal/vm"
 	"dejavu/internal/workloads"
@@ -117,6 +118,42 @@ func (f *EngineFlags) OpenTraceSink(path string, progHash uint64) (*trace.Stream
 	}
 	f.TraceSink = sink
 	return sink, out, nil
+}
+
+// JournalRecording summarizes a journal recording: what ran, and the
+// identity of the execution (digest over steps, switches, and output) a
+// later replay must reproduce bit-for-bit.
+type JournalRecording struct {
+	Events   uint64
+	Switches uint64
+	Digest   uint64
+	Output   []byte
+}
+
+// RecordJournal resolves a program spec (workload:name, .dvs, or .dva),
+// records it with a seeded preemptor, and rotates the trace into a
+// segmented journal on fs so every segment boundary carries a durable
+// checkpoint. rotateEvents <= 0 keeps the journal single-segment. It is
+// the shared create path for tools that mint journal-backed sessions
+// (dvserve's multi-tenant session manager, tests).
+func RecordJournal(spec string, fs trace.FS, seed int64, rotateEvents int) (*JournalRecording, error) {
+	prog, err := LoadProgram(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := replaycheck.RecordJournal(prog, fs, replaycheck.Options{Seed: seed, RotateEvents: rotateEvents})
+	if err != nil {
+		return nil, err
+	}
+	if res.RunErr != nil {
+		return nil, fmt.Errorf("record %s: %w", spec, res.RunErr)
+	}
+	return &JournalRecording{
+		Events:   res.Events,
+		Switches: res.Digest.Switches(),
+		Digest:   res.Digest.Sum(),
+		Output:   res.Output,
+	}, nil
 }
 
 // Preflight runs the static determinism analyses (the `dejavu vet` pass)

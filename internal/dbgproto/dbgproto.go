@@ -46,6 +46,14 @@ type Server struct {
 	// of failing. D is ignored when Session is set.
 	Session *debugger.JournalSession
 
+	// Resolver, when set, switches the server into multi-session mode: a
+	// connection's first useful command is `attach <session-id>`, and every
+	// later command executes against that session under ITS lock (and the
+	// pool's worker budget) rather than the server-wide command mutex, so
+	// commands on different sessions proceed concurrently. D and Session
+	// are ignored when Resolver is set.
+	Resolver SessionResolver
+
 	// Obs, when set, receives service metrics: connections (accepted,
 	// refused, active, deadline drops) and per-command counts and latency.
 	// Metric collection happens outside the command lock's protected state
@@ -99,6 +107,29 @@ func (s *Server) debugger() *debugger.Debugger {
 	return s.D
 }
 
+// SessionResolver maps session IDs to attachable debugging sessions. The
+// multi-tenant session manager implements it; the interface lives here so
+// the protocol layer needs no dependency on session storage.
+type SessionResolver interface {
+	// AttachSession resolves id to a handle for command execution. A
+	// failure (unknown id, killed session, admission refusal) is returned
+	// as an error whose message is shown to the client verbatim.
+	AttachSession(id string) (SessionHandle, error)
+}
+
+// SessionHandle executes commands against one attached session.
+type SessionHandle interface {
+	// Exec runs f under the session's command lock and the pool's worker
+	// budget. cur resolves the session's CURRENT debugger — travel through
+	// a journal re-seed replaces it wholesale, so f must re-resolve after
+	// traveling rather than hold a *Debugger across the call. Exec may
+	// refuse with a structured error when the session is killed or the
+	// budget is exhausted.
+	Exec(f func(cur func() *debugger.Debugger, travel func(uint64) error) error) error
+	// Detach releases the attachment (connection closed or re-attached).
+	Detach()
+}
+
 func pickLimit[T int | time.Duration](v, def T) T {
 	switch {
 	case v == 0:
@@ -129,7 +160,7 @@ func (s *Server) Serve(l net.Listener) {
 		m := s.metrics()
 		if max := pickLimit(s.MaxConns, DefaultMaxConns); max > 0 && s.active.Load() >= int32(max) {
 			m.refused.Inc()
-			refuse(conn)
+			s.refuse(conn)
 			continue
 		}
 		s.active.Add(1)
@@ -146,10 +177,15 @@ func (s *Server) Serve(l net.Listener) {
 }
 
 // refuse answers an over-capacity connection with a protocol-shaped error
-// so the client reports something better than a hangup.
-func refuse(conn net.Conn) {
+// so the client reports something better than a hangup. The refusal write
+// honors the server's configured WriteTimeout — this path used to hardcode
+// a 5s deadline, so a server configured with no write deadline (<0) could
+// still drop a slow client mid-refusal.
+func (s *Server) refuse(conn net.Conn) {
 	defer conn.Close()
-	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if write := pickLimit(s.WriteTimeout, DefaultWriteTimeout); write > 0 {
+		conn.SetWriteDeadline(time.Now().Add(write))
+	}
 	fmt.Fprintf(conn, "ERR server at connection capacity\n.\n")
 }
 
@@ -157,6 +193,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	// A panic in the connection plumbing drops this connection only.
 	defer func() { recover() }()
+	// Multi-session mode: the connection's attachment, set by `attach`.
+	var h SessionHandle
+	defer func() {
+		if h != nil {
+			h.Detach()
+		}
+	}()
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
 	idle := pickLimit(s.IdleTimeout, DefaultIdleTimeout)
@@ -183,7 +226,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			w.Flush()
 			return
 		}
-		body, err := s.execute(line)
+		body, err := s.execute(line, &h)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %s\n.\n", strings.ReplaceAll(err.Error(), "\n", " "))
 		} else {
@@ -203,12 +246,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// execute runs one command against the debugger. A panic inside a command
-// surfaces as an error response: the session survives, and the message
-// names the command so the defect is findable.
-func (s *Server) execute(line string) (body string, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// execute runs one command. A panic inside a command surfaces as an error
+// response: the session survives, and the message names the command so the
+// defect is findable.
+func (s *Server) execute(line string, h *SessionHandle) (body string, err error) {
 	m := s.metrics()
 	m.commands.Inc()
 	start := time.Now()
@@ -223,7 +264,62 @@ func (s *Server) execute(line string) (body string, err error) {
 			m.cmdErrs.Inc()
 		}
 	}()
-	d := s.debugger()
+	if s.Resolver != nil {
+		return s.executeSession(fields, h)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	travel := s.debugger().TravelTo
+	if s.Session != nil {
+		// A journal session owns travel: targets before the in-memory
+		// checkpoint window re-seed from a durable checkpoint, which
+		// replaces the embedded Debugger wholesale.
+		travel = s.Session.TravelTo
+	}
+	return runCommand(s.debugger, travel, fields)
+}
+
+// executeSession dispatches one command in multi-session mode: `attach`
+// binds the connection to a session; everything else runs under that
+// session's lock via its handle. The server-wide mutex is NOT held, so
+// sessions execute concurrently up to the pool's worker budget.
+func (s *Server) executeSession(fields []string, h *SessionHandle) (string, error) {
+	if fields[0] == "attach" {
+		if len(fields) != 2 {
+			return "", fmt.Errorf("usage: attach <session-id>")
+		}
+		nh, err := s.Resolver.AttachSession(fields[1])
+		if err != nil {
+			return "", err
+		}
+		if *h != nil {
+			(*h).Detach()
+		}
+		*h = nh
+		return fmt.Sprintf("attached %s", fields[1]), nil
+	}
+	if fields[0] == "help" {
+		return helpText, nil
+	}
+	if *h == nil {
+		return "", fmt.Errorf("no session attached (use: attach <session-id>)")
+	}
+	var body string
+	err := (*h).Exec(func(cur func() *debugger.Debugger, travel func(uint64) error) error {
+		var cerr error
+		body, cerr = runCommand(cur, travel, fields)
+		return cerr
+	})
+	return body, err
+}
+
+// runCommand executes one already-tokenized command against a debugger.
+// The caller holds whatever lock serializes commands for that debugger and
+// supplies cur (resolving the CURRENT debugger — journal re-seeds replace
+// it wholesale) plus the travel routing (a journal session's TravelTo
+// re-seeds from durable checkpoints; a flat session travels in-memory).
+func runCommand(cur func() *debugger.Debugger, travel func(uint64) error, fields []string) (string, error) {
+	d := cur()
 	switch fields[0] {
 	case "break":
 		if len(fields) != 3 {
@@ -326,19 +422,11 @@ func (s *Server) execute(line string) (body string, err error) {
 		if err != nil {
 			return "", err
 		}
-		if s.Session != nil {
-			// A journal session owns travel: targets before the in-memory
-			// checkpoint window re-seed from a durable checkpoint, which
-			// replaces the embedded Debugger wholesale.
-			if err := s.Session.TravelTo(ev); err != nil {
-				return "", err
-			}
-			return s.Session.D.Status(), nil
-		}
-		if err := d.TravelTo(ev); err != nil {
+		if err := travel(ev); err != nil {
 			return "", err
 		}
-		return d.Status(), nil
+		// Re-resolve: a journal travel may have replaced the debugger.
+		return cur().Status(), nil
 	case "save":
 		if len(fields) != 2 {
 			return "", fmt.Errorf("usage: save <file>")
@@ -374,6 +462,7 @@ func (s *Server) execute(line string) (body string, err error) {
 }
 
 const helpText = `commands:
+  attach <session-id>           bind this connection to a session (multi-tenant server)
   break <Class.method> <pc>     set breakpoint at bytecode offset
   breakline <Class.method> <n>  set breakpoint at source line
   clear <n>                     remove breakpoint #n

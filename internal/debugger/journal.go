@@ -32,8 +32,9 @@ type JournalSession struct {
 	// registry replays identically to one without.
 	Obs *obs.Registry
 
-	fs trace.FS
-	j  *trace.Journal
+	fs      trace.FS
+	j       *trace.Journal
+	reseeds uint64
 }
 
 // OpenJournalSession opens the journal on fs and starts a from-zero
@@ -148,8 +149,15 @@ func (s *JournalSession) TravelTo(event uint64) error {
 		return err
 	}
 	s.D = d
+	s.reseeds++
+	s.Obs.Counter("dv_journal_reseeds_total").Inc()
 	return nil
 }
+
+// Reseeds reports how many travels forced a durable re-seed (a wholesale
+// VM replacement from an on-disk checkpoint). Callers synchronize access
+// the same way they do for D: under whatever lock serializes commands.
+func (s *JournalSession) Reseeds() uint64 { return s.reseeds }
 
 // canTravelTo reports whether an in-memory checkpoint at or before event
 // exists, i.e. whether TravelTo can serve the rewind without re-seeding.

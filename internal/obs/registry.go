@@ -153,6 +153,19 @@ func withLabel(family, labels, k, v string) string {
 	return fmt.Sprintf("%s{%s%s=%q}", family, labels, k, v)
 }
 
+// Label renders a series name with one label pair appended to whatever
+// labels the name already embeds:
+//
+//	Label("dv_sessions_rejected_total", "reason", "capacity")
+//	  → dv_sessions_rejected_total{reason="capacity"}
+//
+// Distinct label values are distinct series under one metric family, so
+// instrumented code can split a counter by cause without a vector type.
+func Label(name, k, v string) string {
+	family, labels := splitName(name)
+	return withLabel(family, labels, k, v)
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
 // format. Histograms export cumulative le-labeled buckets with bounds in
 // seconds, plus _sum (seconds) and _count, matching client conventions.

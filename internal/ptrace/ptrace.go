@@ -60,10 +60,11 @@ type RootSource interface {
 	Roots() (dict, threads heap.Addr)
 }
 
-// Wire protocol: request = 'P' | addr u32 | len u32 (peek), or
-// 'R' | 8 zero bytes (roots). Response = status byte (0 ok, 1 error) |
-// payload (requested bytes or two u32 roots on ok; u32-length + message on
-// error).
+// Wire protocol: request = 'P' | addr u32 | len u32 (peek),
+// 'R' | 8 zero bytes (roots), or 'A' | session u64 (attach, multi-session
+// servers only). Response = status byte (0 ok, 1 error) | payload
+// (requested bytes, two u32 roots, or nothing for attach on ok;
+// u32-length + message on error).
 
 // Hardening defaults, mirroring dbgproto: the peek endpoint guards the
 // same long-lived replay session.
@@ -88,6 +89,14 @@ type Server struct {
 	// peek freed memory. The callback must be safe to call from the serve
 	// goroutine — dvserve wraps it in the debug server's command lock.
 	Live func() (*heap.Heap, RootSource)
+
+	// Sessions, when set, switches the server into multi-session mode: a
+	// connection must first attach ('A' | session u64), and every peek or
+	// root request then resolves — and COPIES — the session's heap bytes
+	// under that session's command lock, so a concurrent command, travel
+	// re-seed, or kill can never leave a request reading a mutating or
+	// freed heap. H, Roots, and Live are ignored when Sessions is set.
+	Sessions SessionSource
 
 	// Obs, when set, receives peek-endpoint metrics (connections, requests,
 	// bytes served, per-request latency). Peeks execute no interpreted
@@ -131,12 +140,37 @@ func (s *Server) metrics() *peekMetrics {
 	return &s.m
 }
 
+// SessionSource resolves numeric session IDs for multi-session peek
+// serving. The session manager implements it; the interface lives here so
+// the protocol layer needs no dependency on session storage.
+type SessionSource interface {
+	// WithSession runs f with the session's live heap and root source
+	// under the session's command lock and the pool's worker budget. All
+	// heap reads must happen inside f — the pointers are dead the moment
+	// it returns (a travel re-seed or kill may replace or drop the VM).
+	WithSession(num uint64, f func(h *heap.Heap, roots RootSource) error) error
+}
+
 // live resolves the heap and roots to serve one request against.
 func (s *Server) live() (*heap.Heap, RootSource) {
 	if s.Live != nil {
 		return s.Live()
 	}
 	return s.H, s.Roots
+}
+
+// withLive routes one request's heap access: in multi-session mode through
+// the attached session's lock (reads complete inside f), otherwise against
+// the static or Live-resolved heap.
+func (s *Server) withLive(sid uint64, attached bool, f func(h *heap.Heap, roots RootSource) error) error {
+	if s.Sessions != nil {
+		if !attached {
+			return fmt.Errorf("no session attached (send an attach request first)")
+		}
+		return s.Sessions.WithSession(sid, f)
+	}
+	h, roots := s.live()
+	return f(h, roots)
 }
 
 // Serve answers peek and root requests on l until the listener closes.
@@ -160,7 +194,11 @@ func (s *Server) Serve(l net.Listener) {
 		m := s.metrics()
 		if max > 0 && s.active.Load() >= int32(max) {
 			m.refused.Inc()
-			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			// Honor the configured write deadline on the refusal too (this
+			// used to hardcode 5s, overriding a <0 "no deadline" setting).
+			if write := s.writeLimit(); write > 0 {
+				conn.SetWriteDeadline(time.Now().Add(write))
+			}
 			writeErr(conn, "server at connection capacity")
 			conn.Close()
 			continue
@@ -174,6 +212,19 @@ func (s *Server) Serve(l net.Listener) {
 	}
 }
 
+// writeLimit resolves the effective per-response deadline (0 = default,
+// <0 = none).
+func (s *Server) writeLimit() time.Duration {
+	switch {
+	case s.WriteTimeout == 0:
+		return DefaultWriteTimeout
+	case s.WriteTimeout < 0:
+		return 0
+	default:
+		return s.WriteTimeout
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	// A panic servicing a request costs this connection, not the VM.
@@ -182,11 +233,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	if idle == 0 {
 		idle = DefaultIdleTimeout
 	}
-	write := s.WriteTimeout
-	if write == 0 {
-		write = DefaultWriteTimeout
-	}
+	write := s.writeLimit()
 	m := s.metrics()
+	// Multi-session mode: the connection's attached session, set by 'A'.
+	var sid uint64
+	var attached bool
 	var hdr [9]byte
 	for {
 		if idle > 0 {
@@ -198,22 +249,51 @@ func (s *Server) serveConn(conn net.Conn) {
 		if write > 0 {
 			conn.SetWriteDeadline(time.Now().Add(write))
 		}
-		// Resolve the heap and roots per request: a journal session's VM
-		// (and with it the live heap) is replaced by durable re-seeds.
 		start := time.Now()
-		h, roots := s.live()
 		switch hdr[0] {
-		case 'P':
-		case 'R':
-			var resp [9]byte
-			if roots == nil {
+		case 'A':
+			num := binary.LittleEndian.Uint64(hdr[1:9])
+			if s.Sessions == nil {
 				m.errors.Inc()
-				if !writeErr(conn, "no root source") {
+				if !writeErr(conn, "not a multi-session server") {
 					return
 				}
 				continue
 			}
-			d, t := roots.Roots()
+			// Validate the session exists (and survives admission) before
+			// binding the connection to it.
+			if err := s.Sessions.WithSession(num, func(*heap.Heap, RootSource) error { return nil }); err != nil {
+				m.errors.Inc()
+				if !writeErr(conn, err.Error()) {
+					return
+				}
+				continue
+			}
+			sid, attached = num, true
+			if _, err := conn.Write([]byte{0}); err != nil {
+				return
+			}
+		case 'R':
+			// All root/heap access happens inside withLive: in
+			// multi-session mode that is under the session's command lock,
+			// so a concurrent kill or travel re-seed can never race the
+			// read. Only the network write happens outside.
+			var d, t heap.Addr
+			err := s.withLive(sid, attached, func(_ *heap.Heap, roots RootSource) error {
+				if roots == nil {
+					return fmt.Errorf("no root source")
+				}
+				d, t = roots.Roots()
+				return nil
+			})
+			if err != nil {
+				m.errors.Inc()
+				if !writeErr(conn, err.Error()) {
+					return
+				}
+				continue
+			}
+			var resp [9]byte
 			binary.LittleEndian.PutUint32(resp[1:5], uint32(d))
 			binary.LittleEndian.PutUint32(resp[5:9], uint32(t))
 			if _, err := conn.Write(resp[:]); err != nil {
@@ -221,34 +301,39 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			m.roots.Inc()
 			m.latency.ObserveSince(start)
-			continue
+		case 'P':
+			addr := heap.Addr(binary.LittleEndian.Uint32(hdr[1:5]))
+			n := binary.LittleEndian.Uint32(hdr[5:9])
+			if n > 1<<20 {
+				m.errors.Inc()
+				writeErr(conn, "peek too large")
+				return
+			}
+			buf := make([]byte, n)
+			err := s.withLive(sid, attached, func(h *heap.Heap, _ RootSource) error {
+				// Copy the bytes out while the lock is held; buf is ours
+				// after withLive returns, whatever happens to the VM.
+				return h.ReadBytes(addr, buf)
+			})
+			if err != nil {
+				m.errors.Inc()
+				if !writeErr(conn, err.Error()) {
+					return
+				}
+				continue
+			}
+			if _, err := conn.Write([]byte{0}); err != nil {
+				return
+			}
+			if _, err := conn.Write(buf); err != nil {
+				return
+			}
+			m.peeks.Inc()
+			m.bytes.Add(uint64(n))
+			m.latency.ObserveSince(start)
 		default:
 			return
 		}
-		addr := heap.Addr(binary.LittleEndian.Uint32(hdr[1:5]))
-		n := binary.LittleEndian.Uint32(hdr[5:9])
-		if n > 1<<20 {
-			m.errors.Inc()
-			writeErr(conn, "peek too large")
-			return
-		}
-		buf := make([]byte, n)
-		if err := h.ReadBytes(addr, buf); err != nil {
-			m.errors.Inc()
-			if !writeErr(conn, err.Error()) {
-				return
-			}
-			continue
-		}
-		if _, err := conn.Write([]byte{0}); err != nil {
-			return
-		}
-		if _, err := conn.Write(buf); err != nil {
-			return
-		}
-		m.peeks.Inc()
-		m.bytes.Add(uint64(n))
-		m.latency.ObserveSince(start)
 	}
 }
 
@@ -309,6 +394,35 @@ func (c *Client) Peek(addr heap.Addr, buf []byte) error {
 		return err
 	}
 	return fmt.Errorf("ptrace: remote peek failed: %s", msg)
+}
+
+// AttachSession binds the connection to a session on a multi-session peek
+// server; later peeks and root requests resolve that session's live heap.
+func (c *Client) AttachSession(num uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [9]byte
+	hdr[0] = 'A'
+	binary.LittleEndian.PutUint64(hdr[1:9], num)
+	if _, err := c.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(c.conn, status[:]); err != nil {
+		return err
+	}
+	if status[0] == 0 {
+		return nil
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.conn, lenBuf[:]); err != nil {
+		return err
+	}
+	msg := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+	if _, err := io.ReadFull(c.conn, msg); err != nil {
+		return err
+	}
+	return fmt.Errorf("ptrace: attach failed: %s", msg)
 }
 
 // Roots fetches the remote VM's current mapped-root addresses.

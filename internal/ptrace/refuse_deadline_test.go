@@ -1,0 +1,125 @@
+// Regression tests mirroring dbgproto's: the peek server's capacity
+// refusal used to hardcode a 5s write deadline instead of honoring the
+// configured WriteTimeout (including <0 = no deadline).
+package ptrace
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type fakeAddr struct{}
+
+func (fakeAddr) Network() string { return "fake" }
+func (fakeAddr) String() string  { return "fake" }
+
+type deadlineConn struct {
+	mu        sync.Mutex
+	wrote     bytes.Buffer
+	deadlines []time.Time
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func newDeadlineConn() *deadlineConn { return &deadlineConn{closed: make(chan struct{})} }
+
+func (c *deadlineConn) Read(p []byte) (int, error) { <-c.closed; return 0, net.ErrClosed }
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wrote.Write(p)
+}
+func (c *deadlineConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+func (c *deadlineConn) LocalAddr() net.Addr               { return fakeAddr{} }
+func (c *deadlineConn) RemoteAddr() net.Addr              { return fakeAddr{} }
+func (c *deadlineConn) SetDeadline(t time.Time) error     { return nil }
+func (c *deadlineConn) SetReadDeadline(t time.Time) error { return nil }
+func (c *deadlineConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deadlines = append(c.deadlines, t)
+	return nil
+}
+
+func (c *deadlineConn) snapshot() (string, []time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wrote.String(), append([]time.Time(nil), c.deadlines...)
+}
+
+type fakeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newFakeListener(conns ...net.Conn) *fakeListener {
+	l := &fakeListener{conns: make(chan net.Conn, len(conns)), done: make(chan struct{})}
+	for _, c := range conns {
+		l.conns <- c
+	}
+	return l
+}
+
+func (l *fakeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+func (l *fakeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+func (l *fakeListener) Addr() net.Addr { return fakeAddr{} }
+
+func peekRefuseOn(t *testing.T, srv *Server) *deadlineConn {
+	t.Helper()
+	srv.MaxConns = 1
+	held, refused := newDeadlineConn(), newDeadlineConn()
+	l := newFakeListener(held, refused)
+	t.Cleanup(func() { l.Close(); held.Close() })
+	go srv.Serve(l)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if wrote, _ := refused.snapshot(); strings.Contains(wrote, "connection capacity") {
+			return refused
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wrote, _ := refused.snapshot()
+	t.Fatalf("refusal never written; refused conn saw %q", wrote)
+	return nil
+}
+
+func TestPeekRefusalHonorsConfiguredWriteTimeout(t *testing.T) {
+	start := time.Now()
+	refused := peekRefuseOn(t, &Server{H: testHeap(t), WriteTimeout: 250 * time.Millisecond})
+	_, deadlines := refused.snapshot()
+	if len(deadlines) != 1 {
+		t.Fatalf("refused conn saw %d write deadlines, want 1", len(deadlines))
+	}
+	if d := deadlines[0].Sub(start); d <= 0 || d > 2*time.Second {
+		t.Fatalf("refusal write deadline %v after start, want ~250ms", d)
+	}
+}
+
+func TestPeekRefusalHonorsNoDeadline(t *testing.T) {
+	refused := peekRefuseOn(t, &Server{H: testHeap(t), WriteTimeout: -1})
+	wrote, deadlines := refused.snapshot()
+	if len(deadlines) != 0 {
+		t.Fatalf("refused conn saw write deadlines %v, want none with WriteTimeout<0", deadlines)
+	}
+	if !strings.Contains(wrote, "connection capacity") {
+		t.Fatalf("refusal body = %q", wrote)
+	}
+}

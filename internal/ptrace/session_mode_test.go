@@ -1,0 +1,120 @@
+// Multi-session (SessionSource) mode: peeks and root queries must bind to
+// a session with an 'A' frame first, and every heap read resolves through
+// WithSession — the session's command lock — so a peek can never race a
+// kill or a travel re-seed.
+package ptrace
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"dejavu/internal/heap"
+)
+
+// fakeSessions routes session numbers to fixed heaps under one lock,
+// mirroring the registry's WithSession contract.
+type fakeSessions struct {
+	mu    sync.Mutex
+	heaps map[uint64]*heap.Heap
+	roots map[uint64]RootSource
+	calls int
+}
+
+func (s *fakeSessions) WithSession(num uint64, f func(h *heap.Heap, roots RootSource) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.heaps[num]
+	if !ok {
+		return fmt.Errorf("no session #%d", num)
+	}
+	s.calls++
+	return f(h, s.roots[num])
+}
+
+func startSessionServer(t *testing.T, src SessionSource) *Client {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go (&Server{Sessions: src}).Serve(l)
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestSessionAttachPeekAndRoots(t *testing.T) {
+	h1, h2 := testHeap(t), testHeap(t)
+	a2, err := h2.AllocObject(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.StoreWord(a2, 0, 0x1234)
+	src := &fakeSessions{
+		heaps: map[uint64]*heap.Heap{1: h1, 2: h2},
+		roots: map[uint64]RootSource{1: fixedRoots{d: 8, t: 16}, 2: fixedRoots{d: a2, t: 8}},
+	}
+	c := startSessionServer(t, src)
+
+	// Peeks before attach are refused with guidance.
+	buf := make([]byte, 8)
+	if err := c.Peek(8, buf); err == nil || !strings.Contains(err.Error(), "attach") {
+		t.Fatalf("unattached peek: %v, want attach guidance", err)
+	}
+
+	// Attach to session 1: roots and peeks serve that session's heap.
+	if err := c.AttachSession(1); err != nil {
+		t.Fatal(err)
+	}
+	dict, threads, err := c.Roots()
+	if err != nil || dict != 8 || threads != 16 {
+		t.Fatalf("roots: %d %d %v", dict, threads, err)
+	}
+	if err := c.Peek(8, buf); err != nil {
+		t.Fatalf("peek: %v", err)
+	}
+
+	// Re-attach moves the connection to session 2 in place.
+	if err := c.AttachSession(2); err != nil {
+		t.Fatal(err)
+	}
+	if dict, _, err = c.Roots(); err != nil || dict != a2 {
+		t.Fatalf("roots after re-attach: %d %v", dict, err)
+	}
+
+	// Unknown session: refused at attach time, connection intact.
+	if err := c.AttachSession(99); err == nil || !strings.Contains(err.Error(), "no session") {
+		t.Fatalf("attach 99: %v", err)
+	}
+	if err := c.Peek(8, buf); err != nil {
+		t.Fatalf("connection broken by failed attach: %v", err)
+	}
+
+	src.mu.Lock()
+	calls := src.calls
+	src.mu.Unlock()
+	if calls == 0 {
+		t.Fatal("no peek resolved through WithSession")
+	}
+}
+
+func TestSingleSessionModeIgnoresAttach(t *testing.T) {
+	// A single-session server (no Sessions source) refuses 'A' frames with
+	// a protocol error but keeps serving its live heap.
+	h := testHeap(t)
+	c := startServer(t, h, fixedRoots{d: 8, t: 16})
+	if err := c.AttachSession(1); err == nil || !strings.Contains(err.Error(), "not a multi-session server") {
+		t.Fatalf("attach on single-session server: %v", err)
+	}
+	buf := make([]byte, 8)
+	if err := c.Peek(8, buf); err != nil {
+		t.Fatalf("peek after refused attach: %v", err)
+	}
+}

@@ -1,0 +1,146 @@
+// HTTP/JSON control plane: the fleet-facing lifecycle API served
+// alongside the dbgproto and ptrace listeners.
+//
+//	POST   /v1/sessions             create (CreateRequest body)
+//	GET    /v1/sessions             list
+//	GET    /v1/sessions/{id}        info (live position, under the session lock)
+//	DELETE /v1/sessions/{id}        kill (?purge=1 removes storage)
+//	POST   /v1/sessions/{id}/travel {"event": N}
+//	POST   /v1/sessions/{id}/verify replay from zero, return the digest
+//
+// Every refusal is a structured JSON error ({"error","reason"}) with a
+// status code derived from the admission reason — clients never see a hang
+// or a panic, only backpressure they can act on.
+package sessions
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Routes installs the control plane on mux.
+func (m *Manager) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/sessions", m.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", m.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", m.handleInfo)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", m.handleKill)
+	mux.HandleFunc("POST /v1/sessions/{id}/travel", m.handleTravel)
+	mux.HandleFunc("POST /v1/sessions/{id}/verify", m.handleVerify)
+}
+
+// errorBody is the structured refusal shape.
+type errorBody struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// statusFor maps admission reasons to HTTP status codes: capacity-shaped
+// refusals are retryable (429/503), identity failures are terminal
+// (404/410).
+func statusFor(reason string) int {
+	switch reason {
+	case ReasonCapacity, ReasonTenantCap, ReasonBusy:
+		return http.StatusTooManyRequests
+	case ReasonDraining:
+		return http.StatusServiceUnavailable
+	case ReasonKilled:
+		return http.StatusGone
+	case ReasonNotFound:
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var rf *Refusal
+	if errors.As(err, &rf) {
+		writeJSON(w, statusFor(rf.Reason), errorBody{Error: rf.Msg, Reason: rf.Reason})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+}
+
+func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	info, err := m.Create(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, m.List())
+}
+
+func (m *Manager) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := m.Info(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (m *Manager) handleKill(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	purge := r.URL.Query().Get("purge") == "1"
+	if err := m.Kill(id, purge); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": StateKilled.String()})
+}
+
+func (m *Manager) handleTravel(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Event uint64 `json:"event"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	info, err := m.Travel(r.PathValue("id"), req.Event)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// verifyResponse reports a from-zero replay of the session's journal.
+// Match is set when the record digest is known: bit-identical replay is
+// the multi-tenant acceptance bar.
+type verifyResponse struct {
+	ID           string `json:"id"`
+	ReplayDigest string `json:"replay_digest"`
+	RecordDigest string `json:"record_digest,omitempty"`
+	Match        *bool  `json:"match,omitempty"`
+}
+
+func (m *Manager) handleVerify(w http.ResponseWriter, r *http.Request) {
+	info, digest, err := m.VerifyReplay(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := verifyResponse{ID: info.ID, ReplayDigest: digest, RecordDigest: info.Digest}
+	if info.Digest != "" {
+		match := info.Digest == digest
+		resp.Match = &match
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

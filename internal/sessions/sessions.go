@@ -1,0 +1,784 @@
+// Package sessions turns dvserve from one-process/one-session into a
+// session-manager platform: a registry of concurrent record/replay/travel
+// sessions, each with its own journal storage under a data root, its own
+// command lock, and a share of a bounded worker budget.
+//
+// The paper's perturbation-free property is preserved per session: every
+// command, peek, and travel on a session executes under that session's
+// lock, against that session's own journal-backed VM — one tenant's
+// debugging never advances, rewinds, or reads another tenant's replay.
+// Cross-session interference is bounded by the worker budget: at most
+// Workers commands execute at once process-wide, and a session that cannot
+// get a worker slot within AdmitTimeout is refused with a structured
+// reason instead of queuing unboundedly.
+//
+// Lifecycle: Create records (or adopts) a segmented journal and opens a
+// debugging session over it; Attach binds a dbgproto or ptrace connection
+// to the session; Travel moves it through time (re-seeding from durable
+// checkpoints when needed); Kill resolves through the session lock, so an
+// in-flight command completes and everything after it sees a clean
+// "killed" refusal. Drain stops admissions and checkpoints every live
+// session for restart.
+//
+// On-disk layout under the data root:
+//
+//	<data-root>/sessions/<id>/meta.json   identity, program, seed, digest
+//	<data-root>/sessions/<id>/journal/    segmented trace journal (PR 4)
+//	<data-root>/sessions/<id>/<exit-save> drain checkpoint, when enabled
+package sessions
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/cli"
+	"dejavu/internal/dbgproto"
+	"dejavu/internal/debugger"
+	"dejavu/internal/heap"
+	"dejavu/internal/obs"
+	"dejavu/internal/ptrace"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/trace"
+)
+
+// Refusal reasons. Admission control never hangs and never panics: every
+// refusal carries one of these machine-readable causes.
+const (
+	ReasonCapacity  = "capacity"   // pool session cap reached
+	ReasonTenantCap = "tenant-cap" // per-tenant session cap reached
+	ReasonBusy      = "busy"       // worker budget exhausted past AdmitTimeout
+	ReasonDraining  = "draining"   // server is shutting down
+	ReasonKilled    = "killed"     // session was killed
+	ReasonNotFound  = "not-found"  // no such session
+)
+
+// Refusal is a structured admission-control error: Reason is machine
+// readable (one of the Reason* constants), Msg is for humans.
+type Refusal struct {
+	Reason string
+	Msg    string
+}
+
+func (e *Refusal) Error() string { return e.Msg }
+
+// State is a session's lifecycle position.
+type State int32
+
+const (
+	// StateCreating: registered (it holds a capacity slot) but its journal
+	// is still being recorded; attaches are refused with ReasonBusy.
+	StateCreating State = iota
+	// StateCold: registered from a previous run's data root; the first
+	// attach re-opens the journal session (paying the attach latency).
+	StateCold
+	// StateActive: journal session open, commands executable.
+	StateActive
+	// StateKilled: torn down; every operation refuses with ReasonKilled.
+	StateKilled
+)
+
+func (s State) String() string {
+	switch s {
+	case StateCreating:
+		return "creating"
+	case StateCold:
+		return "cold"
+	case StateActive:
+		return "active"
+	case StateKilled:
+		return "killed"
+	default:
+		return "invalid"
+	}
+}
+
+// Config sizes the pool.
+type Config struct {
+	DataRoot        string        // required: session storage root
+	MaxSessions     int           // pool-wide session cap (0 = 128)
+	MaxPerTenant    int           // per-tenant session cap (0 = 16, <0 = unlimited)
+	Workers         int           // concurrent command budget (0 = 8)
+	AdmitTimeout    time.Duration // max wait for a worker slot before a busy refusal (0 = 5s)
+	CheckpointEvery uint64        // in-memory checkpoint cadence for session debuggers (0 = 10000)
+	Obs             *obs.Registry // per-pool metrics (nil = none)
+}
+
+func (c Config) fill() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 128
+	}
+	if c.MaxPerTenant == 0 {
+		c.MaxPerTenant = 16
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.AdmitTimeout == 0 {
+		c.AdmitTimeout = 5 * time.Second
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 10_000
+	}
+	return c
+}
+
+// poolMetrics is the per-pool series exported on /metrics.
+type poolMetrics struct {
+	created, killed, admitted                    *obs.Counter
+	rejCapacity, rejTenant, rejBusy, rejDraining *obs.Counter
+	attaches, travels                            *obs.Counter
+	busy                                         *obs.Gauge
+	execLatency, createLatency, attachLatency    *obs.Histogram
+}
+
+// Manager is the session registry: it admits, stores, resolves, and tears
+// down sessions, and owns the shared worker budget.
+type Manager struct {
+	cfg    Config
+	rootFS *trace.DirFS
+	budget chan struct{}
+	met    poolMetrics
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	byNum    map[uint64]*Session
+	byTenant map[string]int
+	nextNum  uint64
+	draining bool
+}
+
+// NewManager opens (creating if needed) a session store under
+// cfg.DataRoot. Session directories left by a previous run are registered
+// cold: they count against caps and re-open on first attach.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg = cfg.fill()
+	if cfg.DataRoot == "" {
+		return nil, fmt.Errorf("sessions: DataRoot is required")
+	}
+	rootFS, err := trace.NewDirFS(cfg.DataRoot)
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Obs
+	m := &Manager{
+		cfg:      cfg,
+		rootFS:   rootFS,
+		budget:   make(chan struct{}, cfg.Workers),
+		sessions: map[string]*Session{},
+		byNum:    map[uint64]*Session{},
+		byTenant: map[string]int{},
+		met: poolMetrics{
+			created:       reg.Counter("dv_sessions_created_total"),
+			killed:        reg.Counter("dv_sessions_killed_total"),
+			admitted:      reg.Counter("dv_sessions_admitted_total"),
+			rejCapacity:   reg.Counter(obs.Label("dv_sessions_rejected_total", "reason", ReasonCapacity)),
+			rejTenant:     reg.Counter(obs.Label("dv_sessions_rejected_total", "reason", ReasonTenantCap)),
+			rejBusy:       reg.Counter(obs.Label("dv_sessions_rejected_total", "reason", ReasonBusy)),
+			rejDraining:   reg.Counter(obs.Label("dv_sessions_rejected_total", "reason", ReasonDraining)),
+			attaches:      reg.Counter("dv_sessions_attaches_total"),
+			travels:       reg.Counter("dv_sessions_travels_total"),
+			busy:          reg.Gauge("dv_workers_busy"),
+			execLatency:   reg.Histogram("dv_session_exec_seconds"),
+			createLatency: reg.Histogram("dv_session_create_seconds"),
+			attachLatency: reg.Histogram("dv_session_attach_seconds"),
+		},
+	}
+	reg.GaugeFunc("dv_workers_capacity", func() int64 { return int64(cfg.Workers) })
+	reg.GaugeFunc("dv_sessions_active", func() int64 { return m.countState(StateActive) })
+	reg.GaugeFunc("dv_sessions_cold", func() int64 { return m.countState(StateCold) })
+	if err := m.loadExisting(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Manager) countState(want State) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, s := range m.sessions {
+		if s.State() == want {
+			n++
+		}
+	}
+	return n
+}
+
+// loadExisting registers session directories from a previous run as cold
+// sessions. A directory without a parseable meta.json is skipped (it may
+// be a half-created session from a crash) rather than failing startup.
+func (m *Manager) loadExisting() error {
+	dir := filepath.Join(m.cfg.DataRoot, "sessions")
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sessions: scan %s: %w", dir, err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		sdir := filepath.Join(dir, e.Name())
+		blob, err := os.ReadFile(filepath.Join(sdir, "meta.json"))
+		if err != nil {
+			continue
+		}
+		var mt meta
+		if json.Unmarshal(blob, &mt) != nil || mt.ID != e.Name() || mt.Num == 0 {
+			continue
+		}
+		jdir := mt.Source
+		if jdir == "" {
+			jdir = filepath.Join(sdir, "journal")
+		}
+		fs, err := trace.NewDirFS(jdir)
+		if err != nil {
+			continue
+		}
+		s := &Session{id: mt.ID, num: mt.Num, tenant: mt.Tenant, dir: sdir, fs: fs, mgr: m, meta: mt}
+		s.state.Store(int32(StateCold))
+		m.sessions[s.id] = s
+		m.byNum[s.num] = s
+		m.byTenant[s.tenant]++
+		if mt.Num > m.nextNum {
+			m.nextNum = mt.Num
+		}
+	}
+	return nil
+}
+
+// acquireWorker takes a slot of the shared worker budget, waiting up to
+// AdmitTimeout before refusing with ReasonBusy. The returned release must
+// be called exactly once.
+func (m *Manager) acquireWorker() (func(), error) {
+	select {
+	case m.budget <- struct{}{}:
+	default:
+		t := time.NewTimer(m.cfg.AdmitTimeout)
+		defer t.Stop()
+		select {
+		case m.budget <- struct{}{}:
+		case <-t.C:
+			m.met.rejBusy.Inc()
+			return nil, &Refusal{Reason: ReasonBusy,
+				Msg: fmt.Sprintf("worker budget exhausted (%d workers busy for %v); retry", m.cfg.Workers, m.cfg.AdmitTimeout)}
+		}
+	}
+	m.met.busy.Inc()
+	return func() { m.met.busy.Dec(); <-m.budget }, nil
+}
+
+// meta is the durable per-session identity record (meta.json).
+type meta struct {
+	ID           string `json:"id"`
+	Num          uint64 `json:"num"`
+	Tenant       string `json:"tenant"`
+	Program      string `json:"program"`
+	Seed         int64  `json:"seed"`
+	RotateEvents int    `json:"rotate_events,omitempty"`
+	Source       string `json:"source,omitempty"` // adopted journal dir (outside the data root)
+	Events       uint64 `json:"events"`           // recorded trace length
+	Switches     uint64 `json:"switches,omitempty"`
+	Digest       string `json:"digest,omitempty"` // record digest, hex; replays must reproduce it
+	Created      string `json:"created,omitempty"`
+}
+
+// Session is one tenant-owned record/replay/travel session. All VM access
+// goes through Exec (command lock + worker budget); registry bookkeeping
+// lives in the Manager.
+type Session struct {
+	id     string
+	num    uint64
+	tenant string
+	dir    string
+	fs     *trace.DirFS
+	mgr    *Manager
+	meta   meta
+
+	state atomic.Int32 // State; written under mu, readable anywhere
+
+	mu   sync.Mutex // command lock: serializes open/exec/kill/drain
+	prog *bytecode.Program
+	js   *debugger.JournalSession
+
+	attaches atomic.Uint64
+	travels  atomic.Uint64
+}
+
+// State reports the session's lifecycle position.
+func (s *Session) State() State { return State(s.state.Load()) }
+
+// ID returns the session's registry key ("s<num>").
+func (s *Session) ID() string { return s.id }
+
+// Num returns the numeric ID used by the binary peek protocol.
+func (s *Session) Num() uint64 { return s.num }
+
+// CreateRequest describes a session to mint.
+type CreateRequest struct {
+	// Tenant namespaces the session for per-tenant caps ("default" when
+	// empty).
+	Tenant string `json:"tenant,omitempty"`
+	// Program is the program spec (workload:<name>, *.dvs, *.dva). It is
+	// recorded (fresh journal) unless Source adopts an existing journal.
+	Program string `json:"program"`
+	// Seed drives the seeded preemptor for a fresh recording.
+	Seed int64 `json:"seed,omitempty"`
+	// RotateEvents sets the journal segment-rotation threshold; each
+	// rotation seals a segment and writes a durable checkpoint travel can
+	// re-seed from. <=0 keeps the journal single-segment.
+	RotateEvents int `json:"rotate_events,omitempty"`
+	// Source, when set, adopts an existing segmented-journal directory in
+	// place instead of recording a fresh one.
+	Source string `json:"source,omitempty"`
+	// FromEvent positions the opened session at this event, seeded from
+	// the nearest durable checkpoint at or before it.
+	FromEvent uint64 `json:"from_event,omitempty"`
+}
+
+// Info is a session's externally visible state (the control plane's JSON
+// shape).
+type Info struct {
+	ID       string `json:"id"`
+	Num      uint64 `json:"num"`
+	Tenant   string `json:"tenant"`
+	State    string `json:"state"`
+	Program  string `json:"program"`
+	Seed     int64  `json:"seed"`
+	Events   uint64 `json:"events"`
+	Switches uint64 `json:"switches,omitempty"`
+	Digest   string `json:"digest,omitempty"`
+	Position uint64 `json:"position,omitempty"`
+	Tainted  bool   `json:"tainted,omitempty"`
+	Attaches uint64 `json:"attaches"`
+	Travels  uint64 `json:"travels"`
+	Reseeds  uint64 `json:"reseeds,omitempty"`
+	Created  string `json:"created,omitempty"`
+}
+
+// Create admits and builds a session: a fresh seeded recording rotated
+// into a per-session journal (or an adopted journal), then a debugging
+// session opened over it. Admission is checked first — a pool at capacity,
+// a tenant at its cap, or a draining server refuses before any work runs.
+func (m *Manager) Create(req CreateRequest) (*Info, error) {
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	if req.Program == "" {
+		return nil, fmt.Errorf("sessions: program is required")
+	}
+
+	// Admission: decide and reserve under the registry lock.
+	m.mu.Lock()
+	switch {
+	case m.draining:
+		m.mu.Unlock()
+		m.met.rejDraining.Inc()
+		return nil, &Refusal{Reason: ReasonDraining, Msg: "server is draining; no new sessions"}
+	case len(m.sessions) >= m.cfg.MaxSessions:
+		m.mu.Unlock()
+		m.met.rejCapacity.Inc()
+		return nil, &Refusal{Reason: ReasonCapacity,
+			Msg: fmt.Sprintf("session pool at capacity (%d); kill a session or retry", m.cfg.MaxSessions)}
+	case m.cfg.MaxPerTenant > 0 && m.byTenant[req.Tenant] >= m.cfg.MaxPerTenant:
+		m.mu.Unlock()
+		m.met.rejTenant.Inc()
+		return nil, &Refusal{Reason: ReasonTenantCap,
+			Msg: fmt.Sprintf("tenant %q at its session cap (%d)", req.Tenant, m.cfg.MaxPerTenant)}
+	}
+	m.nextNum++
+	num := m.nextNum
+	id := "s" + strconv.FormatUint(num, 10)
+	sdir := filepath.Join(m.cfg.DataRoot, "sessions", id)
+	s := &Session{id: id, num: num, tenant: req.Tenant, dir: sdir, mgr: m}
+	s.state.Store(int32(StateCreating))
+	m.sessions[id] = s
+	m.byNum[num] = s
+	m.byTenant[req.Tenant]++
+	m.mu.Unlock()
+	m.met.admitted.Inc()
+
+	info, err := m.build(s, req)
+	if err != nil {
+		// Roll the reservation back; the directory is removed so a failed
+		// create doesn't resurrect as a cold session on restart.
+		s.mu.Lock()
+		s.state.Store(int32(StateKilled))
+		s.js = nil
+		s.mu.Unlock()
+		m.mu.Lock()
+		delete(m.sessions, id)
+		delete(m.byNum, num)
+		m.byTenant[req.Tenant]--
+		m.mu.Unlock()
+		os.RemoveAll(sdir)
+		return nil, err
+	}
+	m.met.created.Inc()
+	return info, nil
+}
+
+// build does the heavy half of Create under a worker slot: record or
+// adopt the journal, open the debugging session, persist meta.json.
+func (m *Manager) build(s *Session, req CreateRequest) (*Info, error) {
+	release, err := m.acquireWorker()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	s.meta = meta{
+		ID: s.id, Num: s.num, Tenant: s.tenant,
+		Program: req.Program, Seed: req.Seed, RotateEvents: req.RotateEvents,
+		Source: req.Source, Created: time.Now().UTC().Format(time.RFC3339),
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
+	}
+	if req.Source != "" {
+		if s.fs, err = trace.NewDirFS(req.Source); err != nil {
+			return nil, fmt.Errorf("sessions: %s: adopt %s: %w", s.id, req.Source, err)
+		}
+	} else {
+		if s.fs, err = m.rootFS.Sub(filepath.Join("sessions", s.id, "journal")); err != nil {
+			return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
+		}
+		rec, err := cli.RecordJournal(req.Program, s.fs, req.Seed, req.RotateEvents)
+		if err != nil {
+			return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
+		}
+		s.meta.Events = rec.Events
+		s.meta.Switches = rec.Switches
+		s.meta.Digest = fmt.Sprintf("%016x", rec.Digest)
+	}
+	if s.prog, err = cli.LoadProgram(req.Program); err != nil {
+		return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
+	}
+	if s.js, err = s.openLocked(req.FromEvent); err != nil {
+		return nil, err
+	}
+	if req.Source != "" {
+		s.meta.Events = uint64(s.js.Journal().Events())
+	}
+	blob, _ := json.MarshalIndent(&s.meta, "", "  ")
+	if err := os.WriteFile(filepath.Join(s.dir, "meta.json"), blob, 0o644); err != nil {
+		return nil, fmt.Errorf("sessions: %s: meta: %w", s.id, err)
+	}
+	s.state.Store(int32(StateActive))
+	m.met.createLatency.ObserveSince(start)
+	return s.infoLocked(), nil
+}
+
+// openLocked builds the journal debugging session. Caller holds s.mu and
+// has s.prog and s.fs set.
+func (s *Session) openLocked(fromEvent uint64) (*debugger.JournalSession, error) {
+	js, err := debugger.OpenJournalSessionObs(s.prog, s.fs, fromEvent, s.mgr.cfg.Obs)
+	if err != nil {
+		return nil, fmt.Errorf("sessions: %s: open journal: %w", s.id, err)
+	}
+	js.CheckpointEvery = s.mgr.cfg.CheckpointEvery
+	js.D.CheckpointEvery = s.mgr.cfg.CheckpointEvery
+	return js, nil
+}
+
+// ensureOpenLocked resolves the session to an executable state. Caller
+// holds s.mu. Cold sessions re-open here — this is the attach cost the
+// durable-checkpoint seeding keeps O(segment).
+func (s *Session) ensureOpenLocked() error {
+	switch s.State() {
+	case StateActive:
+		return nil
+	case StateKilled:
+		return &Refusal{Reason: ReasonKilled, Msg: fmt.Sprintf("session %s is killed", s.id)}
+	case StateCreating:
+		return &Refusal{Reason: ReasonBusy, Msg: fmt.Sprintf("session %s is still being created; retry", s.id)}
+	}
+	start := time.Now()
+	var err error
+	if s.prog == nil {
+		if s.prog, err = cli.LoadProgram(s.meta.Program); err != nil {
+			return fmt.Errorf("sessions: %s: reopen program %q: %w", s.id, s.meta.Program, err)
+		}
+	}
+	if s.js, err = s.openLocked(0); err != nil {
+		return err
+	}
+	s.state.Store(int32(StateActive))
+	s.mgr.met.attachLatency.ObserveSince(start)
+	return nil
+}
+
+// Exec runs f against the session's current debugger under the session's
+// command lock and a shared worker slot. This is the single choke point
+// for all session work: dbgproto commands, ptrace peeks, control-plane
+// travel. Implements dbgproto.SessionHandle's execution contract.
+func (s *Session) Exec(f func(cur func() *debugger.Debugger, travel func(uint64) error) error) error {
+	release, err := s.mgr.acquireWorker()
+	if err != nil {
+		return err
+	}
+	defer release()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureOpenLocked(); err != nil {
+		return err
+	}
+	start := time.Now()
+	defer s.mgr.met.execLatency.ObserveSince(start)
+	return f(func() *debugger.Debugger { return s.js.D }, s.travelLocked)
+}
+
+// travelLocked routes travel through the journal session (durable
+// re-seeds included) and counts it. Caller holds s.mu via Exec.
+func (s *Session) travelLocked(event uint64) error {
+	s.travels.Add(1)
+	s.mgr.met.travels.Inc()
+	return s.js.TravelTo(event)
+}
+
+// infoLocked snapshots the session's state. Caller holds s.mu.
+func (s *Session) infoLocked() *Info {
+	in := &Info{
+		ID: s.id, Num: s.num, Tenant: s.tenant, State: s.State().String(),
+		Program: s.meta.Program, Seed: s.meta.Seed,
+		Events: s.meta.Events, Switches: s.meta.Switches, Digest: s.meta.Digest,
+		Attaches: s.attaches.Load(), Travels: s.travels.Load(),
+		Created: s.meta.Created,
+	}
+	if s.js != nil && s.State() == StateActive {
+		in.Position = s.js.D.VM.Events()
+		in.Tainted = s.js.D.Tainted()
+		in.Reseeds = s.js.Reseeds()
+	}
+	return in
+}
+
+// lookup resolves a session ID or refuses with ReasonNotFound.
+func (m *Manager) lookup(id string) (*Session, error) {
+	m.mu.Lock()
+	s := m.sessions[id]
+	m.mu.Unlock()
+	if s == nil {
+		return nil, &Refusal{Reason: ReasonNotFound, Msg: fmt.Sprintf("no session %q", id)}
+	}
+	return s, nil
+}
+
+// Info reports one session's state (no worker slot: inspection must stay
+// possible under load).
+func (m *Manager) Info(id string) (*Info, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.infoLocked(), nil
+}
+
+// List snapshots every registered session, ordered by ID. It takes no
+// session locks — positions are omitted so listing never blocks behind a
+// long command.
+func (m *Manager) List() []*Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Info, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, &Info{
+			ID: s.id, Num: s.num, Tenant: s.tenant, State: s.State().String(),
+			Program: s.meta.Program, Seed: s.meta.Seed,
+			Events: s.meta.Events, Switches: s.meta.Switches, Digest: s.meta.Digest,
+			Attaches: s.attaches.Load(), Travels: s.travels.Load(),
+			Created: s.meta.Created,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Num < out[j].Num })
+	return out
+}
+
+// Travel moves a session to the given event count via its command lock,
+// re-seeding from durable checkpoints when the target is behind the
+// in-memory window.
+func (m *Manager) Travel(id string, event uint64) (*Info, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	var info *Info
+	err = s.Exec(func(_ func() *debugger.Debugger, travel func(uint64) error) error {
+		if terr := travel(event); terr != nil {
+			return terr
+		}
+		info = s.infoLocked()
+		return nil
+	})
+	return info, err
+}
+
+// Kill tears a session down. The kill resolves through the session's
+// command lock — an in-flight dbgproto command or ptrace peek completes
+// first, and everything after it sees a structured ReasonKilled refusal,
+// never a freed VM. With purge the session's directory is deleted.
+func (m *Manager) Kill(id string, purge bool) error {
+	s, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	already := s.State() == StateKilled
+	s.state.Store(int32(StateKilled))
+	s.js = nil
+	s.prog = nil
+	s.mu.Unlock()
+	if already {
+		return &Refusal{Reason: ReasonKilled, Msg: fmt.Sprintf("session %s already killed", id)}
+	}
+	m.mu.Lock()
+	delete(m.sessions, s.id)
+	delete(m.byNum, s.num)
+	m.byTenant[s.tenant]--
+	m.mu.Unlock()
+	m.met.killed.Inc()
+	if purge {
+		os.RemoveAll(s.dir)
+	}
+	return nil
+}
+
+// VerifyReplay replays the session's journal from zero on a fresh VM and
+// returns the replay digest — the bit-identity check that one session's
+// replay is unperturbed by its neighbors. The journal is sealed, so the
+// replay runs outside the session lock (only a worker slot), and an
+// attached debugger can keep working during verification.
+func (m *Manager) VerifyReplay(id string) (*Info, string, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return nil, "", err
+	}
+	release, err := m.acquireWorker()
+	if err != nil {
+		return nil, "", err
+	}
+	defer release()
+	s.mu.Lock()
+	if rerr := s.ensureOpenLocked(); rerr != nil {
+		s.mu.Unlock()
+		return nil, "", rerr
+	}
+	prog, fs, info := s.prog, s.fs, s.infoLocked()
+	s.mu.Unlock()
+	res, _, err := replaycheck.ReplayJournal(prog, fs, replaycheck.Options{})
+	if err != nil {
+		return info, "", fmt.Errorf("sessions: %s: verify replay: %w", id, err)
+	}
+	if res.RunErr != nil {
+		return info, "", fmt.Errorf("sessions: %s: verify replay: %w", id, res.RunErr)
+	}
+	return info, fmt.Sprintf("%016x", res.Digest.Sum()), nil
+}
+
+// Drain stops admissions and checkpoints every live session under its own
+// lock (exitSave names the checkpoint file inside each session directory;
+// empty skips checkpointing). Sessions mid-command finish that command
+// first, so no checkpoint is ever half a command. Returns the IDs
+// checkpointed.
+func (m *Manager) Drain(exitSave string) []string {
+	m.mu.Lock()
+	m.draining = true
+	list := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		list = append(list, s)
+	}
+	m.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].num < list[j].num })
+	var saved []string
+	for _, s := range list {
+		s.mu.Lock()
+		if exitSave != "" && s.State() == StateActive && s.js != nil {
+			if err := s.saveCheckpointLocked(exitSave); err == nil {
+				saved = append(saved, s.id)
+			} else {
+				fmt.Fprintf(os.Stderr, "sessions: drain %s: %v\n", s.id, err)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return saved
+}
+
+// MaxSessions reports the pool-wide session cap (after defaulting).
+func (m *Manager) MaxSessions() int { return m.cfg.MaxSessions }
+
+// Draining reports whether admissions are stopped.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// saveCheckpointLocked writes a -restore-able checkpoint of the session VM
+// into the session directory. Caller holds s.mu, so the VM is between
+// commands at an instruction boundary.
+func (s *Session) saveCheckpointLocked(name string) error {
+	snap, err := s.js.D.VM.Snapshot()
+	if err != nil {
+		return err
+	}
+	blob := snap.Encode(s.js.D.VM.Hash())
+	return os.WriteFile(filepath.Join(s.dir, name), blob, 0o644)
+}
+
+// AttachSession implements dbgproto.SessionResolver: it resolves and opens
+// the session so the first command doesn't pay the cold-attach cost, and
+// counts the attachment.
+func (m *Manager) AttachSession(id string) (dbgproto.SessionHandle, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	// Open eagerly so attach errors surface at attach time.
+	if err := s.Exec(func(func() *debugger.Debugger, func(uint64) error) error { return nil }); err != nil {
+		return nil, err
+	}
+	s.attaches.Add(1)
+	m.met.attaches.Inc()
+	return &attachment{s: s}, nil
+}
+
+// attachment binds one dbgproto connection to a session.
+type attachment struct{ s *Session }
+
+func (a *attachment) Exec(f func(cur func() *debugger.Debugger, travel func(uint64) error) error) error {
+	return a.s.Exec(f)
+}
+
+func (a *attachment) Detach() {}
+
+// WithSession implements ptrace.SessionSource: f runs with the session's
+// live heap under the session's command lock, so peeks can never race a
+// kill or a travel re-seed.
+func (m *Manager) WithSession(num uint64, f func(h *heap.Heap, roots ptrace.RootSource) error) error {
+	m.mu.Lock()
+	s := m.byNum[num]
+	m.mu.Unlock()
+	if s == nil {
+		return &Refusal{Reason: ReasonNotFound, Msg: fmt.Sprintf("no session #%d", num)}
+	}
+	return s.Exec(func(cur func() *debugger.Debugger, _ func(uint64) error) error {
+		vm := cur().VM
+		return f(vm.Heap(), vm)
+	})
+}

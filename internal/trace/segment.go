@@ -67,6 +67,16 @@ func NewDirFS(dir string) (*DirFS, error) {
 	return &DirFS{dir: dir}, nil
 }
 
+// Path returns the directory the FS is rooted at.
+func (d *DirFS) Path() string { return d.dir }
+
+// Sub creates (if needed) and wraps a directory nested under this one.
+// Multi-tenant session stores use it to carve per-session journal
+// directories out of one data root: <data-root>/sessions/<id>/journal.
+func (d *DirFS) Sub(name string) (*DirFS, error) {
+	return NewDirFS(filepath.Join(d.dir, name))
+}
+
 // Create implements FS.
 func (d *DirFS) Create(name string) (File, error) { return os.Create(filepath.Join(d.dir, name)) }
 

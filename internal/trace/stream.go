@@ -172,7 +172,7 @@ func NewStreamWriterOptions(dst io.Writer, progHash uint64, o StreamOptions) (*S
 	s.m = streamWriterMetrics{
 		chunks: o.Obs.Counter("dv_trace_chunks_flushed_total"),
 		bytes:  o.Obs.Counter("dv_trace_bytes_written_total"),
-		fsyncs: o.Obs.Counter(fmt.Sprintf("dv_trace_fsyncs_total{policy=%q}", o.Sync.String())),
+		fsyncs: o.Obs.Counter(obs.Label("dv_trace_fsyncs_total", "policy", o.Sync.String())),
 		events: o.Obs.Counter("dv_trace_events_total"),
 	}
 	var hdr [streamHeaderLen]byte

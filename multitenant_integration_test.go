@@ -1,0 +1,476 @@
+// Multi-tenant integration tests over the real dvserve binary: the HTTP
+// control plane, per-session debug and peek attachment, graceful drain,
+// and the load harness — 64 concurrent journal-backed sessions whose
+// replay digests must be bit-identical to single-session runs. The paper's
+// perturbation-free property, restated for a fleet: hosting N tenants in
+// one process must not change what any one of them replays.
+package dejavu
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dejavu/internal/dbgproto"
+	"dejavu/internal/ptrace"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/trace"
+	"dejavu/internal/workloads"
+)
+
+// sessionInfo mirrors the control plane's JSON session shape.
+type sessionInfo struct {
+	ID     string `json:"id"`
+	Num    uint64 `json:"num"`
+	State  string `json:"state"`
+	Events uint64 `json:"events"`
+	Digest string `json:"digest"`
+}
+
+// startMultiTenant boots dvserve in session-manager mode and waits for the
+// control plane. Returns the base URL and the debug/peek addresses.
+func startMultiTenant(t *testing.T, bin, dataRoot string, extra ...string) (*exec.Cmd, string, string, string) {
+	t.Helper()
+	debugAddr, peekAddr, httpAddr := freeAddr(t), freeAddr(t), freeAddr(t)
+	args := append([]string{
+		"-data-root", dataRoot, "-http", httpAddr,
+		"-listen", debugAddr, "-peek", peekAddr,
+	}, extra...)
+	srv := exec.Command(filepath.Join(bin, "dvserve"), args...)
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Process.Kill(); srv.Wait() })
+	base := "http://" + httpAddr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return srv, base, debugAddr, peekAddr
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("control plane on %s never came up: %v", httpAddr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// httpJSON issues a JSON request, requires the wanted status, and decodes
+// into out when non-nil.
+func httpJSON(t *testing.T, method, url string, body any, want int, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		t.Fatalf("%s %s: status %d, want %d (%s)", method, url, resp.StatusCode, want, msg.String())
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMultiTenantEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dataRoot := t.TempDir()
+	_, base, debugAddr, peekAddr := startMultiTenant(t, bin, dataRoot)
+
+	// Create a session over the control plane.
+	var info sessionInfo
+	httpJSON(t, "POST", base+"/v1/sessions",
+		map[string]any{"program": "workload:bank", "seed": 5, "rotate_events": 4000}, 201, &info)
+	if info.State != "active" || info.Digest == "" {
+		t.Fatalf("create: %+v", info)
+	}
+
+	// Debug plane: attach by ID, run commands, travel.
+	c := dialRetry(t, debugAddr)
+	defer c.Close()
+	if _, err := c.Send("status"); err == nil {
+		t.Fatal("unattached command should be refused on a multi-tenant server")
+	}
+	if body, err := c.Send("attach " + info.ID); err != nil || !strings.Contains(body, "attached") {
+		t.Fatalf("attach: %q %v", body, err)
+	}
+	if body, err := c.Send("travel 2000"); err != nil || !strings.Contains(body, "events=") {
+		t.Fatalf("travel: %q %v", body, err)
+	}
+
+	// Peek plane: bind to the session number, then read roots and memory —
+	// out-of-process remote reflection against one tenant of many.
+	pc, err := ptrace.Dial(peekAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	buf := make([]byte, 8)
+	if err := pc.Peek(8, buf); err == nil {
+		t.Fatal("unattached peek should be refused on a multi-tenant server")
+	}
+	if err := pc.AttachSession(info.Num); err != nil {
+		t.Fatalf("peek attach: %v", err)
+	}
+	dict, threads, err := pc.Roots()
+	if err != nil || dict == 0 || threads == 0 {
+		t.Fatalf("roots: %d %d %v", dict, threads, err)
+	}
+	if err := pc.Peek(dict, buf); err != nil {
+		t.Fatalf("peek: %v", err)
+	}
+
+	// Verify: the hosted session's from-zero replay reproduces its record
+	// digest while the debug connection stays attached.
+	var ver struct {
+		Match *bool `json:"match"`
+	}
+	httpJSON(t, "POST", base+"/v1/sessions/"+info.ID+"/verify", nil, 200, &ver)
+	if ver.Match == nil || !*ver.Match {
+		t.Fatalf("verify: %+v", ver)
+	}
+
+	// Metrics: the per-pool series are exported.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	mbuf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	metrics := mbuf.String()
+	for _, series := range []string{
+		"dv_sessions_created_total", "dv_sessions_active", "dv_workers_capacity",
+		"dv_sessions_attaches_total", "dv_session_exec_seconds",
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Fatalf("/metrics missing %s", series)
+		}
+	}
+
+	// Kill over the control plane; the attached debug connection's next
+	// command gets a structured refusal, not a hang or a crash.
+	httpJSON(t, "DELETE", base+"/v1/sessions/"+info.ID, nil, 200, nil)
+	if _, err := c.Send("status"); err == nil || !strings.Contains(err.Error(), info.ID) {
+		t.Fatalf("post-kill command: %v, want killed refusal naming the session", err)
+	}
+}
+
+func TestMultiTenantDrainOnShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dataRoot := t.TempDir()
+	srv, base, _, _ := startMultiTenant(t, bin, dataRoot, "-exit-save", "exit.dvck")
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		var info sessionInfo
+		httpJSON(t, "POST", base+"/v1/sessions",
+			map[string]any{"program": "workload:fig1ab", "seed": i + 1}, 201, &info)
+		ids = append(ids, info.ID)
+	}
+
+	// SIGTERM: admissions stop, every live session is checkpointed under
+	// its own lock, then the listeners close and the process exits cleanly.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("dvserve exit after SIGTERM: %v", err)
+	}
+	for _, id := range ids {
+		ck := filepath.Join(dataRoot, "sessions", id, "exit.dvck")
+		if fi, err := os.Stat(ck); err != nil || fi.Size() == 0 {
+			t.Fatalf("drain checkpoint for %s: %v", id, err)
+		}
+	}
+
+	// A restarted dvserve over the same data root adopts the sessions cold
+	// and serves them again.
+	_, base2, debugAddr2, _ := startMultiTenant(t, bin, dataRoot)
+	var list []sessionInfo
+	httpJSON(t, "GET", base2+"/v1/sessions", nil, 200, &list)
+	if len(list) != 3 {
+		t.Fatalf("restarted server lists %d sessions, want 3", len(list))
+	}
+	c := dialRetry(t, debugAddr2)
+	defer c.Close()
+	if body, err := c.Send("attach " + ids[0]); err != nil || !strings.Contains(body, "attached") {
+		t.Fatalf("attach after restart: %q %v", body, err)
+	}
+	if body, err := c.Send("status"); err != nil || !strings.Contains(body, "events=") {
+		t.Fatalf("status after restart: %q %v", body, err)
+	}
+}
+
+// TestMultiTenantLoadHarness is the acceptance bar: one dvserve process
+// sustains 64 concurrent journal-backed sessions through their whole
+// lifecycle, and every session's replay digest is bit-identical to an
+// identically-seeded single-session run.
+func TestMultiTenantLoadHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	const nSessions = 64
+	bin := buildTools(t)
+	dataRoot := t.TempDir()
+	_, base, debugAddr, _ := startMultiTenant(t, bin, dataRoot,
+		"-max-sessions", "128", "-max-per-tenant", "-1", "-workers", "16", "-admit-timeout", "60s")
+
+	var wg sync.WaitGroup
+	digests := make([]string, nSessions)
+	events := make([]uint64, nSessions)
+	errs := make(chan error, nSessions)
+	for i := 0; i < nSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seed := int64(1000 + i)
+			// Create (8 tenants sharing the pool).
+			var info sessionInfo
+			var buf bytes.Buffer
+			json.NewEncoder(&buf).Encode(map[string]any{
+				"program": "workload:fig1ab", "seed": seed,
+				"rotate_events": 2000, "tenant": fmt.Sprintf("t%d", i%8),
+			})
+			resp, err := http.Post(base+"/v1/sessions", "application/json", &buf)
+			if err != nil {
+				errs <- fmt.Errorf("session %d: create: %v", i, err)
+				return
+			}
+			err = json.NewDecoder(resp.Body).Decode(&info)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != 201 {
+				errs <- fmt.Errorf("session %d: create: status %d, %v", i, resp.StatusCode, err)
+				return
+			}
+			// Attach and command over the debug plane.
+			c, err := dialWait(debugAddr, 30*time.Second)
+			if err != nil {
+				errs <- fmt.Errorf("session %d: dial: %v", i, err)
+				return
+			}
+			defer c.Close()
+			if _, err := c.Send("attach " + info.ID); err != nil {
+				errs <- fmt.Errorf("session %d: attach: %v", i, err)
+				return
+			}
+			if _, err := c.Send("step 20"); err != nil {
+				errs <- fmt.Errorf("session %d: step: %v", i, err)
+				return
+			}
+			// Travel over the control plane.
+			buf.Reset()
+			json.NewEncoder(&buf).Encode(map[string]uint64{"event": info.Events / 2})
+			tresp, err := http.Post(base+"/v1/sessions/"+info.ID+"/travel", "application/json", &buf)
+			if err != nil {
+				errs <- fmt.Errorf("session %d: travel: %v", i, err)
+				return
+			}
+			tresp.Body.Close()
+			if tresp.StatusCode != 200 {
+				errs <- fmt.Errorf("session %d: travel: status %d", i, tresp.StatusCode)
+				return
+			}
+			// Verify: hosted replay reproduces the record digest.
+			vresp, err := http.Post(base+"/v1/sessions/"+info.ID+"/verify", "application/json", nil)
+			if err != nil {
+				errs <- fmt.Errorf("session %d: verify: %v", i, err)
+				return
+			}
+			var ver struct {
+				ReplayDigest string `json:"replay_digest"`
+				Match        *bool  `json:"match"`
+			}
+			err = json.NewDecoder(vresp.Body).Decode(&ver)
+			vresp.Body.Close()
+			if err != nil || vresp.StatusCode != 200 || ver.Match == nil || !*ver.Match {
+				errs <- fmt.Errorf("session %d: verify: status %d, %+v, %v", i, vresp.StatusCode, ver, err)
+				return
+			}
+			digests[i] = ver.ReplayDigest
+			events[i] = info.Events
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Bit-identity: every hosted session's digest equals the digest of an
+	// identically-seeded single-session recording made in this process.
+	for i := 0; i < nSessions; i++ {
+		fs, err := trace.NewDirFS(filepath.Join(t.TempDir(), "solo"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := replaycheck.RecordJournal(workloads.Fig1AB(), fs,
+			replaycheck.Options{Seed: int64(1000 + i), RotateEvents: 2000})
+		if err != nil || solo.RunErr != nil {
+			t.Fatalf("solo record %d: %v %v", i, err, solo.RunErr)
+		}
+		if want := fmt.Sprintf("%016x", solo.Digest.Sum()); digests[i] != want {
+			t.Errorf("session %d: hosted digest %s != single-session digest %s", i, digests[i], want)
+		}
+		if solo.Events != events[i] {
+			t.Errorf("session %d: hosted events %d != single-session events %d", i, events[i], solo.Events)
+		}
+	}
+
+	// The pool really held all 64 at once.
+	var list []sessionInfo
+	httpJSON(t, "GET", base+"/v1/sessions", nil, 200, &list)
+	if len(list) != nSessions {
+		t.Fatalf("pool lists %d sessions, want %d", len(list), nSessions)
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	mbuf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(mbuf.String(), "dv_sessions_created_total 64") {
+		t.Fatalf("/metrics does not report 64 creates:\n%s", grepLines(mbuf.String(), "dv_sessions"))
+	}
+}
+
+// TestE18MultiTenantScaling is the E18 harness: grow one dvserve's pool
+// through doubling session counts and report attach latency and process
+// RSS at each level. Gated behind DEJAVU_E18=1 — it is a measurement run,
+// not a pass/fail test (run with -v to see the table).
+func TestE18MultiTenantScaling(t *testing.T) {
+	if os.Getenv("DEJAVU_E18") == "" {
+		t.Skip("set DEJAVU_E18=1 to run the scaling measurement")
+	}
+	bin := buildTools(t)
+	dataRoot := t.TempDir()
+	srv, base, debugAddr, _ := startMultiTenant(t, bin, dataRoot,
+		"-max-sessions", "128", "-max-per-tenant", "-1", "-workers", "16", "-admit-timeout", "60s")
+
+	t.Logf("%-9s %-18s %-18s %-10s", "sessions", "create (median)", "attach (median)", "RSS")
+	created := 0
+	for _, level := range []int{1, 8, 16, 32, 64} {
+		// Grow the pool to this level, timing each create.
+		var createTimes []time.Duration
+		for ; created < level; created++ {
+			var buf bytes.Buffer
+			json.NewEncoder(&buf).Encode(map[string]any{
+				"program": "workload:fig1ab", "seed": 1000 + created, "rotate_events": 2000,
+			})
+			start := time.Now()
+			resp, err := http.Post(base+"/v1/sessions", "application/json", &buf)
+			if err != nil || resp.StatusCode != 201 {
+				t.Fatalf("create %d: %v (%v)", created, err, resp)
+			}
+			resp.Body.Close()
+			createTimes = append(createTimes, time.Since(start))
+		}
+		// Attach latency: dbgproto attach round-trips against sessions
+		// spread across the pool, one fresh connection each.
+		var attachTimes []time.Duration
+		for i := 0; i < level; i++ {
+			c, err := dialWait(debugAddr, 10*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			if _, err := c.Send(fmt.Sprintf("attach s%d", i+1)); err != nil {
+				t.Fatalf("attach s%d: %v", i+1, err)
+			}
+			attachTimes = append(attachTimes, time.Since(start))
+			c.Close()
+		}
+		t.Logf("%-9d %-18s %-18s %-10s",
+			level, median(createTimes), median(attachTimes), rssOf(t, srv.Process.Pid))
+	}
+}
+
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}
+
+// rssOf reads the process's resident set from /proc.
+func rssOf(t *testing.T, pid int) string {
+	blob, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return "n/a"
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		if strings.HasPrefix(line, "VmRSS:") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "VmRSS:"))
+		}
+	}
+	return "n/a"
+}
+
+// dialWait is dialRetry without the testing.T (usable from goroutines).
+func dialWait(addr string, timeout time.Duration) (*dbgproto.Client, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := dbgproto.Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// grepLines returns the lines of s containing substr, for failure output.
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
