@@ -5,6 +5,7 @@
 //	dejavu replay [flags] <prog>       re-execute a recorded trace
 //	dejavu recover [flags] <trace>     salvage a torn or corrupt recording
 //	dejavu vet [flags] <prog|all>      static replay-determinism analyses
+//	dejavu opt [flags] <prog>          certified replay-safe bytecode optimizer
 //	dejavu asm <in.dvs> <out.dva>      assemble to a binary image
 //	dejavu disasm <in.dva>             print assembler text
 //	dejavu workloads                   list built-in benchmark programs
@@ -26,6 +27,7 @@ import (
 	"dejavu/internal/cli"
 	"dejavu/internal/core"
 	"dejavu/internal/obs"
+	"dejavu/internal/opt"
 	"dejavu/internal/replaycheck"
 	"dejavu/internal/tools"
 	"dejavu/internal/trace"
@@ -57,6 +59,9 @@ func main() {
 	case "vet":
 		// vet owns its exit-code discipline: 0 clean, 1 findings, 2 usage.
 		os.Exit(cmdVet(os.Args[2:]))
+	case "opt":
+		// opt likewise: 0 certified, 1 refused, 2 usage.
+		os.Exit(cmdOpt(os.Args[2:]))
 	case "traceinfo":
 		err = cmdTraceInfo(os.Args[2:])
 	case "workloads":
@@ -76,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dejavu <run|record|replay|recover|vet|asm|disasm|verify|traceinfo|workloads|info> [flags] args...
+	fmt.Fprintln(os.Stderr, `usage: dejavu <run|record|replay|recover|vet|opt|asm|disasm|verify|traceinfo|workloads|info> [flags] args...
 run "dejavu <cmd> -h" for command flags`)
 }
 
@@ -92,17 +97,20 @@ func cmdRun(args []string, mode core.Mode) error {
 	syncMode := fs.String("sync", "none", "trace durability: none (page cache), chunk (fsync per chunk), event (fsync per event)")
 	stats := fs.Bool("stats", false, "print execution statistics")
 	preflight := fs.Bool("preflight", false, "run the static determinism analyses before recording; refuse to record on findings")
+	optimize := fs.Bool("optimize", false, "run the certified bytecode optimizer before execution; a refused pipeline runs the input unoptimized")
 	metricsOut := fs.String("metrics-out", "", "write engine/trace metrics as JSON to this file after the run")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one program argument")
 	}
-	prog, err := cli.LoadProgram(fs.Arg(0))
+	reg := metricsRegistry(*metricsOut)
+	prog, optRes, err := cli.LoadProgramOptimized(fs.Arg(0), *optimize, reg)
 	if err != nil {
 		return err
 	}
+	reportOptimize(optRes)
 	flags := cli.EngineFlags{Mode: mode, Seed: *seed, Realtime: *realtime, Preflight: *preflight}
-	flags.Obs = metricsRegistry(*metricsOut)
+	flags.Obs = reg
 	if flags.Sync, err = trace.ParseSyncPolicy(*syncMode); err != nil {
 		return err
 	}
@@ -199,17 +207,20 @@ func cmdReplay(args []string) error {
 	partial := fs.Bool("partial", false, "the trace is a salvaged prefix (e.g. from `dejavu recover -o`): stop cleanly at the salvage point instead of failing")
 	fromEvent := fs.Uint64("from-event", 0, "seed replay from the nearest durable checkpoint at or before this instruction count (journal input only)")
 	deadline := fs.Duration("deadline", 0, "abort with a stall report if replay stops consuming the trace for this long (0 = no watchdog)")
+	optimize := fs.Bool("optimize", false, "re-derive the certified optimized program the trace was recorded from (the optimizer is deterministic)")
 	metricsOut := fs.String("metrics-out", "", "write engine/trace metrics as JSON to this file after the run")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one program argument")
 	}
-	prog, err := cli.LoadProgram(fs.Arg(0))
+	reg := metricsRegistry(*metricsOut)
+	prog, optRes, err := cli.LoadProgramOptimized(fs.Arg(0), *optimize, reg)
 	if err != nil {
 		return err
 	}
+	reportOptimize(optRes)
 	flags := cli.EngineFlags{Mode: core.ModeReplay, PartialTrace: *partial, Deadline: *deadline}
-	flags.Obs = metricsRegistry(*metricsOut)
+	flags.Obs = reg
 	var seedCk *trace.Checkpoint
 	if fi, err := os.Stat(*traceIn); err == nil && fi.IsDir() {
 		// A directory is a segmented journal: replay its segment chain, and
@@ -341,6 +352,21 @@ func cmdReplay(args []string) error {
 		return err
 	}
 	return runErr
+}
+
+// reportOptimize surfaces a -optimize outcome on stderr: a certified
+// pipeline notes the shrink; a refused one prints the certifier's
+// findings — the run proceeds on the unoptimized input, which is what
+// res.Program already holds.
+func reportOptimize(res *opt.Result) {
+	if res == nil {
+		return
+	}
+	if res.Certified {
+		fmt.Fprintf(os.Stderr, "opt: certified, %d -> %d instructions\n", res.InstrsBefore, res.InstrsAfter)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "opt: REFUSED, running unoptimized\n%s", res.Report.Text())
 }
 
 // metricsRegistry returns a registry when a -metrics-out path was given,

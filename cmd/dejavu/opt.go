@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/cli"
+)
+
+// cmdOpt implements `dejavu opt` and returns the process exit code:
+//
+//	0  the optimized program was certified replay-equivalent
+//	1  the pipeline was refused (input ships unoptimized)
+//	2  usage or load error
+func cmdOpt(args []string) int {
+	fs := flag.NewFlagSet("opt", flag.ContinueOnError)
+	out := fs.String("o", "", "write the resulting program image (.dva) to this file")
+	jsonOut := fs.Bool("json", false, "emit the optimization report as JSON")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: dejavu opt [-o out.dva] [-json] <prog>
+
+Runs the certified bytecode optimizer: conservative passes (constant
+folding, copy propagation, dead-store elimination, branch
+simplification, unreachable code, pop sinking, redundant loads) that
+must preserve the program's observable-event language exactly. The
+replay-equivalence certifier proves they did; a refused pipeline writes
+the input unchanged and reports the divergence with method/pc/line.
+Exit codes: 0 certified, 1 refused, 2 usage/error.`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	prog, err := cli.LoadProgram(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dejavu opt:", err)
+		return 2
+	}
+	res, err := cli.OptimizeProgram(prog, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dejavu opt:", err)
+		return 2
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, bytecode.EncodeImage(res.Program), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dejavu opt:", err)
+			return 2
+		}
+	}
+	if *jsonOut {
+		type report struct {
+			Program       string `json:"program"`
+			Certified     bool   `json:"certified"`
+			InstrsBefore  int    `json:"instrs_before"`
+			InstrsAfter   int    `json:"instrs_after"`
+			Rounds        int    `json:"rounds"`
+			EventsChecked int    `json:"events_checked"`
+			Passes        any    `json:"passes"`
+		}
+		b, _ := json.MarshalIndent(report{
+			Program:       prog.Name,
+			Certified:     res.Certified,
+			InstrsBefore:  res.InstrsBefore,
+			InstrsAfter:   res.InstrsAfter,
+			Rounds:        res.Rounds,
+			EventsChecked: res.EventsChecked,
+			Passes:        res.Passes,
+		}, "", "  ")
+		fmt.Println(string(b))
+		if !res.Certified {
+			fmt.Println(res.Report.JSON())
+		}
+	} else {
+		fmt.Printf("%s: %d -> %d instructions in %d round(s), %d observable events certified\n",
+			prog.Name, res.InstrsBefore, res.InstrsAfter, res.Rounds, res.EventsChecked)
+		for _, ps := range res.Passes {
+			if ps.Applied > 0 {
+				fmt.Printf("  %-12s %d method rewrite(s)\n", ps.Name, ps.Applied)
+			}
+		}
+		if !res.Certified {
+			fmt.Printf("REFUSED: shipping the input unoptimized\n%s", res.Report.Text())
+		}
+	}
+	if !res.Certified {
+		return 1
+	}
+	return 0
+}

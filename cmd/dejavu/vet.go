@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"dejavu/internal/analysis"
+	"dejavu/internal/analysis/equiv"
 	"dejavu/internal/cli"
 	"dejavu/internal/vm"
 	"dejavu/internal/workloads"
@@ -24,17 +25,26 @@ func cmdVet(args []string) int {
 	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	allowFile := fs.String("allow", "", "allowlist file: lines of \"<prog> <analysis>\" naming expected findings")
+	strictAllow := fs.Bool("strict-allow", false, "fail when an allowlist entry matches no current finding (stale suppression)")
+	equivMode := fs.Bool("equiv", false, "two-program mode: decide replay equivalence of <progA> <progB>")
 	analysesFlag := fs.String("analyses", "", "comma-separated subset of analyses to run (default: all of "+strings.Join(analysis.AllAnalyses, ",")+")")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, `usage: dejavu vet [-json] [-allow file] [-analyses list] <prog|all>
+		fmt.Fprintln(os.Stderr, `usage: dejavu vet [-json] [-allow file] [-strict-allow] [-analyses list] <prog|all>
+       dejavu vet -equiv [-json] <progA> <progB>
 
 Runs the static replay-determinism analyses over a program (or every
 built-in workload for "all") and reports findings with method/pc/line
-locations. Exit codes: 0 clean, 1 findings, 2 usage/error.`)
+locations. With -equiv, runs the replay-equivalence certifier instead:
+the two programs are equivalent when they agree on every observable
+event sequence (yield points, synchronization, natives, output, racy
+statics). Exit codes: 0 clean/equivalent, 1 findings, 2 usage/error.`)
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *equivMode {
+		return cmdVetEquiv(fs.Args(), *jsonOut)
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -78,6 +88,8 @@ locations. Exit codes: 0 clean, 1 findings, 2 usage/error.`)
 		Analyses:       selected,
 	}
 	unexpected := 0
+	used := map[string]bool{}
+	analyzed := map[string]bool{}
 	var jsonReports []string
 	for _, arg := range progArgs {
 		prog, err := cli.LoadProgram(arg)
@@ -85,9 +97,13 @@ locations. Exit codes: 0 clean, 1 findings, 2 usage/error.`)
 			fmt.Fprintln(os.Stderr, "dejavu vet:", err)
 			return 2
 		}
+		analyzed[arg] = true
 		r := analysis.Analyze(prog, cfg)
 		for _, f := range r.Findings {
-			if !allow[allowKey(arg, f.Analysis)] {
+			k := allowKey(arg, f.Analysis)
+			if allow[k] {
+				used[k] = true
+			} else {
 				unexpected++
 			}
 		}
@@ -106,6 +122,57 @@ locations. Exit codes: 0 clean, 1 findings, 2 usage/error.`)
 	}
 	if unexpected > 0 {
 		fmt.Fprintf(os.Stderr, "dejavu vet: %d unexpected finding(s)\n", unexpected)
+		return 1
+	}
+	if *strictAllow {
+		// Only entries whose program was actually analyzed this run can be
+		// judged stale: a single-program invocation must not condemn the
+		// rest of the allowlist.
+		stale := 0
+		for k := range allow {
+			progName, _, _ := strings.Cut(k, " ")
+			if analyzed[progName] && !used[k] {
+				fmt.Fprintf(os.Stderr, "dejavu vet: stale allowlist entry %q matches no current finding\n", k)
+				stale++
+			}
+		}
+		if stale > 0 {
+			fmt.Fprintf(os.Stderr, "dejavu vet: %d stale allowlist line(s); the suppressed findings were fixed — remove them\n", stale)
+			return 1
+		}
+	}
+	return 0
+}
+
+// cmdVetEquiv implements `dejavu vet -equiv A B`: run the
+// replay-equivalence certifier over two programs and report the first
+// diverging observable-event path when they disagree. Exit 0 equivalent,
+// 1 not equivalent, 2 usage/error.
+func cmdVetEquiv(args []string, jsonOut bool) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: dejavu vet -equiv [-json] <progA> <progB>")
+		return 2
+	}
+	a, err := cli.LoadProgram(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dejavu vet:", err)
+		return 2
+	}
+	b, err := cli.LoadProgram(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dejavu vet:", err)
+		return 2
+	}
+	res := equiv.Check(a, b, vm.NativeSignature)
+	if jsonOut {
+		fmt.Println(res.Report.JSON())
+	} else if res.Equivalent {
+		fmt.Printf("%s and %s are replay-equivalent (%d observable events checked)\n",
+			args[0], args[1], res.EventsChecked)
+	} else {
+		fmt.Print(res.Report.Text())
+	}
+	if !res.Equivalent {
 		return 1
 	}
 	return 0

@@ -40,6 +40,7 @@ var experiments = []experiment{
 	{"E15", "crash tolerance: durability policy cost and torn-journal salvage", runE15},
 	{"E16", "segmented journals: checkpoint overhead and seeded-recovery speedup", runE16},
 	{"E17", "observability overhead: metrics on vs off, bit-identical replay", runE17},
+	{"E19", "certified optimizer: Mev/s optimized vs unoptimized, replay intact", runE19},
 }
 
 type multiFlag []string

@@ -35,6 +35,10 @@ const (
 	AYield    = "yield"
 	ACoverage = "coverage"
 	ADeadcode = "deadcode"
+	// AEquiv marks replay-equivalence certifier findings (package
+	// analysis/equiv); it is not part of AllAnalyses because `dejavu vet`
+	// runs it only in its two-program -equiv mode.
+	AEquiv = "equiv"
 )
 
 // AllAnalyses lists the five vet analyses in report order.

@@ -14,20 +14,27 @@ func vetCfg() analysis.Config {
 }
 
 // TestWorkloadMatrix pins the analysis verdict for every built-in
-// workload: the intentionally racy paper demos (fig1ab, fig1cd) are the
-// only programs with findings, and those findings are all races.
+// workload: the intentionally racy paper demos (fig1ab, fig1cd) carry
+// only race findings, the deliberately naive optimizer showcase (expr)
+// carries only dead-code findings, and everything else is clean. The
+// expectations mirror .github/vet-allowlist.txt, which CI enforces in
+// both directions with -strict-allow.
 func TestWorkloadMatrix(t *testing.T) {
-	racy := map[string]bool{"fig1ab": true, "fig1cd": true}
+	intentional := map[string]string{
+		"fig1ab": analysis.ARaces,
+		"fig1cd": analysis.ARaces,
+		"expr":   analysis.ADeadcode,
+	}
 	for _, name := range workloads.Names() {
 		r := analysis.Analyze(workloads.Registry[name](), vetCfg())
-		if racy[name] {
+		if want, ok := intentional[name]; ok {
 			if r.Clean() {
-				t.Errorf("%s: intentionally racy workload reported clean", name)
+				t.Errorf("%s: intentionally dirty workload reported clean", name)
 				continue
 			}
 			for _, f := range r.Findings {
-				if f.Analysis != analysis.ARaces {
-					t.Errorf("%s: want only race findings, got %s", name, f)
+				if f.Analysis != want {
+					t.Errorf("%s: want only %s findings, got %s", name, want, f)
 				}
 			}
 			continue

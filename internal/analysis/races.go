@@ -177,9 +177,19 @@ type raceAccess struct {
 	preSpawn bool     // in the entry method, before any Spawn can have run
 }
 
+// rootSym follows a symbol's base chain to its provenance root (the
+// static or allocation site a field/element path hangs off).
+func rootSym(s *SymVal) *SymVal {
+	for s.base != nil {
+		s = s.base
+	}
+	return s
+}
+
 // collectAccesses walks every method and gathers accesses per method,
-// keyed by canonical location.
-func (mo *model) collectAccesses(graph [][]int) map[string]map[int][]raceAccess {
+// keyed by canonical location. The second map records, per location key,
+// the static slot (class ID, static slot) rooting it, when there is one.
+func (mo *model) collectAccesses(graph [][]int) (map[string]map[int][]raceAccess, map[string][2]int32) {
 	p := mo.prog
 	spawny := mo.canSpawn(graph)
 
@@ -224,6 +234,7 @@ func (mo *model) collectAccesses(graph [][]int) map[string]map[int][]raceAccess 
 	}
 
 	accs := map[string]map[int][]raceAccess{}
+	roots := map[string][2]int32{}
 	for id := range p.Methods {
 		mid := id
 		isEntry := mid == entryID
@@ -233,6 +244,9 @@ func (mo *model) collectAccesses(graph [][]int) map[string]map[int][]raceAccess 
 					return
 				}
 				key := target.key(p)
+				if root := rootSym(target); root.kind == symStatic {
+					roots[key] = [2]int32{root.a, root.b}
+				}
 				var held []string
 				for _, l := range locks {
 					held = append(held, l.key(p))
@@ -248,14 +262,27 @@ func (mo *model) collectAccesses(graph [][]int) map[string]map[int][]raceAccess 
 			},
 		})
 	}
-	return accs
+	return accs, roots
 }
 
-func analyzeRaces(mo *model, r *Report) {
-	p := mo.prog
+// racyLoc is one location the races analysis decides is racy: its
+// canonical key, the first access (finding anchor), and the evidence.
+type racyLoc struct {
+	key      string
+	first    *raceAccess
+	ctxNames []string
+	writes   int
+	reads    int
+}
+
+// racyLocations runs the race decision over every globally nameable
+// location and returns the racy ones in key order, plus the static-root
+// map from collectAccesses. This is the shared core of analyzeRaces and
+// RacyStatics.
+func (mo *model) racyLocations() ([]racyLoc, map[string][2]int32) {
 	graph := mo.callGraph()
 	ctxs := mo.contexts(graph)
-	byLoc := mo.collectAccesses(graph)
+	byLoc, roots := mo.collectAccesses(graph)
 
 	var keys []string
 	for k := range byLoc {
@@ -263,6 +290,7 @@ func analyzeRaces(mo *model, r *Report) {
 	}
 	sort.Strings(keys)
 
+	var out []racyLoc
 	for _, key := range keys {
 		perMethod := byLoc[key]
 		var (
@@ -329,11 +357,46 @@ func analyzeRaces(mo *model, r *Report) {
 		if !shared || writes == 0 || len(common) > 0 || first == nil {
 			continue
 		}
-		m := p.Methods[first.mid]
-		r.add(ARaces, m, first.pc,
-			"possible data race on %s: accessed by %s with no common lock (%d writes, %d reads)",
-			displayKey(key), strings.Join(ctxNames, ", "), writes, reads)
+		out = append(out, racyLoc{key: key, first: first, ctxNames: ctxNames, writes: writes, reads: reads})
 	}
+	return out, roots
+}
+
+func analyzeRaces(mo *model, r *Report) {
+	p := mo.prog
+	locs, _ := mo.racyLocations()
+	for _, l := range locs {
+		m := p.Methods[l.first.mid]
+		r.add(ARaces, m, l.first.pc,
+			"possible data race on %s: accessed by %s with no common lock (%d writes, %d reads)",
+			displayKey(l.key), strings.Join(l.ctxNames, ", "), l.writes, l.reads)
+	}
+}
+
+// RacyStatics reports the static slots (class ID, static slot) rooting
+// any location the races analysis flags in p. The replay-equivalence
+// certifier treats accesses to these slots as observable events: a racy
+// access is ordered only by the recorded schedule, so an optimizer that
+// adds, drops, or reorders one perturbs replay. The program must verify;
+// a program that does not yields an empty set (the certifier refuses such
+// programs on its own verify step before consulting this).
+func RacyStatics(p *bytecode.Program, natives bytecode.NativeSig) map[[2]int32]bool {
+	out := map[[2]int32]bool{}
+	if err := p.Validate(); err != nil {
+		return out
+	}
+	facts, err := bytecode.Verify(p, bytecode.VerifyConfig{Natives: natives})
+	if err != nil {
+		return out
+	}
+	mo := buildModel(p, Config{Natives: natives}, facts)
+	locs, roots := mo.racyLocations()
+	for _, l := range locs {
+		if slot, ok := roots[l.key]; ok {
+			out[slot] = true
+		}
+	}
+	return out
 }
 
 // displayKey prettifies a canonical location key for humans.

@@ -16,6 +16,7 @@ import (
 	"dejavu/internal/bytecode"
 	"dejavu/internal/core"
 	"dejavu/internal/obs"
+	"dejavu/internal/opt"
 	"dejavu/internal/replaycheck"
 	"dejavu/internal/trace"
 	"dejavu/internal/vm"
@@ -72,6 +73,37 @@ func LoadProgram(arg string) (*bytecode.Program, error) {
 		}
 		return bytecode.Assemble(string(data))
 	}
+}
+
+// OptimizeProgram runs the certified bytecode optimizer over prog with
+// the VM's native registry. The result is certify-or-refuse: a refused
+// pipeline carries the pristine input in Result.Program along with the
+// certifier's findings. reg may be nil.
+func OptimizeProgram(prog *bytecode.Program, reg *obs.Registry) (*opt.Result, error) {
+	return opt.Optimize(prog, opt.Options{Natives: vm.NativeSignature, Metrics: reg})
+}
+
+// LoadProgramOptimized resolves a program argument and, when optimize is
+// set, runs the certified optimizer pipeline over it. The returned
+// program is the certified optimized build, or the pristine input when
+// the pipeline was refused (the opt.Result reports which — callers
+// surface the findings and proceed unoptimized). The optimizer is
+// deterministic, so every caller resolving the same spec with optimize
+// set derives the identical program — which is what lets a trace
+// recorded from an optimized build be replayed by re-deriving it.
+func LoadProgramOptimized(arg string, optimize bool, reg *obs.Registry) (*bytecode.Program, *opt.Result, error) {
+	prog, err := LoadProgram(arg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !optimize {
+		return prog, nil, nil
+	}
+	res, err := OptimizeProgram(prog, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Program, res, nil
 }
 
 // EngineFlags describes how a tool wants its engine built.
@@ -141,12 +173,19 @@ func RecordJournal(spec string, fs trace.FS, seed int64, rotateEvents int) (*Jou
 	if err != nil {
 		return nil, err
 	}
+	return RecordJournalProgram(prog, fs, seed, rotateEvents)
+}
+
+// RecordJournalProgram is RecordJournal over an already-resolved program
+// — the path session managers take when the program went through the
+// optimizer first, so the journal records the build that will replay it.
+func RecordJournalProgram(prog *bytecode.Program, fs trace.FS, seed int64, rotateEvents int) (*JournalRecording, error) {
 	res, err := replaycheck.RecordJournal(prog, fs, replaycheck.Options{Seed: seed, RotateEvents: rotateEvents})
 	if err != nil {
 		return nil, err
 	}
 	if res.RunErr != nil {
-		return nil, fmt.Errorf("record %s: %w", spec, res.RunErr)
+		return nil, fmt.Errorf("record %s: %w", prog.Name, res.RunErr)
 	}
 	return &JournalRecording{
 		Events:   res.Events,

@@ -1,0 +1,51 @@
+package opt
+
+// FuzzOptCertify hardens the certify-or-refuse gate: for any program
+// image the codec accepts and the verifier passes, the optimizer must
+// terminate, its output must re-verify, the certifier must accept the
+// applied pipeline, and the whole derivation must be deterministic. A
+// verifier rejection of the optimized program, a refusal on the standard
+// pipeline, or a non-reproducible output is a crash, not a report.
+
+import (
+	"bytes"
+	"testing"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+func FuzzOptCertify(f *testing.F) {
+	for _, name := range workloads.Names() {
+		f.Add(bytecode.EncodeImage(workloads.Registry[name]()))
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(bytecode.EncodeImage(workloads.RandomProgram(seed)))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := bytecode.DecodeImage(data)
+		if err != nil {
+			return
+		}
+		res, err := Optimize(prog, Options{Natives: vm.NativeSignature})
+		if err != nil {
+			return // input failed validation/verification: out of scope
+		}
+		if !res.Certified {
+			// The standard pipeline is built to be event-preserving on
+			// every verified program; any refusal is an optimizer bug.
+			t.Fatalf("pipeline refused on verified input:\n%s", res.Report.Text())
+		}
+		if _, err := bytecode.Verify(res.Program, bytecode.VerifyConfig{Natives: vm.NativeSignature}); err != nil {
+			t.Fatalf("optimized program does not verify: %v", err)
+		}
+		res2, err := Optimize(prog, Options{Natives: vm.NativeSignature})
+		if err != nil {
+			t.Fatalf("second run errored: %v", err)
+		}
+		if !bytes.Equal(bytecode.EncodeImage(res.Program), bytecode.EncodeImage(res2.Program)) {
+			t.Fatal("optimizer output not deterministic")
+		}
+	})
+}

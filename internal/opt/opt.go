@@ -1,0 +1,157 @@
+// Package opt is the analysis-driven bytecode optimizer behind
+// `dejavu opt`: conservative, replay-safe transformations gated by the
+// replay-equivalence certifier (package analysis/equiv).
+//
+// The contract is certify-or-refuse. Passes are forbidden from adding,
+// removing, or reordering observable events — yield points, monitor and
+// thread operations, natives, output, trapping instructions, racy static
+// accesses — and the pipeline proves they kept that promise by running
+// the certifier over (input, output). A certified program replays a
+// trace recorded from the optimized build with zero perturbation; a
+// refused pipeline ships the input unchanged, with the divergence
+// findings attached, rather than risk a divergent replay.
+package opt
+
+import (
+	"fmt"
+
+	"dejavu/internal/analysis"
+	"dejavu/internal/analysis/equiv"
+	"dejavu/internal/bytecode"
+	"dejavu/internal/obs"
+)
+
+// Options configures one Optimize run.
+type Options struct {
+	// Natives resolves native-call stack shapes for verification and
+	// certification (normally vm.NativeSignature).
+	Natives bytecode.NativeSig
+	// MaxRounds bounds the pass fixpoint iteration; 0 means the default.
+	MaxRounds int
+	// Metrics, when non-nil, receives the dv_opt_* counters.
+	Metrics *obs.Registry
+}
+
+// DefaultMaxRounds is how many pipeline rounds Optimize runs before
+// giving up on a fixpoint. Cascades (fold -> dead store -> pop sink)
+// unwind one layer per round; real programs settle in two or three.
+const DefaultMaxRounds = 8
+
+// PassStat counts how many method rewrites one pass performed.
+type PassStat struct {
+	Name    string `json:"name"`
+	Applied int    `json:"applied"`
+}
+
+// Result is the outcome of one Optimize run.
+type Result struct {
+	// Program is the certified optimized program, or the pristine input
+	// when the pipeline was refused.
+	Program *bytecode.Program
+	// Certified reports whether the certifier proved the optimized
+	// program replay-equivalent to the input.
+	Certified bool
+	// Report carries the certifier's findings (empty when certified).
+	Report *analysis.Report
+	// Rounds is how many pipeline rounds ran (including the final
+	// no-change round that detected the fixpoint).
+	Rounds int
+	// Instruction totals before and after, over all methods.
+	InstrsBefore, InstrsAfter int
+	// EventsChecked is the number of observable-event transitions the
+	// certifier proved matching.
+	EventsChecked int
+	// Passes holds per-pass application counts in pipeline order.
+	Passes []PassStat
+}
+
+// Optimize runs the pass pipeline over a copy of p and certifies the
+// result against the input. It never mutates p. The returned error is
+// reserved for unusable inputs (a program that fails validation or
+// verification); a refused certification is not an error — the Result
+// reports it with the input program and the findings.
+//
+// The pipeline is deterministic: same input, same output. Callers that
+// must re-derive an optimized program later (session re-attach, replay
+// of an optimized recording) get the identical image.
+func Optimize(p *bytecode.Program, o Options) (*Result, error) {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = DefaultMaxRounds
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("opt: input %s invalid: %w", p.Name, err)
+	}
+	if _, err := bytecode.Verify(p, bytecode.VerifyConfig{Natives: o.Natives}); err != nil {
+		return nil, fmt.Errorf("opt: input %s does not verify: %w", p.Name, err)
+	}
+	work, err := bytecode.DecodeImage(bytecode.EncodeImage(p))
+	if err != nil {
+		return nil, fmt.Errorf("opt: cloning %s: %w", p.Name, err)
+	}
+
+	res := &Result{InstrsBefore: countInstrs(p), Passes: make([]PassStat, len(passes))}
+	for i := range passes {
+		res.Passes[i].Name = passes[i].name
+	}
+	for round := 0; round < o.MaxRounds; round++ {
+		res.Rounds = round + 1
+		changed := false
+		for pi := range passes {
+			for _, m := range work.Methods {
+				if passes[pi].run(work, m) {
+					res.Passes[pi].Applied++
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	res.InstrsAfter = countInstrs(work)
+
+	// The gate: the rewritten program must verify and accept exactly the
+	// input's observable-event language. equiv.Check verifies both sides
+	// itself, so a pass that broke the verifier surfaces here too.
+	cert := equiv.Check(p, work, o.Natives)
+	res.Report = cert.Report
+	res.EventsChecked = cert.EventsChecked
+	if cert.Equivalent {
+		res.Certified = true
+		res.Program = work
+	} else {
+		res.Program = p
+		res.InstrsAfter = res.InstrsBefore
+	}
+	emitMetrics(o.Metrics, res)
+	return res, nil
+}
+
+func countInstrs(p *bytecode.Program) int {
+	n := 0
+	for _, m := range p.Methods {
+		n += len(m.Code)
+	}
+	return n
+}
+
+func emitMetrics(r *obs.Registry, res *Result) {
+	if r == nil {
+		return
+	}
+	r.Counter("dv_opt_runs_total").Inc()
+	if res.Certified {
+		r.Counter("dv_opt_certified_total").Inc()
+	} else {
+		r.Counter("dv_opt_refusals_total").Inc()
+	}
+	if removed := res.InstrsBefore - res.InstrsAfter; removed > 0 {
+		r.Counter("dv_opt_instructions_removed_total").Add(uint64(removed))
+	}
+	r.Counter("dv_opt_events_certified_total").Add(uint64(res.EventsChecked))
+	for _, ps := range res.Passes {
+		if ps.Applied > 0 {
+			r.Counter(fmt.Sprintf("dv_opt_passes_applied_total{pass=%q}", ps.Name)).Add(uint64(ps.Applied))
+		}
+	}
+}

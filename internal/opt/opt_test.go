@@ -1,0 +1,211 @@
+package opt
+
+import (
+	"bytes"
+	"testing"
+
+	"dejavu/internal/analysis"
+	"dejavu/internal/bytecode"
+	"dejavu/internal/obs"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+func optimize(t *testing.T, p *bytecode.Program) *Result {
+	t.Helper()
+	res, err := Optimize(p, Options{Natives: vm.NativeSignature})
+	if err != nil {
+		t.Fatalf("Optimize(%s): %v", p.Name, err)
+	}
+	return res
+}
+
+// naive builds the kind of code a straightforward frontend emits:
+// recomputed constant expressions, statement temporaries that die
+// immediately, and reloaded locals.
+func naive() *bytecode.Program {
+	b := bytecode.NewBuilder("naive")
+	cb := b.Class("Main")
+	main := cb.Method("main", 0, 6)
+	main.Const(0).Emit(bytecode.Store, 0)                               // i = 0
+	main.Const(10).Const(100).Emit(bytecode.Mul).Emit(bytecode.Store, 1) // limit = 10*100
+	main.Label("loop")
+	// t = i*2, never read again
+	main.Emit(bytecode.Load, 0).Const(2).Emit(bytecode.Mul).Emit(bytecode.Store, 2)
+	// acc = acc + i
+	main.Emit(bytecode.Load, 3).Emit(bytecode.Load, 0).Emit(bytecode.Add).Emit(bytecode.Store, 3)
+	// i = i + 1
+	main.Emit(bytecode.Load, 0).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 0)
+	main.Emit(bytecode.Load, 0).Emit(bytecode.Load, 1).Emit(bytecode.CmpLt).Branch(bytecode.Jnz, "loop")
+	main.Emit(bytecode.Load, 3).Emit(bytecode.Print)
+	main.Emit(bytecode.Halt)
+	b.Entry(main)
+	return b.MustProgram()
+}
+
+// TestOptimizeCorpusCertifies: every workload optimizes to a certified
+// program at least as small as the input.
+func TestOptimizeCorpusCertifies(t *testing.T) {
+	for _, name := range workloads.Names() {
+		p := workloads.Registry[name]()
+		res := optimize(t, p)
+		if !res.Certified {
+			t.Errorf("%s refused:\n%s", name, res.Report.Text())
+			continue
+		}
+		if res.InstrsAfter > res.InstrsBefore {
+			t.Errorf("%s grew: %d -> %d instrs", name, res.InstrsBefore, res.InstrsAfter)
+		}
+		if res.EventsChecked == 0 {
+			t.Errorf("%s: certifier checked no events", name)
+		}
+	}
+}
+
+// TestOptimizeShrinksNaiveCode: folding + dead-store + pop-sink unwind
+// the dead expression and the recomputed constant.
+func TestOptimizeShrinksNaiveCode(t *testing.T) {
+	res := optimize(t, naive())
+	if !res.Certified {
+		t.Fatalf("refused:\n%s", res.Report.Text())
+	}
+	if res.InstrsAfter >= res.InstrsBefore {
+		t.Fatalf("no shrink: %d -> %d", res.InstrsBefore, res.InstrsAfter)
+	}
+	// The dead store (4 instrs) and the constant expression (2 of 3)
+	// must both be gone: at least 6 instructions saved.
+	if saved := res.InstrsBefore - res.InstrsAfter; saved < 6 {
+		t.Fatalf("only %d instrs removed (%d -> %d)", saved, res.InstrsBefore, res.InstrsAfter)
+	}
+	// The optimized program must still verify on its own.
+	if _, err := bytecode.Verify(res.Program, bytecode.VerifyConfig{Natives: vm.NativeSignature}); err != nil {
+		t.Fatalf("optimized program does not verify: %v", err)
+	}
+}
+
+// TestOptimizeDeterministic: byte-identical output across runs — session
+// re-attach and replay re-derive the optimized program independently.
+func TestOptimizeDeterministic(t *testing.T) {
+	a := optimize(t, naive())
+	b := optimize(t, naive())
+	if !bytes.Equal(bytecode.EncodeImage(a.Program), bytecode.EncodeImage(b.Program)) {
+		t.Fatal("optimizer output differs between identical runs")
+	}
+}
+
+// TestOptimizeDoesNotMutateInput: the input program is untouched even
+// though the pipeline interns constants and rewrites methods.
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	p := naive()
+	before := bytecode.EncodeImage(p)
+	optimize(t, p)
+	if !bytes.Equal(before, bytecode.EncodeImage(p)) {
+		t.Fatal("Optimize mutated its input")
+	}
+}
+
+// brokenPass registers an intentionally event-destroying pass, runs f,
+// and restores the pipeline.
+func brokenPass(t *testing.T, name string, run func(p *bytecode.Program, m *bytecode.Method) bool, f func()) {
+	t.Helper()
+	saved := passes
+	passes = append(append([]pass(nil), passes...), pass{name, run})
+	defer func() { passes = saved }()
+	f()
+}
+
+// TestBrokenPassDroppingYieldRefused: a pass that rewrites the backward
+// loop branch away (erasing a yield point) must be refused, shipping the
+// pristine input with a pc/line-localized finding.
+func TestBrokenPassDroppingYieldRefused(t *testing.T) {
+	dropBackbranch := func(p *bytecode.Program, m *bytecode.Method) bool {
+		rw := newRewriter(m)
+		for pc, in := range m.Code {
+			if in.Op == bytecode.Jnz && int(in.A) <= pc {
+				rw.replace(pc, bytecode.Instr{Op: bytecode.Pop})
+			}
+		}
+		return rw.apply()
+	}
+	brokenPass(t, "evil-unroll", dropBackbranch, func() {
+		p := naive()
+		pristine := bytecode.EncodeImage(p)
+		res := optimize(t, p)
+		if res.Certified {
+			t.Fatal("yield-dropping pass certified")
+		}
+		if res.Program != p || !bytes.Equal(bytecode.EncodeImage(res.Program), pristine) {
+			t.Fatal("refused pipeline did not ship the pristine input")
+		}
+		if len(res.Report.Findings) == 0 {
+			t.Fatal("refusal carries no findings")
+		}
+		f := res.Report.Findings[0]
+		if f.Analysis != analysis.AEquiv || f.Method == "" || (f.PC == 0 && f.Line == 0) {
+			t.Fatalf("finding not pc/line-localized: %+v", f)
+		}
+		t.Logf("refusal: %s", f)
+	})
+}
+
+// TestBrokenPassReorderingMonExitRefused: a pass that swaps a MonExit
+// with the preceding MonEnter (reordering observable events) is refused.
+func TestBrokenPassReorderingMonExitRefused(t *testing.T) {
+	b := bytecode.NewBuilder("mon")
+	cb := b.Class("Main")
+	cb.Static("lock", true)
+	main := cb.Method("main", 0, 1)
+	main.Line(1).Emit(bytecode.New, int32(cb.ID())).Emit(bytecode.Store, 0)
+	main.Line(2).Emit(bytecode.Load, 0).Emit(bytecode.MonEnter)
+	main.Line(3).Const(1).Emit(bytecode.Print)
+	main.Line(4).Emit(bytecode.Load, 0).Emit(bytecode.MonExit)
+	main.Line(5).Emit(bytecode.Halt)
+	b.Entry(main)
+	p := b.MustProgram()
+
+	swapExit := func(pr *bytecode.Program, m *bytecode.Method) bool {
+		// "Shrink the critical section": move the Print after the MonExit.
+		rw := newRewriter(m)
+		for pc, in := range m.Code {
+			if in.Op == bytecode.Print && pc+2 < len(m.Code) {
+				rw.delete(pc)
+				rw.delete(pc - 1)
+				rw.replace(pc+2, m.Code[pc+2], m.Code[pc-1], in)
+				return rw.apply()
+			}
+		}
+		return false
+	}
+	brokenPass(t, "evil-lockshrink", swapExit, func() {
+		res := optimize(t, p)
+		if res.Certified {
+			t.Fatal("monexit-reordering pass certified")
+		}
+		f := res.Report.Findings[0]
+		if f.Analysis != analysis.AEquiv || f.Method != "Main.main" {
+			t.Fatalf("unexpected finding: %+v", f)
+		}
+		t.Logf("refusal: %s", f)
+	})
+}
+
+// TestMetrics: the dv_opt_* counters reflect one certified and one
+// refused run.
+func TestMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	if _, err := Optimize(naive(), Options{Natives: vm.NativeSignature, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("dv_opt_runs_total").Value(); got != 1 {
+		t.Fatalf("dv_opt_runs_total = %d", got)
+	}
+	if got := reg.Counter("dv_opt_certified_total").Value(); got != 1 {
+		t.Fatalf("dv_opt_certified_total = %d", got)
+	}
+	if reg.Counter("dv_opt_instructions_removed_total").Value() == 0 {
+		t.Fatal("dv_opt_instructions_removed_total = 0")
+	}
+	if reg.Counter("dv_opt_events_certified_total").Value() == 0 {
+		t.Fatal("dv_opt_events_certified_total = 0")
+	}
+}

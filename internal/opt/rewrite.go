@@ -1,0 +1,85 @@
+package opt
+
+import "dejavu/internal/bytecode"
+
+// rewriter accumulates per-pc replacements over one method's code and
+// applies them in a single monotone renumbering pass. Every original pc
+// maps to a non-decreasing new pc, so a backward branch stays backward
+// and a forward branch stays forward — the property that keeps yield
+// points (taken backward branches) exactly where the logical clock
+// expects them. Deleting a branch-target instruction is safe: the target
+// remaps to the first surviving instruction at or after it.
+type rewriter struct {
+	m *bytecode.Method
+	// repl[pc]: nil = keep the instruction as-is; non-nil = replace it
+	// with the slice (empty slice = delete).
+	repl  [][]bytecode.Instr
+	dirty bool
+}
+
+func newRewriter(m *bytecode.Method) *rewriter {
+	return &rewriter{m: m, repl: make([][]bytecode.Instr, len(m.Code))}
+}
+
+// touched reports whether pc already has a replacement queued, so passes
+// never stack two rewrites on one instruction in the same round.
+func (rw *rewriter) touched(pc int) bool { return rw.repl[pc] != nil }
+
+// replace queues instrs as the replacement for pc.
+func (rw *rewriter) replace(pc int, instrs ...bytecode.Instr) {
+	if instrs == nil {
+		instrs = []bytecode.Instr{}
+	}
+	rw.repl[pc] = instrs
+	rw.dirty = true
+}
+
+// delete queues removal of the instruction at pc.
+func (rw *rewriter) delete(pc int) { rw.replace(pc) }
+
+// apply rewrites the method in place and reports whether anything
+// changed. Jump targets are remapped through the old-pc -> new-pc map;
+// replacement instructions inherit the source line of the pc they
+// replace.
+func (rw *rewriter) apply() bool {
+	if !rw.dirty {
+		return false
+	}
+	n := len(rw.m.Code)
+	newStart := make([]int, n+1)
+	pos := 0
+	for pc := 0; pc < n; pc++ {
+		newStart[pc] = pos
+		if rw.repl[pc] == nil {
+			pos++
+		} else {
+			pos += len(rw.repl[pc])
+		}
+	}
+	newStart[n] = pos
+
+	code := make([]bytecode.Instr, 0, pos)
+	lines := make([]int32, 0, pos)
+	srcLine := func(pc int) int32 {
+		if pc < len(rw.m.Lines) {
+			return rw.m.Lines[pc]
+		}
+		return 0
+	}
+	for pc := 0; pc < n; pc++ {
+		src := rw.repl[pc]
+		if src == nil {
+			src = rw.m.Code[pc : pc+1]
+		}
+		for _, in := range src {
+			if ka, _ := in.Op.Operands(); ka == bytecode.OpTarget {
+				in.A = int32(newStart[in.A])
+			}
+			code = append(code, in)
+			lines = append(lines, srcLine(pc))
+		}
+	}
+	rw.m.Code = code
+	rw.m.Lines = lines
+	return true
+}

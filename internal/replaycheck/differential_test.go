@@ -1,0 +1,65 @@
+// The optimizer's differential harness: for every corpus workload, the
+// certified optimized build must (a) replay its own recording bit for
+// bit, and (b) end in exactly the state the unoptimized build ends in —
+// same output bytes, same address-independent final statics/heap
+// rendering, same context-switch count. The yield points the certifier
+// preserves are the preemption points, so a seeded schedule interleaves
+// the two builds identically; any state divergence means a pass changed
+// semantics the event language failed to capture.
+package replaycheck_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dejavu/internal/opt"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+func TestOptimizedDifferential(t *testing.T) {
+	for _, name := range workloads.Names() {
+		for _, seed := range []int64{1, 4} {
+			t.Run(name+"/seed"+string(rune('0'+seed)), func(t *testing.T) {
+				base := workloads.Registry[name]()
+				res, err := opt.Optimize(base, opt.Options{Natives: vm.NativeSignature})
+				if err != nil {
+					t.Fatalf("optimize: %v", err)
+				}
+				if !res.Certified {
+					t.Fatalf("optimizer refused %s:\n%s", name, res.Report.Text())
+				}
+
+				o := optsFor(name, seed)
+				// (a) Self-consistency: the optimized build records a trace
+				// its own replay reproduces exactly.
+				orec, _, err := replaycheck.CheckReplay(res.Program, o)
+				if err != nil {
+					t.Fatalf("optimized record/replay: %v", err)
+				}
+				// (b) Equivalence to the unoptimized build under the same
+				// seeded schedule.
+				urec, err := replaycheck.Record(base, o)
+				if err != nil || urec.RunErr != nil {
+					t.Fatalf("unoptimized record: %v %v", err, urec.RunErr)
+				}
+				if !bytes.Equal(orec.Output, urec.Output) {
+					t.Fatalf("output diverged:\noptimized:   %q\nunoptimized: %q", orec.Output, urec.Output)
+				}
+				if got, want := orec.Digest.Switches(), urec.Digest.Switches(); got != want {
+					t.Fatalf("context switches diverged: optimized %d, unoptimized %d", got, want)
+				}
+				ofs, ufs := orec.VM.FinalState(), urec.VM.FinalState()
+				if len(ofs) != len(ufs) {
+					t.Fatalf("final state shape diverged: %d vs %d statics", len(ofs), len(ufs))
+				}
+				for i := range ofs {
+					if ofs[i] != ufs[i] {
+						t.Fatalf("final state diverged at %q vs %q", ofs[i], ufs[i])
+					}
+				}
+			})
+		}
+	}
+}

@@ -290,7 +290,13 @@ type meta struct {
 	Events       uint64 `json:"events"`           // recorded trace length
 	Switches     uint64 `json:"switches,omitempty"`
 	Digest       string `json:"digest,omitempty"` // record digest, hex; replays must reproduce it
-	Created      string `json:"created,omitempty"`
+	Optimize     bool   `json:"optimize,omitempty"`
+	// OptVerdict records the certifier's decision ("certified" or
+	// "refused") when Optimize was requested. Cold re-attach re-derives
+	// the same program — the optimizer is deterministic — so the verdict
+	// is durable identity, not advice.
+	OptVerdict string `json:"opt_verdict,omitempty"`
+	Created    string `json:"created,omitempty"`
 }
 
 // Session is one tenant-owned record/replay/travel session. All VM access
@@ -344,21 +350,29 @@ type CreateRequest struct {
 	// FromEvent positions the opened session at this event, seeded from
 	// the nearest durable checkpoint at or before it.
 	FromEvent uint64 `json:"from_event,omitempty"`
+	// Optimize runs the certified bytecode optimizer over the program
+	// before recording. A refused pipeline records the input unoptimized;
+	// either way the verdict lands in meta.json and the session replays
+	// the exact build it recorded (the optimizer is deterministic, so
+	// cold re-attach re-derives it from the program spec).
+	Optimize bool `json:"optimize,omitempty"`
 }
 
 // Info is a session's externally visible state (the control plane's JSON
 // shape).
 type Info struct {
-	ID       string `json:"id"`
-	Num      uint64 `json:"num"`
-	Tenant   string `json:"tenant"`
-	State    string `json:"state"`
-	Program  string `json:"program"`
-	Seed     int64  `json:"seed"`
-	Events   uint64 `json:"events"`
-	Switches uint64 `json:"switches,omitempty"`
-	Digest   string `json:"digest,omitempty"`
-	Position uint64 `json:"position,omitempty"`
+	ID         string `json:"id"`
+	Num        uint64 `json:"num"`
+	Tenant     string `json:"tenant"`
+	State      string `json:"state"`
+	Program    string `json:"program"`
+	Seed       int64  `json:"seed"`
+	Events     uint64 `json:"events"`
+	Switches   uint64 `json:"switches,omitempty"`
+	Digest     string `json:"digest,omitempty"`
+	Optimize   bool   `json:"optimize,omitempty"`
+	OptVerdict string `json:"opt_verdict,omitempty"`
+	Position   uint64 `json:"position,omitempty"`
 	Tainted  bool   `json:"tainted,omitempty"`
 	Attaches uint64 `json:"attaches"`
 	Travels  uint64 `json:"travels"`
@@ -443,9 +457,16 @@ func (m *Manager) build(s *Session, req CreateRequest) (*Info, error) {
 	s.meta = meta{
 		ID: s.id, Num: s.num, Tenant: s.tenant,
 		Program: req.Program, Seed: req.Seed, RotateEvents: req.RotateEvents,
-		Source: req.Source, Created: time.Now().UTC().Format(time.RFC3339),
+		Source: req.Source, Optimize: req.Optimize,
+		Created: time.Now().UTC().Format(time.RFC3339),
 	}
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
+	}
+	// Resolve the program before recording so the journal records the
+	// build that will replay it — the certified optimized program, or the
+	// pristine input when the pipeline was refused.
+	if s.prog, s.meta.OptVerdict, err = s.resolveProgram(); err != nil {
 		return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
 	}
 	if req.Source != "" {
@@ -456,16 +477,13 @@ func (m *Manager) build(s *Session, req CreateRequest) (*Info, error) {
 		if s.fs, err = m.rootFS.Sub(filepath.Join("sessions", s.id, "journal")); err != nil {
 			return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
 		}
-		rec, err := cli.RecordJournal(req.Program, s.fs, req.Seed, req.RotateEvents)
+		rec, err := cli.RecordJournalProgram(s.prog, s.fs, req.Seed, req.RotateEvents)
 		if err != nil {
 			return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
 		}
 		s.meta.Events = rec.Events
 		s.meta.Switches = rec.Switches
 		s.meta.Digest = fmt.Sprintf("%016x", rec.Digest)
-	}
-	if s.prog, err = cli.LoadProgram(req.Program); err != nil {
-		return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
 	}
 	if s.js, err = s.openLocked(req.FromEvent); err != nil {
 		return nil, err
@@ -480,6 +498,25 @@ func (m *Manager) build(s *Session, req CreateRequest) (*Info, error) {
 	s.state.Store(int32(StateActive))
 	m.met.createLatency.ObserveSince(start)
 	return s.infoLocked(), nil
+}
+
+// resolveProgram resolves the session's program spec, running the
+// certified optimizer pipeline when the session was created with
+// Optimize. Returns the program to execute and the certifier verdict
+// ("certified", "refused", or "" when optimization was not requested).
+func (s *Session) resolveProgram() (*bytecode.Program, string, error) {
+	prog, res, err := cli.LoadProgramOptimized(s.meta.Program, s.meta.Optimize, s.mgr.cfg.Obs)
+	if err != nil {
+		return nil, "", err
+	}
+	verdict := ""
+	if res != nil {
+		verdict = "refused"
+		if res.Certified {
+			verdict = "certified"
+		}
+	}
+	return prog, verdict, nil
 }
 
 // openLocked builds the journal debugging session. Caller holds s.mu and
@@ -509,7 +546,10 @@ func (s *Session) ensureOpenLocked() error {
 	start := time.Now()
 	var err error
 	if s.prog == nil {
-		if s.prog, err = cli.LoadProgram(s.meta.Program); err != nil {
+		// Cold re-attach re-derives the recorded build: the optimizer is
+		// deterministic, so an optimized session resolves to the identical
+		// program the journal was recorded from.
+		if s.prog, _, err = s.resolveProgram(); err != nil {
 			return fmt.Errorf("sessions: %s: reopen program %q: %w", s.id, s.meta.Program, err)
 		}
 	}
@@ -555,6 +595,7 @@ func (s *Session) infoLocked() *Info {
 		ID: s.id, Num: s.num, Tenant: s.tenant, State: s.State().String(),
 		Program: s.meta.Program, Seed: s.meta.Seed,
 		Events: s.meta.Events, Switches: s.meta.Switches, Digest: s.meta.Digest,
+		Optimize: s.meta.Optimize, OptVerdict: s.meta.OptVerdict,
 		Attaches: s.attaches.Load(), Travels: s.travels.Load(),
 		Created: s.meta.Created,
 	}
@@ -601,6 +642,7 @@ func (m *Manager) List() []*Info {
 			ID: s.id, Num: s.num, Tenant: s.tenant, State: s.State().String(),
 			Program: s.meta.Program, Seed: s.meta.Seed,
 			Events: s.meta.Events, Switches: s.meta.Switches, Digest: s.meta.Digest,
+			Optimize: s.meta.Optimize, OptVerdict: s.meta.OptVerdict,
 			Attaches: s.attaches.Load(), Travels: s.travels.Load(),
 			Created: s.meta.Created,
 		})

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -354,4 +355,42 @@ func TestKillUnderConcurrentAccess(t *testing.T) {
 	wantRefusal(t, err, ReasonNotFound)
 	err = m.WithSession(info.Num, func(*heap.Heap, ptrace.RootSource) error { return nil })
 	wantRefusal(t, err, ReasonNotFound)
+}
+
+func TestOptimizedSessionRecordsVerdictAndReplaysCold(t *testing.T) {
+	root := t.TempDir()
+	m1 := newTestManager(t, Config{DataRoot: root})
+	info, err := m1.Create(CreateRequest{Program: "workload:fig1ab", Seed: 11, RotateEvents: 1500, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Optimize || info.OptVerdict != "certified" {
+		t.Fatalf("info = %+v, want optimize with a certified verdict", info)
+	}
+	// The verdict is durable identity: meta.json carries it.
+	blob, err := os.ReadFile(filepath.Join(root, "sessions", info.ID, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"optimize": true`, `"opt_verdict": "certified"`} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("meta.json missing %q:\n%s", want, blob)
+		}
+	}
+	m1.Drain("")
+
+	// A restarted manager re-derives the optimized build from the spec
+	// (the optimizer is deterministic) and the journal replays bit-for-bit
+	// against it.
+	m2 := newTestManager(t, Config{DataRoot: root})
+	vi, digest, err := m2.VerifyReplay(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != vi.Digest || digest != info.Digest {
+		t.Fatalf("cold replay digest %s, want %s (info %s)", digest, vi.Digest, info.Digest)
+	}
+	if !vi.Optimize || vi.OptVerdict != "certified" {
+		t.Fatalf("cold info = %+v, want optimize verdict preserved", vi)
+	}
 }

@@ -1,0 +1,106 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"dejavu/internal/heap"
+)
+
+// FinalState renders the program-visible end state of a run — every
+// class's static slots, with reachable heap structure expanded — in an
+// address-independent form: two runs that left the same values and the
+// same heap shape behind render identically, whatever addresses the
+// allocator (or an interleaved GC) handed out. Objects are numbered in
+// traversal order and cycles render as back-references, so the output
+// is finite and deterministic.
+//
+// This is the comparison key for the optimizer's differential harness:
+// an optimized build must not only replay its own recording, it must
+// leave the machine in the same state the unoptimized build does.
+func (vm *VM) FinalState() []string {
+	h := vm.h
+	types := h.Types()
+	seen := map[heap.Addr]int{}
+
+	var renderRef func(a heap.Addr, depth int) string
+	renderRef = func(a heap.Addr, depth int) string {
+		if a == 0 {
+			return "null"
+		}
+		if !h.Valid(a) {
+			return "<invalid>"
+		}
+		if id, ok := seen[a]; ok {
+			return fmt.Sprintf("@%d", id)
+		}
+		id := len(seen)
+		seen[a] = id
+		if depth <= 0 {
+			return fmt.Sprintf("#%d:<depth>", id)
+		}
+		t := h.TypeID(a)
+		name := "?"
+		if t >= 0 && t < len(types.Names) {
+			name = types.Names[t]
+		}
+		n := h.Len(a)
+		var sb strings.Builder
+		switch h.KindOf(a) {
+		case heap.KindObject:
+			var refMap []bool
+			if t >= 0 && t < len(types.RefMaps) {
+				refMap = types.RefMaps[t]
+			}
+			fmt.Fprintf(&sb, "#%d:%s{", id, name)
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				w := h.LoadWord(a, i)
+				if i < len(refMap) && refMap[i] {
+					sb.WriteString(renderRef(heap.Addr(w), depth-1))
+				} else {
+					fmt.Fprintf(&sb, "%d", int64(w))
+				}
+			}
+			sb.WriteByte('}')
+		case heap.KindInt64Arr:
+			fmt.Fprintf(&sb, "#%d:int[", id)
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%d", int64(h.LoadWord(a, i)))
+			}
+			sb.WriteByte(']')
+		case heap.KindRefArr:
+			fmt.Fprintf(&sb, "#%d:ref[", id)
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(renderRef(heap.Addr(h.LoadWord(a, i)), depth-1))
+			}
+			sb.WriteByte(']')
+		case heap.KindByteArr:
+			fmt.Fprintf(&sb, "#%d:bytes%q", id, string(h.Bytes(a)))
+		}
+		return sb.String()
+	}
+
+	var out []string
+	for ci := 0; ci < vm.numClasses; ci++ {
+		c := vm.prog.Classes[ci]
+		obj := vm.staticsObj[ci]
+		for si, s := range c.Statics {
+			w := h.LoadWord(obj, si)
+			v := fmt.Sprintf("%d", int64(w))
+			if s.IsRef {
+				v = renderRef(heap.Addr(w), 8)
+			}
+			out = append(out, fmt.Sprintf("%s.%s = %s", c.Name, s.Name, v))
+		}
+	}
+	return out
+}

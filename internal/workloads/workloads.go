@@ -25,6 +25,7 @@ var Registry = map[string]func() *bytecode.Program{
 	"sleepy":       func() *bytecode.Program { return Sleepy(4) },
 	"sumlines":     func() *bytecode.Program { return SumLines() },
 	"events":       func() *bytecode.Program { return Events(20) },
+	"expr":         func() *bytecode.Program { return Expr(4000) },
 }
 
 // Names returns registry keys in sorted order.
@@ -806,6 +807,56 @@ func PhilosophersDeadlock(n int) *bytecode.Program {
 		mb.Const(int64(i)).SpawnM(phil).Emit(bytecode.Pop)
 	}
 	mb.Emit(bytecode.Ret) // main exits; philosophers dine forever (or deadlock)
+	b.Entry(mb)
+	return b.MustProgram()
+}
+
+// Expr is deliberately naive straight-from-the-AST codegen for
+//
+//	acc = 0
+//	for i = 0; i < n; i++ {
+//	    acc = (acc*31 + i*i + 2*3*i + 7) & 0xffff
+//	}
+//	Main.result = acc; print acc
+//
+// Every iteration recomputes the constant subexpression 2*3, stores a
+// dead temporary, reloads a local it just loaded, and carries a
+// constant-guarded debug block that never runs — the patterns the
+// certified optimizer (`dejavu opt`) removes. The replay-equivalence
+// certifier proves the removal is invisible: the loop backedge (the
+// yield point) and the final Print survive bit for bit, so this is the
+// optimized-vs-unoptimized benchmark workload (E19).
+func Expr(n int) *bytecode.Program {
+	b := bytecode.NewBuilder("expr")
+	main := b.Class("Main")
+	main.Static("result", false)
+	// locals: 0=i 1=acc 2=t (dead temporary)
+	mb := main.Method("main", 0, 3)
+	mb.Line(1).Const(0).Emit(bytecode.Store, 0)
+	mb.Line(1).Const(0).Emit(bytecode.Store, 1)
+	mb.Label("loop")
+	mb.Line(2).Emit(bytecode.Load, 0).Const(int64(n)).Emit(bytecode.CmpGe).Branch(bytecode.Jnz, "done")
+	// t = i + 1: a temporary no path ever reads again (dead store).
+	mb.Line(3).Emit(bytecode.Load, 0).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 2)
+	// if (1) skip the disabled debug block — naive codegen keeps the
+	// branch and the dead body; folding the constant strands the body,
+	// which the next round's unreachable-code pass deletes.
+	mb.Line(4).Const(1).Branch(bytecode.Jnz, "live")
+	mb.Line(5).Emit(bytecode.Load, 1).Emit(bytecode.Neg).Emit(bytecode.Store, 1)
+	mb.Label("live")
+	mb.Line(6).Emit(bytecode.Load, 1).Const(31).Emit(bytecode.Mul)
+	mb.Line(6).Emit(bytecode.Load, 0).Emit(bytecode.Load, 0).Emit(bytecode.Mul).Emit(bytecode.Add)
+	mb.Line(6).Const(2).Const(3).Emit(bytecode.Mul).Emit(bytecode.Load, 0).Emit(bytecode.Mul).Emit(bytecode.Add)
+	mb.Line(6).Const(7).Emit(bytecode.Add)
+	mb.Line(6).Const(0xffff).Emit(bytecode.And).Emit(bytecode.Store, 1)
+	// last = acc: another dead temporary, reloading the acc just stored.
+	mb.Line(7).Emit(bytecode.Load, 1).Emit(bytecode.Store, 2)
+	mb.Line(8).Emit(bytecode.Load, 0).Const(1).Emit(bytecode.Add).Emit(bytecode.Store, 0)
+	mb.Branch(bytecode.Jmp, "loop")
+	mb.Label("done")
+	mb.Line(9).Emit(bytecode.Load, 1).PutStatic(main, "result")
+	mb.Line(10).GetStatic(main, "result").Emit(bytecode.Print)
+	mb.Emit(bytecode.Halt)
 	b.Entry(mb)
 	return b.MustProgram()
 }
