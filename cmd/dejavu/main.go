@@ -16,6 +16,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,6 +27,8 @@ import (
 	"dejavu/internal/bytecode"
 	"dejavu/internal/cli"
 	"dejavu/internal/core"
+	"dejavu/internal/flightrec"
+	"dejavu/internal/minimize"
 	"dejavu/internal/obs"
 	"dejavu/internal/opt"
 	"dejavu/internal/replaycheck"
@@ -62,6 +65,8 @@ func main() {
 	case "opt":
 		// opt likewise: 0 certified, 1 refused, 2 usage.
 		os.Exit(cmdOpt(os.Args[2:]))
+	case "minimize":
+		err = cmdMinimize(os.Args[2:])
 	case "traceinfo":
 		err = cmdTraceInfo(os.Args[2:])
 	case "workloads":
@@ -81,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dejavu <run|record|replay|recover|vet|opt|asm|disasm|verify|traceinfo|workloads|info> [flags] args...
+	fmt.Fprintln(os.Stderr, `usage: dejavu <run|record|replay|recover|minimize|vet|opt|asm|disasm|verify|traceinfo|workloads|info> [flags] args...
 run "dejavu <cmd> -h" for command flags`)
 }
 
@@ -99,9 +104,24 @@ func cmdRun(args []string, mode core.Mode) error {
 	preflight := fs.Bool("preflight", false, "run the static determinism analyses before recording; refuse to record on findings")
 	optimize := fs.Bool("optimize", false, "run the certified bytecode optimizer before execution; a refused pipeline runs the input unoptimized")
 	metricsOut := fs.String("metrics-out", "", "write engine/trace metrics as JSON to this file after the run")
+	flight := fs.Bool("flight", false, "always-on flight recorder: record into a bounded in-memory ring; a fault flushes the recent window as a journal to -o")
+	flightEvents := fs.Int("flight-events", 0, "flight window size in logged events (default 4096)")
+	flightBytes := fs.Int64("flight-bytes", 0, "flight window size in bytes (overrides -flight-events)")
+	raceFault := fs.Bool("race", false, "with -flight: run the lockset race detector and treat a hit as a flush-triggering fault")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one program argument")
+	}
+	if *flight {
+		// The flight ring rides the record pipeline, whatever subcommand
+		// asked for it: `dejavu run -flight` is a normal run with the
+		// recorder always on.
+		mode = core.ModeRecord
+		if *segEvents > 0 || *segBytes > 0 || *flat {
+			return fmt.Errorf("-flight is exclusive of -segment-* and -flat")
+		}
+	} else if *raceFault {
+		return fmt.Errorf("-race needs -flight (use `dejavu replay -race` to analyze a trace)")
 	}
 	reg := metricsRegistry(*metricsOut)
 	prog, optRes, err := cli.LoadProgramOptimized(fs.Arg(0), *optimize, reg)
@@ -127,7 +147,18 @@ func cmdRun(args []string, mode core.Mode) error {
 	var sink *trace.StreamWriter
 	var out *os.File
 	var journal *trace.SegmentWriter
-	if mode == core.ModeRecord && (*segEvents > 0 || *segBytes > 0) {
+	var ring *flightrec.Ring
+	if *flight {
+		ring, err = flightrec.NewRing(vm.ProgramHash(prog), flightrec.Options{
+			WindowEvents: *flightEvents,
+			WindowBytes:  *flightBytes,
+			Obs:          reg,
+		})
+		if err != nil {
+			return err
+		}
+		flags.TraceSink = ring
+	} else if mode == core.ModeRecord && (*segEvents > 0 || *segBytes > 0) {
 		dfs, err := trace.NewDirFS(*traceOut)
 		if err != nil {
 			return err
@@ -157,6 +188,18 @@ func cmdRun(args []string, mode core.Mode) error {
 	if journal != nil {
 		vcfg.Journal = journal // a nil *SegmentWriter must not become a non-nil interface
 	}
+	var rd *tools.RaceDetector
+	if ring != nil {
+		vcfg.Journal = ring
+		if *raceFault {
+			rd = tools.NewRaceDetector()
+			// Freeze at the instant of detection so the window still holds
+			// the racing accesses when the flush happens after the run.
+			rd.OnRace = func(tools.Race) { ring.Freeze() }
+			vcfg.MemHook = rd
+			vcfg.SyncHook = rd
+		}
+	}
 	m, err := vm.New(prog, vcfg)
 	if err != nil {
 		return err
@@ -165,6 +208,28 @@ func cmdRun(args []string, mode core.Mode) error {
 	if mode == core.ModeRecord {
 		traceBytes := eng.End()
 		switch {
+		case ring != nil:
+			class := flightrec.Classify(runErr)
+			if rd != nil && len(rd.Races()) > 0 {
+				class = "race"
+				for _, rc := range rd.Races() {
+					fmt.Fprintf(os.Stderr, "race: obj %d slot %d threads %v (%s)\n", rc.Obj, rc.Slot, rc.Threads, rc.Detail)
+				}
+			}
+			if class == "" {
+				fmt.Fprintf(os.Stderr, "flight: clean exit; window discarded (%d bytes seen)\n",
+					ring.Stats().TotalBytes)
+			} else {
+				info, ferr := ring.Flush(*traceOut, class)
+				if ferr != nil {
+					return fmt.Errorf("flight flush after %s fault: %w (run error: %v)", class, ferr, runErr)
+				}
+				fmt.Fprintf(os.Stderr, "flight: %s fault; flushed %d event(s) in %d segment(s) from event %d -> %s/\n",
+					class, info.Events, info.Segments, info.Origin, *traceOut)
+				if info.Origin > 0 {
+					fmt.Fprintf(os.Stderr, "flight: replay with `dejavu replay -t %s %s`\n", *traceOut, fs.Arg(0))
+				}
+			}
 		case journal != nil:
 			if err := journal.Close(); err != nil {
 				return err
@@ -236,11 +301,23 @@ func cmdReplay(args []string) error {
 		if h := vm.ProgramHash(prog); j.ProgHash() != h {
 			return fmt.Errorf("journal %s was recorded from program %x, not %x", *traceIn, j.ProgHash(), h)
 		}
+		target := *fromEvent
+		if org := j.Origin(); org > 0 {
+			// A flight window starts mid-run: seeding from its origin
+			// checkpoint is mandatory, and earlier seeds do not exist.
+			if target < org {
+				target = org
+			}
+			fmt.Fprintf(os.Stderr, "flight journal: %s\n", j)
+		}
 		seg := 0
-		if *fromEvent > 0 {
-			if seedCk = j.BestCheckpoint(*fromEvent); seedCk != nil {
+		if target > 0 {
+			if seedCk = j.BestCheckpoint(target); seedCk != nil {
 				seg = seedCk.Index
 			}
+		}
+		if org := j.Origin(); org > 0 && (seedCk == nil || seedCk.VMEvents < org) {
+			return fmt.Errorf("flight journal starts at event %d but has no loadable checkpoint covering it", org)
 		}
 		src, err := j.Source(seg)
 		if err != nil {
@@ -358,6 +435,86 @@ func cmdReplay(args []string) error {
 // pipeline notes the shrink; a refused one prints the certifier's
 // findings — the run proceeds on the unoptimized input, which is what
 // res.Program already holds.
+// cmdMinimize delta-debugs a recorded preemption schedule down to a
+// minimal switch set that still reproduces the recording's fault.
+func cmdMinimize(args []string) error {
+	fs := flag.NewFlagSet("minimize", flag.ExitOnError)
+	traceIn := fs.String("t", "trace.dvt", "trace input: flat file or journal directory (must be a from-start recording)")
+	heapKB := fs.Int("heap", 1024, "initial semispace KiB (must match the recording)")
+	maxEvents := fs.Uint64("max-events", 0, "event budget the recording ran under (0 = default)")
+	deadline := fs.Duration("deadline", 2*time.Second, "stall watchdog for candidate replays")
+	maxCand := fs.Int("max-candidates", 0, "cap on candidate schedules tried (0 = unlimited)")
+	outTrace := fs.String("o", "", "write the reduced trace here (flat container)")
+	reportOut := fs.String("report", "", "write the JSON report here (default stdout)")
+	verbose := fs.Bool("v", false, "log search progress")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need exactly one program argument")
+	}
+	prog, _, err := cli.LoadProgramOptimized(fs.Arg(0), false, nil)
+	if err != nil {
+		return err
+	}
+	var raw []byte
+	if fi, err := os.Stat(*traceIn); err == nil && fi.IsDir() {
+		dfs, err := trace.NewDirFS(*traceIn)
+		if err != nil {
+			return err
+		}
+		j, err := trace.OpenJournal(dfs)
+		if err != nil {
+			return err
+		}
+		if org := j.Origin(); org > 0 {
+			return fmt.Errorf("%s is a flight window starting at event %d; minimize needs a from-start recording (its switch positions are meaningless without the prefix)", *traceIn, org)
+		}
+		if raw, err = j.Flat(0); err != nil {
+			return err
+		}
+	} else {
+		if raw, err = os.ReadFile(*traceIn); err != nil {
+			return err
+		}
+		if trace.IsStream(raw) {
+			return fmt.Errorf("%s is a streamed trace; re-record with -flat or into a journal, or point -t at a journal directory", *traceIn)
+		}
+	}
+	o := minimize.Options{
+		Record:        replaycheck.Options{HeapBytes: *heapKB * 1024, MaxEvents: *maxEvents},
+		Deadline:      *deadline,
+		MaxCandidates: *maxCand,
+	}
+	if *verbose {
+		o.Log = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	res, err := minimize.Run(prog, raw, o)
+	if err != nil {
+		return err
+	}
+	rep := res.Report
+	fmt.Fprintf(os.Stderr, "minimize: %s fault reproduced with %d of %d switch(es) (%.0f%% reduction, %d candidates)\n",
+		rep.Fault, rep.KeptSwitches, rep.OriginalSwitches, rep.ReductionPct, rep.Candidates)
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *reportOut != "" {
+		if err := os.WriteFile(*reportOut, buf, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(buf)
+	}
+	if *outTrace != "" {
+		if err := os.WriteFile(*outTrace, res.Trace, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "minimize: reduced trace (%d bytes) -> %s\n", len(res.Trace), *outTrace)
+	}
+	return nil
+}
+
 func reportOptimize(res *opt.Result) {
 	if res == nil {
 		return

@@ -14,7 +14,9 @@ import (
 	"dejavu/internal/core"
 	"dejavu/internal/debugger"
 	"dejavu/internal/faults/memfs"
+	"dejavu/internal/flightrec"
 	"dejavu/internal/heap"
+	"dejavu/internal/minimize"
 	"dejavu/internal/obs"
 	"dejavu/internal/opt"
 	"dejavu/internal/ptrace"
@@ -1290,5 +1292,168 @@ func runE19(r *report) error {
 	r.note("wrote BENCH_E19.json; events drop because optimized builds execute fewer")
 	r.note("instructions for the same observable work — the certifier proves the same")
 	r.note("yield points, monitors, and output survive, so the schedule is unperturbed.")
+	return nil
+}
+
+// --- E20 ---
+
+// runE20 quantifies the always-on flight recorder (ISSUE 8): what the
+// bounded in-memory ring costs at record time across window sizes versus
+// a full on-disk journal and versus recording off — with the digest
+// assertion that every mode observes the *same* execution (the ring is a
+// passive sink; retention is not perturbation) — plus the schedule
+// minimizer's reduction on the Fig. 1 race, the artifact a flushed window
+// feeds into. Results land in BENCH_E20.json.
+func runE20(r *report) error {
+	prog := benchWorkloads["prodcons"]()
+	base := replaycheck.Options{Seed: 7, HostRand: 7, HeapBytes: 1 << 22}
+	const reps = 3
+
+	timeRun := func(f func() (*replaycheck.Result, error)) (*replaycheck.Result, time.Duration, error) {
+		var best time.Duration
+		var res *replaycheck.Result
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			rr, err := f()
+			d := time.Since(start)
+			if err != nil {
+				return nil, 0, err
+			}
+			if rr.RunErr != nil {
+				return nil, 0, rr.RunErr
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+			res = rr
+		}
+		return res, best, nil
+	}
+
+	type row struct {
+		Mode        string  `json:"mode"`
+		Window      string  `json:"window"`
+		WallMs      float64 `json:"wall_ms"`
+		Mevs        float64 `json:"mevs"`
+		OverheadPct float64 `json:"overhead_pct"`
+		Digest      string  `json:"digest"`
+	}
+	var overhead []row
+	rows := [][]string{}
+
+	off, offT, err := timeRun(func() (*replaycheck.Result, error) { return replaycheck.RunOff(prog, base) })
+	if err != nil {
+		return fmt.Errorf("off: %v", err)
+	}
+
+	jdir, err := os.MkdirTemp("", "e20-journal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(jdir)
+	full, fullT, err := timeRun(func() (*replaycheck.Result, error) {
+		sub := fmt.Sprintf("r%d", len(overhead))
+		os.Mkdir(jdir+"/"+sub, 0o755)
+		fs, err := trace.NewDirFS(jdir + "/" + sub)
+		if err != nil {
+			return nil, err
+		}
+		return replaycheck.RecordJournal(prog, fs, base)
+	})
+	if err != nil {
+		return fmt.Errorf("full journal: %v", err)
+	}
+	want := full.Digest.Sum()
+	if off.Digest.Sum() != want {
+		return fmt.Errorf("recording off and full-journal digests diverge: the journal sink perturbed the run")
+	}
+
+	add := func(mode, window string, res *replaycheck.Result, d time.Duration) {
+		rw := row{
+			Mode: mode, Window: window,
+			WallMs:      float64(d.Microseconds()) / 1000,
+			Mevs:        float64(res.Events) / 1e6 / d.Seconds(),
+			OverheadPct: (float64(d)/float64(offT) - 1) * 100,
+			Digest:      fmt.Sprintf("%016x", res.Digest.Sum()),
+		}
+		overhead = append(overhead, rw)
+		rows = append(rows, []string{mode, window,
+			fmt.Sprintf("%.1f", rw.WallMs),
+			fmt.Sprintf("%.1f", rw.Mevs),
+			fmt.Sprintf("%+.1f%%", rw.OverheadPct),
+			"identical"})
+	}
+	add("off", "-", off, offT)
+	add("journal", "unbounded", full, fullT)
+
+	var lastRing *flightrec.Ring
+	for _, win := range []int{512, 4096, 32768} {
+		win := win
+		res, d, err := timeRun(func() (*replaycheck.Result, error) {
+			ring, err := flightrec.NewRing(vm.ProgramHash(prog), flightrec.Options{WindowEvents: win})
+			if err != nil {
+				return nil, err
+			}
+			lastRing = ring
+			return replaycheck.RecordSink(prog, ring, base)
+		})
+		if err != nil {
+			return fmt.Errorf("flight %d: %v", win, err)
+		}
+		if res.Digest.Sum() != want {
+			return fmt.Errorf("flight window %d: digest diverged — the ring perturbed the run", win)
+		}
+		add("flight", fmt.Sprintf("%d ev", win), res, d)
+	}
+	r.table([]string{"mode", "window", "wall ms", "Mev/s", "overhead vs off", "execution"}, rows)
+
+	// The final ring flushes to a journal that opens, positioned mid-run.
+	fdir, err := os.MkdirTemp("", "e20-flush-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(fdir)
+	fi, err := lastRing.Flush(fdir+"/window", "bench")
+	if err != nil {
+		return fmt.Errorf("flush: %v", err)
+	}
+	ffs, err := trace.NewDirFS(fdir + "/window")
+	if err != nil {
+		return err
+	}
+	if _, err := trace.OpenJournal(ffs); err != nil {
+		return fmt.Errorf("flushed window does not open: %v", err)
+	}
+	r.note("flushed 32768-event window: origin %d, %d segment(s), %d bytes, complete=%v",
+		fi.Origin, fi.Segments, fi.Bytes, fi.Complete)
+
+	// Schedule minimization on the Fig. 1 race (the E14 tool family's
+	// canonical target): ddmin must cut the recorded switches by >= 50%.
+	mo := replaycheck.Options{Seed: 4, PreemptMin: 2, PreemptMax: 10, HeapBytes: 1 << 22}
+	rec, err := replaycheck.Record(workloads.Fig1AB(), mo)
+	if err != nil || rec.RunErr != nil {
+		return fmt.Errorf("minimize record: %v %v", err, rec.RunErr)
+	}
+	res, err := minimize.Run(workloads.Fig1AB(), rec.Trace, minimize.Options{Record: mo})
+	if err != nil {
+		return fmt.Errorf("minimize: %v", err)
+	}
+	rep := res.Report
+	r.note("minimized the fig1ab %s repro: %d -> %d switch(es), %.0f%% reduction, %d candidates",
+		rep.Fault, rep.OriginalSwitches, rep.KeptSwitches, rep.ReductionPct, rep.Candidates)
+	if rep.ReductionPct < 50 {
+		return fmt.Errorf("minimizer reduced only %.0f%%, want >= 50%%", rep.ReductionPct)
+	}
+
+	out := struct {
+		Overhead []row           `json:"overhead"`
+		Minimize minimize.Report `json:"minimize"`
+	}{overhead, rep}
+	blob, _ := json.MarshalIndent(out, "", "  ")
+	if err := os.WriteFile("BENCH_E20.json", append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write BENCH_E20.json: %v", err)
+	}
+	r.note("wrote BENCH_E20.json; identical digests across off/journal/flight prove the ring")
+	r.note("is pay-for-retention only — the execution it observes is the one that ran.")
 	return nil
 }

@@ -41,6 +41,7 @@ var experiments = []experiment{
 	{"E16", "segmented journals: checkpoint overhead and seeded-recovery speedup", runE16},
 	{"E17", "observability overhead: metrics on vs off, bit-identical replay", runE17},
 	{"E19", "certified optimizer: Mev/s optimized vs unoptimized, replay intact", runE19},
+	{"E20", "flight recorder: ring overhead vs window size, flush integrity, ddmin reduction", runE20},
 }
 
 type multiFlag []string

@@ -1,0 +1,143 @@
+// Ingest endpoint round-trip: a real recorded journal tars up, uploads as
+// 201 Created, dedups to 200 on re-upload, and lands in the store as a
+// directory that opens. Corrupt and malicious bundles are refused before
+// anything reaches the store.
+package main
+
+import (
+	"archive/tar"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dejavu/internal/cli"
+	"dejavu/internal/obs"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/trace"
+)
+
+// recordBundle records a segmented journal and returns it as a tar bundle
+// with one leading directory component, the way `tar -cf - journal/` would.
+func recordBundle(t *testing.T) []byte {
+	t.Helper()
+	prog, err := cli.LoadProgram("workload:fig1ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	fs, err := trace.NewDirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replaycheck.RecordJournal(prog, fs, replaycheck.Options{Seed: 1, RotateEvents: 50}); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr := &tar.Header{Name: "journal/" + e.Name(), Mode: 0o644, Size: int64(len(b))}
+		if err := tw.WriteHeader(hdr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postBundle(t *testing.T, url string, bundle []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/ingest", "application/x-tar", bytes.NewReader(bundle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestIngestRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", ingestHandler(root, obs.NewRegistry()))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	bundle := recordBundle(t)
+
+	var resp ingestResponse
+	if code := postBundle(t, ts.URL, bundle, &resp); code != http.StatusCreated {
+		t.Fatalf("first upload: %d %+v, want 201", code, resp)
+	}
+	if resp.Deduped || resp.Digest == "" || resp.Segments == 0 || !resp.Complete {
+		t.Fatalf("first upload response: %+v", resp)
+	}
+
+	// The stored bundle is a journal that opens.
+	fs, err := trace.NewDirFS(filepath.Join(root, "ingest", resp.Digest[:16]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.OpenJournal(fs); err != nil {
+		t.Fatalf("stored bundle does not open: %v", err)
+	}
+
+	// Re-upload dedups by content digest.
+	var again ingestResponse
+	if code := postBundle(t, ts.URL, bundle, &again); code != http.StatusOK || !again.Deduped {
+		t.Fatalf("re-upload: %d %+v, want 200 deduped", code, again)
+	}
+	if again.Digest != resp.Digest {
+		t.Fatalf("digest changed across identical uploads: %s vs %s", again.Digest, resp.Digest)
+	}
+
+	// A corrupt bundle (flip a byte mid-stream) is refused with 422 and
+	// never lands in the store.
+	bad := bytes.Clone(bundle)
+	bad[len(bad)/2] ^= 0xff
+	if code := postBundle(t, ts.URL, bad, nil); code != http.StatusUnprocessableEntity && code != http.StatusBadRequest {
+		t.Fatalf("corrupt upload: %d, want 422 or 400", code)
+	}
+
+	// A path-escaping entry is refused before a byte lands on disk.
+	var evil bytes.Buffer
+	tw := tar.NewWriter(&evil)
+	tw.WriteHeader(&tar.Header{Name: "journal/../../escape", Mode: 0o644, Size: 1})
+	tw.Write([]byte{0})
+	tw.Close()
+	if code := postBundle(t, ts.URL, evil.Bytes(), nil); code != http.StatusBadRequest {
+		t.Fatalf("escaping upload: %d, want 400", code)
+	}
+	if _, err := os.Stat(filepath.Join(root, "escape")); !os.IsNotExist(err) {
+		t.Fatal("path-escaping entry landed outside the bundle dir")
+	}
+
+	// Only the two real ingests are in the store (plus no temp debris).
+	ents, err := os.ReadDir(filepath.Join(root, "ingest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("store holds %d entries, want 1: %v", len(ents), ents)
+	}
+}

@@ -77,12 +77,14 @@ type serveConfig struct {
 	exitSave   string
 
 	// Multi-tenant mode (enabled by -data-root).
-	dataRoot     string
-	httpAddr     string
-	maxSessions  int
-	maxPerTenant int
-	workers      int
-	admitTimeout time.Duration
+	dataRoot        string
+	httpAddr        string
+	maxSessions     int
+	maxPerTenant    int
+	workers         int
+	admitTimeout    time.Duration
+	retain          time.Duration
+	maxSessionBytes int64
 }
 
 func main() {
@@ -101,6 +103,8 @@ func main() {
 	flag.IntVar(&c.maxPerTenant, "max-per-tenant", 0, "per-tenant session cap (0 = 16, -1 = unlimited)")
 	flag.IntVar(&c.workers, "workers", 0, "concurrent command budget shared by all sessions (0 = 8)")
 	flag.DurationVar(&c.admitTimeout, "admit-timeout", 0, "max wait for a worker slot before a busy refusal (0 = 5s)")
+	flag.DurationVar(&c.retain, "retain", 0, "retention age for killed/orphaned session storage; a periodic sweep removes older directories (0 disables)")
+	flag.Int64Var(&c.maxSessionBytes, "max-session-bytes", 0, "per-session journal byte quota at record time; exceeding it refuses the create with 413 (0 = unlimited)")
 	flag.Parse()
 	if c.dataRoot != "" {
 		if flag.NArg() != 0 {
@@ -144,9 +148,32 @@ func runMulti(c serveConfig) error {
 		AdmitTimeout:    c.admitTimeout,
 		CheckpointEvery: c.checkpoint,
 		Obs:             reg,
+		MaxSessionBytes: c.maxSessionBytes,
 	})
 	if err != nil {
 		return err
+	}
+	if c.retain > 0 {
+		// Retention sweep: killed-and-condemned session directories, crash
+		// leftovers, and orphaned flush temp dirs age out. The sweep runs a
+		// few times per retention period and skips itself entirely while any
+		// flight flush is writing.
+		interval := c.retain / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		if interval > time.Minute {
+			interval = time.Minute
+		}
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for range t.C {
+				if n := mgr.GC(c.retain); n > 0 {
+					fmt.Fprintf(os.Stderr, "dvserve: retention sweep removed %d director(ies)\n", n)
+				}
+			}
+		}()
 	}
 	if n := len(mgr.List()); n > 0 {
 		fmt.Fprintf(os.Stderr, "data root %s: %d cold session(s) registered\n", c.dataRoot, n)
@@ -196,6 +223,7 @@ func runMulti(c serveConfig) error {
 	}
 	mux := http.NewServeMux()
 	mgr.Routes(mux)
+	mux.HandleFunc("POST /v1/ingest", ingestHandler(c.dataRoot, reg))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		obs.WritePrometheus(w, reg.Snapshot())

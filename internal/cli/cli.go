@@ -160,6 +160,11 @@ type JournalRecording struct {
 	Switches uint64
 	Digest   uint64
 	Output   []byte
+	// RunErr is the recording's run error. RecordJournalProgram treats any
+	// run error as a failure and never sets it; RecordFlightProgram returns
+	// faulting runs as data (the fault is what the flight recorder flushes
+	// on), so callers inspect it.
+	RunErr error
 }
 
 // RecordJournal resolves a program spec (workload:name, .dvs, or .dva),
@@ -180,7 +185,16 @@ func RecordJournal(spec string, fs trace.FS, seed int64, rotateEvents int) (*Jou
 // — the path session managers take when the program went through the
 // optimizer first, so the journal records the build that will replay it.
 func RecordJournalProgram(prog *bytecode.Program, fs trace.FS, seed int64, rotateEvents int) (*JournalRecording, error) {
-	res, err := replaycheck.RecordJournal(prog, fs, replaycheck.Options{Seed: seed, RotateEvents: rotateEvents})
+	return RecordJournalProgramOptions(prog, fs, replaycheck.Options{Seed: seed, RotateEvents: rotateEvents})
+}
+
+// RecordJournalProgramOptions is RecordJournalProgram with the full
+// replaycheck option surface exposed — session managers use it to apply a
+// journal byte quota (Options.MaxJournalBytes) at record time. A run error
+// (including a quota refusal) is a failure: journal sessions replay
+// complete recordings.
+func RecordJournalProgramOptions(prog *bytecode.Program, fs trace.FS, o replaycheck.Options) (*JournalRecording, error) {
+	res, err := replaycheck.RecordJournal(prog, fs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +206,26 @@ func RecordJournalProgram(prog *bytecode.Program, fs trace.FS, seed int64, rotat
 		Switches: res.Digest.Switches(),
 		Digest:   res.Digest.Sum(),
 		Output:   res.Output,
+	}, nil
+}
+
+// RecordFlightProgram records prog through sink — a flight-recorder ring
+// (trace.Sink, and vm.JournalSink for rotation) — with the same seeded
+// defaults as RecordJournalProgram. Unlike the journal path, a faulting run
+// is not a failure here: the fault is precisely what the flight recorder
+// exists to capture, so the run error comes back in JournalRecording.RunErr
+// and only setup errors are returned. The caller owns flushing the ring.
+func RecordFlightProgram(prog *bytecode.Program, sink trace.Sink, seed int64) (*JournalRecording, error) {
+	res, err := replaycheck.RecordSink(prog, sink, replaycheck.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &JournalRecording{
+		Events:   res.Events,
+		Switches: res.Digest.Switches(),
+		Digest:   res.Digest.Sum(),
+		Output:   res.Output,
+		RunErr:   res.RunErr,
 	}, nil
 }
 

@@ -179,6 +179,37 @@ func (p *SeededPreemptor) Pending() bool {
 	return false
 }
 
+// ScriptedPreemptor fires at an exact, pre-computed set of yield points.
+// The trace minimizer uses it to re-execute a recording with a *subset* of
+// its original preemption switches: record mode consults Pending exactly
+// once per live yield point, so firing at the n-th consultation reproduces
+// the n-th global yield position of the original schedule. Everything else
+// held equal (time source, host randomness, input), the schedule — and
+// hence the execution — is a pure function of the fire set.
+type ScriptedPreemptor struct {
+	fire map[uint64]bool
+	n    uint64
+}
+
+// NewScriptedPreemptor fires at the given global yield positions
+// (1-based: position k means the k-th Pending consultation fires).
+func NewScriptedPreemptor(positions []uint64) *ScriptedPreemptor {
+	p := &ScriptedPreemptor{fire: make(map[uint64]bool, len(positions))}
+	for _, v := range positions {
+		p.fire[v] = true
+	}
+	return p
+}
+
+// Pending implements Preemptor.
+func (p *ScriptedPreemptor) Pending() bool {
+	p.n++
+	return p.fire[p.n]
+}
+
+// Consulted returns how many yield points have consulted this preemptor.
+func (p *ScriptedPreemptor) Consulted() uint64 { return p.n }
+
 // Host is the VM surface the engine's symmetric side effects run against:
 // instrumentation-owned allocation and stack growth (§2.4).
 type Host interface {

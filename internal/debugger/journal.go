@@ -64,9 +64,19 @@ func OpenJournalSessionObs(prog *bytecode.Program, fs trace.FS, event uint64, re
 		return nil, fmt.Errorf("debugger: journal program hash mismatch: journal %x, program %x", j.ProgHash(), h)
 	}
 	s := &JournalSession{Prog: prog, fs: fs, j: j, CheckpointEvery: 10_000, Obs: reg}
+	// A flight-recorder flush (Origin > 0) has no replayable history before
+	// the window start: clamp the opening position to the origin and refuse
+	// outright if no durable checkpoint covers it — seeding from zero would
+	// silently replay the wrong execution.
+	if org := j.Origin(); org > 0 && event < org {
+		event = org
+	}
 	var ck *trace.Checkpoint
 	if event > 0 {
 		ck = j.BestCheckpoint(event)
+	}
+	if org := j.Origin(); org > 0 && (ck == nil || ck.VMEvents < org) {
+		return nil, fmt.Errorf("debugger: flight journal starts at event %d and has no loadable checkpoint covering it", org)
 	}
 	if s.D, err = s.newDebugger(ck); err != nil {
 		return nil, err
@@ -133,6 +143,11 @@ func (s *JournalSession) newDebugger(ck *trace.Checkpoint) (*Debugger, error) {
 // (SetStatic) refuses durable re-seeds: they would silently resurrect
 // the unmodified recording.
 func (s *JournalSession) TravelTo(event uint64) error {
+	// Clamp flight-window travel to the origin: events before the window
+	// start were evicted and cannot be reconstructed.
+	if org := s.j.Origin(); org > 0 && event < org {
+		event = org
+	}
 	if event >= s.D.VM.Events() || s.D.canTravelTo(event) {
 		return s.D.TravelTo(event)
 	}

@@ -1,0 +1,154 @@
+// Flush crash matrix: cut the flush's filesystem op tape at every
+// lifecycle point (each metadata boundary, ±1 unit, and mid-write) and
+// assert every resulting directory state fails closed:
+//
+//   - it is not a journal (OpenJournal refuses), or
+//   - it parses and replays cleanly — either all the way to the recorded
+//     fault with a digest bit-identical to the fully flushed window, or to
+//     an explicit partial-trace/seek stop. Never a silent divergence, and
+//     never a committed manifest with anything but the full window behind
+//     it.
+package flightrec_test
+
+import (
+	"errors"
+	"testing"
+
+	"dejavu/internal/core"
+	"dejavu/internal/faults/memfs"
+	"dejavu/internal/flightrec"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/trace"
+	"dejavu/internal/vm"
+)
+
+// crashCuts returns the budget sweep: every op boundary, one unit either
+// side, and the midpoint of every write (torn-write territory).
+func crashCuts(tape []memfs.FSOp) []int64 {
+	cuts := map[int64]bool{0: true}
+	var at int64
+	for _, op := range tape {
+		u := op.Units()
+		if op.Kind == memfs.OpWrite && u > 1 {
+			cuts[at+u/2] = true
+		}
+		at += u
+		cuts[at] = true
+		cuts[at-1] = true
+		cuts[at+1] = true
+	}
+	out := make([]int64, 0, len(cuts))
+	for c := range cuts {
+		if c >= 0 && c <= at {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestFlightFlushCrashMatrix(t *testing.T) {
+	prog := flightProg()
+	ring, _ := recordThroughRing(t, flightrec.Options{
+		WindowEvents: flightWindow, SegmentEvents: flightSegEvents, ChunkBytes: 24,
+	})
+
+	fs := memfs.New()
+	info, err := ring.FlushTo(fs, "budget")
+	if err != nil {
+		t.Fatalf("FlushTo: %v", err)
+	}
+	if info.Origin == 0 {
+		t.Fatalf("want an origin window for the crash matrix, got a from-zero flush")
+	}
+	tape := fs.Ops()
+
+	// The fully flushed journal's replay digest is the reference.
+	want, _, err := replaycheck.ReplayJournal(prog, fs, flightReplayOptions())
+	if err != nil {
+		t.Fatalf("reference replay: %v", err)
+	}
+	if !errors.Is(want.RunErr, vm.ErrEventBudget) {
+		t.Fatalf("reference replay did not reach the fault: %v", want.RunErr)
+	}
+
+	var full, refused, partial int
+	for _, cut := range crashCuts(tape) {
+		cfs := memfs.BuildFS(tape, cut)
+		j, err := trace.OpenJournal(cfs)
+		if err != nil {
+			refused++ // fails closed: not (yet) a journal
+			continue
+		}
+		// Anything OpenJournal accepts must replay without surprises.
+		res, _, rerr := replaycheck.ReplayJournal(prog, cfs, flightReplayOptions())
+		if rerr != nil {
+			// Structured refusal at setup (e.g. an origin journal whose
+			// checkpoint has not landed yet) is a clean stop.
+			refused++
+			continue
+		}
+		switch {
+		case errors.Is(res.RunErr, vm.ErrEventBudget):
+			// Replayed all the way to the recorded fault: this must be the
+			// complete window, bit for bit.
+			if res.Digest.Sum() != want.Digest.Sum() {
+				t.Fatalf("cut %d: replay reached the fault with a diverging digest (%x vs %x)",
+					cut, res.Digest.Sum(), want.Digest.Sum())
+			}
+			if j.Origin() != info.Origin {
+				t.Fatalf("cut %d: full replay from origin %d, want %d", cut, j.Origin(), info.Origin)
+			}
+			full++
+		case errors.Is(res.RunErr, core.ErrPartialTrace):
+			// An incomplete cut (e.g. the synthetic segment 0 landed but the
+			// manifest did not) salvages as an empty or prefix tail and stops
+			// explicitly. Fails closed.
+			partial++
+		case res.RunErr == nil && res.Events == 0:
+			// Nothing replayable at all (empty salvage of the synthetic
+			// placeholder).
+			partial++
+		default:
+			t.Fatalf("cut %d: unexpected replay outcome: RunErr=%v events=%d", cut, res.RunErr, res.Events)
+		}
+	}
+	if full == 0 {
+		t.Fatalf("no cut produced the fully flushed journal (tape sweep is broken)")
+	}
+	// The commit point is the manifest rename — exactly the final unit, so
+	// cuts at or past it (and only those) see the full journal.
+	t.Logf("crash matrix: %d cuts — %d full, %d refused, %d partial", full+refused+partial, full, refused, partial)
+}
+
+// TestFlightFlushCrashNeverHalfRenamed pins the specific hazard from the
+// satellite audit: no cut may yield a directory that OpenJournal accepts
+// with a committed manifest naming files that are missing or torn.
+func TestFlightFlushCrashNeverHalfRenamed(t *testing.T) {
+	ring, _ := recordThroughRing(t, flightrec.Options{
+		WindowEvents: flightWindow, SegmentEvents: flightSegEvents, ChunkBytes: 24,
+	})
+	fs := memfs.New()
+	if _, err := ring.FlushTo(fs, "budget"); err != nil {
+		t.Fatalf("FlushTo: %v", err)
+	}
+	tape := fs.Ops()
+	for _, cut := range crashCuts(tape) {
+		cfs := memfs.BuildFS(tape, cut)
+		j, err := trace.OpenJournal(cfs)
+		if err != nil || len(j.Manifest.Segments) == 0 {
+			continue
+		}
+		// A parsed manifest means commit: every named file must be present
+		// and loadable right now.
+		for _, s := range j.Manifest.Segments {
+			if _, ok := cfs.ReadFile(s.Name); !ok {
+				t.Fatalf("cut %d: manifest names missing segment %s", cut, s.Name)
+			}
+		}
+		for _, c := range j.Manifest.Checkpoints {
+			if _, err := j.LoadCheckpoint(c); err != nil {
+				t.Fatalf("cut %d: manifest names unloadable checkpoint %s: %v", cut, c.Name, err)
+			}
+		}
+	}
+}

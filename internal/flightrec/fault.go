@@ -1,0 +1,40 @@
+// Fault taxonomy: which run errors count as flush triggers, and how they
+// are labeled in metrics, flush reasons, and the minimizer's oracle.
+package flightrec
+
+import (
+	"errors"
+
+	"dejavu/internal/core"
+	"dejavu/internal/trace"
+	"dejavu/internal/vm"
+)
+
+// Classify maps a run error to its fault class: "trap" (VM error at an
+// instruction), "divergence" (replay departed from the recording), "stall"
+// (replay watchdog), "budget" (event budget exhausted), or "" for non-fault
+// errors (including nil). The class doubles as the flush reason label on
+// dv_flight_flushes_total and as the minimizer's fault signature.
+func Classify(err error) string {
+	if err == nil {
+		return ""
+	}
+	var de *trace.DivergenceError
+	if errors.As(err, &de) {
+		return "divergence"
+	}
+	if errors.Is(err, core.ErrStalled) {
+		return "stall"
+	}
+	if errors.Is(err, vm.ErrEventBudget) {
+		return "budget"
+	}
+	var ve *vm.VMError
+	if errors.As(err, &ve) {
+		return "trap"
+	}
+	return ""
+}
+
+// IsFault reports whether err is a flush-triggering fault.
+func IsFault(err error) bool { return Classify(err) != "" }

@@ -1,0 +1,308 @@
+// Flight-recorder acceptance: a ring-window flush triggered at a fault
+// replays bit-identically to the corresponding suffix of a full-journal
+// reference recording, and the flush protocol survives a power cut at
+// every lifecycle point.
+package flightrec_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/core"
+	"dejavu/internal/faults/memfs"
+	"dejavu/internal/flightrec"
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/trace"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+// flightProg is an event-dense workload (clock/native/callback traffic on
+// top of preemptions): enough logged entries for the ring to evict well
+// past its window before the injected fault fires.
+func flightProg() *bytecode.Program { return workloads.Events(200) }
+
+const (
+	flightSegEvents = 16
+	flightWindow    = 64
+	flightFaultAt   = 5000 // injected fault: event budget exhausted here
+)
+
+// flightRecordOptions returns identical record options for the ring run
+// and the full-journal reference run — determinism makes the two separate
+// executions bit-identical.
+func flightRecordOptions() replaycheck.Options {
+	return replaycheck.Options{
+		Seed: 11, HostRand: 11, KeepEvents: 64,
+		PreemptMin: 2, PreemptMax: 9, HeapBytes: 1 << 17,
+		ChunkBytes: 24, MaxEvents: flightFaultAt, RotateEvents: flightSegEvents,
+	}
+}
+
+func flightReplayOptions() replaycheck.Options {
+	return replaycheck.Options{HeapBytes: 1 << 17, MaxEvents: flightFaultAt, KeepEvents: 64}
+}
+
+// recordThroughRing runs the workload once with the ring as its recording
+// surface, expecting the injected budget fault.
+func recordThroughRing(t *testing.T, o flightrec.Options) (*flightrec.Ring, *replaycheck.Result) {
+	t.Helper()
+	prog := flightProg()
+	ring, err := flightrec.NewRing(vm.ProgramHash(prog), o)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	rec, err := replaycheck.RecordSink(prog, ring, flightRecordOptions())
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if !errors.Is(rec.RunErr, vm.ErrEventBudget) {
+		t.Fatalf("expected injected budget fault, got %v", rec.RunErr)
+	}
+	if got := flightrec.Classify(rec.RunErr); got != "budget" {
+		t.Fatalf("Classify(%v) = %q, want budget", rec.RunErr, got)
+	}
+	return ring, rec
+}
+
+// TestFlightFlushReplaysToFault is the determinism core: flush the ring's
+// window at the fault, replay it (auto-seeded at its origin), and compare
+// bit-for-bit against the same suffix of a full-journal reference
+// recording replayed from the same checkpoint.
+func TestFlightFlushReplaysToFault(t *testing.T) {
+	prog := flightProg()
+	ring, _ := recordThroughRing(t, flightrec.Options{
+		WindowEvents: flightWindow, SegmentEvents: flightSegEvents, ChunkBytes: 24,
+	})
+
+	fs := memfs.New()
+	info, err := ring.FlushTo(fs, "budget")
+	if err != nil {
+		t.Fatalf("FlushTo: %v", err)
+	}
+	if info.Origin == 0 || info.Evicted == 0 {
+		t.Fatalf("expected an evicting window flush, got origin %d, evicted %d", info.Origin, info.Evicted)
+	}
+	if !info.Complete {
+		t.Fatalf("run ended (at the fault); flush should carry the end event")
+	}
+	if got := info.Events + info.Switches; got < flightWindow {
+		t.Fatalf("window underfull: %d retained entries, want >= %d", got, flightWindow)
+	}
+
+	// The flushed journal parses, reports its origin, and replays to the
+	// fault without being told where to seed.
+	j, err := trace.OpenJournal(fs)
+	if err != nil {
+		t.Fatalf("OpenJournal(flush): %v", err)
+	}
+	if j.Origin() != info.Origin {
+		t.Fatalf("journal origin %d, flush said %d", j.Origin(), info.Origin)
+	}
+	res, _, err := replaycheck.ReplayJournal(prog, fs, flightReplayOptions())
+	if err != nil {
+		t.Fatalf("replay flush: %v", err)
+	}
+	if !errors.Is(res.RunErr, vm.ErrEventBudget) {
+		t.Fatalf("flush replay did not reach the fault: %v", res.RunErr)
+	}
+
+	// Reference: an identical recording into a full segmented journal,
+	// replayed seeded at the flush origin. Same checkpoint, same suffix,
+	// same digest.
+	refFS := memfs.New()
+	ref, err := replaycheck.RecordJournal(prog, refFS, flightRecordOptions())
+	if err != nil {
+		t.Fatalf("reference record: %v", err)
+	}
+	if !errors.Is(ref.RunErr, vm.ErrEventBudget) {
+		t.Fatalf("reference run diverged from ring run: %v", ref.RunErr)
+	}
+	refRes, seed, err := replaycheck.ReplayJournalFrom(prog, refFS, info.Origin, flightReplayOptions())
+	if err != nil {
+		t.Fatalf("reference replay: %v", err)
+	}
+	if seed.VMEvents != info.Origin {
+		t.Fatalf("reference seeded at %d, flush origin %d (rotation boundaries should match)", seed.VMEvents, info.Origin)
+	}
+	if refRes.Digest.Sum() != res.Digest.Sum() {
+		t.Fatalf("flush window diverged from reference suffix: %x vs %x\nflush tail: %v\nref tail: %v",
+			res.Digest.Sum(), refRes.Digest.Sum(), res.Digest.Recent(), refRes.Digest.Recent())
+	}
+	if refRes.Events != res.Events {
+		t.Fatalf("event counts differ: flush %d, reference %d", res.Events, refRes.Events)
+	}
+}
+
+// TestFlightFlushDeterminismMatrix sweeps the determinism property across
+// sync policies and window sizes (the E20 matrix's correctness half).
+func TestFlightFlushDeterminismMatrix(t *testing.T) {
+	prog := flightProg()
+	for _, sync := range []trace.SyncPolicy{trace.SyncNone, trace.SyncChunk, trace.SyncEvent} {
+		for _, window := range []int{32, 64, 256} {
+			t.Run(fmt.Sprintf("sync=%v/window=%d", sync, window), func(t *testing.T) {
+				o := flightRecordOptions()
+				o.Sync = sync
+				ring, err := flightrec.NewRing(vm.ProgramHash(prog), flightrec.Options{
+					WindowEvents: window, SegmentEvents: flightSegEvents, ChunkBytes: 24,
+				})
+				if err != nil {
+					t.Fatalf("NewRing: %v", err)
+				}
+				rec, err := replaycheck.RecordSink(prog, ring, o)
+				if err != nil {
+					t.Fatalf("record: %v", err)
+				}
+				if !errors.Is(rec.RunErr, vm.ErrEventBudget) {
+					t.Fatalf("expected budget fault, got %v", rec.RunErr)
+				}
+				fs := memfs.New()
+				info, err := ring.FlushTo(fs, "budget")
+				if err != nil {
+					t.Fatalf("FlushTo: %v", err)
+				}
+				res, _, err := replaycheck.ReplayJournal(prog, fs, flightReplayOptions())
+				if err != nil {
+					t.Fatalf("replay flush: %v", err)
+				}
+				if !errors.Is(res.RunErr, vm.ErrEventBudget) {
+					t.Fatalf("flush replay did not reach the fault: %v", res.RunErr)
+				}
+				refFS := memfs.New()
+				if _, err := replaycheck.RecordJournal(prog, refFS, o); err != nil {
+					t.Fatalf("reference record: %v", err)
+				}
+				refRes, _, err := replaycheck.ReplayJournalFrom(prog, refFS, info.Origin, flightReplayOptions())
+				if err != nil {
+					t.Fatalf("reference replay: %v", err)
+				}
+				if refRes.Digest.Sum() != res.Digest.Sum() {
+					t.Fatalf("digest mismatch: flush %x, reference %x", res.Digest.Sum(), refRes.Digest.Sum())
+				}
+			})
+		}
+	}
+}
+
+// TestFlightFlushFromStart: a window large enough to never evict flushes
+// an ordinary journal — origin zero, replayable from the very beginning.
+func TestFlightFlushFromStart(t *testing.T) {
+	prog := flightProg()
+	ring, rec := recordThroughRing(t, flightrec.Options{
+		WindowEvents: 1 << 20, SegmentEvents: flightSegEvents, ChunkBytes: 24,
+	})
+	fs := memfs.New()
+	info, err := ring.FlushTo(fs, "budget")
+	if err != nil {
+		t.Fatalf("FlushTo: %v", err)
+	}
+	if info.Origin != 0 || info.Evicted != 0 {
+		t.Fatalf("expected a from-zero flush, got origin %d, evicted %d", info.Origin, info.Evicted)
+	}
+	res, _, err := replaycheck.ReplayJournal(prog, fs, flightReplayOptions())
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !errors.Is(res.RunErr, vm.ErrEventBudget) {
+		t.Fatalf("replay did not reach the fault: %v", res.RunErr)
+	}
+	if res.Digest.Sum() != rec.Digest.Sum() {
+		t.Fatalf("from-zero flush replay diverged: %x vs %x", res.Digest.Sum(), rec.Digest.Sum())
+	}
+}
+
+// TestFlightFreezeStopsEviction: a frozen ring pins its window — a race
+// hit freezes immediately, recording continues, and the flush still holds
+// everything from the freeze point through the fault.
+func TestFlightFreezeStopsEviction(t *testing.T) {
+	prog := flightProg()
+	ring, err := flightrec.NewRing(vm.ProgramHash(prog), flightrec.Options{
+		WindowEvents: flightWindow, SegmentEvents: flightSegEvents, ChunkBytes: 24,
+	})
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	ring.Freeze() // freeze before any recording: nothing may ever be evicted
+	rec, err := replaycheck.RecordSink(prog, ring, flightRecordOptions())
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if !errors.Is(rec.RunErr, vm.ErrEventBudget) {
+		t.Fatalf("expected budget fault, got %v", rec.RunErr)
+	}
+	if ring.Evicted() != 0 {
+		t.Fatalf("frozen ring evicted %d segments", ring.Evicted())
+	}
+	fs := memfs.New()
+	info, err := ring.FlushTo(fs, "race")
+	if err != nil {
+		t.Fatalf("FlushTo: %v", err)
+	}
+	if info.Origin != 0 {
+		t.Fatalf("frozen-from-start flush should start at zero, got origin %d", info.Origin)
+	}
+	res, _, err := replaycheck.ReplayJournal(prog, fs, flightReplayOptions())
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Digest.Sum() != rec.Digest.Sum() {
+		t.Fatalf("frozen flush replay diverged: %x vs %x", res.Digest.Sum(), rec.Digest.Sum())
+	}
+}
+
+// TestFlightFlushIdempotent: a second flush of the same ring writes the
+// same window again.
+func TestFlightFlushIdempotent(t *testing.T) {
+	prog := flightProg()
+	ring, _ := recordThroughRing(t, flightrec.Options{
+		WindowEvents: flightWindow, SegmentEvents: flightSegEvents, ChunkBytes: 24,
+	})
+	fs1, fs2 := memfs.New(), memfs.New()
+	i1, err := ring.FlushTo(fs1, "budget")
+	if err != nil {
+		t.Fatalf("first flush: %v", err)
+	}
+	i2, err := ring.FlushTo(fs2, "manual")
+	if err != nil {
+		t.Fatalf("second flush: %v", err)
+	}
+	if i1.Origin != i2.Origin || i1.Events != i2.Events || i1.Bytes != i2.Bytes {
+		t.Fatalf("flushes differ: %+v vs %+v", i1, i2)
+	}
+	r1, _, err := replaycheck.ReplayJournal(prog, fs1, flightReplayOptions())
+	if err != nil {
+		t.Fatalf("replay 1: %v", err)
+	}
+	r2, _, err := replaycheck.ReplayJournal(prog, fs2, flightReplayOptions())
+	if err != nil {
+		t.Fatalf("replay 2: %v", err)
+	}
+	if r1.Digest.Sum() != r2.Digest.Sum() {
+		t.Fatalf("re-flush diverged: %x vs %x", r1.Digest.Sum(), r2.Digest.Sum())
+	}
+}
+
+// TestClassify pins the fault taxonomy.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{errors.New("plain"), ""},
+		{fmt.Errorf("run: %w", vm.ErrEventBudget), "budget"},
+		{&vm.VMError{ThreadID: 1, Method: "main", PC: 3, Reason: errors.New("boom")}, "trap"},
+		{fmt.Errorf("replay: %w", &trace.DivergenceError{Index: 9, Expected: 4, Found: 5}), "divergence"},
+		{fmt.Errorf("watchdog: %w", core.ErrStalled), "stall"},
+	}
+	for _, c := range cases {
+		if got := flightrec.Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+	if flightrec.IsFault(nil) || !flightrec.IsFault(fmt.Errorf("%w", vm.ErrEventBudget)) {
+		t.Fatalf("IsFault misclassifies")
+	}
+}

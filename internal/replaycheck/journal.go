@@ -19,9 +19,10 @@ import (
 func RecordJournal(prog *bytecode.Program, fs trace.FS, o Options) (*Result, error) {
 	o = o.fill()
 	sw, err := trace.NewSegmentWriter(fs, vm.ProgramHash(prog), trace.SegmentOptions{
-		StreamOptions: trace.StreamOptions{ChunkBytes: o.ChunkBytes, Sync: o.Sync},
-		RotateEvents:  o.RotateEvents,
-		RotateBytes:   o.RotateBytes,
+		StreamOptions:   trace.StreamOptions{ChunkBytes: o.ChunkBytes, Sync: o.Sync},
+		RotateEvents:    o.RotateEvents,
+		RotateBytes:     o.RotateBytes,
+		MaxJournalBytes: o.MaxJournalBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -73,12 +74,25 @@ func replayJournal(prog *bytecode.Program, fs trace.FS, target uint64, seeded bo
 		return nil, nil, j, fmt.Errorf("replaycheck: journal program hash mismatch: journal %x, program %x", j.ProgHash(), h)
 	}
 	info := &SeedInfo{}
+	// A flight-recorder flush (Origin > 0) cannot replay from zero: its
+	// pre-window history was evicted and segment 0 is a synthetic
+	// placeholder, so a from-zero run would silently diverge. Force seeding
+	// and clamp the target to the window start.
+	if org := j.Origin(); org > 0 {
+		seeded = true
+		if target < org {
+			target = org
+		}
+	}
 	if seeded {
 		if ck := j.BestCheckpoint(target); ck != nil {
 			info.Segment = ck.Index
 			info.VMEvents = ck.VMEvents
 			info.Checkpoint = ck
 		}
+	}
+	if org := j.Origin(); org > 0 && (info.Checkpoint == nil || info.VMEvents < org) {
+		return nil, nil, j, fmt.Errorf("replaycheck: flight journal starts at event %d and has no loadable checkpoint covering it", org)
 	}
 	src, err := j.Source(info.Segment)
 	if err != nil {

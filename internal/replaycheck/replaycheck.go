@@ -118,6 +118,10 @@ type Options struct {
 	// single never-rotated segment).
 	RotateEvents int
 	RotateBytes  int64
+	// MaxJournalBytes caps the journal's total sealed size for
+	// RecordJournal (0 = unlimited); crossing it stops the recording with
+	// an error wrapping trace.ErrJournalQuota.
+	MaxJournalBytes int64
 
 	// ProgressDeadline arms the replay watchdog (core.Config.
 	// ProgressDeadline): replay that consumes no trace for this long
@@ -204,6 +208,23 @@ func RecordTo(prog *bytecode.Program, dst io.Writer, o Options) (*Result, error)
 		return res, fmt.Errorf("record trace stream: %w", cerr)
 	}
 	return res, err
+}
+
+// RecordSink is Record with events streamed into an arbitrary sink — e.g.
+// a flight-recorder ring. If sink also implements vm.JournalSink (rotation
+// and checkpoint capture), the VM drives it exactly like a segmented
+// journal. The caller owns sealing or flushing the sink afterward.
+func RecordSink(prog *bytecode.Program, sink trace.Sink, o Options) (*Result, error) {
+	if js, ok := sink.(vm.JournalSink); ok {
+		tweak := o.TweakVM
+		o.TweakVM = func(cfg *vm.Config) {
+			if tweak != nil {
+				tweak(cfg)
+			}
+			cfg.Journal = js
+		}
+	}
+	return record(prog, o, sink)
 }
 
 func record(prog *bytecode.Program, o Options, sink trace.Sink) (*Result, error) {

@@ -1,0 +1,303 @@
+// Flight sessions end to end: a faulting run is captured (not refused),
+// the flushed window opens under the debugger clamped to its origin, the
+// flush endpoint re-exports the resident window, quotas refuse oversized
+// recordings with a structured reason, and retention GC removes condemned
+// storage — never under an in-flight flush, and never a live session.
+package sessions
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dejavu/internal/trace"
+)
+
+// trapSpec writes a .dvs program that traps (division by zero) and returns
+// its path — the canonical "crashed run" a flight session exists to catch.
+func trapSpec(t *testing.T) string {
+	t.Helper()
+	src := `
+program trapdiv
+class Main {
+  method main 0 0 {
+    iconst 1
+    iconst 0
+    div
+    halt
+  }
+}
+entry Main.main
+`
+	p := filepath.Join(t.TempDir(), "trapdiv.dvs")
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFlightSessionCapturesTrap(t *testing.T) {
+	m := newTestManager(t, Config{})
+	info, err := m.Create(CreateRequest{Program: trapSpec(t), Flight: true, Seed: 3})
+	if err != nil {
+		t.Fatalf("a faulting flight run must mint a session, got: %v", err)
+	}
+	if !info.Flight || info.FlightReason != "trap" {
+		t.Fatalf("info = %+v, want flight with reason %q", info, "trap")
+	}
+	if info.State != "active" {
+		t.Fatalf("state = %s, want active (debugger over the flushed window)", info.State)
+	}
+	// The flushed window is a real journal on disk.
+	fs, err := trace.NewDirFS(filepath.Join(m.cfg.DataRoot, "sessions", info.ID, "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.OpenJournal(fs); err != nil {
+		t.Fatalf("flushed journal does not open: %v", err)
+	}
+}
+
+func TestFlightSessionCleanExitAndOriginClamp(t *testing.T) {
+	m := newTestManager(t, Config{})
+	// A tiny byte window forces eviction (the window budget is over logged
+	// trace bytes, not VM instructions): the flushed journal starts mid-run
+	// (origin > 0).
+	info, err := m.Create(CreateRequest{Program: "workload:fig1ab", Flight: true, Seed: 4, FlightBytes: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Flight || info.FlightReason != "exit" {
+		t.Fatalf("info = %+v, want flight with reason %q", info, "exit")
+	}
+	if info.Origin == 0 {
+		t.Fatalf("want an evicted window (origin > 0), got origin 0 — enlarge the workload or shrink the window")
+	}
+	// Travel to an unreachable pre-window event clamps to the origin
+	// instead of erroring or silently replaying the wrong history.
+	ti, err := m.Travel(info.ID, 1)
+	if err != nil {
+		t.Fatalf("travel into the evicted prefix must clamp, got: %v", err)
+	}
+	if ti.Position < info.Origin {
+		t.Fatalf("position = %d, want >= origin %d", ti.Position, info.Origin)
+	}
+}
+
+func TestFlushFlightMintsNumberedJournals(t *testing.T) {
+	m := newTestManager(t, Config{})
+	info, err := m.Create(CreateRequest{Program: trapSpec(t), Flight: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		fi, name, err := m.FlushFlight(info.ID, "export")
+		if err != nil {
+			t.Fatalf("flush %d: %v", i, err)
+		}
+		want := fmt.Sprintf("flush-%03d", i)
+		if name != want {
+			t.Fatalf("flush dir = %s, want %s", name, want)
+		}
+		if fi.Reason != "export" {
+			t.Fatalf("flush reason = %s, want export", fi.Reason)
+		}
+		fs, err := trace.NewDirFS(filepath.Join(m.cfg.DataRoot, "sessions", info.ID, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := trace.OpenJournal(fs); err != nil {
+			t.Fatalf("re-flush %s does not open as a journal: %v", name, err)
+		}
+	}
+
+	// Journal (non-flight) sessions have no window to flush.
+	js, err := m.Create(CreateRequest{Program: "workload:fig1ab", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = m.FlushFlight(js.ID, "")
+	wantRefusal(t, err, ReasonNoFlight)
+
+	// After a kill the flush refuses with the kill, not a panic or a
+	// half-written directory.
+	if err := m.Kill(info.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = m.FlushFlight(info.ID, "")
+	wantRefusal(t, err, ReasonNotFound)
+}
+
+// TestFlushKillRace hammers flush against kill under -race: every flush
+// either completes a well-formed journal directory or refuses cleanly; no
+// torn directory and no freed-VM access.
+func TestFlushKillRace(t *testing.T) {
+	m := newTestManager(t, Config{})
+	info, err := m.Create(CreateRequest{Program: trapSpec(t), Flight: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, _, err := m.FlushFlight(info.ID, "race"); err != nil {
+				return // killed underneath us: acceptable, as long as it's structured
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(2 * time.Millisecond)
+		m.Kill(info.ID, false)
+	}()
+	wg.Wait()
+	// Every flush directory that exists must be a complete journal: the
+	// kill can interleave between flushes, never inside one.
+	sdir := filepath.Join(m.cfg.DataRoot, "sessions", info.ID)
+	ents, err := os.ReadDir(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() || len(e.Name()) < 6 || e.Name()[:6] != "flush-" {
+			continue
+		}
+		fs, err := trace.NewDirFS(filepath.Join(sdir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := trace.OpenJournal(fs); err != nil {
+			t.Fatalf("torn flush directory %s: %v", e.Name(), err)
+		}
+	}
+}
+
+func TestSessionQuotaRefusal(t *testing.T) {
+	// The quota counts sealed segment-stream bytes and is checked at
+	// rotation time, so it takes a workload with enough logged trace data
+	// to seal a few segments: prodcons with an aggressive rotation cadence.
+	m := newTestManager(t, Config{MaxSessionBytes: 64})
+	_, err := m.Create(CreateRequest{Program: "workload:prodcons", Seed: 2, RotateEvents: 4})
+	wantRefusal(t, err, ReasonQuota)
+	// The refused create rolled back completely: no registration, no
+	// storage to resurrect on restart.
+	if got := len(m.List()); got != 0 {
+		t.Fatalf("sessions after quota refusal = %d, want 0", got)
+	}
+	ents, _ := os.ReadDir(filepath.Join(m.cfg.DataRoot, "sessions"))
+	if len(ents) != 0 {
+		t.Fatalf("session storage left behind after quota refusal: %v", ents)
+	}
+	// Under the quota the same create succeeds.
+	m2 := newTestManager(t, Config{MaxSessionBytes: 1 << 30})
+	if _, err := m2.Create(CreateRequest{Program: "workload:fig1ab", Seed: 2, RotateEvents: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillCondemnsAndGCReclaims(t *testing.T) {
+	root := t.TempDir()
+	m := newTestManager(t, Config{DataRoot: root})
+	info, err := m.Create(CreateRequest{Program: trapSpec(t), Flight: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := m.Create(CreateRequest{Program: "workload:fig1ab", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kill(info.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	sdir := filepath.Join(root, "sessions", info.ID)
+	if _, err := os.Stat(filepath.Join(sdir, "killed")); err != nil {
+		t.Fatalf("non-purge kill left no condemned marker: %v", err)
+	}
+
+	// A restarted manager never resurrects a condemned directory.
+	m2 := newTestManager(t, Config{DataRoot: root})
+	if _, err := m2.Info(info.ID); err == nil {
+		t.Fatal("condemned session resurrected as cold on restart")
+	}
+	if _, err := m2.Info(keep.ID); err != nil {
+		t.Fatalf("live session did not survive restart: %v", err)
+	}
+
+	// Orphaned flush temp debris inside the live session ages out too.
+	orphan := filepath.Join(root, "sessions", keep.ID, ".flight-orphan")
+	if err := os.MkdirAll(orphan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// Young directories survive the sweep; once aged they are removed.
+	if n := m2.GC(time.Hour); n != 0 {
+		t.Fatalf("GC removed %d young director(ies), want 0", n)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := m2.GC(10 * time.Millisecond); n != 2 {
+		t.Fatalf("GC removed %d, want 2 (condemned session + orphan temp)", n)
+	}
+	if _, err := os.Stat(sdir); !os.IsNotExist(err) {
+		t.Fatalf("condemned directory still present after GC: %v", err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan temp still present after GC: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "sessions", keep.ID, "journal")); err != nil {
+		t.Fatalf("GC touched a live session: %v", err)
+	}
+
+	// No sweep while a flush is in flight: the gate fails closed.
+	m2.flushing.Add(1)
+	if n := m2.GC(time.Nanosecond); n != 0 {
+		t.Fatalf("GC swept %d director(ies) under an in-flight flush, want 0", n)
+	}
+	m2.flushing.Add(-1)
+}
+
+// TestHTTPFlightAndQuota drives the flight surface the way a fleet client
+// does: create a flight session over a faulting run, re-export its window
+// through POST /v1/sessions/{id}/flush (empty body defaults the reason),
+// and see an over-quota create answered with 413 + reason "quota".
+func TestHTTPFlightAndQuota(t *testing.T) {
+	_, ts := startControlPlane(t, Config{MaxSessionBytes: 64})
+
+	var created Info
+	code := call(t, "POST", ts.URL+"/v1/sessions",
+		CreateRequest{Program: trapSpec(t), Flight: true, Seed: 7}, &created)
+	if code != http.StatusCreated || !created.Flight || created.FlightReason != "trap" {
+		t.Fatalf("flight create: %d %+v", code, created)
+	}
+
+	var fl struct {
+		ID     string `json:"id"`
+		Dir    string `json:"dir"`
+		Reason string `json:"reason"`
+	}
+	code = call(t, "POST", ts.URL+"/v1/sessions/"+created.ID+"/flush",
+		map[string]string{"reason": "export"}, &fl)
+	if code != http.StatusOK || fl.Dir != "flush-001" || fl.Reason != "export" {
+		t.Fatalf("flush: %d %+v", code, fl)
+	}
+	// An empty body is a manual flush, not a 400.
+	code = call(t, "POST", ts.URL+"/v1/sessions/"+created.ID+"/flush", nil, &fl)
+	if code != http.StatusOK || fl.Dir != "flush-002" || fl.Reason != "manual" {
+		t.Fatalf("empty-body flush: %d %+v", code, fl)
+	}
+
+	var refusal struct {
+		Error  string `json:"error"`
+		Reason string `json:"reason"`
+	}
+	code = call(t, "POST", ts.URL+"/v1/sessions",
+		CreateRequest{Program: "workload:prodcons", Seed: 2, RotateEvents: 4}, &refusal)
+	if code != http.StatusRequestEntityTooLarge || refusal.Reason != ReasonQuota {
+		t.Fatalf("quota create: %d %+v, want 413 reason %q", code, refusal, ReasonQuota)
+	}
+}

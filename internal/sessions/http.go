@@ -7,6 +7,8 @@
 //	DELETE /v1/sessions/{id}        kill (?purge=1 removes storage)
 //	POST   /v1/sessions/{id}/travel {"event": N}
 //	POST   /v1/sessions/{id}/verify replay from zero, return the digest
+//	POST   /v1/sessions/{id}/flush  re-flush a flight session's window
+//	                                ({"reason": "..."} optional)
 //
 // Every refusal is a structured JSON error ({"error","reason"}) with a
 // status code derived from the admission reason — clients never see a hang
@@ -16,7 +18,10 @@ package sessions
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
+
+	"dejavu/internal/flightrec"
 )
 
 // Routes installs the control plane on mux.
@@ -27,6 +32,7 @@ func (m *Manager) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", m.handleKill)
 	mux.HandleFunc("POST /v1/sessions/{id}/travel", m.handleTravel)
 	mux.HandleFunc("POST /v1/sessions/{id}/verify", m.handleVerify)
+	mux.HandleFunc("POST /v1/sessions/{id}/flush", m.handleFlush)
 }
 
 // errorBody is the structured refusal shape.
@@ -48,6 +54,8 @@ func statusFor(reason string) int {
 		return http.StatusGone
 	case ReasonNotFound:
 		return http.StatusNotFound
+	case ReasonQuota:
+		return http.StatusRequestEntityTooLarge
 	default:
 		return http.StatusBadRequest
 	}
@@ -143,4 +151,28 @@ func (m *Manager) handleVerify(w http.ResponseWriter, r *http.Request) {
 		resp.Match = &match
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// flushResponse reports an on-demand flight flush: where the window landed
+// (Dir, relative to the session's storage) plus the flush's own summary.
+type flushResponse struct {
+	ID  string `json:"id"`
+	Dir string `json:"dir"`
+	*flightrec.FlushInfo
+}
+
+func (m *Manager) handleFlush(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	info, dir, err := m.FlushFlight(r.PathValue("id"), req.Reason)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, flushResponse{ID: r.PathValue("id"), Dir: dir, FlushInfo: info})
 }

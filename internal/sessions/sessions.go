@@ -20,20 +20,33 @@
 // "killed" refusal. Drain stops admissions and checkpoints every live
 // session for restart.
 //
+// Flight sessions (CreateRequest.Flight) record through the always-on
+// flight recorder instead of a full journal: the run keeps only a bounded
+// in-memory window, a faulting run (trap, stall, budget, divergence) is NOT
+// a create failure — the window is flushed as the session's journal with
+// the fault class as its reason, and the debugger opens over exactly the
+// events leading into the fault. The frozen ring stays resident, so
+// POST /v1/sessions/{id}/flush can re-flush the same window into numbered
+// flush-NNN directories for export.
+//
 // On-disk layout under the data root:
 //
 //	<data-root>/sessions/<id>/meta.json   identity, program, seed, digest
 //	<data-root>/sessions/<id>/journal/    segmented trace journal (PR 4)
+//	<data-root>/sessions/<id>/flush-NNN/  on-demand flight re-flushes
+//	<data-root>/sessions/<id>/killed      condemned marker (kill w/o purge)
 //	<data-root>/sessions/<id>/<exit-save> drain checkpoint, when enabled
 package sessions
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,11 +55,13 @@ import (
 	"dejavu/internal/cli"
 	"dejavu/internal/dbgproto"
 	"dejavu/internal/debugger"
+	"dejavu/internal/flightrec"
 	"dejavu/internal/heap"
 	"dejavu/internal/obs"
 	"dejavu/internal/ptrace"
 	"dejavu/internal/replaycheck"
 	"dejavu/internal/trace"
+	"dejavu/internal/vm"
 )
 
 // Refusal reasons. Admission control never hangs and never panics: every
@@ -58,6 +73,8 @@ const (
 	ReasonDraining  = "draining"   // server is shutting down
 	ReasonKilled    = "killed"     // session was killed
 	ReasonNotFound  = "not-found"  // no such session
+	ReasonQuota     = "quota"      // per-session journal byte quota exceeded
+	ReasonNoFlight  = "no-flight"  // flush requested on a session without a flight window
 )
 
 // Refusal is a structured admission-control error: Reason is machine
@@ -109,6 +126,12 @@ type Config struct {
 	AdmitTimeout    time.Duration // max wait for a worker slot before a busy refusal (0 = 5s)
 	CheckpointEvery uint64        // in-memory checkpoint cadence for session debuggers (0 = 10000)
 	Obs             *obs.Registry // per-pool metrics (nil = none)
+
+	// MaxSessionBytes caps each fresh recording's journal at rotation time
+	// (0 = unlimited). A recording that crosses it is refused with
+	// ReasonQuota — the control plane maps that to 413 — and the partial
+	// journal is rolled back with the failed create.
+	MaxSessionBytes int64
 }
 
 func (c Config) fill() Config {
@@ -134,7 +157,9 @@ func (c Config) fill() Config {
 type poolMetrics struct {
 	created, killed, admitted                    *obs.Counter
 	rejCapacity, rejTenant, rejBusy, rejDraining *obs.Counter
+	rejQuota                                     *obs.Counter
 	attaches, travels                            *obs.Counter
+	flightFlushes, gcRemoved                     *obs.Counter
 	busy                                         *obs.Gauge
 	execLatency, createLatency, attachLatency    *obs.Histogram
 }
@@ -146,6 +171,11 @@ type Manager struct {
 	rootFS *trace.DirFS
 	budget chan struct{}
 	met    poolMetrics
+
+	// flushing counts in-flight flight flushes; the retention GC never
+	// sweeps while one is writing, so a flush can't lose its directory
+	// mid-publish.
+	flushing atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -183,8 +213,11 @@ func NewManager(cfg Config) (*Manager, error) {
 			rejTenant:     reg.Counter(obs.Label("dv_sessions_rejected_total", "reason", ReasonTenantCap)),
 			rejBusy:       reg.Counter(obs.Label("dv_sessions_rejected_total", "reason", ReasonBusy)),
 			rejDraining:   reg.Counter(obs.Label("dv_sessions_rejected_total", "reason", ReasonDraining)),
+			rejQuota:      reg.Counter(obs.Label("dv_sessions_rejected_total", "reason", ReasonQuota)),
 			attaches:      reg.Counter("dv_sessions_attaches_total"),
 			travels:       reg.Counter("dv_sessions_travels_total"),
+			flightFlushes: reg.Counter("dv_sessions_flight_flushes_total"),
+			gcRemoved:     reg.Counter("dv_sessions_gc_total"),
 			busy:          reg.Gauge("dv_workers_busy"),
 			execLatency:   reg.Histogram("dv_session_exec_seconds"),
 			createLatency: reg.Histogram("dv_session_create_seconds"),
@@ -229,6 +262,11 @@ func (m *Manager) loadExisting() error {
 			continue
 		}
 		sdir := filepath.Join(dir, e.Name())
+		if _, err := os.Stat(filepath.Join(sdir, "killed")); err == nil {
+			// Condemned by a previous run's kill; left for the retention GC,
+			// never resurrected as a cold session.
+			continue
+		}
 		blob, err := os.ReadFile(filepath.Join(sdir, "meta.json"))
 		if err != nil {
 			continue
@@ -297,6 +335,13 @@ type meta struct {
 	// is durable identity, not advice.
 	OptVerdict string `json:"opt_verdict,omitempty"`
 	Created    string `json:"created,omitempty"`
+	// Flight sessions: the journal is a flushed flight-recorder window.
+	// FlightReason is the fault class that triggered the flush ("exit" for
+	// a clean run), Origin the first replayable instruction (0 = the window
+	// still reached back to the start).
+	Flight       bool   `json:"flight,omitempty"`
+	FlightReason string `json:"flight_reason,omitempty"`
+	Origin       uint64 `json:"origin,omitempty"`
 }
 
 // Session is one tenant-owned record/replay/travel session. All VM access
@@ -316,6 +361,13 @@ type Session struct {
 	mu   sync.Mutex // command lock: serializes open/exec/kill/drain
 	prog *bytecode.Program
 	js   *debugger.JournalSession
+
+	// ring is the resident flight recorder of a flight session, frozen at
+	// the end of its recording; FlushFlight re-flushes it on demand. nil
+	// for journal sessions and for flight sessions reloaded cold (the
+	// window lived in the recording process's memory).
+	ring     *flightrec.Ring
+	flushSeq int // numbered flush-NNN directories minted; guarded by mu
 
 	attaches atomic.Uint64
 	travels  atomic.Uint64
@@ -356,28 +408,41 @@ type CreateRequest struct {
 	// the exact build it recorded (the optimizer is deterministic, so
 	// cold re-attach re-derives it from the program spec).
 	Optimize bool `json:"optimize,omitempty"`
+	// Flight records through the always-on flight recorder instead of a
+	// full journal: only a bounded in-memory window is retained, a
+	// faulting run is captured rather than refused, and the flushed window
+	// becomes the session's journal. Mutually exclusive with Source and
+	// RotateEvents (the ring owns rotation).
+	Flight bool `json:"flight,omitempty"`
+	// FlightEvents / FlightBytes size the retained window (0 events with 0
+	// bytes selects the recorder's default window).
+	FlightEvents int   `json:"flight_events,omitempty"`
+	FlightBytes  int64 `json:"flight_bytes,omitempty"`
 }
 
 // Info is a session's externally visible state (the control plane's JSON
 // shape).
 type Info struct {
-	ID         string `json:"id"`
-	Num        uint64 `json:"num"`
-	Tenant     string `json:"tenant"`
-	State      string `json:"state"`
-	Program    string `json:"program"`
-	Seed       int64  `json:"seed"`
-	Events     uint64 `json:"events"`
-	Switches   uint64 `json:"switches,omitempty"`
-	Digest     string `json:"digest,omitempty"`
-	Optimize   bool   `json:"optimize,omitempty"`
-	OptVerdict string `json:"opt_verdict,omitempty"`
-	Position   uint64 `json:"position,omitempty"`
-	Tainted  bool   `json:"tainted,omitempty"`
-	Attaches uint64 `json:"attaches"`
-	Travels  uint64 `json:"travels"`
-	Reseeds  uint64 `json:"reseeds,omitempty"`
-	Created  string `json:"created,omitempty"`
+	ID           string `json:"id"`
+	Num          uint64 `json:"num"`
+	Tenant       string `json:"tenant"`
+	State        string `json:"state"`
+	Program      string `json:"program"`
+	Seed         int64  `json:"seed"`
+	Events       uint64 `json:"events"`
+	Switches     uint64 `json:"switches,omitempty"`
+	Digest       string `json:"digest,omitempty"`
+	Optimize     bool   `json:"optimize,omitempty"`
+	OptVerdict   string `json:"opt_verdict,omitempty"`
+	Flight       bool   `json:"flight,omitempty"`
+	FlightReason string `json:"flight_reason,omitempty"`
+	Origin       uint64 `json:"origin,omitempty"`
+	Position     uint64 `json:"position,omitempty"`
+	Tainted      bool   `json:"tainted,omitempty"`
+	Attaches     uint64 `json:"attaches"`
+	Travels      uint64 `json:"travels"`
+	Reseeds      uint64 `json:"reseeds,omitempty"`
+	Created      string `json:"created,omitempty"`
 }
 
 // Create admits and builds a session: a fresh seeded recording rotated
@@ -457,8 +522,11 @@ func (m *Manager) build(s *Session, req CreateRequest) (*Info, error) {
 	s.meta = meta{
 		ID: s.id, Num: s.num, Tenant: s.tenant,
 		Program: req.Program, Seed: req.Seed, RotateEvents: req.RotateEvents,
-		Source: req.Source, Optimize: req.Optimize,
+		Source: req.Source, Optimize: req.Optimize, Flight: req.Flight,
 		Created: time.Now().UTC().Format(time.RFC3339),
+	}
+	if req.Flight && (req.Source != "" || req.RotateEvents != 0) {
+		return nil, fmt.Errorf("sessions: %s: flight is mutually exclusive with source and rotate_events", s.id)
 	}
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
@@ -469,16 +537,30 @@ func (m *Manager) build(s *Session, req CreateRequest) (*Info, error) {
 	if s.prog, s.meta.OptVerdict, err = s.resolveProgram(); err != nil {
 		return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
 	}
-	if req.Source != "" {
+	switch {
+	case req.Source != "":
 		if s.fs, err = trace.NewDirFS(req.Source); err != nil {
 			return nil, fmt.Errorf("sessions: %s: adopt %s: %w", s.id, req.Source, err)
 		}
-	} else {
+	case req.Flight:
+		if err := s.recordFlightLocked(req); err != nil {
+			return nil, err
+		}
+	default:
 		if s.fs, err = m.rootFS.Sub(filepath.Join("sessions", s.id, "journal")); err != nil {
 			return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
 		}
-		rec, err := cli.RecordJournalProgram(s.prog, s.fs, req.Seed, req.RotateEvents)
+		rec, err := cli.RecordJournalProgramOptions(s.prog, s.fs, replaycheck.Options{
+			Seed: req.Seed, RotateEvents: req.RotateEvents,
+			MaxJournalBytes: m.cfg.MaxSessionBytes,
+		})
 		if err != nil {
+			if errors.Is(err, trace.ErrJournalQuota) {
+				m.met.rejQuota.Inc()
+				return nil, &Refusal{Reason: ReasonQuota, Msg: fmt.Sprintf(
+					"session %s: recording exceeded the per-session journal quota (%d bytes); shrink the workload or raise -max-session-bytes",
+					s.id, m.cfg.MaxSessionBytes)}
+			}
 			return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
 		}
 		s.meta.Events = rec.Events
@@ -498,6 +580,51 @@ func (m *Manager) build(s *Session, req CreateRequest) (*Info, error) {
 	s.state.Store(int32(StateActive))
 	m.met.createLatency.ObserveSince(start)
 	return s.infoLocked(), nil
+}
+
+// recordFlightLocked is the flight half of build: record through a bounded
+// flight-recorder ring, then flush the retained window — fault or no fault
+// — as the session's journal. A faulting run (trap, stall, budget,
+// divergence) is the expected outcome, not a create failure: its class
+// becomes the flush reason and the debugger opens over the window leading
+// into it. Caller holds s.mu and has s.prog set.
+func (s *Session) recordFlightLocked(req CreateRequest) error {
+	ring, err := flightrec.NewRing(vm.ProgramHash(s.prog), flightrec.Options{
+		WindowEvents: req.FlightEvents,
+		WindowBytes:  req.FlightBytes,
+		Obs:          s.mgr.cfg.Obs,
+	})
+	if err != nil {
+		return fmt.Errorf("sessions: %s: flight ring: %w", s.id, err)
+	}
+	rec, err := cli.RecordFlightProgram(s.prog, ring, req.Seed)
+	if err != nil {
+		return fmt.Errorf("sessions: %s: flight record: %w", s.id, err)
+	}
+	reason := flightrec.Classify(rec.RunErr)
+	if reason == "" {
+		if rec.RunErr != nil {
+			// Not a replay-relevant fault (setup-shaped failure): refuse the
+			// create rather than minting a session around a broken run.
+			return fmt.Errorf("sessions: %s: flight record: %w", s.id, rec.RunErr)
+		}
+		reason = "exit"
+	}
+	jdir := filepath.Join(s.dir, "journal")
+	info, err := ring.Flush(jdir, reason)
+	if err != nil {
+		return fmt.Errorf("sessions: %s: flight flush: %w", s.id, err)
+	}
+	if s.fs, err = trace.NewDirFS(jdir); err != nil {
+		return fmt.Errorf("sessions: %s: %w", s.id, err)
+	}
+	s.ring = ring
+	s.meta.FlightReason = reason
+	s.meta.Origin = info.Origin
+	s.meta.Events = rec.Events
+	s.meta.Switches = rec.Switches
+	s.meta.Digest = fmt.Sprintf("%016x", rec.Digest)
+	return nil
 }
 
 // resolveProgram resolves the session's program spec, running the
@@ -596,6 +723,7 @@ func (s *Session) infoLocked() *Info {
 		Program: s.meta.Program, Seed: s.meta.Seed,
 		Events: s.meta.Events, Switches: s.meta.Switches, Digest: s.meta.Digest,
 		Optimize: s.meta.Optimize, OptVerdict: s.meta.OptVerdict,
+		Flight: s.meta.Flight, FlightReason: s.meta.FlightReason, Origin: s.meta.Origin,
 		Attaches: s.attaches.Load(), Travels: s.travels.Load(),
 		Created: s.meta.Created,
 	}
@@ -643,6 +771,7 @@ func (m *Manager) List() []*Info {
 			Program: s.meta.Program, Seed: s.meta.Seed,
 			Events: s.meta.Events, Switches: s.meta.Switches, Digest: s.meta.Digest,
 			Optimize: s.meta.Optimize, OptVerdict: s.meta.OptVerdict,
+			Flight: s.meta.Flight, FlightReason: s.meta.FlightReason, Origin: s.meta.Origin,
 			Attaches: s.attaches.Load(), Travels: s.travels.Load(),
 			Created: s.meta.Created,
 		})
@@ -671,9 +800,13 @@ func (m *Manager) Travel(id string, event uint64) (*Info, error) {
 }
 
 // Kill tears a session down. The kill resolves through the session's
-// command lock — an in-flight dbgproto command or ptrace peek completes
-// first, and everything after it sees a structured ReasonKilled refusal,
-// never a freed VM. With purge the session's directory is deleted.
+// command lock — an in-flight dbgproto command, ptrace peek, or flight
+// flush completes first, and everything after it sees a structured
+// ReasonKilled refusal, never a freed VM or a torn flush directory. With
+// purge the session's directory is deleted immediately; without it the
+// directory is condemned with a "killed" marker whose mtime starts the
+// retention clock — GC removes it once it ages past -retain, and a restart
+// never resurrects it as a cold session.
 func (m *Manager) Kill(id string, purge bool) error {
 	s, err := m.lookup(id)
 	if err != nil {
@@ -684,6 +817,7 @@ func (m *Manager) Kill(id string, purge bool) error {
 	s.state.Store(int32(StateKilled))
 	s.js = nil
 	s.prog = nil
+	s.ring = nil
 	s.mu.Unlock()
 	if already {
 		return &Refusal{Reason: ReasonKilled, Msg: fmt.Sprintf("session %s already killed", id)}
@@ -696,8 +830,138 @@ func (m *Manager) Kill(id string, purge bool) error {
 	m.met.killed.Inc()
 	if purge {
 		os.RemoveAll(s.dir)
+	} else {
+		stamp := time.Now().UTC().Format(time.RFC3339) + "\n"
+		if werr := os.WriteFile(filepath.Join(s.dir, "killed"), []byte(stamp), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "sessions: kill %s: condemn marker: %v\n", s.id, werr)
+		}
 	}
 	return nil
+}
+
+// FlushFlight re-flushes a flight session's retained window into a fresh
+// numbered directory (flush-NNN) under the session's storage and returns
+// its name. It runs under the session's command lock, so a flush and a
+// kill serialize: a kill issued mid-flush waits for the flush to finish,
+// and a flush after a kill refuses with ReasonKilled. Journal sessions and
+// cold-reloaded flight sessions (whose window lived in the recording
+// process's memory) refuse with ReasonNoFlight.
+func (m *Manager) FlushFlight(id, reason string) (*flightrec.FlushInfo, string, error) {
+	if reason == "" {
+		reason = "manual"
+	}
+	s, err := m.lookup(id)
+	if err != nil {
+		return nil, "", err
+	}
+	var info *flightrec.FlushInfo
+	var name string
+	err = s.Exec(func(func() *debugger.Debugger, func(uint64) error) error {
+		if s.ring == nil {
+			return &Refusal{Reason: ReasonNoFlight, Msg: fmt.Sprintf(
+				"session %s has no resident flight window (create with \"flight\": true in this server's lifetime)", s.id)}
+		}
+		m.flushing.Add(1)
+		defer m.flushing.Add(-1)
+		s.flushSeq++
+		name = fmt.Sprintf("flush-%03d", s.flushSeq)
+		fi, ferr := s.ring.Flush(filepath.Join(s.dir, name), reason)
+		if ferr != nil {
+			return fmt.Errorf("sessions: %s: flight flush: %w", s.id, ferr)
+		}
+		info = fi
+		m.met.flightFlushes.Inc()
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return info, name, nil
+}
+
+// GC sweeps the data root's session storage: unregistered directories —
+// condemned by a kill (their "killed" marker starts the age clock) or left
+// half-created by a crash — older than maxAge are removed, as are orphaned
+// ".flight-*" flush temp directories inside live sessions. Registered
+// sessions are never swept, and no sweep runs while any flight flush is
+// writing (the flush's directory must not vanish mid-publish). Returns the
+// number of directories removed.
+func (m *Manager) GC(maxAge time.Duration) int {
+	if maxAge <= 0 {
+		return 0
+	}
+	if m.flushing.Load() > 0 {
+		return 0 // never sweep under an in-flight flush
+	}
+	dir := filepath.Join(m.cfg.DataRoot, "sessions")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	now := time.Now()
+	removed := 0
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		sdir := filepath.Join(dir, e.Name())
+		m.mu.Lock()
+		_, live := m.sessions[e.Name()]
+		m.mu.Unlock()
+		if live {
+			removed += sweepFlushTemps(sdir, now, maxAge, m.met.gcRemoved)
+			continue
+		}
+		if dirAge(sdir, now) < maxAge {
+			continue
+		}
+		if os.RemoveAll(sdir) == nil {
+			removed++
+			m.met.gcRemoved.Inc()
+		}
+	}
+	return removed
+}
+
+// dirAge is the retention age of an unregistered session directory: time
+// since its "killed" marker when present (the kill is what condemned it),
+// else time since the directory's own mtime (half-created leftovers).
+func dirAge(sdir string, now time.Time) time.Duration {
+	if st, err := os.Stat(filepath.Join(sdir, "killed")); err == nil {
+		return now.Sub(st.ModTime())
+	}
+	st, err := os.Stat(sdir)
+	if err != nil {
+		return 0
+	}
+	return now.Sub(st.ModTime())
+}
+
+// sweepFlushTemps removes aged ".flight-*" temp directories inside a live
+// session — debris from a flush that crashed between staging and its
+// atomic rename. The age bar keeps it clear of any current flush (which is
+// additionally excluded by the flushing gate).
+func sweepFlushTemps(sdir string, now time.Time, maxAge time.Duration, met *obs.Counter) int {
+	ents, err := os.ReadDir(sdir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, e := range ents {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), ".flight-") {
+			continue
+		}
+		p := filepath.Join(sdir, e.Name())
+		st, err := os.Stat(p)
+		if err != nil || now.Sub(st.ModTime()) < maxAge {
+			continue
+		}
+		if os.RemoveAll(p) == nil {
+			removed++
+			met.Inc()
+		}
+	}
+	return removed
 }
 
 // VerifyReplay replays the session's journal from zero on a fresh VM and

@@ -66,6 +66,11 @@ type RaceDetector struct {
 	races []Race
 
 	Accesses uint64
+
+	// OnRace, when set, fires synchronously at the first report of each
+	// race — the flight recorder uses it to freeze its window at the
+	// moment of detection.
+	OnRace func(Race)
 }
 
 // NewRaceDetector creates an empty detector.
@@ -140,12 +145,16 @@ func (r *RaceDetector) check(k locKey, li *locInfo, tid int, isWrite bool) {
 		return
 	}
 	li.reported = true
-	r.races = append(r.races, Race{
+	race := Race{
 		Obj:     k.obj,
 		Slot:    k.slot,
 		Threads: []int{li.firstTID, tid},
 		Detail:  fmt.Sprintf("no common lock; previous: %s", li.lastAccess),
-	})
+	}
+	r.races = append(r.races, race)
+	if r.OnRace != nil {
+		r.OnRace(race)
+	}
 }
 
 func copyLocks(hs map[heap.Addr]int) map[heap.Addr]bool {

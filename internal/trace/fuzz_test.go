@@ -194,3 +194,47 @@ func FuzzSegmentManifest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFlushManifest targets the flight-flush shape of the manifest codec:
+// Origin > 0 with segment indices shifted to start mid-journal, the way a
+// ring flush publishes an evicted window. Anything ParseManifest accepts
+// must round trip unchanged — in particular the origin line, which the
+// debugger's clamp depends on.
+func FuzzFlushManifest(f *testing.F) {
+	seed := &trace.Manifest{
+		ProgHash: 0xf11587f11587,
+		Origin:   184,
+		Segments: []trace.SegmentInfo{
+			{Index: 3, Name: trace.SegmentFileName(3), Events: 7, Switches: 2, Bytes: 48},
+			{Index: 4, Name: trace.SegmentFileName(4), Events: 5, Switches: 1, Bytes: 36},
+		},
+		Checkpoints: []trace.CheckpointInfo{
+			{Index: 3, Name: trace.CheckpointFileName(3), VMEvents: 184},
+			{Index: 4, Name: trace.CheckpointFileName(4), VMEvents: 230},
+		},
+	}
+	f.Add(seed.Encode())
+	seed.Complete = true
+	f.Add(seed.Encode())
+	seed.Origin = 1
+	f.Add(seed.Encode())
+	f.Add((&trace.Manifest{ProgHash: 2, Origin: ^uint64(0)}).Encode())
+	f.Add([]byte("DVSG1 0000000000000002\norigin 184\ncrc 00000000\n"))
+	f.Add([]byte("origin 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := trace.ParseManifest(data)
+		if err != nil {
+			return
+		}
+		again, err := trace.ParseManifest(m.Encode())
+		if err != nil {
+			t.Fatalf("re-encoded flush manifest rejected: %v", err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("flush manifest round trip changed:\n%+v\nvs\n%+v", m, again)
+		}
+		if again.Origin != m.Origin {
+			t.Fatalf("origin lost in round trip: %d vs %d", m.Origin, again.Origin)
+		}
+	})
+}

@@ -113,6 +113,12 @@ func readAll(fs FS, name string) ([]byte, error) {
 // ProgHash returns the journal's program hash.
 func (j *Journal) ProgHash() uint64 { return j.Manifest.ProgHash }
 
+// Origin returns the first instruction this journal can replay. Zero for
+// ordinary journals; positive for flight-recorder flushes, whose pre-window
+// history was evicted and whose replay must seed from a checkpoint at or
+// after this position.
+func (j *Journal) Origin() uint64 { return j.Manifest.Origin }
+
 // Complete reports whether the journal holds the full recording through
 // its end event: either the manifest says the writer closed cleanly, or
 // the salvaged tail reached the container end marker and the end event.
@@ -151,6 +157,9 @@ func (j *Journal) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "journal: %d sealed segment(s), %d checkpoint(s)",
 		len(j.Manifest.Segments), len(j.Manifest.Checkpoints))
+	if j.Manifest.Origin > 0 {
+		fmt.Fprintf(&b, ", flight window from event %d", j.Manifest.Origin)
+	}
 	if j.Manifest.Complete {
 		b.WriteString(", complete")
 	} else if j.TailReport != nil {

@@ -136,8 +136,15 @@ type CheckpointInfo struct {
 // Manifest is the journal's CRC-protected table of contents. Complete is
 // set only by SegmentWriter.Close — its absence means the recording was
 // cut short and the segment past the listed ones is an unsealed tail.
+//
+// Origin marks a journal that does not start at instruction zero: a
+// flight-recorder flush whose pre-window history was evicted. Replay of an
+// origin>0 journal must seed from a checkpoint at or after Origin — its
+// segment 0 is a synthetic empty placeholder, and a from-zero replay would
+// silently diverge from the recorded execution.
 type Manifest struct {
 	ProgHash    uint64
+	Origin      uint64 // first instruction the journal can replay (0 = from the start)
 	Complete    bool
 	Segments    []SegmentInfo
 	Checkpoints []CheckpointInfo
@@ -150,6 +157,9 @@ const manifestMagic = "DVSG1"
 func (m *Manifest) Encode() []byte {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "%s %016x\n", manifestMagic, m.ProgHash)
+	if m.Origin > 0 {
+		fmt.Fprintf(&b, "origin %d\n", m.Origin)
+	}
 	for _, s := range m.Segments {
 		fmt.Fprintf(&b, "seg %d %s %d %d %d\n", s.Index, s.Name, s.Events, s.Switches, s.Bytes)
 	}
@@ -272,6 +282,15 @@ func ParseManifest(data []byte) (*Manifest, error) {
 				return nil, fmt.Errorf("%w: checkpoint %d out of order", ErrManifest, c.Index)
 			}
 			m.Checkpoints = append(m.Checkpoints, c)
+		case "origin":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("%w: malformed origin line", ErrManifest)
+			}
+			var v int64
+			if v, err = num(f[1]); err != nil {
+				return nil, err
+			}
+			m.Origin = uint64(v)
 		case "complete":
 			if len(f) != 1 {
 				return nil, fmt.Errorf("%w: malformed complete line", ErrManifest)
@@ -365,7 +384,20 @@ type SegmentOptions struct {
 	StreamOptions       // per-segment chunking and sync policy
 	RotateEvents  int   // request rotation once a segment holds this many logged events (0 = no event policy)
 	RotateBytes   int64 // request rotation once a segment exceeds this many container bytes (0 = no byte policy)
+
+	// MaxJournalBytes caps the journal's total sealed size (0 = unlimited).
+	// The cap is enforced at rotation time — the cheapest point where total
+	// size is known exactly: the boundary segment still seals durably (with
+	// its checkpoint and manifest), then Rotate refuses to open the next
+	// segment with an error wrapping ErrJournalQuota. The journal on disk
+	// stays valid and replayable up to the refusal point.
+	MaxJournalBytes int64
 }
+
+// ErrJournalQuota reports a recording stopped because the journal reached
+// its configured MaxJournalBytes. Everything sealed before the refusal is
+// intact; the session layer maps this to a structured "quota" refusal.
+var ErrJournalQuota = errors.New("trace: journal byte quota exceeded")
 
 // SegmentWriter is a Sink recording into a segmented journal. It buffers
 // and frames exactly like StreamWriter per segment; rotation is *driven by
@@ -438,26 +470,65 @@ func (s *SegmentWriter) setErr(err error) {
 }
 
 // Sink implementation: delegate to the current segment's StreamWriter and
-// count events toward the rotation policy.
+// count events toward the rotation policy. After a failed rotation (quota
+// refusal, segment-open error) no segment is open: s.cur is nil, the sticky
+// error records the fault, and events are dropped instead of panicking —
+// the recording VM is already unwinding with the rotation error, but the
+// engine's unconditional End() still lands here.
 func (s *SegmentWriter) logged() { s.segEv++ }
 
 // Switch implements Sink.
-func (s *SegmentWriter) Switch(nyp uint64) { s.cur.Switch(nyp); s.logged() }
+func (s *SegmentWriter) Switch(nyp uint64) {
+	if s.cur == nil {
+		return
+	}
+	s.cur.Switch(nyp)
+	s.logged()
+}
 
 // Clock implements Sink.
-func (s *SegmentWriter) Clock(v int64) { s.cur.Clock(v); s.logged() }
+func (s *SegmentWriter) Clock(v int64) {
+	if s.cur == nil {
+		return
+	}
+	s.cur.Clock(v)
+	s.logged()
+}
 
 // Native implements Sink.
-func (s *SegmentWriter) Native(id int, vals []int64) { s.cur.Native(id, vals); s.logged() }
+func (s *SegmentWriter) Native(id int, vals []int64) {
+	if s.cur == nil {
+		return
+	}
+	s.cur.Native(id, vals)
+	s.logged()
+}
 
 // Input implements Sink.
-func (s *SegmentWriter) Input(b []byte) { s.cur.Input(b); s.logged() }
+func (s *SegmentWriter) Input(b []byte) {
+	if s.cur == nil {
+		return
+	}
+	s.cur.Input(b)
+	s.logged()
+}
 
 // Callback implements Sink.
-func (s *SegmentWriter) Callback(cb int, params []int64) { s.cur.Callback(cb, params); s.logged() }
+func (s *SegmentWriter) Callback(cb int, params []int64) {
+	if s.cur == nil {
+		return
+	}
+	s.cur.Callback(cb, params)
+	s.logged()
+}
 
 // End implements Sink (the data-stream end event; Close seals the journal).
-func (s *SegmentWriter) End() { s.cur.End() }
+func (s *SegmentWriter) End() {
+	if s.cur == nil {
+		return
+	}
+	s.cur.End()
+}
 
 // Stats implements Sink: totals across sealed segments plus the current one.
 func (s *SegmentWriter) Stats() Stats {
@@ -568,6 +639,11 @@ func (s *SegmentWriter) Rotate(state []byte, vmEvents, boundaryNYP uint64) error
 		s.m.ckBytes.Add(uint64(len(state)))
 	}
 	s.writeAtomic(manifestName, s.man.Encode())
+	if s.err == nil && s.opts.MaxJournalBytes > 0 && int64(s.agg.TotalBytes) >= s.opts.MaxJournalBytes {
+		s.setErr(fmt.Errorf("journal holds %d sealed bytes, quota %d: %w",
+			s.agg.TotalBytes, s.opts.MaxJournalBytes, ErrJournalQuota))
+		return s.err
+	}
 	if s.err == nil {
 		s.setErr(s.openSegment(next))
 	}

@@ -431,3 +431,52 @@ func TestManifestNeverNamesUnsealedSegment(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSegmentWriterQuotaRefusal exercises the byte-quota refusal path:
+// the rotation that crosses the quota returns ErrJournalQuota, every sink
+// call after the refusal is a no-op (no open segment exists — this used
+// to nil-panic on the engine's unconditional End), and the sealed prefix
+// still opens as a salvageable incomplete journal.
+func TestSegmentWriterQuotaRefusal(t *testing.T) {
+	fs, err := NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSegmentWriter(fs, 0xfeed, SegmentOptions{
+		StreamOptions:   StreamOptions{ChunkBytes: 32, Sync: SyncEvent},
+		MaxJournalBytes: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		sw.Clock(int64(i))
+	}
+	if err := sw.Rotate([]byte("state"), 8, 0); !errors.Is(err, ErrJournalQuota) {
+		t.Fatalf("rotate over quota = %v, want ErrJournalQuota", err)
+	}
+	// The recording engine keeps driving the sink while it unwinds; none
+	// of these may panic, and End always arrives.
+	sw.Clock(99)
+	sw.Switch(1)
+	sw.Input([]byte{1})
+	sw.Native(0, nil)
+	sw.Callback(0, nil)
+	sw.End()
+	if err := sw.Close(); !errors.Is(err, ErrJournalQuota) {
+		t.Fatalf("close after quota = %v, want sticky ErrJournalQuota", err)
+	}
+	j, err := OpenJournal(fs)
+	if err != nil {
+		t.Fatalf("sealed prefix does not open: %v", err)
+	}
+	if j.Complete() {
+		t.Fatal("quota-refused journal marked complete")
+	}
+	if j.Segments() == 0 {
+		t.Fatal("no sealed segments salvaged before the refusal")
+	}
+	if _, err := j.Flat(0); err != nil {
+		t.Fatalf("sealed prefix is not decodable: %v", err)
+	}
+}
