@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -13,6 +15,7 @@ import (
 	"dejavu/internal/bytecode"
 	"dejavu/internal/core"
 	"dejavu/internal/debugger"
+	"dejavu/internal/faults/chaosfs"
 	"dejavu/internal/faults/memfs"
 	"dejavu/internal/flightrec"
 	"dejavu/internal/heap"
@@ -22,6 +25,7 @@ import (
 	"dejavu/internal/ptrace"
 	"dejavu/internal/remoteref"
 	"dejavu/internal/replaycheck"
+	"dejavu/internal/sessions"
 	"dejavu/internal/tools"
 	"dejavu/internal/trace"
 	"dejavu/internal/vm"
@@ -1455,5 +1459,216 @@ func runE20(r *report) error {
 	}
 	r.note("wrote BENCH_E20.json; identical digests across off/journal/flight prove the ring")
 	r.note("is pay-for-retention only — the execution it observes is the one that ran.")
+	return nil
+}
+
+// --- E21 ---
+
+// runE21 quantifies chaos resilience (ISSUE 9): a pool of sessions is
+// driven through time travels that force durable checkpoint re-seeds —
+// the storage read path — while an injected EIO fault takes the backing
+// store away under a third of the operations. The containment contract
+// under measurement: no travel ever crashes the pool (faults become
+// structured refusals), every quarantined session is repaired by the
+// supervised retry loop without operator action, and after the storm
+// every journal still replays bit-identical to its recording digest. The
+// identical storm without chaos is the baseline for shed counts and for
+// p50/p99 travel latency.
+func runE21(r *report) error {
+	const (
+		pool   = 6
+		rounds = 10
+	)
+
+	type result struct {
+		Scenario    string  `json:"scenario"`
+		Sessions    int     `json:"sessions"`
+		Survived    int     `json:"survived"`
+		Quarantined int     `json:"quarantined_sessions"`
+		Recoveries  uint64  `json:"recoveries"`
+		Shed        int     `json:"shed_travels"`
+		OK          int     `json:"ok_travels"`
+		P50Ms       float64 `json:"travel_p50_ms"`
+		P99Ms       float64 `json:"travel_p99_ms"`
+		Match       int     `json:"digests_match"`
+	}
+
+	pct := func(lats []time.Duration, p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		s := append([]time.Duration(nil), lats...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return float64(s[int(p*float64(len(s)-1)+0.5)].Microseconds()) / 1000
+	}
+
+	run := func(scenario string, chaotic bool) (*result, error) {
+		root, err := os.MkdirTemp("", "dvbench-e21-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(root)
+
+		// EIO on every op while armed; the storm arms it only around the
+		// targeted travels, so each hit is a dead disk under exactly one
+		// command. Disarmed, the plan is inert and the pool runs clean.
+		st := chaosfs.New(chaosfs.Fault{Kind: chaosfs.EIO})
+		st.Disarm()
+		cfg := sessions.Config{
+			DataRoot:  root,
+			RetryBase: 20 * time.Millisecond,
+			RetryMax:  100 * time.Millisecond,
+			RetrySeed: 21,
+		}
+		if chaotic {
+			cfg.WrapFS = func(_ string, fs trace.FS) trace.FS { return st.Wrap(fs) }
+		}
+		m, err := sessions.NewManager(cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		// One probe recording discovers the event horizon, then the pool
+		// is built fault-free: each session rotates every 2 logged events
+		// (a durable checkpoint per segment) and opens positioned at the
+		// last event, so traveling near zero and back is always a
+		// re-seed from disk — the path the fault window can take away.
+		probe, err := m.Create(sessions.CreateRequest{Program: "workload:fig1ab", Seed: 7, RotateEvents: 2})
+		if err != nil {
+			return nil, fmt.Errorf("probe create: %v", err)
+		}
+		events := probe.Events
+		if err := m.Kill(probe.ID, true); err != nil {
+			return nil, err
+		}
+		ids := make([]string, pool)
+		for i := range ids {
+			info, err := m.Create(sessions.CreateRequest{
+				Program: "workload:fig1ab", Seed: 7,
+				RotateEvents: 2, FromEvent: events - 1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("create %d: %v", i, err)
+			}
+			ids[i] = info.ID
+		}
+
+		res := &result{Scenario: scenario, Sessions: pool}
+		var lats []time.Duration
+		targets := []uint64{1, events - 1}
+		for round := 0; round < rounds; round++ {
+			for _, id := range ids {
+				// Round 0 is every session's first durable re-seed (its
+				// in-memory anchor sits at the far end) — the one command
+				// per session guaranteed to touch disk. The storm takes
+				// the disk away under all of them at once; after repair
+				// the rebuilt debugger serves from memory, so the storm's
+				// blast radius is exactly one quarantine per session.
+				hit := chaotic && round == 0
+				if hit {
+					st.Arm()
+				}
+				t0 := time.Now()
+				_, err := m.Travel(id, targets[round%2])
+				d := time.Since(t0)
+				if hit {
+					st.Disarm()
+				}
+				switch {
+				case err == nil:
+					res.OK++
+					lats = append(lats, d)
+				default:
+					var rf *sessions.Refusal
+					if !errors.As(err, &rf) {
+						return nil, fmt.Errorf("travel %s round %d: non-refusal error %v", id, round, err)
+					}
+					res.Shed++ // structured refusal: the fault was contained
+				}
+			}
+		}
+
+		// Heal the disk and let the supervised repair loop finish its job:
+		// every session must come back without operator action.
+		st.Disarm()
+		deadline := time.Now().Add(30 * time.Second)
+		for _, id := range ids {
+			for {
+				info, err := m.Info(id)
+				if err != nil {
+					return nil, err
+				}
+				if info.State == "active" {
+					res.Survived++
+					res.Recoveries += info.Recoveries
+					if info.Recoveries > 0 {
+						res.Quarantined++
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+
+		// The acceptance bar: storage faults cost availability windows,
+		// never fidelity. Every journal replays to its recording digest.
+		for _, id := range ids {
+			info, digest, err := m.VerifyReplay(id)
+			if err == nil && digest == info.Digest {
+				res.Match++
+			}
+		}
+		res.P50Ms, res.P99Ms = pct(lats, 0.50), pct(lats, 0.99)
+		return res, nil
+	}
+
+	baseline, err := run("fault-free", false)
+	if err != nil {
+		return err
+	}
+	chaos, err := run("eio-storm", true)
+	if err != nil {
+		return err
+	}
+
+	rows := make([][]string, 0, 2)
+	for _, res := range []*result{baseline, chaos} {
+		rows = append(rows, []string{
+			res.Scenario, fmt.Sprint(res.Sessions), fmt.Sprint(res.Survived),
+			fmt.Sprint(res.Quarantined), fmt.Sprint(res.Recoveries),
+			fmt.Sprint(res.Shed), fmt.Sprint(res.OK),
+			fmt.Sprintf("%.2f", res.P50Ms), fmt.Sprintf("%.2f", res.P99Ms),
+			fmt.Sprintf("%d/%d", res.Match, res.Sessions),
+		})
+	}
+	r.table([]string{"scenario", "sessions", "survived", "quarantined", "recoveries",
+		"shed", "ok travels", "p50 ms", "p99 ms", "digests match"}, rows)
+
+	if baseline.Shed != 0 || baseline.Survived != pool || baseline.Match != pool {
+		return fmt.Errorf("fault-free baseline not clean: %+v", baseline)
+	}
+	if chaos.Survived != pool {
+		return fmt.Errorf("only %d/%d sessions survived the storm", chaos.Survived, pool)
+	}
+	if chaos.Quarantined == 0 || chaos.Recoveries == 0 {
+		return fmt.Errorf("the storm quarantined nothing (recoveries=%d) — the fault window missed", chaos.Recoveries)
+	}
+	if chaos.Match != pool {
+		return fmt.Errorf("only %d/%d sessions replay to their recording digest after the storm", chaos.Match, pool)
+	}
+
+	out := struct {
+		Baseline *result `json:"baseline"`
+		Chaos    *result `json:"chaos"`
+	}{baseline, chaos}
+	blob, _ := json.MarshalIndent(out, "", "  ")
+	if err := os.WriteFile("BENCH_E21.json", append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write BENCH_E21.json: %v", err)
+	}
+	r.note("wrote BENCH_E21.json; %d quarantines all healed by the supervisor and every", chaos.Recoveries)
+	r.note("journal still replays bit-identical — faults cost latency and sheds, never fidelity.")
 	return nil
 }

@@ -42,6 +42,7 @@ var experiments = []experiment{
 	{"E17", "observability overhead: metrics on vs off, bit-identical replay", runE17},
 	{"E19", "certified optimizer: Mev/s optimized vs unoptimized, replay intact", runE19},
 	{"E20", "flight recorder: ring overhead vs window size, flush integrity, ddmin reduction", runE20},
+	{"E21", "chaos resilience: quarantine, supervised recovery, and travel latency under storage faults", runE21},
 }
 
 type multiFlag []string

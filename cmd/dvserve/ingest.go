@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"dejavu/internal/obs"
+	"dejavu/internal/sessions"
 	"dejavu/internal/trace"
 )
 
@@ -48,11 +49,16 @@ type ingestResponse struct {
 	Complete bool   `json:"complete"`
 }
 
-// ingestHandler builds the POST /v1/ingest handler over dataRoot.
-func ingestHandler(dataRoot string, reg *obs.Registry) http.HandlerFunc {
+// ingestHandler builds the POST /v1/ingest handler over dataRoot. admit
+// (optional) is the manager's load-shedding gate — a draining server, a
+// data root below the critical watermark, or an over-rate tenant (from the
+// X-Tenant header or ?tenant=) refuses the upload with Retry-After
+// guidance before a byte of the body is read.
+func ingestHandler(dataRoot string, reg *obs.Registry, admit func(tenant string) error) http.HandlerFunc {
 	accepted := reg.Counter("dv_ingest_accepted_total")
 	deduped := reg.Counter("dv_ingest_deduped_total")
 	rejected := reg.Counter("dv_ingest_rejected_total")
+	shed := reg.Counter("dv_ingest_shed_total")
 	bytesIn := reg.Counter("dv_ingest_bytes_total")
 	root := filepath.Join(dataRoot, "ingest")
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -61,6 +67,19 @@ func ingestHandler(dataRoot string, reg *obs.Registry) http.HandlerFunc {
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(code)
 			json.NewEncoder(w).Encode(map[string]string{"error": msg})
+		}
+		if admit != nil {
+			tenant := r.Header.Get("X-Tenant")
+			if tenant == "" {
+				tenant = r.URL.Query().Get("tenant")
+			}
+			if err := admit(tenant); err != nil {
+				shed.Inc()
+				if !sessions.WriteRefusal(w, err) {
+					reject(http.StatusServiceUnavailable, err.Error())
+				}
+				return
+			}
 		}
 		if err := os.MkdirAll(root, 0o755); err != nil {
 			reject(http.StatusInternalServerError, err.Error())

@@ -79,7 +79,7 @@ func postBundle(t *testing.T, url string, bundle []byte, out any) int {
 func TestIngestRoundTrip(t *testing.T) {
 	root := t.TempDir()
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/ingest", ingestHandler(root, obs.NewRegistry()))
+	mux.HandleFunc("POST /v1/ingest", ingestHandler(root, obs.NewRegistry(), nil))
 	ts := httptest.NewServer(mux)
 	defer ts.Close()
 

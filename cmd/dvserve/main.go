@@ -57,6 +57,7 @@ import (
 	"dejavu/internal/core"
 	"dejavu/internal/dbgproto"
 	"dejavu/internal/debugger"
+	"dejavu/internal/faults/chaosfs"
 	"dejavu/internal/heap"
 	"dejavu/internal/obs"
 	"dejavu/internal/ptrace"
@@ -85,6 +86,17 @@ type serveConfig struct {
 	admitTimeout    time.Duration
 	retain          time.Duration
 	maxSessionBytes int64
+
+	// Fault containment and backpressure.
+	chaos            string
+	diskLow          int64
+	diskCritical     int64
+	tenantRate       float64
+	tenantBurst      int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	retryBase        time.Duration
+	retryMax         time.Duration
 }
 
 func main() {
@@ -105,6 +117,15 @@ func main() {
 	flag.DurationVar(&c.admitTimeout, "admit-timeout", 0, "max wait for a worker slot before a busy refusal (0 = 5s)")
 	flag.DurationVar(&c.retain, "retain", 0, "retention age for killed/orphaned session storage; a periodic sweep removes older directories (0 disables)")
 	flag.Int64Var(&c.maxSessionBytes, "max-session-bytes", 0, "per-session journal byte quota at record time; exceeding it refuses the create with 413 (0 = unlimited)")
+	flag.StringVar(&c.chaos, "chaos", "", "TEST HOOK: inject storage faults into every session's journal I/O; spec like 'enospc:after=200,count=50;slow:latency=1ms' (kinds: enospc, eio, fsync, torn-rename, slow)")
+	flag.Int64Var(&c.diskLow, "disk-low", 0, "low free-space watermark in bytes: below it new recordings are refused with 503 (0 disables)")
+	flag.Int64Var(&c.diskCritical, "disk-critical", 0, "critical free-space watermark in bytes: below it ingest is refused too (0 disables)")
+	flag.Float64Var(&c.tenantRate, "tenant-rate", 0, "per-tenant create/ingest rate limit in requests/second (0 disables)")
+	flag.IntVar(&c.tenantBurst, "tenant-burst", 0, "per-tenant rate-limit burst (0 = max(1, ceil(rate)))")
+	flag.IntVar(&c.breakerThreshold, "breaker-threshold", 0, "consecutive replay stalls before a session's exec circuit breaker opens (0 = 3, -1 disables)")
+	flag.DurationVar(&c.breakerCooldown, "breaker-cooldown", 0, "open interval before a tripped breaker half-opens (0 = 5s)")
+	flag.DurationVar(&c.retryBase, "retry-base", 0, "degraded-session repair backoff base (0 = 200ms)")
+	flag.DurationVar(&c.retryMax, "retry-max", 0, "degraded-session repair backoff cap (0 = 5s)")
 	flag.Parse()
 	if c.dataRoot != "" {
 		if flag.NArg() != 0 {
@@ -140,16 +161,33 @@ func main() {
 // debug/peek endpoints.
 func runMulti(c serveConfig) error {
 	reg := obs.NewRegistry()
-	mgr, err := sessions.NewManager(sessions.Config{
-		DataRoot:        c.dataRoot,
-		MaxSessions:     c.maxSessions,
-		MaxPerTenant:    c.maxPerTenant,
-		Workers:         c.workers,
-		AdmitTimeout:    c.admitTimeout,
-		CheckpointEvery: c.checkpoint,
-		Obs:             reg,
-		MaxSessionBytes: c.maxSessionBytes,
-	})
+	cfg := sessions.Config{
+		DataRoot:          c.dataRoot,
+		MaxSessions:       c.maxSessions,
+		MaxPerTenant:      c.maxPerTenant,
+		Workers:           c.workers,
+		AdmitTimeout:      c.admitTimeout,
+		CheckpointEvery:   c.checkpoint,
+		Obs:               reg,
+		MaxSessionBytes:   c.maxSessionBytes,
+		DiskLowBytes:      c.diskLow,
+		DiskCriticalBytes: c.diskCritical,
+		TenantRatePerSec:  c.tenantRate,
+		TenantBurst:       c.tenantBurst,
+		BreakerThreshold:  c.breakerThreshold,
+		BreakerCooldown:   c.breakerCooldown,
+		RetryBase:         c.retryBase,
+		RetryMax:          c.retryMax,
+	}
+	if c.chaos != "" {
+		st, err := chaosfs.Parse(c.chaos)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dvserve: CHAOS ACTIVE: injecting %s into all session journal I/O\n", st)
+		cfg.WrapFS = func(_ string, fs trace.FS) trace.FS { return st.Wrap(fs) }
+	}
+	mgr, err := sessions.NewManager(cfg)
 	if err != nil {
 		return err
 	}
@@ -223,7 +261,7 @@ func runMulti(c serveConfig) error {
 	}
 	mux := http.NewServeMux()
 	mgr.Routes(mux)
-	mux.HandleFunc("POST /v1/ingest", ingestHandler(c.dataRoot, reg))
+	mux.HandleFunc("POST /v1/ingest", ingestHandler(c.dataRoot, reg, mgr.AdmitIngest))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		obs.WritePrometheus(w, reg.Snapshot())

@@ -10,6 +10,7 @@ package dbgproto
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"strconv"
@@ -539,8 +540,11 @@ func (e *RemoteError) Error() string { return e.Msg }
 
 // Reconnecting is a Client that survives server restarts and dropped
 // connections: a transport failure closes the connection, redials with
-// capped exponential backoff, and retries the command once. Command
-// failures the server reports (RemoteError) pass through untouched.
+// capped exponential backoff, and retries the command once. Each backoff
+// step is jittered ±20% so a fleet of clients cut off by one server
+// restart doesn't redial in lockstep and hammer the listener in
+// synchronized waves. Command failures the server reports (RemoteError)
+// pass through untouched.
 type Reconnecting struct {
 	Addr string
 
@@ -548,9 +552,26 @@ type Reconnecting struct {
 	BaseDelay   time.Duration                    // first backoff step; 0 = 100ms
 	MaxDelay    time.Duration                    // backoff cap; 0 = 3s
 	Logf        func(format string, args ...any) // optional reconnect notices
+	// JitterSeed seeds the backoff jitter deterministically (tests); 0
+	// derives a per-client seed from the clock.
+	JitterSeed int64
 
-	mu sync.Mutex
-	c  *Client
+	mu  sync.Mutex
+	c   *Client
+	rnd *rand.Rand
+}
+
+// jitter spreads d over [0.8d, 1.2d). Callers hold r.mu (or own r
+// exclusively, as connect's callers do).
+func (r *Reconnecting) jitter(d time.Duration) time.Duration {
+	if r.rnd == nil {
+		seed := r.JitterSeed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		r.rnd = rand.New(rand.NewSource(seed))
+	}
+	return time.Duration(float64(d) * (0.8 + 0.4*r.rnd.Float64()))
 }
 
 // DialRetry connects to a debug server with backoff, returning a client
@@ -587,10 +608,11 @@ func (r *Reconnecting) connect() error {
 		if i == attempts-1 {
 			break
 		}
+		sleep := r.jitter(delay)
 		if r.Logf != nil {
-			r.Logf("connect %s failed (%v); retrying in %v", r.Addr, err, delay)
+			r.Logf("connect %s failed (%v); retrying in %v", r.Addr, err, sleep)
 		}
-		time.Sleep(delay)
+		time.Sleep(sleep)
 		if delay *= 2; delay > maxDelay {
 			delay = maxDelay
 		}

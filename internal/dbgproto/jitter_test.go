@@ -1,0 +1,66 @@
+// Reconnect backoff jitter: every step spreads over [0.8d, 1.2d) so a
+// fleet cut off by one server restart doesn't redial in lockstep, and the
+// spread is deterministically seedable so tests (and incident replays) see
+// the exact same schedule every run.
+package dbgproto
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestJitterSpreadsAndSeedsDeterministically(t *testing.T) {
+	a := &Reconnecting{JitterSeed: 7}
+	b := &Reconnecting{JitterSeed: 7}
+	c := &Reconnecting{JitterSeed: 8}
+	base := 100 * time.Millisecond
+	diverged := false
+	for i := 0; i < 32; i++ {
+		ja, jb, jc := a.jitter(base), b.jitter(base), c.jitter(base)
+		if ja != jb {
+			t.Fatalf("step %d: same seed diverged (%v vs %v)", i, ja, jb)
+		}
+		if ja < 80*time.Millisecond || ja >= 120*time.Millisecond {
+			t.Fatalf("step %d: jitter %v outside [0.8d, 1.2d)", i, ja)
+		}
+		if ja != jc {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical 32-step schedules")
+	}
+}
+
+// TestConnectBackoffFollowsSeededSchedule dials a dead address and checks
+// the retry notices announce exactly the schedule an identically seeded
+// twin predicts: doubling base delay, each step jittered, fully
+// reproducible from the seed.
+func TestConnectBackoffFollowsSeededSchedule(t *testing.T) {
+	var sleeps []time.Duration
+	r := &Reconnecting{
+		Addr:        "127.0.0.1:1", // reserved port: connect refuses instantly
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		JitterSeed:  42,
+		Logf: func(format string, args ...any) {
+			// The sleep is the last verb of the retry notice.
+			sleeps = append(sleeps, args[len(args)-1].(time.Duration))
+			_ = fmt.Sprintf(format, args...)
+		},
+	}
+	if err := r.connect(); err == nil {
+		t.Fatal("connect to a dead address succeeded")
+	}
+	twin := &Reconnecting{JitterSeed: 42}
+	want := []time.Duration{twin.jitter(time.Millisecond), twin.jitter(2 * time.Millisecond)}
+	if len(sleeps) != len(want) {
+		t.Fatalf("observed %d backoff steps (%v), want %d", len(sleeps), sleeps, len(want))
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Fatalf("step %d slept %v, want seeded schedule %v", i, sleeps[i], want[i])
+		}
+	}
+}

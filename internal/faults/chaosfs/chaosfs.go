@@ -1,0 +1,340 @@
+// Package chaosfs extends internal/faults with an injectable chaos
+// trace.FS: a wrapper that drives every storage failure mode a recording
+// service meets in production — ENOSPC, EIO after N operations, fsync
+// failure, a torn (non-atomic) rename, and slow I/O — deterministically,
+// from an op-indexed plan. (It lives in its own package, not in faults
+// itself, because faults is imported by trace's own tests.)
+//
+// Like the byte-budget injectors in faults, chaos faults fire at exact
+// operation indices, never on timers or random draws, so a failing chaos
+// matrix cell reproduces exactly. A State is shared by every FS it wraps:
+// the op counter is global across the wrapped filesystems, which is what a
+// real shared disk looks like to a session manager.
+package chaosfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dejavu/internal/faults"
+	"dejavu/internal/trace"
+)
+
+// Kind selects a storage failure mode.
+type Kind uint8
+
+const (
+	// ENOSPC fails writes and file creations: the disk is full, but
+	// existing data stays readable.
+	ENOSPC Kind = iota
+	// EIO fails every operation (read and write): the device is gone or
+	// the controller is returning errors.
+	EIO
+	// FsyncFail fails Sync calls with EIO while letting writes "succeed":
+	// the page cache accepts data the disk will never see.
+	FsyncFail
+	// TornRename makes Rename lose the source file and return EIO — the
+	// crash-mid-rename model for a filesystem without atomic rename. The
+	// destination is never created, so a manifest rewrite torn this way
+	// leaves the previous manifest in place (bounded loss, not corruption).
+	TornRename
+	// Slow injects latency into every operation without failing it.
+	Slow
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ENOSPC:
+		return "enospc"
+	case EIO:
+		return "eio"
+	case FsyncFail:
+		return "fsync"
+	case TornRename:
+		return "torn-rename"
+	case Slow:
+		return "slow"
+	default:
+		return "invalid"
+	}
+}
+
+// Fault is one armed failure mode. The fault fires for counted operations
+// with index in [After, After+Count) — Count 0 means forever — where every
+// FS call (Create, Open, Rename, List, Remove) and every Write/Sync on a
+// returned file advances the shared op counter by one.
+type Fault struct {
+	Kind    Kind
+	After   int64         // ops before the fault arms
+	Count   int64         // faulted ops before self-healing (0 = forever)
+	Latency time.Duration // Slow: injected per-op delay
+}
+
+func (f Fault) String() string {
+	var args []string
+	if f.After > 0 {
+		args = append(args, fmt.Sprintf("after=%d", f.After))
+	}
+	if f.Count > 0 {
+		args = append(args, fmt.Sprintf("count=%d", f.Count))
+	}
+	if f.Latency > 0 {
+		args = append(args, fmt.Sprintf("latency=%s", f.Latency))
+	}
+	if len(args) == 0 {
+		return f.Kind.String()
+	}
+	return f.Kind.String() + ":" + strings.Join(args, ",")
+}
+
+// Error is what a chaos fault surfaces: it unwraps to the underlying errno
+// (syscall.ENOSPC or syscall.EIO) and matches errors.Is(err,
+// faults.ErrInjected), so callers can both classify the failure and
+// recognize it as injected.
+type Error struct {
+	Op    string // "create", "write", "sync", "rename", ...
+	Name  string // file name the op targeted
+	Index int64  // global op index the fault fired at
+	Errno error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("chaos: %s %s (op %d): %v", e.Op, e.Name, e.Index, e.Errno)
+}
+
+// Unwrap exposes the errno for errors.Is(err, syscall.ENOSPC) etc.
+func (e *Error) Unwrap() error { return e.Errno }
+
+// Is additionally matches faults.ErrInjected.
+func (e *Error) Is(target error) bool { return target == faults.ErrInjected }
+
+// State is the shared plan + op counter behind one or more wrapped
+// filesystems. The zero value is unusable; build one with New or Parse.
+// All methods are safe for concurrent use.
+type State struct {
+	mu     sync.Mutex
+	faults []Fault
+
+	ops      atomic.Int64 // global op index, pre-incremented per op
+	injected atomic.Int64 // faults actually fired
+	armed    atomic.Bool
+}
+
+// New builds an armed plan from explicit faults.
+func New(fs ...Fault) *State {
+	st := &State{faults: fs}
+	st.armed.Store(true)
+	return st
+}
+
+// Parse parses a plan spec: semicolon-separated faults, each
+// "kind[:after=N][,count=M][,latency=DUR]". Kinds: enospc, eio, fsync,
+// torn-rename, slow.
+//
+//	enospc:after=200,count=50;slow:latency=1ms
+func Parse(spec string) (*State, error) {
+	var fs []Fault
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kindStr, args, _ := strings.Cut(part, ":")
+		var f Fault
+		switch kindStr {
+		case "enospc":
+			f.Kind = ENOSPC
+		case "eio":
+			f.Kind = EIO
+		case "fsync":
+			f.Kind = FsyncFail
+		case "torn-rename":
+			f.Kind = TornRename
+		case "slow":
+			f.Kind = Slow
+		default:
+			return nil, fmt.Errorf("chaosfs: unknown kind %q", kindStr)
+		}
+		if args != "" {
+			for _, kv := range strings.Split(args, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("chaosfs: malformed arg %q", kv)
+				}
+				switch k {
+				case "after":
+					n, err := strconv.ParseInt(v, 10, 64)
+					if err != nil || n < 0 {
+						return nil, fmt.Errorf("chaosfs: bad after=%q", v)
+					}
+					f.After = n
+				case "count":
+					n, err := strconv.ParseInt(v, 10, 64)
+					if err != nil || n < 0 {
+						return nil, fmt.Errorf("chaosfs: bad count=%q", v)
+					}
+					f.Count = n
+				case "latency":
+					d, err := time.ParseDuration(v)
+					if err != nil || d < 0 {
+						return nil, fmt.Errorf("chaosfs: bad latency=%q", v)
+					}
+					f.Latency = d
+				default:
+					return nil, fmt.Errorf("chaosfs: unknown arg %q", k)
+				}
+			}
+		}
+		fs = append(fs, f)
+	}
+	if len(fs) == 0 {
+		return nil, errors.New("chaosfs: empty spec")
+	}
+	return New(fs...), nil
+}
+
+// Arm enables fault evaluation (the constructor starts armed).
+func (st *State) Arm() { st.armed.Store(true) }
+
+// Disarm suspends all faults without resetting the op counter, so tests
+// can build clean state, arm chaos for one phase, then heal the disk.
+func (st *State) Disarm() { st.armed.Store(false) }
+
+// Ops returns the global operation count so far.
+func (st *State) Ops() int64 { return st.ops.Load() }
+
+// Injected returns how many faults have fired.
+func (st *State) Injected() int64 { return st.injected.Load() }
+
+// String renders the plan for logs.
+func (st *State) String() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	parts := make([]string, len(st.faults))
+	for i, f := range st.faults {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Wrap returns a trace.FS routing every operation through this plan.
+func (st *State) Wrap(fs trace.FS) trace.FS { return &FS{inner: fs, st: st} }
+
+// step counts one operation and returns the active fault for the given
+// kinds (first match wins), or nil. Latency faults sleep here.
+func (st *State) step(kinds ...Kind) (*Fault, int64) {
+	i := st.ops.Add(1) - 1
+	if !st.armed.Load() {
+		return nil, i
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for fi := range st.faults {
+		f := &st.faults[fi]
+		if i < f.After || (f.Count > 0 && i >= f.After+f.Count) {
+			continue
+		}
+		for _, k := range kinds {
+			if f.Kind == k {
+				if f.Kind == Slow {
+					time.Sleep(f.Latency)
+					continue // latency never fails the op; keep scanning
+				}
+				st.injected.Add(1)
+				return f, i
+			}
+		}
+	}
+	return nil, i
+}
+
+// FS is one wrapped filesystem; all its faults come from the shared State.
+type FS struct {
+	inner trace.FS
+	st    *State
+}
+
+// Create implements trace.FS: a full disk refuses new files.
+func (c *FS) Create(name string) (trace.File, error) {
+	if f, i := c.st.step(ENOSPC, EIO, Slow); f != nil {
+		return nil, &Error{Op: "create", Name: name, Index: i, Errno: errnoFor(f.Kind)}
+	}
+	inner, err := c.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{inner: inner, name: name, st: c.st}, nil
+}
+
+// Open implements trace.FS: only a dead device (EIO) fails reads.
+func (c *FS) Open(name string) (io.ReadCloser, error) {
+	if f, i := c.st.step(EIO, Slow); f != nil {
+		return nil, &Error{Op: "open", Name: name, Index: i, Errno: errnoFor(f.Kind)}
+	}
+	return c.inner.Open(name)
+}
+
+// Rename implements trace.FS. A torn rename loses the source and creates
+// nothing — the non-atomic-rename crash model.
+func (c *FS) Rename(oldname, newname string) error {
+	if f, i := c.st.step(TornRename, EIO, Slow); f != nil {
+		if f.Kind == TornRename {
+			c.inner.Remove(oldname) // best effort: the source is already gone
+		}
+		return &Error{Op: "rename", Name: oldname, Index: i, Errno: errnoFor(f.Kind)}
+	}
+	return c.inner.Rename(oldname, newname)
+}
+
+// List implements trace.FS.
+func (c *FS) List() ([]string, error) {
+	if f, i := c.st.step(EIO, Slow); f != nil {
+		return nil, &Error{Op: "list", Name: ".", Index: i, Errno: errnoFor(f.Kind)}
+	}
+	return c.inner.List()
+}
+
+// Remove implements trace.FS.
+func (c *FS) Remove(name string) error {
+	if f, i := c.st.step(EIO, Slow); f != nil {
+		return &Error{Op: "remove", Name: name, Index: i, Errno: errnoFor(f.Kind)}
+	}
+	return c.inner.Remove(name)
+}
+
+// chaosFile wraps a writable handle with write/sync faults.
+type chaosFile struct {
+	inner trace.File
+	name  string
+	st    *State
+}
+
+func (f *chaosFile) Write(p []byte) (int, error) {
+	if ft, i := f.st.step(ENOSPC, EIO, Slow); ft != nil {
+		return 0, &Error{Op: "write", Name: f.name, Index: i, Errno: errnoFor(ft.Kind)}
+	}
+	return f.inner.Write(p)
+}
+
+func (f *chaosFile) Sync() error {
+	if ft, i := f.st.step(FsyncFail, EIO, Slow); ft != nil {
+		return &Error{Op: "sync", Name: f.name, Index: i, Errno: errnoFor(ft.Kind)}
+	}
+	return f.inner.Sync()
+}
+
+func (f *chaosFile) Close() error { return f.inner.Close() }
+
+func errnoFor(k Kind) error {
+	if k == ENOSPC {
+		return syscall.ENOSPC
+	}
+	return syscall.EIO
+}

@@ -1,0 +1,190 @@
+// Each fault kind must fire deterministically at its op index, surface
+// the right errno, and be recognizable as injected — the chaos matrix in
+// internal/sessions builds on exactly these properties.
+package chaosfs
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+
+	"dejavu/internal/faults"
+	"dejavu/internal/trace"
+)
+
+func mustFS(t *testing.T) trace.FS {
+	t.Helper()
+	fs, err := trace.NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestParse(t *testing.T) {
+	st, err := Parse("enospc:after=200,count=50;slow:latency=1ms;torn-rename")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "enospc:after=200,count=50;slow:latency=1ms;torn-rename"
+	if got := st.String(); got != want {
+		t.Fatalf("round-trip = %q, want %q", got, want)
+	}
+	for _, bad := range []string{"", "florp", "enospc:after=x", "eio:count=-1", "slow:latency=nope", "enospc:after"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestENOSPCFailsWritesNotReads(t *testing.T) {
+	st := New(Fault{Kind: ENOSPC})
+	fs := st.Wrap(mustFS(t))
+
+	// Build a readable file before arming... the fault is always-on, so
+	// write through the inner FS instead.
+	st.Disarm()
+	f, err := fs.Create("seg-000000.dvs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	st.Arm()
+
+	if _, err := fs.Create("seg-000001.dvs"); err == nil {
+		t.Fatal("create succeeded on a full disk")
+	} else {
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("create error = %v, want ENOSPC", err)
+		}
+		if !errors.Is(err, faults.ErrInjected) {
+			t.Fatalf("create error = %v, want ErrInjected match", err)
+		}
+	}
+	// Reads keep working: ENOSPC leaves existing data readable.
+	rc, err := fs.Open("seg-000000.dvs")
+	if err != nil {
+		t.Fatalf("read under ENOSPC failed: %v", err)
+	}
+	rc.Close()
+	if st.Injected() == 0 {
+		t.Fatal("no injection recorded")
+	}
+}
+
+func TestEIOAfterNOps(t *testing.T) {
+	st := New(Fault{Kind: EIO, After: 2})
+	fs := st.Wrap(mustFS(t))
+	// Ops 0 and 1 succeed, op 2 fails — exactly, every run.
+	if _, err := fs.List(); err != nil { // op 0
+		t.Fatal(err)
+	}
+	if _, err := fs.List(); err != nil { // op 1
+		t.Fatal(err)
+	}
+	_, err := fs.List() // op 2
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("op 2 error = %v, want EIO", err)
+	}
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Index != 2 {
+		t.Fatalf("error = %#v, want Index 2", err)
+	}
+}
+
+func TestEIOWindowSelfHeals(t *testing.T) {
+	st := New(Fault{Kind: EIO, After: 1, Count: 2})
+	fs := st.Wrap(mustFS(t))
+	if _, err := fs.List(); err != nil { // op 0: before the window
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // ops 1, 2: inside
+		if _, err := fs.List(); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("windowed op %d error = %v, want EIO", i, err)
+		}
+	}
+	if _, err := fs.List(); err != nil { // op 3: healed
+		t.Fatalf("op after the window failed: %v", err)
+	}
+	if got := st.Injected(); got != 2 {
+		t.Fatalf("injected = %d, want 2", got)
+	}
+}
+
+func TestFsyncFailLetsWritesThrough(t *testing.T) {
+	st := New(Fault{Kind: FsyncFail})
+	fs := st.Wrap(mustFS(t))
+	f, err := fs.Create("seg-000000.dvs") // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil { // op 1
+		t.Fatalf("write under fsync-fail: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) { // op 2
+		t.Fatalf("sync error = %v, want EIO", err)
+	}
+}
+
+func TestTornRenameLosesSourceCreatesNothing(t *testing.T) {
+	st := New(Fault{Kind: TornRename})
+	fs := st.Wrap(mustFS(t))
+	st.Disarm()
+	f, err := fs.Create("MANIFEST.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("v2"))
+	f.Close()
+	st.Arm()
+
+	if err := fs.Rename("MANIFEST.tmp", "MANIFEST"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn rename error = %v, want EIO", err)
+	}
+	st.Disarm()
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n == "MANIFEST.tmp" || n == "MANIFEST" {
+			t.Fatalf("torn rename left %q on disk (have %v)", n, names)
+		}
+	}
+}
+
+func TestSlowDelaysWithoutFailing(t *testing.T) {
+	st := New(Fault{Kind: Slow, Latency: 20 * time.Millisecond})
+	fs := st.Wrap(mustFS(t))
+	start := time.Now()
+	if _, err := fs.List(); err != nil {
+		t.Fatalf("slow op failed: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("op took %v, want >= 20ms of injected latency", d)
+	}
+	if st.Injected() != 0 {
+		t.Fatal("latency counted as an injection")
+	}
+}
+
+func TestSharedOpCounterAcrossWrappedFilesystems(t *testing.T) {
+	st := New(Fault{Kind: EIO, After: 3})
+	a := st.Wrap(mustFS(t))
+	b := st.Wrap(mustFS(t))
+	// Interleave: ops 0,1,2 across both filesystems succeed, op 3 fails on
+	// whichever FS issues it — the disk is shared.
+	a.List() // 0
+	b.List() // 1
+	a.List() // 2
+	if _, err := b.List(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("shared op 3 error = %v, want EIO", err)
+	}
+	if st.Ops() != 4 {
+		t.Fatalf("ops = %d, want 4", st.Ops())
+	}
+}

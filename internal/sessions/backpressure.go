@@ -1,0 +1,129 @@
+// Load shedding ahead of the session registry: disk-space watermarks over
+// the data root and a per-tenant token bucket on session create and
+// ingest. Both refuse with structured Refusals carrying Retry-After
+// guidance — under pressure the platform gets slower to admit, never
+// wedged or dead.
+package sessions
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// diskFree probes the data root's free bytes (the configured override, or
+// statfs).
+func (m *Manager) diskFree() (uint64, error) {
+	if m.cfg.DiskFree != nil {
+		return m.cfg.DiskFree()
+	}
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(m.cfg.DataRoot, &st); err != nil {
+		return 0, err
+	}
+	return uint64(st.Bavail) * uint64(st.Bsize), nil
+}
+
+// checkDisk refuses with the given reason when free space is below the
+// watermark. A failed probe fails open: shedding on a broken probe would
+// turn an observability bug into an outage.
+func (m *Manager) checkDisk(watermark int64, reason string) error {
+	if watermark <= 0 {
+		return nil
+	}
+	free, err := m.diskFree()
+	if err != nil || free >= uint64(watermark) {
+		return nil
+	}
+	switch reason {
+	case ReasonDiskLow:
+		m.met.shedDiskLow.Inc()
+	case ReasonDiskCritical:
+		m.met.shedDiskCritical.Inc()
+	}
+	return &Refusal{Reason: reason, RetryAfter: 10 * time.Second, Msg: fmt.Sprintf(
+		"data root has %d bytes free, below the %d-byte %s watermark; shedding load", free, watermark, reason)}
+}
+
+// takeToken spends one of tenant's rate-limit tokens, refusing with the
+// time until the bucket refills when it is empty. No-op when rate limiting
+// is disabled.
+func (m *Manager) takeToken(tenant string) error {
+	if m.tb == nil {
+		return nil
+	}
+	wait, ok := m.tb.take(tenant)
+	if ok {
+		return nil
+	}
+	m.met.shedRateLimited.Inc()
+	return &Refusal{Reason: ReasonRateLimited, RetryAfter: wait, Msg: fmt.Sprintf(
+		"tenant %q is over its request rate (%.3g/s); retry in %v", tenant, m.tb.rate, wait.Round(time.Millisecond))}
+}
+
+// AdmitIngest is the admission gate for POST /v1/ingest: a draining
+// server, a data root below the critical watermark, or an over-rate tenant
+// refuses the upload before a byte is read. Create applies the same gates
+// with the (higher) low watermark.
+func (m *Manager) AdmitIngest(tenant string) error {
+	if tenant == "" {
+		tenant = "default"
+	}
+	if m.Draining() {
+		m.met.rejDraining.Inc()
+		return &Refusal{Reason: ReasonDraining, Msg: "server is draining; no ingest"}
+	}
+	if err := m.checkDisk(m.cfg.DiskCriticalBytes, ReasonDiskCritical); err != nil {
+		return err
+	}
+	return m.takeToken(tenant)
+}
+
+// tokenBuckets is a per-tenant token bucket map: rate tokens/second refill
+// up to burst, one token per admitted request. now is injectable for
+// deterministic tests.
+type tokenBuckets struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu sync.Mutex
+	b  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBuckets(rate float64, burst int) *tokenBuckets {
+	bf := float64(burst)
+	if bf <= 0 {
+		bf = math.Max(1, math.Ceil(rate))
+	}
+	return &tokenBuckets{rate: rate, burst: bf, now: time.Now, b: map[string]*bucket{}}
+}
+
+// take spends one token from tenant's bucket. When the bucket is empty it
+// reports how long until one token refills.
+func (t *tokenBuckets) take(tenant string) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	bk := t.b[tenant]
+	if bk == nil {
+		bk = &bucket{tokens: t.burst, last: now}
+		t.b[tenant] = bk
+	} else {
+		bk.tokens = math.Min(t.burst, bk.tokens+now.Sub(bk.last).Seconds()*t.rate)
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return 0, true
+	}
+	wait := time.Duration((1 - bk.tokens) / t.rate * float64(time.Second))
+	return wait, false
+}

@@ -1,0 +1,121 @@
+// Circuit breaker around the session exec path (dbgproto commands, ptrace
+// peeks, control-plane travel). A replay that repeatedly trips the
+// progress watchdog (core.ErrStalled) is burning a scarce worker slot for
+// its full deadline every time a client retries; after BreakerThreshold
+// consecutive stalls the breaker opens and sheds those commands instantly
+// with ReasonBreaker (+ Retry-After guidance) instead. After
+// BreakerCooldown it half-opens: exactly one trial command runs, and its
+// outcome closes the breaker or re-opens it for another cooldown.
+package sessions
+
+import (
+	"sync"
+	"time"
+)
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is one session's stall breaker. All methods are nil-safe: a nil
+// breaker (BreakerThreshold < 0) admits everything and records nothing.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	stalls   int       // consecutive stalls while closed
+	openedAt time.Time // when the breaker last opened
+	trial    bool      // a half-open trial command is in flight
+}
+
+// newBreaker builds a session's breaker from the pool config (nil when
+// disabled).
+func (m *Manager) newBreaker() *breaker {
+	if m.cfg.BreakerThreshold < 0 {
+		return nil
+	}
+	return &breaker{threshold: m.cfg.BreakerThreshold, cooldown: m.cfg.BreakerCooldown}
+}
+
+// admit reports whether a command may run. When it may not, the returned
+// duration is the caller's retry guidance (time until the next half-open
+// trial). An open breaker past its cooldown half-opens and admits exactly
+// one trial; record (or cancel) settles it.
+func (b *breaker) admit() (time.Duration, bool) {
+	if b == nil {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return 0, true
+	case breakerOpen:
+		if remain := b.cooldown - time.Since(b.openedAt); remain > 0 {
+			return remain, false
+		}
+		b.state = breakerHalfOpen
+		b.trial = true
+		return 0, true
+	default: // half-open
+		if b.trial {
+			return b.cooldown, false
+		}
+		b.trial = true
+		return 0, true
+	}
+}
+
+// cancel releases an admitted slot whose command never ran (it was refused
+// upstream of the exec path), so a half-open trial is not leaked.
+func (b *breaker) cancel() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.trial = false
+	b.mu.Unlock()
+}
+
+// record settles an executed command: a stall counts toward the trip
+// threshold (and re-opens a half-open breaker immediately); anything else
+// closes the breaker and resets the count. It reports whether this call
+// tripped the breaker open.
+func (b *breaker) record(stalled bool) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trial = false
+	if !stalled {
+		b.state = breakerClosed
+		b.stalls = 0
+		return false
+	}
+	b.stalls++
+	if b.state == breakerHalfOpen || b.stalls >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.stalls = 0
+		return true
+	}
+	return false
+}
+
+// tripped reports whether the breaker is currently shedding (open or
+// mid-trial): the dv_breaker_state contribution.
+func (b *breaker) tripped() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerClosed
+}

@@ -1,0 +1,320 @@
+// The chaos matrix: every injectable storage fault kind crossed with every
+// lifecycle phase that touches the backing store (create/record, cold
+// attach, durable travel re-seed, flight flush). Each cell asserts the
+// containment contract — the process survives, the faulted session
+// quarantines as degraded, siblings' replay digests stay bit-identical to
+// a fault-free run — and that healing the store brings the session back to
+// active through the supervised retry path.
+package sessions
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dejavu/internal/faults/chaosfs"
+	"dejavu/internal/trace"
+)
+
+// chaosConfig wires a chaos plan into the one session named target; every
+// other session sees the pristine filesystem. Retry cadence is shrunk so
+// recovery tests complete in milliseconds.
+func chaosConfig(st *chaosfs.State, target string) Config {
+	return Config{
+		RetryBase: 10 * time.Millisecond,
+		RetryMax:  50 * time.Millisecond,
+		RetrySeed: 42,
+		WrapFS: func(id string, fs trace.FS) trace.FS {
+			if id == target {
+				return st.Wrap(fs)
+			}
+			return fs
+		},
+	}
+}
+
+// waitState polls until the session reaches the wanted state — how a test
+// observes the background repair supervisor — or fails after the deadline.
+func waitState(t *testing.T, m *Manager, id, want string, within time.Duration) *Info {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		info, err := m.Info(id)
+		if err != nil {
+			t.Fatalf("info %s: %v", id, err)
+		}
+		if info.State == want {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s stuck in %q (degraded: %q), want %q", id, info.State, info.Degraded, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosCreateMatrix runs every failing fault kind against the
+// record/create phase: the faulted create quarantines instead of rolling
+// back, the sibling session keeps replaying bit-identically, and healing
+// the store recovers the quarantined session with a salvaged journal.
+func TestChaosCreateMatrix(t *testing.T) {
+	// Fault-free baseline: the digest every sibling must keep producing.
+	base := newTestManager(t, Config{})
+	bInfo, err := base.Create(CreateRequest{Program: "workload:fig1ab", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		fault chaosfs.Fault
+		// fullReplay: the fault struck after the stream was fully written
+		// (only durability/publish failed), so the salvaged journal must
+		// replay bit-identically to the fault-free run. A mid-stream cut
+		// (enospc, eio) salvages a truncated prefix that serves the
+		// debugger but cannot satisfy a full-program replay.
+		fullReplay bool
+	}{
+		// After lets the segment header and a few event chunks land, so the
+		// salvage scanner has a non-empty valid prefix to recover once the
+		// store heals.
+		{"enospc", chaosfs.Fault{Kind: chaosfs.ENOSPC, After: 6}, false},
+		{"eio", chaosfs.Fault{Kind: chaosfs.EIO, After: 6}, false},
+		{"fsync", chaosfs.Fault{Kind: chaosfs.FsyncFail}, true},
+		{"torn-rename", chaosfs.Fault{Kind: chaosfs.TornRename}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := chaosfs.New(tc.fault)
+			st.Disarm()
+			m := newTestManager(t, chaosConfig(st, "s2"))
+			sib, err := m.Create(CreateRequest{Program: "workload:fig1ab", Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sib.Digest != bInfo.Digest {
+				t.Fatalf("sibling digest %s != fault-free baseline %s", sib.Digest, bInfo.Digest)
+			}
+
+			st.Arm()
+			_, err = m.Create(CreateRequest{Program: "workload:fig1ab", Seed: 7})
+			rf := wantRefusal(t, err, ReasonDegraded)
+			if rf.RetryAfter <= 0 {
+				t.Fatalf("degraded refusal carries no retry guidance: %+v", rf)
+			}
+			if st.Injected() == 0 {
+				t.Fatal("no fault injected; the create never touched the chaos FS")
+			}
+
+			// The faulted session is registered and quarantined, not rolled
+			// back; the sibling is untouched.
+			list := m.List()
+			if len(list) != 2 {
+				t.Fatalf("listing holds %d sessions, want 2: %+v", len(list), list)
+			}
+			states := map[string]*Info{}
+			for _, in := range list {
+				states[in.ID] = in
+			}
+			if got := states["s2"]; got == nil || got.State != "degraded" || got.Degraded == "" {
+				t.Fatalf("faulted session = %+v, want degraded with a cause", got)
+			}
+			if got := states["s1"]; got == nil || got.State != "active" {
+				t.Fatalf("sibling = %+v, want active", got)
+			}
+
+			// Sibling replay stays bit-identical to the fault-free run while
+			// its neighbor is quarantined.
+			if _, dig, err := m.VerifyReplay(sib.ID); err != nil || dig != bInfo.Digest {
+				t.Fatalf("sibling replay = %q, %v; want fault-free digest %s", dig, err, bInfo.Digest)
+			}
+
+			// Store-touching commands refuse with the structured reason
+			// while degraded.
+			if _, _, err := m.FlushFlight("s2", "probe"); err == nil {
+				t.Fatal("flush succeeded on a degraded session")
+			} else {
+				wantRefusal(t, err, ReasonDegraded)
+			}
+
+			// Heal the store: the supervisor repairs in place and the
+			// session returns to active with its salvaged journal replaying.
+			st.Disarm()
+			info := waitState(t, m, "s2", "active", 10*time.Second)
+			if info.Recoveries != 1 {
+				t.Fatalf("recoveries = %d, want 1", info.Recoveries)
+			}
+			if tc.fullReplay {
+				if _, dig, err := m.VerifyReplay("s2"); err != nil || dig != bInfo.Digest {
+					t.Fatalf("recovered replay = %q, %v; want fault-free digest %s", dig, err, bInfo.Digest)
+				}
+			} else {
+				// A mid-stream cut recovers as a truncated journal — maybe
+				// even an empty one when the cut beheaded the first chunk.
+				// What matters is that service is back: the session answers
+				// commands again instead of refusing as degraded.
+				if _, err := m.Travel("s2", 0); err != nil {
+					t.Fatalf("recovered truncated session refuses commands: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosSlowCreateSucceeds: injected latency is degraded service, not a
+// fault — creates ride it out and nothing quarantines.
+func TestChaosSlowCreateSucceeds(t *testing.T) {
+	st := chaosfs.New(chaosfs.Fault{Kind: chaosfs.Slow, Latency: time.Millisecond})
+	m := newTestManager(t, chaosConfig(st, "s1"))
+	info, err := m.Create(CreateRequest{Program: "workload:fig1ab", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "active" {
+		t.Fatalf("state = %s, want active", info.State)
+	}
+	if st.Injected() != 0 {
+		t.Fatalf("latency counted as %d injections", st.Injected())
+	}
+}
+
+// TestChaosColdAttachDegradesAndRecovers: a restarted manager adopts its
+// sessions cold; when the first attach hits a dead disk the session
+// quarantines (instead of erroring opaquely forever), then recovers and
+// replays bit-identically once the disk returns.
+func TestChaosColdAttachDegradesAndRecovers(t *testing.T) {
+	root := t.TempDir()
+	m1 := newTestManager(t, Config{DataRoot: root})
+	info, err := m1.Create(CreateRequest{Program: "workload:fig1ab", Seed: 7, RotateEvents: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := chaosfs.New(chaosfs.Fault{Kind: chaosfs.EIO})
+	cfg := chaosConfig(st, info.ID)
+	cfg.DataRoot = root
+	m2 := newTestManager(t, cfg)
+
+	_, err = m2.Travel(info.ID, 1)
+	wantRefusal(t, err, ReasonDegraded)
+	if got, err := m2.Info(info.ID); err != nil || got.State != "degraded" {
+		t.Fatalf("after faulted cold attach: %+v, %v; want degraded", got, err)
+	}
+	// A cold session has no in-memory VM to serve read-only: commands keep
+	// refusing with the same structured reason, never a panic or a hang.
+	_, err = m2.Travel(info.ID, 1)
+	wantRefusal(t, err, ReasonDegraded)
+
+	st.Disarm()
+	waitState(t, m2, info.ID, "active", 10*time.Second)
+	if _, dig, err := m2.VerifyReplay(info.ID); err != nil || dig != info.Digest {
+		t.Fatalf("recovered replay = %q, %v; want original digest %s", dig, err, info.Digest)
+	}
+}
+
+// TestChaosTravelReseedDegradesKeepsMemoryServiceAndRecovers: a durable
+// re-seed (travel behind the in-memory window) is the read path's fault
+// point. The faulted travel quarantines, but the resident VM keeps serving
+// in-memory travel read-only; healing restores durable travel and the
+// replay digest.
+func TestChaosTravelReseedDegradesKeepsMemoryServiceAndRecovers(t *testing.T) {
+	// Fault-free probe run to learn the workload's event count (recording
+	// is deterministic, so the chaos run matches it exactly). RotateEvents
+	// counts logged trace events, so keep it tiny to force real rotations
+	// (and with them the mid-journal durable checkpoints travel seeds from).
+	probe := newTestManager(t, Config{})
+	pInfo, err := probe.Create(CreateRequest{Program: "workload:fig1ab", Seed: 7, RotateEvents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := chaosfs.New(chaosfs.Fault{Kind: chaosfs.EIO})
+	st.Disarm()
+	m := newTestManager(t, chaosConfig(st, "s1"))
+	// Opening at the journal's end seeds from a mid-journal durable
+	// checkpoint, so traveling to event 1 is behind the seed point and must
+	// re-read the journal from the store.
+	info, err := m.Create(CreateRequest{
+		Program: "workload:fig1ab", Seed: 7, RotateEvents: 2, FromEvent: pInfo.Events - 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st.Arm()
+	_, err = m.Travel(info.ID, 1)
+	wantRefusal(t, err, ReasonDegraded)
+
+	// Read-only service survives quarantine: in-memory travel (at or past
+	// the VM's position) still works, and the session stays degraded.
+	if _, err := m.Travel(info.ID, pInfo.Events-1); err != nil {
+		t.Fatalf("in-memory travel on a degraded session: %v", err)
+	}
+	if got, _ := m.Info(info.ID); got.State != "degraded" {
+		t.Fatalf("state after in-memory travel = %s, want still degraded", got.State)
+	}
+
+	st.Disarm()
+	waitState(t, m, info.ID, "active", 10*time.Second)
+	if ti, err := m.Travel(info.ID, 1); err != nil {
+		t.Fatalf("durable travel after recovery: %v", err)
+	} else if ti.Position > pInfo.Events {
+		t.Fatalf("position after recovered travel = %d, want within the journal", ti.Position)
+	}
+	if _, dig, err := m.VerifyReplay(info.ID); err != nil || dig != pInfo.Digest {
+		t.Fatalf("recovered replay = %q, %v; want fault-free digest %s", dig, err, pInfo.Digest)
+	}
+}
+
+// TestChaosFlightFlushDegradesAndRecovers: a manual flight flush that hits
+// a dead disk quarantines the session but keeps the resident window; after
+// healing, the recovered session flushes a journal that opens.
+func TestChaosFlightFlushDegradesAndRecovers(t *testing.T) {
+	st := chaosfs.New(chaosfs.Fault{Kind: chaosfs.EIO})
+	st.Disarm()
+	m := newTestManager(t, chaosConfig(st, "s1"))
+	info, err := m.Create(CreateRequest{Program: "workload:fig1ab", Seed: 7, Flight: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st.Arm()
+	_, _, err = m.FlushFlight(info.ID, "chaos")
+	wantRefusal(t, err, ReasonDegraded)
+	if got, _ := m.Info(info.ID); got.State != "degraded" {
+		t.Fatalf("state after faulted flush = %s, want degraded", got.State)
+	}
+
+	st.Disarm()
+	waitState(t, m, info.ID, "active", 10*time.Second)
+	_, name, err := m.FlushFlight(info.ID, "post-recovery")
+	if err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	fs, err := trace.NewDirFS(filepath.Join(m.cfg.DataRoot, "sessions", info.ID, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.OpenJournal(fs); err != nil {
+		t.Fatalf("recovered flush does not open as a journal: %v", err)
+	}
+}
+
+// TestChaosFlightCreateTornFlushRepairsFromResidentWindow: the create-time
+// flight flush tears (non-atomic rename loses the manifest publish). The
+// window is still resident in memory, so repair re-flushes it — no data
+// loss, and the session comes up active with a replayable journal.
+func TestChaosFlightCreateTornFlushRepairsFromResidentWindow(t *testing.T) {
+	st := chaosfs.New(chaosfs.Fault{Kind: chaosfs.TornRename})
+	m := newTestManager(t, chaosConfig(st, "s1"))
+	_, err := m.Create(CreateRequest{Program: "workload:fig1ab", Seed: 7, Flight: true})
+	wantRefusal(t, err, ReasonDegraded)
+
+	st.Disarm()
+	info := waitState(t, m, "s1", "active", 10*time.Second)
+	if info.Events == 0 {
+		t.Fatalf("repaired flight session reports no events: %+v", info)
+	}
+	if _, dig, err := m.VerifyReplay("s1"); err != nil || dig == "" {
+		t.Fatalf("repaired flight replay = %q, %v; want a digest", dig, err)
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"dejavu/internal/flightrec"
 )
@@ -35,23 +37,28 @@ func (m *Manager) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/sessions/{id}/flush", m.handleFlush)
 }
 
-// errorBody is the structured refusal shape.
+// errorBody is the structured refusal shape. RetryAfterMS mirrors the
+// Retry-After header in machine-readable milliseconds on retryable
+// (429/503) refusals.
 type errorBody struct {
-	Error  string `json:"error"`
-	Reason string `json:"reason,omitempty"`
+	Error        string `json:"error"`
+	Reason       string `json:"reason,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
-// statusFor maps admission reasons to HTTP status codes: capacity-shaped
-// refusals are retryable (429/503), identity failures are terminal
-// (404/410).
+// statusFor maps admission reasons to HTTP status codes: per-client
+// pressure is 429 (back off and retry), whole-server pressure is 503,
+// identity failures are terminal (404/410).
 func statusFor(reason string) int {
 	switch reason {
-	case ReasonCapacity, ReasonTenantCap, ReasonBusy:
+	case ReasonCapacity, ReasonTenantCap, ReasonBusy, ReasonRateLimited:
 		return http.StatusTooManyRequests
-	case ReasonDraining:
+	case ReasonDraining, ReasonDegraded, ReasonDiskLow, ReasonDiskCritical, ReasonBreaker:
 		return http.StatusServiceUnavailable
 	case ReasonKilled:
 		return http.StatusGone
+	case ReasonNoFlight:
+		return http.StatusConflict
 	case ReasonNotFound:
 		return http.StatusNotFound
 	case ReasonQuota:
@@ -61,16 +68,58 @@ func statusFor(reason string) int {
 	}
 }
 
+// defaultRetryAfter is the retry guidance for retryable refusals whose
+// Refusal carried none: transient contention suggests a quick retry,
+// server-level pressure a longer one.
+func defaultRetryAfter(reason string) time.Duration {
+	switch reason {
+	case ReasonCapacity, ReasonTenantCap, ReasonBusy, ReasonRateLimited:
+		return time.Second
+	case ReasonDraining, ReasonDegraded, ReasonDiskLow, ReasonDiskCritical, ReasonBreaker:
+		return 5 * time.Second
+	default:
+		return 0
+	}
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, err error) {
+// WriteRefusal writes err's structured JSON refusal if err is (or wraps) a
+// *Refusal, and reports whether it did. Retryable statuses (429/503) carry
+// a Retry-After header (whole seconds, rounded up, at least 1) and the
+// same guidance as retry_after_ms in the body. Non-refusal errors are left
+// for the caller.
+func WriteRefusal(w http.ResponseWriter, err error) bool {
 	var rf *Refusal
-	if errors.As(err, &rf) {
-		writeJSON(w, statusFor(rf.Reason), errorBody{Error: rf.Msg, Reason: rf.Reason})
+	if !errors.As(err, &rf) {
+		return false
+	}
+	code := statusFor(rf.Reason)
+	body := errorBody{Error: rf.Msg, Reason: rf.Reason}
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		ra := rf.RetryAfter
+		if ra <= 0 {
+			ra = defaultRetryAfter(rf.Reason)
+		}
+		if ra > 0 {
+			body.RetryAfterMS = ra.Milliseconds()
+			secs := int64((ra + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
+	}
+	writeJSON(w, code, body)
+	return true
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	if WriteRefusal(w, err) {
 		return
 	}
 	writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})

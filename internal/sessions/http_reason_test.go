@@ -1,0 +1,147 @@
+// The refusal-to-HTTP contract: every Reason* constant the package
+// defines must map to a deliberate status code (adding a reason without
+// mapping it fails here, not in production as a misleading 400), and
+// retryable refusals must carry machine-readable retry guidance in both
+// the Retry-After header and the retry_after_ms body field.
+package sessions
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEveryReasonMapsToAStatus scans the package source for Reason*
+// constants and refuses any that statusFor would report as a generic 400
+// — the tell of a reason added without a mapping decision.
+func TestEveryReasonMapsToAStatus(t *testing.T) {
+	re := regexp.MustCompile(`Reason\w+\s*=\s*"([^"]+)"`)
+	ents, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(".", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, match := range re.FindAllStringSubmatch(string(src), -1) {
+			reason := match[1]
+			found++
+			if code := statusFor(reason); code == http.StatusBadRequest {
+				t.Errorf("reason %q maps to the generic 400 — add it to statusFor", reason)
+			}
+			// Retryable statuses must come with default retry guidance.
+			switch statusFor(reason) {
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				if defaultRetryAfter(reason) <= 0 {
+					t.Errorf("retryable reason %q has no default Retry-After", reason)
+				}
+			}
+		}
+	}
+	if found < 10 {
+		t.Fatalf("scan found only %d Reason constants; the regexp no longer matches the source", found)
+	}
+}
+
+// TestWriteRefusalRetryAfter pins the wire shape of retryable refusals:
+// status from the reason, Retry-After in whole seconds rounded up (never
+// 0), and the same guidance in retry_after_ms.
+func TestWriteRefusalRetryAfter(t *testing.T) {
+	cases := []struct {
+		name       string
+		refusal    *Refusal
+		wantCode   int
+		wantHeader string
+		wantMS     int64
+	}{
+		{"explicit sub-second rounds up", &Refusal{Reason: ReasonRateLimited, Msg: "slow down", RetryAfter: 200 * time.Millisecond},
+			http.StatusTooManyRequests, "1", 200},
+		{"explicit multi-second ceils", &Refusal{Reason: ReasonBreaker, Msg: "open", RetryAfter: 2500 * time.Millisecond},
+			http.StatusServiceUnavailable, "3", 2500},
+		{"defaulted server pressure", &Refusal{Reason: ReasonDegraded, Msg: "quarantined"},
+			http.StatusServiceUnavailable, "5", 5000},
+		{"defaulted client pressure", &Refusal{Reason: ReasonCapacity, Msg: "full"},
+			http.StatusTooManyRequests, "1", 1000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			if !WriteRefusal(rec, tc.refusal) {
+				t.Fatal("WriteRefusal did not recognize a *Refusal")
+			}
+			if rec.Code != tc.wantCode {
+				t.Fatalf("status = %d, want %d", rec.Code, tc.wantCode)
+			}
+			if got := rec.Header().Get("Retry-After"); got != tc.wantHeader {
+				t.Fatalf("Retry-After = %q, want %q", got, tc.wantHeader)
+			}
+			var body errorBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+				t.Fatal(err)
+			}
+			if body.RetryAfterMS != tc.wantMS || body.Reason != tc.refusal.Reason {
+				t.Fatalf("body = %+v, want retry_after_ms %d reason %s", body, tc.wantMS, tc.refusal.Reason)
+			}
+		})
+	}
+
+	// Terminal refusals carry no retry guidance at all.
+	rec := httptest.NewRecorder()
+	WriteRefusal(rec, &Refusal{Reason: ReasonNotFound, Msg: "gone"})
+	if rec.Code != http.StatusNotFound || rec.Header().Get("Retry-After") != "" {
+		t.Fatalf("terminal refusal = %d with Retry-After %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+	// Non-refusals are left for the caller.
+	if WriteRefusal(httptest.NewRecorder(), os.ErrNotExist) {
+		t.Fatal("WriteRefusal claimed a non-refusal error")
+	}
+}
+
+// TestRefusalWireShapeEndToEnd drives the real control plane to a 429 and
+// checks the regression surface clients depend on: header + body field on
+// an actual admission refusal.
+func TestRefusalWireShapeEndToEnd(t *testing.T) {
+	m := newTestManager(t, Config{MaxSessions: 1})
+	mux := http.NewServeMux()
+	m.Routes(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	post := func() (*http.Response, errorBody) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/sessions", "application/json",
+			strings.NewReader(`{"program":"workload:fig1ab","seed":7}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body errorBody
+		json.NewDecoder(resp.Body).Decode(&body)
+		return resp, body
+	}
+	if resp, body := post(); resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("first create: %d %+v", resp.StatusCode, body)
+	}
+	resp, body := post()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("create at capacity = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	if body.Reason != ReasonCapacity || body.RetryAfterMS <= 0 {
+		t.Fatalf("429 body = %+v, want reason %s with retry_after_ms", body, ReasonCapacity)
+	}
+}

@@ -53,6 +53,7 @@ import (
 
 	"dejavu/internal/bytecode"
 	"dejavu/internal/cli"
+	"dejavu/internal/core"
 	"dejavu/internal/dbgproto"
 	"dejavu/internal/debugger"
 	"dejavu/internal/flightrec"
@@ -67,21 +68,29 @@ import (
 // Refusal reasons. Admission control never hangs and never panics: every
 // refusal carries one of these machine-readable causes.
 const (
-	ReasonCapacity  = "capacity"   // pool session cap reached
-	ReasonTenantCap = "tenant-cap" // per-tenant session cap reached
-	ReasonBusy      = "busy"       // worker budget exhausted past AdmitTimeout
-	ReasonDraining  = "draining"   // server is shutting down
-	ReasonKilled    = "killed"     // session was killed
-	ReasonNotFound  = "not-found"  // no such session
-	ReasonQuota     = "quota"      // per-session journal byte quota exceeded
-	ReasonNoFlight  = "no-flight"  // flush requested on a session without a flight window
+	ReasonCapacity     = "capacity"      // pool session cap reached
+	ReasonTenantCap    = "tenant-cap"    // per-tenant session cap reached
+	ReasonBusy         = "busy"          // worker budget exhausted past AdmitTimeout
+	ReasonDraining     = "draining"      // server is shutting down
+	ReasonKilled       = "killed"        // session was killed
+	ReasonNotFound     = "not-found"     // no such session
+	ReasonQuota        = "quota"         // per-session journal byte quota exceeded
+	ReasonNoFlight     = "no-flight"     // flush requested on a session without a flight window
+	ReasonDegraded     = "degraded"      // session quarantined after a storage fault; repair retrying
+	ReasonDiskLow      = "disk-low"      // data root below the low-watermark: no new recordings
+	ReasonDiskCritical = "disk-critical" // data root below the critical watermark: no ingest
+	ReasonRateLimited  = "rate-limited"  // tenant token bucket empty
+	ReasonBreaker      = "breaker-open"  // exec circuit breaker open after consecutive stalls
 )
 
 // Refusal is a structured admission-control error: Reason is machine
-// readable (one of the Reason* constants), Msg is for humans.
+// readable (one of the Reason* constants), Msg is for humans. RetryAfter,
+// when set, is the caller's retry guidance — the HTTP layer surfaces it as
+// a Retry-After header and retry_after_ms field on 429/503 responses.
 type Refusal struct {
-	Reason string
-	Msg    string
+	Reason     string
+	Msg        string
+	RetryAfter time.Duration
 }
 
 func (e *Refusal) Error() string { return e.Msg }
@@ -100,6 +109,11 @@ const (
 	StateActive
 	// StateKilled: torn down; every operation refuses with ReasonKilled.
 	StateKilled
+	// StateDegraded: quarantined after a storage fault. The in-memory VM
+	// (when present) stays attachable read-only; anything needing the
+	// backing store refuses with ReasonDegraded while a supervised retry
+	// loop attempts repair. Recovery returns the session to StateActive.
+	StateDegraded
 )
 
 func (s State) String() string {
@@ -112,6 +126,8 @@ func (s State) String() string {
 		return "active"
 	case StateKilled:
 		return "killed"
+	case StateDegraded:
+		return "degraded"
 	default:
 		return "invalid"
 	}
@@ -132,6 +148,41 @@ type Config struct {
 	// ReasonQuota — the control plane maps that to 413 — and the partial
 	// journal is rolled back with the failed create.
 	MaxSessionBytes int64
+
+	// WrapFS, when set, wraps every session's journal filesystem — the
+	// -chaos test hook. It sees fresh recordings, adopted journals, flight
+	// flushes, and cold re-opens, so an injected fault can hit any
+	// lifecycle phase. nil means identity.
+	WrapFS func(sessionID string, fs trace.FS) trace.FS
+
+	// Disk watermarks over the data root's free space. Below DiskLowBytes
+	// new recordings are refused (ReasonDiskLow); below DiskCriticalBytes
+	// ingest is refused too (ReasonDiskCritical). 0 disables a watermark.
+	DiskLowBytes      int64
+	DiskCriticalBytes int64
+	// DiskFree overrides the free-space probe (tests); nil uses statfs on
+	// DataRoot. A probe error fails open — shedding on a broken probe
+	// would turn an observability bug into an outage.
+	DiskFree func() (uint64, error)
+
+	// TenantRatePerSec / TenantBurst shape the per-tenant token bucket on
+	// session create and ingest. Rate 0 disables; burst 0 defaults to
+	// max(1, ceil(rate)).
+	TenantRatePerSec float64
+	TenantBurst      int
+
+	// BreakerThreshold trips a session's exec circuit breaker after this
+	// many consecutive stalls (0 = 3, <0 disables); BreakerCooldown is the
+	// open interval before a half-open trial (0 = 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// RetryBase / RetryMax bound the degraded-session repair supervisor's
+	// exponential backoff (0 = 200ms / 5s); RetrySeed seeds its jitter so
+	// tests are deterministic.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	RetrySeed int64
 }
 
 func (c Config) fill() Config {
@@ -150,6 +201,18 @@ func (c Config) fill() Config {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 10_000
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 200 * time.Millisecond
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 5 * time.Second
+	}
 	return c
 }
 
@@ -162,6 +225,12 @@ type poolMetrics struct {
 	flightFlushes, gcRemoved                     *obs.Counter
 	busy                                         *obs.Gauge
 	execLatency, createLatency, attachLatency    *obs.Histogram
+
+	// Fault containment and load shedding.
+	degradedTotal, recovered, retryAttempts        *obs.Counter
+	breakerTrips                                   *obs.Counter
+	shedDiskLow, shedDiskCritical, shedRateLimited *obs.Counter
+	shedBreaker                                    *obs.Counter
 }
 
 // Manager is the session registry: it admits, stores, resolves, and tears
@@ -177,12 +246,25 @@ type Manager struct {
 	// mid-publish.
 	flushing atomic.Int64
 
+	// tb rate-limits session create and ingest per tenant; nil when
+	// disabled.
+	tb *tokenBuckets
+
 	mu       sync.Mutex
 	sessions map[string]*Session
 	byNum    map[uint64]*Session
 	byTenant map[string]int
 	nextNum  uint64
 	draining bool
+}
+
+// wrapFS routes a session's journal filesystem through the configured
+// chaos/test hook (identity when unset).
+func (m *Manager) wrapFS(sessionID string, fs trace.FS) trace.FS {
+	if m.cfg.WrapFS == nil {
+		return fs
+	}
+	return m.cfg.WrapFS(sessionID, fs)
 }
 
 // NewManager opens (creating if needed) a session store under
@@ -222,15 +304,43 @@ func NewManager(cfg Config) (*Manager, error) {
 			execLatency:   reg.Histogram("dv_session_exec_seconds"),
 			createLatency: reg.Histogram("dv_session_create_seconds"),
 			attachLatency: reg.Histogram("dv_session_attach_seconds"),
+
+			degradedTotal:    reg.Counter("dv_sessions_degraded_total"),
+			recovered:        reg.Counter("dv_sessions_recovered_total"),
+			retryAttempts:    reg.Counter("dv_retry_attempts_total"),
+			breakerTrips:     reg.Counter("dv_breaker_trips_total"),
+			shedDiskLow:      reg.Counter(obs.Label("dv_shed_total", "reason", ReasonDiskLow)),
+			shedDiskCritical: reg.Counter(obs.Label("dv_shed_total", "reason", ReasonDiskCritical)),
+			shedRateLimited:  reg.Counter(obs.Label("dv_shed_total", "reason", ReasonRateLimited)),
+			shedBreaker:      reg.Counter(obs.Label("dv_shed_total", "reason", ReasonBreaker)),
 		},
+	}
+	if cfg.TenantRatePerSec > 0 {
+		m.tb = newTokenBuckets(cfg.TenantRatePerSec, cfg.TenantBurst)
 	}
 	reg.GaugeFunc("dv_workers_capacity", func() int64 { return int64(cfg.Workers) })
 	reg.GaugeFunc("dv_sessions_active", func() int64 { return m.countState(StateActive) })
 	reg.GaugeFunc("dv_sessions_cold", func() int64 { return m.countState(StateCold) })
+	reg.GaugeFunc("dv_sessions_degraded", func() int64 { return m.countState(StateDegraded) })
+	reg.GaugeFunc("dv_breaker_state", func() int64 { return m.countOpenBreakers() })
 	if err := m.loadExisting(); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// countOpenBreakers counts sessions whose exec circuit breaker is not
+// closed (open or half-open): the dv_breaker_state gauge.
+func (m *Manager) countOpenBreakers() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, s := range m.sessions {
+		if s.brk.tripped() {
+			n++
+		}
+	}
+	return n
 }
 
 func (m *Manager) countState(want State) int64 {
@@ -283,7 +393,11 @@ func (m *Manager) loadExisting() error {
 		if err != nil {
 			continue
 		}
-		s := &Session{id: mt.ID, num: mt.Num, tenant: mt.Tenant, dir: sdir, fs: fs, mgr: m, meta: mt}
+		s := &Session{
+			id: mt.ID, num: mt.Num, tenant: mt.Tenant, dir: sdir,
+			fs: m.wrapFS(mt.ID, fs), mgr: m, meta: mt,
+			stop: make(chan struct{}), brk: m.newBreaker(), metaWritten: true,
+		}
 		s.state.Store(int32(StateCold))
 		m.sessions[s.id] = s
 		m.byNum[s.num] = s
@@ -344,6 +458,11 @@ type meta struct {
 	Origin       uint64 `json:"origin,omitempty"`
 }
 
+// encodeMeta renders meta.json's durable bytes.
+func encodeMeta(mt *meta) ([]byte, error) {
+	return json.MarshalIndent(mt, "", "  ")
+}
+
 // Session is one tenant-owned record/replay/travel session. All VM access
 // goes through Exec (command lock + worker budget); registry bookkeeping
 // lives in the Manager.
@@ -352,15 +471,29 @@ type Session struct {
 	num    uint64
 	tenant string
 	dir    string
-	fs     *trace.DirFS
+	fs     trace.FS // journal storage, routed through Config.WrapFS
 	mgr    *Manager
 	meta   meta
 
 	state atomic.Int32 // State; written under mu, readable anywhere
 
-	mu   sync.Mutex // command lock: serializes open/exec/kill/drain
-	prog *bytecode.Program
-	js   *debugger.JournalSession
+	// brk is the exec-path circuit breaker (nil when disabled); stop is
+	// closed by Kill to end the repair supervisor.
+	brk  *breaker
+	stop chan struct{}
+
+	mu          sync.Mutex // command lock: serializes open/exec/kill/drain
+	prog        *bytecode.Program
+	js          *debugger.JournalSession
+	retrying    bool // a repair supervisor goroutine is live; guarded by mu
+	metaWritten bool // meta.json is durable; guarded by mu
+
+	// degradedErr is the storage fault that quarantined the session; its
+	// own mutex so List/Info can read it without the command lock.
+	degradedMu  sync.Mutex
+	degradedErr error
+
+	recoveries atomic.Uint64 // degraded→active transitions
 
 	// ring is the resident flight recorder of a flight session, frozen at
 	// the end of its recording; FlushFlight re-flushes it on demand. nil
@@ -443,6 +576,10 @@ type Info struct {
 	Travels      uint64 `json:"travels"`
 	Reseeds      uint64 `json:"reseeds,omitempty"`
 	Created      string `json:"created,omitempty"`
+	// Degraded carries the quarantining storage fault while the session is
+	// degraded; Recoveries counts degraded→active repairs over its life.
+	Degraded   string `json:"degraded,omitempty"`
+	Recoveries uint64 `json:"recoveries,omitempty"`
 }
 
 // Create admits and builds a session: a fresh seeded recording rotated
@@ -455,6 +592,14 @@ func (m *Manager) Create(req CreateRequest) (*Info, error) {
 	}
 	if req.Program == "" {
 		return nil, fmt.Errorf("sessions: program is required")
+	}
+	// Load shedding before the registry lock: a full disk refuses new
+	// recordings at the low watermark, and each tenant spends a token.
+	if err := m.checkDisk(m.cfg.DiskLowBytes, ReasonDiskLow); err != nil {
+		return nil, err
+	}
+	if err := m.takeToken(req.Tenant); err != nil {
+		return nil, err
 	}
 
 	// Admission: decide and reserve under the registry lock.
@@ -479,7 +624,10 @@ func (m *Manager) Create(req CreateRequest) (*Info, error) {
 	num := m.nextNum
 	id := "s" + strconv.FormatUint(num, 10)
 	sdir := filepath.Join(m.cfg.DataRoot, "sessions", id)
-	s := &Session{id: id, num: num, tenant: req.Tenant, dir: sdir, mgr: m}
+	s := &Session{
+		id: id, num: num, tenant: req.Tenant, dir: sdir, mgr: m,
+		stop: make(chan struct{}), brk: m.newBreaker(),
+	}
 	s.state.Store(int32(StateCreating))
 	m.sessions[id] = s
 	m.byNum[num] = s
@@ -489,12 +637,24 @@ func (m *Manager) Create(req CreateRequest) (*Info, error) {
 
 	info, err := m.build(s, req)
 	if err != nil {
+		var sf *storageFault
+		if errors.As(err, &sf) {
+			// The backing store failed mid-build, not the request: keep the
+			// registration and quarantine instead of rolling back, so the
+			// supervisor can repair it in place once the store heals.
+			s.mu.Lock()
+			s.degradeLocked(sf.err)
+			s.mu.Unlock()
+			m.met.created.Inc()
+			return nil, s.degradedRefusal()
+		}
 		// Roll the reservation back; the directory is removed so a failed
 		// create doesn't resurrect as a cold session on restart.
 		s.mu.Lock()
 		s.state.Store(int32(StateKilled))
 		s.js = nil
 		s.mu.Unlock()
+		close(s.stop)
 		m.mu.Lock()
 		delete(m.sessions, id)
 		delete(m.byNum, num)
@@ -529,27 +689,35 @@ func (m *Manager) build(s *Session, req CreateRequest) (*Info, error) {
 		return nil, fmt.Errorf("sessions: %s: flight is mutually exclusive with source and rotate_events", s.id)
 	}
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
+		return nil, asStorageFault(fmt.Errorf("sessions: %s: %w", s.id, err))
 	}
 	// Resolve the program before recording so the journal records the
 	// build that will replay it — the certified optimized program, or the
-	// pristine input when the pipeline was refused.
+	// pristine input when the pipeline was refused. Program resolution
+	// failures never quarantine: a bad spec is the caller's error, not the
+	// store's.
 	if s.prog, s.meta.OptVerdict, err = s.resolveProgram(); err != nil {
 		return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
 	}
 	switch {
 	case req.Source != "":
-		if s.fs, err = trace.NewDirFS(req.Source); err != nil {
+		// Adoption failures (a missing or garbage source directory) are
+		// user errors and roll back; they never enter quarantine.
+		fs, err := trace.NewDirFS(req.Source)
+		if err != nil {
 			return nil, fmt.Errorf("sessions: %s: adopt %s: %w", s.id, req.Source, err)
 		}
+		s.fs = m.wrapFS(s.id, fs)
 	case req.Flight:
 		if err := s.recordFlightLocked(req); err != nil {
 			return nil, err
 		}
 	default:
-		if s.fs, err = m.rootFS.Sub(filepath.Join("sessions", s.id, "journal")); err != nil {
-			return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
+		fs, err := m.rootFS.Sub(filepath.Join("sessions", s.id, "journal"))
+		if err != nil {
+			return nil, asStorageFault(fmt.Errorf("sessions: %s: %w", s.id, err))
 		}
+		s.fs = m.wrapFS(s.id, fs)
 		rec, err := cli.RecordJournalProgramOptions(s.prog, s.fs, replaycheck.Options{
 			Seed: req.Seed, RotateEvents: req.RotateEvents,
 			MaxJournalBytes: m.cfg.MaxSessionBytes,
@@ -561,21 +729,23 @@ func (m *Manager) build(s *Session, req CreateRequest) (*Info, error) {
 					"session %s: recording exceeded the per-session journal quota (%d bytes); shrink the workload or raise -max-session-bytes",
 					s.id, m.cfg.MaxSessionBytes)}
 			}
-			return nil, fmt.Errorf("sessions: %s: %w", s.id, err)
+			return nil, asStorageFault(fmt.Errorf("sessions: %s: %w", s.id, err))
 		}
 		s.meta.Events = rec.Events
 		s.meta.Switches = rec.Switches
 		s.meta.Digest = fmt.Sprintf("%016x", rec.Digest)
 	}
 	if s.js, err = s.openLocked(req.FromEvent); err != nil {
-		return nil, err
+		if req.Source != "" {
+			return nil, err
+		}
+		return nil, asStorageFault(err)
 	}
 	if req.Source != "" {
 		s.meta.Events = uint64(s.js.Journal().Events())
 	}
-	blob, _ := json.MarshalIndent(&s.meta, "", "  ")
-	if err := os.WriteFile(filepath.Join(s.dir, "meta.json"), blob, 0o644); err != nil {
-		return nil, fmt.Errorf("sessions: %s: meta: %w", s.id, err)
+	if err := s.writeMetaLocked(); err != nil {
+		return nil, err
 	}
 	s.state.Store(int32(StateActive))
 	m.met.createLatency.ObserveSince(start)
@@ -610,21 +780,57 @@ func (s *Session) recordFlightLocked(req CreateRequest) error {
 		}
 		reason = "exit"
 	}
-	jdir := filepath.Join(s.dir, "journal")
-	info, err := ring.Flush(jdir, reason)
-	if err != nil {
-		return fmt.Errorf("sessions: %s: flight flush: %w", s.id, err)
-	}
-	if s.fs, err = trace.NewDirFS(jdir); err != nil {
-		return fmt.Errorf("sessions: %s: %w", s.id, err)
-	}
+	// Keep the ring and run stats before attempting the flush: if the
+	// flush hits a storage fault the window stays resident, and the repair
+	// supervisor re-flushes it from here once the store heals.
 	s.ring = ring
 	s.meta.FlightReason = reason
-	s.meta.Origin = info.Origin
 	s.meta.Events = rec.Events
 	s.meta.Switches = rec.Switches
 	s.meta.Digest = fmt.Sprintf("%016x", rec.Digest)
+	jdir := filepath.Join(s.dir, "journal")
+	info, err := s.flushRingLocked(jdir, reason)
+	if err != nil {
+		return asStorageFault(fmt.Errorf("sessions: %s: flight flush: %w", s.id, err))
+	}
+	fs, err := trace.NewDirFS(jdir)
+	if err != nil {
+		return asStorageFault(fmt.Errorf("sessions: %s: %w", s.id, err))
+	}
+	s.fs = s.mgr.wrapFS(s.id, fs)
+	s.meta.Origin = info.Origin
 	return nil
+}
+
+// flushRingLocked publishes the resident flight window into dir via a
+// staged temp directory and atomic rename, routing the file writes through
+// the session's (possibly chaos-wrapped) filesystem hook so injected
+// storage faults hit flush I/O like any other journal I/O. Caller holds
+// s.mu and has s.ring set.
+func (s *Session) flushRingLocked(dir, reason string) (*flightrec.FlushInfo, error) {
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return nil, err
+	}
+	tmp, err := os.MkdirTemp(parent, ".flight-")
+	if err != nil {
+		return nil, err
+	}
+	dfs, err := trace.NewDirFS(tmp)
+	if err != nil {
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+	info, err := s.ring.FlushTo(s.mgr.wrapFS(s.id, dfs), reason)
+	if err != nil {
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+	return info, nil
 }
 
 // resolveProgram resolves the session's program spec, running the
@@ -669,6 +875,13 @@ func (s *Session) ensureOpenLocked() error {
 		return &Refusal{Reason: ReasonKilled, Msg: fmt.Sprintf("session %s is killed", s.id)}
 	case StateCreating:
 		return &Refusal{Reason: ReasonBusy, Msg: fmt.Sprintf("session %s is still being created; retry", s.id)}
+	case StateDegraded:
+		if s.js != nil {
+			// The in-memory VM survived the storage fault: serve attaches,
+			// peeks, and in-memory travel read-only while repair retries.
+			return nil
+		}
+		return s.degradedRefusal()
 	}
 	start := time.Now()
 	var err error
@@ -681,6 +894,12 @@ func (s *Session) ensureOpenLocked() error {
 		}
 	}
 	if s.js, err = s.openLocked(0); err != nil {
+		if isStorageErr(err) {
+			// The cold journal is on a failing store: quarantine and let
+			// the supervisor retry instead of failing every attach anew.
+			s.degradeLocked(err)
+			return s.degradedRefusal()
+		}
 		return err
 	}
 	s.state.Store(int32(StateActive))
@@ -693,27 +912,45 @@ func (s *Session) ensureOpenLocked() error {
 // for all session work: dbgproto commands, ptrace peeks, control-plane
 // travel. Implements dbgproto.SessionHandle's execution contract.
 func (s *Session) Exec(f func(cur func() *debugger.Debugger, travel func(uint64) error) error) error {
+	if ra, ok := s.brk.admit(); !ok {
+		s.mgr.met.shedBreaker.Inc()
+		return &Refusal{Reason: ReasonBreaker, RetryAfter: ra, Msg: fmt.Sprintf(
+			"session %s: circuit breaker open after repeated replay stalls; retry in %v", s.id, ra.Round(time.Millisecond))}
+	}
 	release, err := s.mgr.acquireWorker()
 	if err != nil {
+		s.brk.cancel()
 		return err
 	}
 	defer release()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.ensureOpenLocked(); err != nil {
+		s.brk.cancel()
 		return err
 	}
 	start := time.Now()
 	defer s.mgr.met.execLatency.ObserveSince(start)
-	return f(func() *debugger.Debugger { return s.js.D }, s.travelLocked)
+	execErr := f(func() *debugger.Debugger { return s.js.D }, s.travelLocked)
+	if s.brk.record(errors.Is(execErr, core.ErrStalled)) {
+		s.mgr.met.breakerTrips.Inc()
+	}
+	return execErr
 }
 
 // travelLocked routes travel through the journal session (durable
-// re-seeds included) and counts it. Caller holds s.mu via Exec.
+// re-seeds included) and counts it. A storage fault during a durable
+// re-seed quarantines the session; in-memory travel keeps working while
+// it is degraded. Caller holds s.mu via Exec.
 func (s *Session) travelLocked(event uint64) error {
 	s.travels.Add(1)
 	s.mgr.met.travels.Inc()
-	return s.js.TravelTo(event)
+	err := s.js.TravelTo(event)
+	if err != nil && isStorageErr(err) {
+		s.degradeLocked(err)
+		return s.degradedRefusal()
+	}
+	return err
 }
 
 // infoLocked snapshots the session's state. Caller holds s.mu.
@@ -725,12 +962,19 @@ func (s *Session) infoLocked() *Info {
 		Optimize: s.meta.Optimize, OptVerdict: s.meta.OptVerdict,
 		Flight: s.meta.Flight, FlightReason: s.meta.FlightReason, Origin: s.meta.Origin,
 		Attaches: s.attaches.Load(), Travels: s.travels.Load(),
-		Created: s.meta.Created,
+		Created: s.meta.Created, Recoveries: s.recoveries.Load(),
 	}
 	if s.js != nil && s.State() == StateActive {
 		in.Position = s.js.D.VM.Events()
 		in.Tainted = s.js.D.Tainted()
 		in.Reseeds = s.js.Reseeds()
+	}
+	if s.State() == StateDegraded {
+		s.degradedMu.Lock()
+		if s.degradedErr != nil {
+			in.Degraded = s.degradedErr.Error()
+		}
+		s.degradedMu.Unlock()
 	}
 	return in
 }
@@ -766,15 +1010,23 @@ func (m *Manager) List() []*Info {
 	defer m.mu.Unlock()
 	out := make([]*Info, 0, len(m.sessions))
 	for _, s := range m.sessions {
-		out = append(out, &Info{
+		in := &Info{
 			ID: s.id, Num: s.num, Tenant: s.tenant, State: s.State().String(),
 			Program: s.meta.Program, Seed: s.meta.Seed,
 			Events: s.meta.Events, Switches: s.meta.Switches, Digest: s.meta.Digest,
 			Optimize: s.meta.Optimize, OptVerdict: s.meta.OptVerdict,
 			Flight: s.meta.Flight, FlightReason: s.meta.FlightReason, Origin: s.meta.Origin,
 			Attaches: s.attaches.Load(), Travels: s.travels.Load(),
-			Created: s.meta.Created,
-		})
+			Created: s.meta.Created, Recoveries: s.recoveries.Load(),
+		}
+		if s.State() == StateDegraded {
+			s.degradedMu.Lock()
+			if s.degradedErr != nil {
+				in.Degraded = s.degradedErr.Error()
+			}
+			s.degradedMu.Unlock()
+		}
+		out = append(out, in)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Num < out[j].Num })
 	return out
@@ -818,6 +1070,9 @@ func (m *Manager) Kill(id string, purge bool) error {
 	s.js = nil
 	s.prog = nil
 	s.ring = nil
+	if !already && s.stop != nil {
+		close(s.stop) // ends the repair supervisor, if one is running
+	}
 	s.mu.Unlock()
 	if already {
 		return &Refusal{Reason: ReasonKilled, Msg: fmt.Sprintf("session %s already killed", id)}
@@ -857,6 +1112,11 @@ func (m *Manager) FlushFlight(id, reason string) (*flightrec.FlushInfo, string, 
 	var info *flightrec.FlushInfo
 	var name string
 	err = s.Exec(func(func() *debugger.Debugger, func(uint64) error) error {
+		if s.State() == StateDegraded {
+			// Flush needs the backing store the session just lost: refuse
+			// while quarantined (the resident window is not discarded).
+			return s.degradedRefusal()
+		}
 		if s.ring == nil {
 			return &Refusal{Reason: ReasonNoFlight, Msg: fmt.Sprintf(
 				"session %s has no resident flight window (create with \"flight\": true in this server's lifetime)", s.id)}
@@ -865,8 +1125,12 @@ func (m *Manager) FlushFlight(id, reason string) (*flightrec.FlushInfo, string, 
 		defer m.flushing.Add(-1)
 		s.flushSeq++
 		name = fmt.Sprintf("flush-%03d", s.flushSeq)
-		fi, ferr := s.ring.Flush(filepath.Join(s.dir, name), reason)
+		fi, ferr := s.flushRingLocked(filepath.Join(s.dir, name), reason)
 		if ferr != nil {
+			if isStorageErr(ferr) {
+				s.degradeLocked(ferr)
+				return s.degradedRefusal()
+			}
 			return fmt.Errorf("sessions: %s: flight flush: %w", s.id, ferr)
 		}
 		info = fi
@@ -988,6 +1252,12 @@ func (m *Manager) VerifyReplay(id string) (*Info, string, error) {
 	s.mu.Unlock()
 	res, _, err := replaycheck.ReplayJournal(prog, fs, replaycheck.Options{})
 	if err != nil {
+		if isStorageErr(err) {
+			s.mu.Lock()
+			s.degradeLocked(err)
+			s.mu.Unlock()
+			return info, "", s.degradedRefusal()
+		}
 		return info, "", fmt.Errorf("sessions: %s: verify replay: %w", id, err)
 	}
 	if res.RunErr != nil {
@@ -1018,6 +1288,11 @@ func (m *Manager) Drain(exitSave string) []string {
 				saved = append(saved, s.id)
 			} else {
 				fmt.Fprintf(os.Stderr, "sessions: drain %s: %v\n", s.id, err)
+				if isStorageErr(err) {
+					// Record the quarantine even at shutdown so the state
+					// is honest in the final drain report and metrics.
+					s.degradeLocked(err)
+				}
 			}
 		}
 		s.mu.Unlock()

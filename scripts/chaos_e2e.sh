@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Chaos e2e: boot dvserve with an injected ENOSPC window, hit it with a
+# session create that dies mid-recording, and assert the containment
+# contract from the outside: the server answers 503 with Retry-After
+# guidance (never dies), /healthz stays 200, /metrics shows the degraded
+# session, the supervised repair brings it back to active on its own, and
+# a session created after the window heals records and verifies cleanly.
+set -euo pipefail
+
+HTTP=127.0.0.1:17457
+ROOT=$(mktemp -d)
+LOG=$ROOT/dvserve.log
+trap 'kill $SRV 2>/dev/null || true; rm -rf "$ROOT"' EXIT
+
+go build -o "$ROOT/dvserve" ./cmd/dvserve
+
+# ENOSPC for ops 6..9 of the shared "disk": the first recording's stream
+# writes hit it mid-segment; reads never fail (a full disk still reads), so
+# the first repair attempt after the refusal salvages and recovers. The
+# retry base is slow enough that the degraded state is observable on
+# /metrics before the supervisor heals it.
+"$ROOT/dvserve" -data-root "$ROOT/data" -http $HTTP \
+  -listen 127.0.0.1:17455 -peek 127.0.0.1:17456 \
+  -chaos 'enospc:after=6,count=4' -retry-base 300ms -retry-max 1s \
+  2>"$LOG" &
+SRV=$!
+
+for i in $(seq 1 50); do
+  curl -sf http://$HTTP/healthz >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+echo "== create s1: the recording must die on the full disk with a structured 503"
+CODE=$(curl -s -o "$ROOT/create1.json" -w '%{http_code}' \
+  -D "$ROOT/create1.hdr" -X POST http://$HTTP/v1/sessions \
+  -d '{"program":"workload:fig1ab","seed":7}')
+cat "$ROOT/create1.json"
+test "$CODE" = 503
+grep -q '"reason":"degraded"' "$ROOT/create1.json"
+grep -q '"retry_after_ms"' "$ROOT/create1.json"
+grep -qi '^retry-after:' "$ROOT/create1.hdr"
+
+echo "== the process survived: /healthz still 200 with a live pool"
+curl -sf http://$HTTP/healthz | tee "$ROOT/healthz.json"
+grep -q '"alive":true' "$ROOT/healthz.json"
+
+echo "== /metrics shows the quarantine"
+curl -sf http://$HTTP/metrics >"$ROOT/metrics1.txt"
+grep -q '^dv_sessions_degraded 1' "$ROOT/metrics1.txt"
+grep -q '^dv_sessions_degraded_total 1' "$ROOT/metrics1.txt"
+
+echo "== the supervisor repairs s1 in place (reads work on a full disk)"
+for i in $(seq 1 100); do
+  STATE=$(curl -sf http://$HTTP/v1/sessions/s1 | tee "$ROOT/s1.json")
+  echo "$STATE" | grep -q '"state":"active"' && break
+  sleep 0.3
+done
+grep -q '"state":"active"' "$ROOT/s1.json"
+grep -q '"recoveries":1' "$ROOT/s1.json"
+
+curl -sf http://$HTTP/metrics >"$ROOT/metrics2.txt"
+grep -q '^dv_sessions_degraded 0' "$ROOT/metrics2.txt"
+grep -q '^dv_sessions_recovered_total 1' "$ROOT/metrics2.txt"
+awk '$1 == "dv_retry_attempts_total" { exit !($2 >= 1) }' "$ROOT/metrics2.txt"
+
+echo "== the fault window is spent: a new session records and verifies clean"
+curl -sf -X POST http://$HTTP/v1/sessions \
+  -d '{"program":"workload:fig1ab","seed":7}' | tee "$ROOT/create2.json"
+grep -q '"id":"s2"' "$ROOT/create2.json"
+grep -q '"state":"active"' "$ROOT/create2.json"
+curl -sf -X POST http://$HTTP/v1/sessions/s2/verify | tee "$ROOT/verify.json"
+grep -q '"match":true' "$ROOT/verify.json"
+
+echo "chaos e2e: OK"
