@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"sort"
@@ -1670,5 +1671,145 @@ func runE21(r *report) error {
 	}
 	r.note("wrote BENCH_E21.json; %d quarantines all healed by the supervisor and every", chaos.Recoveries)
 	r.note("journal still replays bit-identical — faults cost latency and sheds, never fidelity.")
+	return nil
+}
+
+// --- E22 ---
+
+// runE22 quantifies the token-threaded interpreter fast path (ISSUE 10):
+// record-mode Mev/s for the legacy switch loop vs threaded dispatch
+// across the bench matrix, with the cross-dispatch identity assertions
+// inline — both dispatchers must emit bit-identical trace bytes, produce
+// the same output, and replay the same trace to the same digest. Results
+// land in BENCH_E22.json so later sessions can track the trajectory.
+func runE22(r *report) error {
+	type row struct {
+		Workload     string  `json:"workload"`
+		Events       uint64  `json:"events"`
+		MevsLegacy   float64 `json:"mevs_legacy"`
+		MevsFast     float64 `json:"mevs_fast"`
+		Speedup      float64 `json:"speedup"`
+		TraceBytes   int     `json:"trace_bytes"`
+		ReplayDigest string  `json:"replay_digest"`
+	}
+	type doc struct {
+		Workloads      []row   `json:"workloads"`
+		GeomeanSpeedup float64 `json:"geomean_speedup"`
+		DigestsMatch   bool    `json:"digests_match"`
+	}
+	const reps = 5
+	legacy := func(c *vm.Config) { c.Dispatch = vm.DispatchLegacy }
+	mevs := func(ev uint64, d time.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return float64(ev) / 1e6 / d.Seconds()
+	}
+	var out doc
+	out.DigestsMatch = true
+	rows := [][]string{}
+	logSum := 0.0
+	for _, name := range sortedKeys(benchWorkloads) {
+		prog := benchWorkloads[name]
+		o := replaycheck.Options{Seed: 21, HeapBytes: 1 << 20}
+		once := func(tweak func(*vm.Config)) (*replaycheck.Result, time.Duration, error) {
+			ro := o
+			ro.TweakVM = tweak
+			rr, err := replaycheck.Record(prog(), ro)
+			if err != nil || rr.RunErr != nil {
+				return nil, 0, fmt.Errorf("record: %v %v", err, rr.RunErr)
+			}
+			// RunTime covers VM.Run alone: heap-image allocation and
+			// program assembly are identical fixed costs on both sides
+			// and would only dilute the dispatcher ratio.
+			return rr, rr.RunTime, nil
+		}
+		// Timed reps run without the digest observer: the per-event
+		// observer callback is harness instrumentation, and its fixed cost
+		// on both sides dilutes the dispatcher ratio being measured. Reps
+		// alternate between the dispatchers so ambient machine noise lands
+		// on both sides equally; best-of-N per side.
+		legacyBare := func(c *vm.Config) { c.Dispatch = vm.DispatchLegacy; c.Observer = nil }
+		bare := func(c *vm.Config) { c.Observer = nil }
+		var lt, ft time.Duration
+		for i := 0; i < reps; i++ {
+			_, d, err := once(legacyBare)
+			if err != nil {
+				return fmt.Errorf("%s legacy: %v", name, err)
+			}
+			if lt == 0 || d < lt {
+				lt = d
+			}
+			_, d, err = once(bare)
+			if err != nil {
+				return fmt.Errorf("%s fast: %v", name, err)
+			}
+			if ft == 0 || d < ft {
+				ft = d
+			}
+		}
+		// Identity runs keep the observer: they feed the cross-dispatch
+		// trace/output/digest assertions and are not timed.
+		lres, _, err := once(legacy)
+		if err != nil {
+			return fmt.Errorf("%s legacy: %v", name, err)
+		}
+		fres, _, err := once(nil)
+		if err != nil {
+			return fmt.Errorf("%s fast: %v", name, err)
+		}
+		// Identity assertions: same events, same trace bytes, same
+		// output, and the shared trace must replay to the same digest
+		// under both dispatchers.
+		if lres.Events != fres.Events {
+			return fmt.Errorf("%s: event counts diverged (%d vs %d)", name, lres.Events, fres.Events)
+		}
+		if !bytes.Equal(lres.Trace, fres.Trace) {
+			return fmt.Errorf("%s: trace bytes diverged between dispatchers", name)
+		}
+		if !bytes.Equal(lres.Output, fres.Output) {
+			return fmt.Errorf("%s: output diverged between dispatchers", name)
+		}
+		ro := o
+		ro.TweakVM = legacy
+		lrep, err := replaycheck.Replay(prog(), fres.Trace, ro)
+		if err != nil || lrep.RunErr != nil {
+			return fmt.Errorf("%s legacy replay: %v %v", name, err, lrep.RunErr)
+		}
+		frep, err := replaycheck.Replay(prog(), fres.Trace, o)
+		if err != nil || frep.RunErr != nil {
+			return fmt.Errorf("%s fast replay: %v %v", name, err, frep.RunErr)
+		}
+		if lrep.Digest.Sum() != frep.Digest.Sum() || lrep.Digest.Sum() != lres.Digest.Sum() {
+			return fmt.Errorf("%s: replay digests diverged between dispatchers", name)
+		}
+		speedup := float64(lt) / float64(ft)
+		logSum += math.Log(speedup)
+		rw := row{
+			Workload:     name,
+			Events:       fres.Events,
+			MevsLegacy:   mevs(lres.Events, lt),
+			MevsFast:     mevs(fres.Events, ft),
+			Speedup:      speedup,
+			TraceBytes:   len(fres.Trace),
+			ReplayDigest: fmt.Sprintf("%016x", frep.Digest.Sum()),
+		}
+		out.Workloads = append(out.Workloads, rw)
+		rows = append(rows, []string{name,
+			fmt.Sprintf("%d", rw.Events),
+			fmt.Sprintf("%.1f", rw.MevsLegacy),
+			fmt.Sprintf("%.1f", rw.MevsFast),
+			fmt.Sprintf("%.2fx", rw.Speedup),
+			"identical"})
+	}
+	out.GeomeanSpeedup = math.Exp(logSum / float64(len(out.Workloads)))
+	r.table([]string{"workload", "events", "Mev/s legacy", "Mev/s threaded", "speedup", "trace+digest"}, rows)
+	blob, _ := json.MarshalIndent(out, "", "  ")
+	if err := os.WriteFile("BENCH_E22.json", append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write BENCH_E22.json: %v", err)
+	}
+	r.note("wrote BENCH_E22.json; geomean speedup %.2fx. The threaded dispatcher emits", out.GeomeanSpeedup)
+	r.note("bit-identical trace bytes and replays to the same digest as the legacy switch,")
+	r.note("so recordings made by either loop are interchangeable.")
 	return nil
 }

@@ -63,12 +63,20 @@ type NativeSig func(name string) (pops, pushes int, ok bool)
 // VerifyConfig parameterizes verification.
 type VerifyConfig struct {
 	Natives NativeSig
+	// RecordKinds captures the fixpoint operand-stack kinds at every
+	// reachable pc into MethodFacts.InKinds. Optimizer passes use them
+	// to prove an operation cannot trap on operand kinds at runtime.
+	RecordKinds bool
 }
 
 // MethodFacts is what verification proves about one method.
 type MethodFacts struct {
 	MaxStack     int  // maximum operand depth beyond locals
 	ReturnsValue bool // true if the method returns via retv
+	// InKinds[pc] is the operand-stack kind vector (bottom first) on
+	// entry to pc at the dataflow fixpoint; nil for unreachable pcs.
+	// Only populated with VerifyConfig.RecordKinds.
+	InKinds [][]VKind
 }
 
 // VerifyError locates a verification failure.
@@ -512,5 +520,14 @@ func verifyMethod(p *Program, m *Method, cfg VerifyConfig, returns []int, byName
 	}
 	// Any instruction never reached is dead code — legal, but report it as
 	// a fact? Keep silent: the assembler can emit unreachable labels.
-	return &MethodFacts{MaxStack: maxStack}, nil
+	f := &MethodFacts{MaxStack: maxStack}
+	if cfg.RecordKinds {
+		f.InKinds = make([][]VKind, len(m.Code))
+		for pc, st := range inStates {
+			if st != nil {
+				f.InKinds[pc] = append([]VKind(nil), st.stack...)
+			}
+		}
+	}
+	return f, nil
 }

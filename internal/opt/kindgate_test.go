@@ -1,0 +1,171 @@
+package opt
+
+// Pinned regressions for the kind gates in popSink and branchSimplify.
+// Arith, Neg/Not, ordered compares, and Jz/Jnz all pop through popPrim
+// and trap on a reference; CmpEq/CmpNe trap on a mixed ref/prim pair.
+// The verifier types argument slots as VUnknown (callers may pass either
+// kind), so a sink that deletes one of these instructions over VUnknown
+// operands elides a trap a ref-passing caller would have hit — the
+// optimized program diverges from the input exactly where the certifier
+// cannot see it. The gates must keep the instruction unless the operand
+// kinds are proven.
+
+import (
+	"strings"
+	"testing"
+
+	"dejavu/internal/bytecode"
+	"dejavu/internal/vm"
+)
+
+// runProg executes p to completion on a fresh VM, returning output and
+// the run error (nil for clean termination).
+func runProg(t *testing.T, p *bytecode.Program) (string, error) {
+	t.Helper()
+	m, err := vm.New(p, vm.Config{})
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	runErr := m.Run()
+	return string(m.Output()), runErr
+}
+
+// refArgProg builds a program whose entry passes a fresh object to a
+// one-argument method with the given body. The body sees a reference in
+// slot 0 that the verifier can only type VUnknown.
+func refArgProg(t *testing.T, body func(mb *bytecode.MethodBuilder)) *bytecode.Program {
+	t.Helper()
+	b := bytecode.NewBuilder("refarg")
+	cb := b.Class("Main")
+	use := cb.Method("use", 1, 1)
+	body(use)
+	main := cb.Method("main", 0, 0)
+	main.Emit(bytecode.New, int32(cb.ID())).CallM(use).Emit(bytecode.Halt)
+	b.Entry(main)
+	return b.MustProgram()
+}
+
+// opCount counts instructions with opcode op across all methods.
+func opCount(p *bytecode.Program, op bytecode.Opcode) int {
+	n := 0
+	for _, m := range p.Methods {
+		for _, in := range m.Code {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// assertTrapPreserved optimizes p and asserts the input and the
+// certified output trap with the same message.
+func assertTrapPreserved(t *testing.T, p *bytecode.Program, wantTrap string) *Result {
+	t.Helper()
+	res := optimize(t, p)
+	if !res.Certified {
+		t.Fatalf("refused:\n%s", res.Report.Text())
+	}
+	_, rawErr := runProg(t, p)
+	if rawErr == nil || !strings.Contains(rawErr.Error(), wantTrap) {
+		t.Fatalf("input program: got %v, want trap containing %q", rawErr, wantTrap)
+	}
+	_, optErr := runProg(t, res.Program)
+	if optErr == nil {
+		t.Fatalf("optimized program runs clean; input traps with %q — a pass elided the trap", rawErr)
+	}
+	if optErr.Error() != rawErr.Error() {
+		t.Fatalf("trap diverged:\ninput:     %v\noptimized: %v", rawErr, optErr)
+	}
+	return res
+}
+
+func TestPopSinkKeepsUnprovenArithTrap(t *testing.T) {
+	p := refArgProg(t, func(mb *bytecode.MethodBuilder) {
+		mb.Emit(bytecode.Load, 0).Emit(bytecode.Load, 0).
+			Emit(bytecode.Add).Emit(bytecode.Pop).Emit(bytecode.Ret)
+	})
+	res := assertTrapPreserved(t, p, "expected primitive, found reference")
+	if opCount(res.Program, bytecode.Add) == 0 {
+		t.Fatal("Add over VUnknown operands was sunk")
+	}
+}
+
+func TestPopSinkKeepsUnprovenNegTrap(t *testing.T) {
+	p := refArgProg(t, func(mb *bytecode.MethodBuilder) {
+		mb.Emit(bytecode.Load, 0).Emit(bytecode.Neg).
+			Emit(bytecode.Pop).Emit(bytecode.Ret)
+	})
+	res := assertTrapPreserved(t, p, "expected primitive, found reference")
+	if opCount(res.Program, bytecode.Neg) == 0 {
+		t.Fatal("Neg over a VUnknown operand was deleted")
+	}
+}
+
+func TestPopSinkKeepsUnprovenCmpEqTrap(t *testing.T) {
+	// CmpEq over (VUnknown, prim): a ref argument makes the pair mixed,
+	// which traps at runtime — the sink may only fire on proven
+	// prim/prim or ref/ref pairs.
+	p := refArgProg(t, func(mb *bytecode.MethodBuilder) {
+		mb.Emit(bytecode.Load, 0).Const(1).
+			Emit(bytecode.CmpEq).Emit(bytecode.Pop).Emit(bytecode.Ret)
+	})
+	res := assertTrapPreserved(t, p, "comparing reference with primitive")
+	if opCount(res.Program, bytecode.CmpEq) == 0 {
+		t.Fatal("CmpEq over mixed-provable operands was sunk")
+	}
+}
+
+func TestBranchSimplifyKeepsUnprovenJzTrap(t *testing.T) {
+	p := refArgProg(t, func(mb *bytecode.MethodBuilder) {
+		mb.Emit(bytecode.Load, 0).Branch(bytecode.Jz, "next")
+		mb.Label("next")
+		mb.Emit(bytecode.Ret)
+	})
+	res := assertTrapPreserved(t, p, "expected primitive, found reference")
+	if opCount(res.Program, bytecode.Jz) == 0 {
+		t.Fatal("Jz-to-next over a VUnknown operand was rewritten to Pop")
+	}
+}
+
+func TestPopSinkStillFiresOnProvenPrim(t *testing.T) {
+	// ThreadID provably pushes a primitive, so the dead compare unwinds
+	// completely: binop -> two pops, then producer/Pop pairs cancel.
+	b := bytecode.NewBuilder("primsink")
+	cb := b.Class("Main")
+	mb := cb.Method("main", 0, 0)
+	mb.Emit(bytecode.ThreadID).Emit(bytecode.ThreadID).
+		Emit(bytecode.Add).Emit(bytecode.Pop).Emit(bytecode.Halt)
+	b.Entry(mb)
+	res := optimize(t, b.MustProgram())
+	if !res.Certified {
+		t.Fatalf("refused:\n%s", res.Report.Text())
+	}
+	if opCount(res.Program, bytecode.Add) != 0 {
+		t.Fatal("dead Add over proven primitives was not sunk")
+	}
+	if got := countInstrs(res.Program); got != 1 {
+		t.Fatalf("dead expression not fully unwound: %d instrs remain", got)
+	}
+}
+
+func TestPopSinkStillFiresOnProvenRefPair(t *testing.T) {
+	// CmpEq over two Nulls is proven ref/ref: it cannot trap, so the
+	// dead compare unwinds completely.
+	b := bytecode.NewBuilder("refsink")
+	cb := b.Class("Main")
+	mb := cb.Method("main", 0, 0)
+	mb.Emit(bytecode.Null).Emit(bytecode.Null).
+		Emit(bytecode.CmpEq).Emit(bytecode.Pop).Emit(bytecode.Halt)
+	b.Entry(mb)
+	res := optimize(t, b.MustProgram())
+	if !res.Certified {
+		t.Fatalf("refused:\n%s", res.Report.Text())
+	}
+	if opCount(res.Program, bytecode.CmpEq) != 0 {
+		t.Fatal("dead CmpEq over proven ref/ref was not sunk")
+	}
+	if got := countInstrs(res.Program); got != 1 {
+		t.Fatalf("dead expression not fully unwound: %d instrs remain", got)
+	}
+}

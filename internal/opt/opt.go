@@ -97,8 +97,23 @@ func Optimize(p *bytecode.Program, o Options) (*Result, error) {
 		res.Rounds = round + 1
 		changed := false
 		for pi := range passes {
-			for _, m := range work.Methods {
-				if passes[pi].run(work, m) {
+			// Kind-gated passes get a fresh dataflow result: earlier passes
+			// in this round already rewrote methods, so any facts computed
+			// before them would be indexed against stale pcs. One Verify per
+			// pass invocation suffices — the pass applies its rewrites only
+			// at apply() time, so all pcs it inspects are pre-rewrite.
+			var facts []bytecode.MethodFacts
+			if passes[pi].kinds {
+				facts, _ = bytecode.Verify(work, bytecode.VerifyConfig{
+					Natives: o.Natives, RecordKinds: true,
+				})
+			}
+			for mi, m := range work.Methods {
+				var mf *bytecode.MethodFacts
+				if facts != nil {
+					mf = &facts[mi]
+				}
+				if passes[pi].run(work, m, mf) {
 					res.Passes[pi].Applied++
 					changed = true
 				}

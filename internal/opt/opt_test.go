@@ -27,7 +27,7 @@ func naive() *bytecode.Program {
 	b := bytecode.NewBuilder("naive")
 	cb := b.Class("Main")
 	main := cb.Method("main", 0, 6)
-	main.Const(0).Emit(bytecode.Store, 0)                               // i = 0
+	main.Const(0).Emit(bytecode.Store, 0)                                // i = 0
 	main.Const(10).Const(100).Emit(bytecode.Mul).Emit(bytecode.Store, 1) // limit = 10*100
 	main.Label("loop")
 	// t = i*2, never read again
@@ -109,7 +109,10 @@ func TestOptimizeDoesNotMutateInput(t *testing.T) {
 func brokenPass(t *testing.T, name string, run func(p *bytecode.Program, m *bytecode.Method) bool, f func()) {
 	t.Helper()
 	saved := passes
-	passes = append(append([]pass(nil), passes...), pass{name, run})
+	wrapped := func(p *bytecode.Program, m *bytecode.Method, _ *bytecode.MethodFacts) bool {
+		return run(p, m)
+	}
+	passes = append(append([]pass(nil), passes...), pass{name, false, wrapped})
 	defer func() { passes = saved }()
 	f()
 }

@@ -11,22 +11,41 @@ import (
 // (see equiv.instrEvents), and it never turns a backward branch forward
 // or vice versa. The certifier re-checks the contract on the final
 // program; a pass that breaks it gets the whole pipeline refused.
+//
+// facts, when non-nil, carries the verifier's dataflow result for m as of
+// the start of this pass invocation (operand-kind vectors per pc). Passes
+// that delete potentially kind-trapping instructions must prove the trap
+// impossible from it and stay conservative when it is nil.
 type pass struct {
-	name string
-	run  func(p *bytecode.Program, m *bytecode.Method) bool
+	name  string
+	kinds bool // pass wants MethodFacts.InKinds recomputed before it runs
+	run   func(p *bytecode.Program, m *bytecode.Method, facts *bytecode.MethodFacts) bool
 }
 
 // passes is the fixed pipeline order. Early passes expose work for later
 // ones (folding creates dead stores and manifest branches); the driver
 // runs rounds until a fixpoint.
 var passes = []pass{
-	{"constfold", constFold},
-	{"copyprop", copyProp},
-	{"deadstore", deadStore},
-	{"branches", branchSimplify},
-	{"unreachable", dropUnreachable},
-	{"popsink", popSink},
-	{"redload", redundantLoad},
+	{"constfold", false, constFold},
+	{"copyprop", false, copyProp},
+	{"deadstore", false, deadStore},
+	{"branches", true, branchSimplify},
+	{"unreachable", false, dropUnreachable},
+	{"popsink", true, popSink},
+	{"redload", false, redundantLoad},
+}
+
+// topKinds returns the top n operand-stack kinds on entry to pc (top
+// last), or nil when the dataflow facts cannot prove them.
+func topKinds(f *bytecode.MethodFacts, pc, n int) []bytecode.VKind {
+	if f == nil || f.InKinds == nil || pc >= len(f.InKinds) || f.InKinds[pc] == nil {
+		return nil
+	}
+	st := f.InKinds[pc]
+	if len(st) < n {
+		return nil
+	}
+	return st[len(st)-n:]
 }
 
 // constValue reports the constant an instruction pushes, if any.
@@ -115,7 +134,7 @@ func pureProducer(op bytecode.Opcode) bool {
 // constFold rewrites const/const/binop and const/unop windows into a
 // single constant push. Windows live inside one basic block, so no jump
 // can land mid-pattern.
-func constFold(p *bytecode.Program, m *bytecode.Method) bool {
+func constFold(p *bytecode.Program, m *bytecode.Method, _ *bytecode.MethodFacts) bool {
 	g := analysis.BuildCFG(m)
 	rw := newRewriter(m)
 	for bi := range g.Blocks {
@@ -167,7 +186,7 @@ func constFold(p *bytecode.Program, m *bytecode.Method) bool {
 // touch a caller's frame — so in-block facts survive every other
 // instruction; only the abstract operand stack is discarded at
 // unmodeled instructions.
-func copyProp(p *bytecode.Program, m *bytecode.Method) bool {
+func copyProp(p *bytecode.Program, m *bytecode.Method, _ *bytecode.MethodFacts) bool {
 	g := analysis.BuildCFG(m)
 	rw := newRewriter(m)
 	type av struct {
@@ -251,7 +270,7 @@ func copyProp(p *bytecode.Program, m *bytecode.Method) bool {
 // Pop — a backward liveness solve across the whole CFG, not a peephole.
 // Store and Pop are both silent, so the event stream is untouched; the
 // now-unconsumed producer is cleaned up by popSink.
-func deadStore(p *bytecode.Program, m *bytecode.Method) bool {
+func deadStore(p *bytecode.Program, m *bytecode.Method, _ *bytecode.MethodFacts) bool {
 	g := analysis.BuildCFG(m)
 	type lv = map[int32]bool
 	clone := func(s lv) lv {
@@ -316,7 +335,7 @@ func deadStore(p *bytecode.Program, m *bytecode.Method) bool {
 //     branch stays a backward Jmp, so its yield point survives at the
 //     same edge; a never-taken backward branch never yielded at runtime,
 //     and the automaton's pruning rule agrees.
-func branchSimplify(p *bytecode.Program, m *bytecode.Method) bool {
+func branchSimplify(p *bytecode.Program, m *bytecode.Method, facts *bytecode.MethodFacts) bool {
 	g := analysis.BuildCFG(m)
 	rw := newRewriter(m)
 	for bi := range g.Blocks {
@@ -336,7 +355,12 @@ func branchSimplify(p *bytecode.Program, m *bytecode.Method) bool {
 				}
 			case bytecode.Jz, bytecode.Jnz:
 				if int(in.A) == pc+1 {
-					rw.replace(pc, bytecode.Instr{Op: bytecode.Pop})
+					// Jz/Jnz pops via popPrim and traps on a reference;
+					// plain Pop does not. Only rewrite when the operand is
+					// provably primitive, or the trap would be elided.
+					if ks := topKinds(facts, pc, 1); len(ks) == 1 && ks[0] == bytecode.VPrim {
+						rw.replace(pc, bytecode.Instr{Op: bytecode.Pop})
+					}
 					continue
 				}
 				if pc == b.Start || rw.touched(pc-1) {
@@ -362,7 +386,7 @@ func branchSimplify(p *bytecode.Program, m *bytecode.Method) bool {
 // builds automata over reachable blocks only, so this is equivalence-
 // trivial; no reachable branch can target the deleted range (that would
 // make it reachable).
-func dropUnreachable(p *bytecode.Program, m *bytecode.Method) bool {
+func dropUnreachable(p *bytecode.Program, m *bytecode.Method, _ *bytecode.MethodFacts) bool {
 	g := analysis.BuildCFG(m)
 	rw := newRewriter(m)
 	for bi := range g.Blocks {
@@ -385,7 +409,7 @@ func dropUnreachable(p *bytecode.Program, m *bytecode.Method) bool {
 //
 // Rounds cascade: a dead expression tree unwinds one layer per round
 // until every operand push is gone.
-func popSink(p *bytecode.Program, m *bytecode.Method) bool {
+func popSink(p *bytecode.Program, m *bytecode.Method, facts *bytecode.MethodFacts) bool {
 	g := analysis.BuildCFG(m)
 	rw := newRewriter(m)
 	for bi := range g.Blocks {
@@ -404,10 +428,28 @@ func popSink(p *bytecode.Program, m *bytecode.Method) bool {
 				rw.delete(pc + 1)
 				pc++
 			case func() bool { _, ok := foldBinop(in.Op, 0, 0); return ok }():
-				// Non-trapping binop (foldBinop's domain): two pops instead.
-				rw.replace(pc, bytecode.Instr{Op: bytecode.Pop})
+				// Arithmetic-safe binop (foldBinop's domain), but the VM
+				// still kind-traps: arith and ordered compares pop via
+				// popPrim (trap on refs); CmpEq/CmpNe trap on a mixed
+				// ref/prim pair. Replacing with plain Pops elides those
+				// traps, so the operand kinds must be proven first.
+				ks := topKinds(facts, pc, 2)
+				if len(ks) != 2 {
+					continue
+				}
+				ok := ks[0] == bytecode.VPrim && ks[1] == bytecode.VPrim
+				if in.Op == bytecode.CmpEq || in.Op == bytecode.CmpNe {
+					ok = ok || (ks[0] == bytecode.VRef && ks[1] == bytecode.VRef)
+				}
+				if ok {
+					rw.replace(pc, bytecode.Instr{Op: bytecode.Pop})
+				}
 			case in.Op == bytecode.Neg || in.Op == bytecode.Not:
-				rw.delete(pc)
+				// Neg/Not pop via popPrim: deleting one elides a ref trap
+				// unless the operand is provably primitive.
+				if ks := topKinds(facts, pc, 1); len(ks) == 1 && ks[0] == bytecode.VPrim {
+					rw.delete(pc)
+				}
 			}
 		}
 	}
@@ -419,7 +461,7 @@ func popSink(p *bytecode.Program, m *bytecode.Method) bool {
 //	[Load x][Load x]  -> [Load x][Dup]
 //	[Store x][Load x] -> [Dup][Store x]
 //	[Load x][Store x] -> (nothing)
-func redundantLoad(p *bytecode.Program, m *bytecode.Method) bool {
+func redundantLoad(p *bytecode.Program, m *bytecode.Method, _ *bytecode.MethodFacts) bool {
 	g := analysis.BuildCFG(m)
 	rw := newRewriter(m)
 	for bi := range g.Blocks {

@@ -1,0 +1,93 @@
+// Cross-dispatch differential harness: for every corpus workload and
+// seed, the token-threaded fast path and the legacy switch loop must be
+// indistinguishable — bit-identical trace bytes, same output, same
+// event and context-switch counts, same final state — and a trace
+// recorded by either must replay to the same digest under both. The
+// fast path fuses instruction pairs and caches decode-time facts, but
+// none of that may leak into anything record/replay observes.
+package replaycheck_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dejavu/internal/replaycheck"
+	"dejavu/internal/vm"
+	"dejavu/internal/workloads"
+)
+
+// legacyOpts forces the reference dispatcher on top of o, preserving any
+// existing TweakVM.
+func legacyOpts(o replaycheck.Options) replaycheck.Options {
+	prev := o.TweakVM
+	o.TweakVM = func(c *vm.Config) {
+		if prev != nil {
+			prev(c)
+		}
+		c.Dispatch = vm.DispatchLegacy
+	}
+	return o
+}
+
+func TestCrossDispatchDifferential(t *testing.T) {
+	for _, name := range workloads.Names() {
+		for _, seed := range []int64{1, 4, 9} {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				prog := workloads.Registry[name]
+
+				frec, err := replaycheck.Record(prog(), optsFor(name, seed))
+				if err != nil || frec.RunErr != nil {
+					t.Fatalf("fast record: %v %v", err, frec.RunErr)
+				}
+				lrec, err := replaycheck.Record(prog(), legacyOpts(optsFor(name, seed)))
+				if err != nil || lrec.RunErr != nil {
+					t.Fatalf("legacy record: %v %v", err, lrec.RunErr)
+				}
+
+				if !bytes.Equal(frec.Trace, lrec.Trace) {
+					t.Fatalf("trace bytes diverged: fast %d bytes, legacy %d bytes",
+						len(frec.Trace), len(lrec.Trace))
+				}
+				if !bytes.Equal(frec.Output, lrec.Output) {
+					t.Fatalf("output diverged:\nfast:   %q\nlegacy: %q", frec.Output, lrec.Output)
+				}
+				if frec.Events != lrec.Events {
+					t.Fatalf("event count diverged: fast %d, legacy %d", frec.Events, lrec.Events)
+				}
+				if fs, ls := frec.Digest.Switches(), lrec.Digest.Switches(); fs != ls {
+					t.Fatalf("context switches diverged: fast %d, legacy %d", fs, ls)
+				}
+				if fd, ld := frec.Digest.Sum(), lrec.Digest.Sum(); fd != ld {
+					t.Fatalf("record digest diverged: fast %#x, legacy %#x", fd, ld)
+				}
+				ffs, lfs := frec.VM.FinalState(), lrec.VM.FinalState()
+				if len(ffs) != len(lfs) {
+					t.Fatalf("final state shape diverged: %d vs %d entries", len(ffs), len(lfs))
+				}
+				for i := range ffs {
+					if ffs[i] != lfs[i] {
+						t.Fatalf("final state diverged: %q vs %q", ffs[i], lfs[i])
+					}
+				}
+
+				// The shared trace must replay to the same digest under
+				// both dispatchers.
+				frep, err := replaycheck.Replay(prog(), frec.Trace, optsFor(name, seed))
+				if err != nil || frep.RunErr != nil {
+					t.Fatalf("fast replay: %v %v", err, frep.RunErr)
+				}
+				lrep, err := replaycheck.Replay(prog(), frec.Trace, legacyOpts(optsFor(name, seed)))
+				if err != nil || lrep.RunErr != nil {
+					t.Fatalf("legacy replay: %v %v", err, lrep.RunErr)
+				}
+				if fd, ld := frep.Digest.Sum(), lrep.Digest.Sum(); fd != ld {
+					t.Fatalf("replay digest diverged: fast %#x, legacy %#x", fd, ld)
+				}
+				if fd, rd := frec.Digest.Sum(), frep.Digest.Sum(); fd != rd {
+					t.Fatalf("replay digest %#x differs from record digest %#x", rd, fd)
+				}
+			})
+		}
+	}
+}

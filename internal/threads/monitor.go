@@ -19,19 +19,29 @@ func (m *Monitor) idle() bool {
 	return m.Owner == -1 && len(m.EntryQ) == 0 && len(m.WaitQ) == 0
 }
 
-// monitorFor returns the monitor for obj, creating it if needed.
+// monitorFor returns the monitor for obj, creating it if needed. Retired
+// monitors are reused from a free list: an uncontended enter/exit pair
+// would otherwise allocate a fresh Monitor on every acquisition (dropIfIdle
+// discards the old one), which shows up as a per-sync-event Go allocation.
 func (s *Scheduler) monitorFor(obj heap.Addr) *Monitor {
 	if m, ok := s.monitors[obj]; ok {
 		return m
 	}
-	m := newMonitor()
+	var m *Monitor
+	if n := len(s.monPool); n > 0 {
+		m = s.monPool[n-1]
+		s.monPool = s.monPool[:n-1]
+	} else {
+		m = newMonitor()
+	}
 	s.monitors[obj] = m
 	s.monOrder = append(s.monOrder, obj)
 	return m
 }
 
 // dropIfIdle removes the bookkeeping for an idle monitor to keep the
-// monitor table bounded. The removal condition is deterministic.
+// monitor table bounded. The removal condition is deterministic. The
+// monitor itself goes to the free list with its queue capacity intact.
 func (s *Scheduler) dropIfIdle(obj heap.Addr) {
 	m, ok := s.monitors[obj]
 	if !ok || !m.idle() {
@@ -44,6 +54,11 @@ func (s *Scheduler) dropIfIdle(obj heap.Addr) {
 			break
 		}
 	}
+	m.Owner = -1
+	m.Recursion = 0
+	m.EntryQ = m.EntryQ[:0]
+	m.WaitQ = m.WaitQ[:0]
+	s.monPool = append(s.monPool, m)
 }
 
 // MonitorState returns a copy of the monitor for obj (for the debugger's

@@ -19,6 +19,7 @@ type Scheduler struct {
 
 	monitors map[heap.Addr]*Monitor
 	monOrder []heap.Addr // creation order, for deterministic GC root visits
+	monPool  []*Monitor  // retired idle monitors, reused to avoid per-sync allocation
 
 	timers   []timerEntry
 	timerSeq uint64
@@ -95,7 +96,12 @@ func (s *Scheduler) PickNext() *Thread {
 		return nil
 	}
 	id := s.readyQ[0]
-	s.readyQ = s.readyQ[1:]
+	// Dequeue by shifting in place: re-slicing (readyQ[1:]) would walk
+	// the backing array forward and force every later Enqueue append to
+	// reallocate — a Go-side allocation per context switch. The queue is
+	// at most the live thread count, so the copy is trivially cheap.
+	n := copy(s.readyQ, s.readyQ[1:])
+	s.readyQ = s.readyQ[:n]
 	t := s.threads[id]
 	t.State = Running
 	s.current = id
@@ -161,7 +167,8 @@ func (s *Scheduler) grantIfFree(obj heap.Addr, m *Monitor) {
 		return
 	}
 	id := m.EntryQ[0]
-	m.EntryQ = m.EntryQ[1:]
+	n := copy(m.EntryQ, m.EntryQ[1:])
+	m.EntryQ = m.EntryQ[:n]
 	w := s.threads[id]
 	m.Owner = id
 	m.Recursion = w.SavedRecursion
@@ -210,7 +217,8 @@ func (s *Scheduler) Notify(t *Thread, obj heap.Addr) (int, error) {
 		return -1, nil
 	}
 	id := m.WaitQ[0]
-	m.WaitQ = m.WaitQ[1:]
+	n := copy(m.WaitQ, m.WaitQ[1:])
+	m.WaitQ = m.WaitQ[:n]
 	w := s.threads[id]
 	s.cancelTimer(id)
 	w.State = BlockedMonitor
@@ -231,7 +239,7 @@ func (s *Scheduler) NotifyAll(t *Thread, obj heap.Addr) (int, error) {
 		w.State = BlockedMonitor
 		m.EntryQ = append(m.EntryQ, id)
 	}
-	m.WaitQ = nil
+	m.WaitQ = m.WaitQ[:0]
 	return n, nil
 }
 

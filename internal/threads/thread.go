@@ -69,6 +69,18 @@ type Thread struct {
 
 	// MirrorObj is the VM_Thread mirror object in the VM heap.
 	MirrorObj heap.Addr
+
+	// Shadow of the values last flushed into MirrorObj by the interpreter
+	// (vm.flushMirror), letting it skip the heap stores when nothing
+	// changed. Skipping an equal-valued store never alters heap bytes, so
+	// the image stays bit-identical. MirValid is false until the first
+	// flush; checkpoint decode leaves it false, forcing a full (idempotent)
+	// flush after restore.
+	MirFP     int
+	MirSP     int
+	MirState  State
+	MirYields uint64
+	MirValid  bool
 }
 
 // Runnable reports whether the thread can be scheduled.

@@ -3,6 +3,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"dejavu/internal/bytecode"
@@ -38,8 +39,15 @@ func (vm *VM) trap(t *threads.Thread, m *bytecode.Method, pc int, reason error) 
 	return &VMError{ThreadID: t.ID, Method: m.FullName(), PC: pc, Line: line, Reason: reason}
 }
 
-// Run executes until the program halts or errs.
+// Run executes until the program halts or errs. With no journal
+// attached (rotation polls at Step boundaries) and dispatch left on
+// auto, the token-threaded fast loop runs whole scheduling slices at a
+// time; otherwise Run drives the reference Step loop. Both produce
+// bit-identical traces, digests and switch schedules.
 func (vm *VM) Run() error {
+	if vm.cfg.Dispatch == DispatchAuto && vm.cfg.Journal == nil {
+		return vm.runFast()
+	}
 	for {
 		done, err := vm.Step()
 		if err != nil {
@@ -804,7 +812,7 @@ func (vm *VM) dispatchOp(t *threads.Thread, m *bytecode.Method, pc int, in bytec
 		if err != nil {
 			return 0, 0, err
 		}
-		vm.writeOutput([]byte(fmt.Sprintf("%d\n", v)))
+		vm.printInt(v)
 		return ctrlNext, 0, nil
 
 	case bytecode.PrintS:
@@ -823,8 +831,9 @@ func (vm *VM) dispatchOp(t *threads.Thread, m *bytecode.Method, pc int, in bytec
 		if h.KindOf(a) != heap.KindByteArr {
 			return 0, 0, fmt.Errorf("prints on non-string")
 		}
-		line := append(append([]byte(nil), h.Bytes(a)...), '\n')
-		vm.writeOutput(line)
+		vm.printBuf = append(vm.printBuf[:0], h.Bytes(a)...)
+		vm.printBuf = append(vm.printBuf, '\n')
+		vm.writeOutput(vm.printBuf)
 		return ctrlNext, 0, nil
 
 	case bytecode.Assert:
@@ -935,9 +944,19 @@ func (vm *VM) fieldRefness(obj heap.Addr, i int) (bool, error) {
 	return i < len(refMap) && refMap[i], nil
 }
 
+// writeOutput forwards one output line to the sink and observer. Both
+// copy the bytes before returning, so callers may pass reused buffers.
 func (vm *VM) writeOutput(b []byte) {
 	vm.out.write(b)
 	if vm.cfg.Observer != nil {
 		vm.cfg.Observer.OnOutput(b)
 	}
+}
+
+// printInt writes "%d\n" through the VM's scratch buffer — the record
+// hot path must not allocate per event.
+func (vm *VM) printInt(v int64) {
+	vm.printBuf = strconv.AppendInt(vm.printBuf[:0], v, 10)
+	vm.printBuf = append(vm.printBuf, '\n')
+	vm.writeOutput(vm.printBuf)
 }

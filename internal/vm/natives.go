@@ -38,6 +38,46 @@ var nativeNames = []string{
 	"strlen",        // (str) -> length    det
 }
 
+// Native ids by rank in the sorted registry. An init assertion pins the
+// correspondence so adding a name cannot silently renumber the switch.
+const (
+	natClock = iota
+	natGC
+	natHeapUsed
+	natIDHash
+	natInterrupted
+	natIsRemote
+	natNanotime
+	natParseInt
+	natPollEvents
+	natRandom
+	natRandRange
+	natReadLine
+	natRemoteDict
+	natRemoteThreads
+	natStrlen
+)
+
+func init() {
+	want := []string{
+		natClock: "clock", natGC: "gc", natHeapUsed: "heapused",
+		natIDHash: "idhash", natInterrupted: "interrupted",
+		natIsRemote: "isremote", natNanotime: "nanotime",
+		natParseInt: "parseint", natPollEvents: "pollevents",
+		natRandom: "random", natRandRange: "randrange",
+		natReadLine: "readline", natRemoteDict: "remotedict",
+		natRemoteThreads: "remotethreads", natStrlen: "strlen",
+	}
+	if !sort.StringsAreSorted(nativeNames) || len(want) != len(nativeNames) {
+		panic("vm: native registry out of sync with nat* ids")
+	}
+	for i, n := range nativeNames {
+		if want[i] != n {
+			panic("vm: native registry out of sync with nat* ids: " + n)
+		}
+	}
+}
+
 // nativeID returns the stable trace identifier for a native name.
 func nativeID(name string) int {
 	i := sort.SearchStrings(nativeNames, name)
@@ -47,31 +87,41 @@ func nativeID(name string) int {
 	return -1
 }
 
-// doNative dispatches a Native instruction.
+// doNative dispatches a Native instruction by name (legacy switch loop;
+// the fast path pre-resolves the id at decode time).
 func (vm *VM) doNative(t *threads.Thread, name string, nargs int) (control, int, error) {
 	id := nativeID(name)
 	if id < 0 {
 		return 0, 0, fmt.Errorf("unknown native %q", name)
 	}
-	switch name {
-	case "clock":
+	return vm.doNativeID(t, id, nargs)
+}
+
+// doNativeID dispatches a Native instruction by its registry id. Recorded
+// natives return their results through the VM's scratch buffer: the trace
+// sink encodes the slice before returning, so nothing retains it.
+func (vm *VM) doNativeID(t *threads.Thread, id, nargs int) (control, int, error) {
+	switch id {
+	case natClock:
 		// Wall-clock reads use the dedicated clock channel shared with the
 		// scheduler's timer machinery.
 		return ctrlNext, 0, vm.push(t, uint64(vm.eng.ClockRead()), false)
 
-	case "nanotime":
+	case natNanotime:
 		vals := vm.eng.NativeCall(id, func() []int64 {
-			return []int64{time.Now().UnixNano()}
+			vm.natBuf[0] = time.Now().UnixNano()
+			return vm.natBuf[:]
 		})
 		return vm.pushNativeResult(t, vals)
 
-	case "random":
+	case natRandom:
 		vals := vm.eng.NativeCall(id, func() []int64 {
-			return []int64{vm.rngHost.Int63()}
+			vm.natBuf[0] = vm.rngHost.Int63()
+			return vm.natBuf[:]
 		})
 		return vm.pushNativeResult(t, vals)
 
-	case "randrange":
+	case natRandRange:
 		n, err := vm.popPrim(t)
 		if err != nil {
 			return 0, 0, err
@@ -80,11 +130,12 @@ func (vm *VM) doNative(t *threads.Thread, name string, nargs int) (control, int,
 			return 0, 0, fmt.Errorf("randrange bound %d must be positive", n)
 		}
 		vals := vm.eng.NativeCall(id, func() []int64 {
-			return []int64{vm.rngHost.Int63n(n)}
+			vm.natBuf[0] = vm.rngHost.Int63n(n)
+			return vm.natBuf[:]
 		})
 		return vm.pushNativeResult(t, vals)
 
-	case "readline":
+	case natReadLine:
 		// The recorded artifact is the byte payload; the array holding it
 		// is allocated identically in both modes.
 		b := vm.eng.ReadLine()
@@ -95,7 +146,7 @@ func (vm *VM) doNative(t *threads.Thread, name string, nargs int) (control, int,
 		copy(vm.h.Bytes(a), b)
 		return ctrlNext, 0, vm.push(t, uint64(a), true)
 
-	case "idhash":
+	case natIDHash:
 		// Deterministic precisely because DejaVu keeps allocation (and
 		// hence every address) identical across record and replay — the
 		// property the symmetric-allocation ablation breaks.
@@ -105,19 +156,19 @@ func (vm *VM) doNative(t *threads.Thread, name string, nargs int) (control, int,
 		}
 		return ctrlNext, 0, vm.push(t, uint64(a), false)
 
-	case "gc":
+	case natGC:
 		vm.GC()
 		return ctrlNext, 0, vm.push(t, 0, false)
 
-	case "heapused":
+	case natHeapUsed:
 		return ctrlNext, 0, vm.push(t, uint64(vm.h.Used()), false)
 
-	case "interrupted":
+	case natInterrupted:
 		v := boolWord(t.Interrupted)
 		t.Interrupted = false
 		return ctrlNext, 0, vm.push(t, v, false)
 
-	case "strlen":
+	case natStrlen:
 		a, err := vm.popObj(t)
 		if err != nil {
 			return 0, 0, err
@@ -134,7 +185,7 @@ func (vm *VM) doNative(t *threads.Thread, name string, nargs int) (control, int,
 		}
 		return ctrlNext, 0, vm.push(t, uint64(vm.h.Len(a)), false)
 
-	case "parseint":
+	case natParseInt:
 		a, err := vm.popObj(t)
 		if err != nil {
 			return 0, 0, err
@@ -158,20 +209,20 @@ func (vm *VM) doNative(t *threads.Thread, name string, nargs int) (control, int,
 		}
 		return ctrlNext, 0, vm.push(t, uint64(v), false)
 
-	case "pollevents":
+	case natPollEvents:
 		return vm.nativePollEvents(t, id)
 
 	// Remote reflection mapped methods and helpers (§3.1, §3.4). These
 	// run only in tool VMs; they read the remote space and are
 	// deterministic with respect to it.
-	case "remotedict":
+	case natRemoteDict:
 		return vm.nativeRemoteDict(t)
-	case "remotethreads":
+	case natRemoteThreads:
 		return vm.nativeRemoteThreads(t)
-	case "isremote":
+	case natIsRemote:
 		return vm.nativeIsRemote(t)
 	}
-	return 0, 0, fmt.Errorf("native %q not dispatched", name)
+	return 0, 0, fmt.Errorf("native %q not dispatched", nativeNames[id])
 }
 
 func (vm *VM) pushNativeResult(t *threads.Thread, vals []int64) (control, int, error) {
@@ -232,9 +283,14 @@ func (vm *VM) nativePollEvents(t *threads.Thread, id int) (control, int, error) 
 			n = vm.rngHost.Int63n(maxEv + 1)
 		}
 		for i := int64(0); i < n; i++ {
-			emit(handler.ID, []int64{i, vm.rngHost.Int63n(1000)})
+			// Scratch buffer: the trace sink encodes the params before
+			// emit returns, and callNested copies them onto the stack.
+			vm.cbBuf[0] = i
+			vm.cbBuf[1] = vm.rngHost.Int63n(1000)
+			emit(handler.ID, vm.cbBuf[:])
 		}
-		return []int64{n}
+		vm.natBuf[0] = n
+		return vm.natBuf[:]
 	}, apply)
 	if cbErr != nil {
 		return 0, 0, cbErr
@@ -270,6 +326,12 @@ func (vm *VM) callNested(t *threads.Thread, m *bytecode.Method, params []int64) 
 		}
 		if err := vm.eng.Err(); err != nil {
 			return err
+		}
+		if vm.halted {
+			// Halt cannot unwind the native frame mid-callback: the loop
+			// would either run past the callback's code or leave the stack
+			// imbalanced. Reject it deterministically, like blocking ops.
+			return fmt.Errorf("halt inside a native callback")
 		}
 	}
 	if t.SP != baseSP {

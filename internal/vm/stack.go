@@ -235,10 +235,17 @@ func (vm *VM) flushMirror(t *threads.Thread) {
 	if t.MirrorObj == 0 {
 		return
 	}
+	if t.MirValid && t.MirFP == t.FP && t.MirSP == t.SP &&
+		t.MirState == t.State && t.MirYields == t.YieldCount {
+		return // mirror already holds exactly these values
+	}
 	vm.h.StoreWord(t.MirrorObj, MThreadFP, uint64(int64(t.FP)))
 	vm.h.StoreWord(t.MirrorObj, MThreadSP, uint64(int64(t.SP)))
 	vm.h.StoreWord(t.MirrorObj, MThreadState, uint64(t.State))
 	vm.h.StoreWord(t.MirrorObj, MThreadYields, t.YieldCount)
+	t.MirFP, t.MirSP = t.FP, t.SP
+	t.MirState, t.MirYields = t.State, t.YieldCount
+	t.MirValid = true
 }
 
 func (vm *VM) flushAllMirrors() {

@@ -126,7 +126,26 @@ type Config struct {
 	// answers with Rotate. The engine's TraceSink should be the same
 	// object, so the sealed segments and the checkpoints stay in step.
 	Journal JournalSink
+
+	// Dispatch selects the interpreter loop Run uses. The default
+	// (DispatchAuto) takes the token-threaded fast path whenever no
+	// journal is attached; DispatchLegacy forces the reference switch
+	// loop, which the cross-dispatch differential harness uses as its
+	// oracle. Step always uses the legacy loop — debuggers need its
+	// strict one-instruction-per-call contract.
+	Dispatch DispatchMode
 }
+
+// DispatchMode selects Run's interpreter loop.
+type DispatchMode int
+
+const (
+	// DispatchAuto uses token-threaded dispatch when possible (no
+	// journal attached), falling back to the legacy loop otherwise.
+	DispatchAuto DispatchMode = iota
+	// DispatchLegacy forces the reference dispatchOp switch loop.
+	DispatchLegacy
+)
 
 // VM is one virtual machine instance executing one program.
 type VM struct {
@@ -172,6 +191,25 @@ type VM struct {
 	err         error
 	nestedDepth int
 	deferred    bool // a preemption requested inside a nested call
+
+	// decoded is the token-threaded instruction stream, built lazily on
+	// the first fast Run. It is per-VM (inline caches are warmed in
+	// place) and derived purely from program identity, so it is never
+	// invalidated by replay state.
+	decoded *bytecode.DecodedProgram
+
+	// Reusable scratch buffers that keep the record hot path
+	// allocation-free: single-result native calls, pollevents callback
+	// params, and print formatting.
+	natBuf   [1]int64
+	cbBuf    [2]int64
+	printBuf []byte
+
+	// One-entry stack-segment length cache for the fast path's headroom
+	// checks (see stackLen in fastpath.go).
+	segAddr heap.Addr
+	segGen  int
+	segLen  int
 }
 
 type internEntry struct {
